@@ -1,0 +1,55 @@
+"""Ablation: Proposition 1 (nested pairs) and the window reduction on the
+dynamically conflict-free benchmarks (DESIGN.md choices 4 and 5)."""
+
+import pytest
+
+from repro.core.context import SolverContext
+from repro.core.search import MODE_EQUAL, PairSearch
+from repro.core.window import WindowSearch
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding import unfold
+
+MODELS = ["CF-SYM-A-CSC", "CF-SYM-B-CSC", "CF-ASYM-A-CSC"]
+
+
+def _context(name):
+    return SolverContext(unfold(TABLE1_BENCHMARKS[name]()))
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_window_search(benchmark, name):
+    context = _context(name)
+
+    def run():
+        return list(WindowSearch(context).solutions())
+
+    assert benchmark(run) == []  # conflict-free rows
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_pair_search_nested(benchmark, name):
+    context = _context(name)
+
+    def run():
+        search = PairSearch(context, mode=MODE_EQUAL, nested_only=True)
+        for mask_a, mask_b in search.solutions():
+            if context.marking_of(mask_a) != context.marking_of(mask_b):
+                return True
+        return False
+
+    assert benchmark(run) is False
+
+
+@pytest.mark.parametrize("name", MODELS[:2], ids=MODELS[:2])
+def test_pair_search_unrestricted(benchmark, name):
+    """Without Proposition 1 the pair space roughly squares."""
+    context = _context(name)
+
+    def run():
+        search = PairSearch(context, mode=MODE_EQUAL, nested_only=False)
+        for mask_a, mask_b in search.solutions():
+            if context.marking_of(mask_a) != context.marking_of(mask_b):
+                return True
+        return False
+
+    assert benchmark(run) is False

@@ -1,0 +1,65 @@
+"""Ablation: the Section 4 partial-order search vs crippled variants and
+the generic 0-1 ILP encoding (DESIGN.md choices 1, 2, 6)."""
+
+import pytest
+
+from repro.bench.ablation import run_ablation
+from repro.core.context import SolverContext
+from repro.core.ilp_encoding import check_usc_ilp
+from repro.core.search import PairSearch
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding import unfold
+
+MODELS = ["RING", "DUP-MOD-A", "CF-SYM-A-CSC"]
+
+
+def _usc_question(context, **kwargs):
+    search = PairSearch(context, **kwargs)
+    for mask_a, mask_b in search.solutions():
+        if context.marking_of(mask_a) != context.marking_of(mask_b):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_pair_search_full(benchmark, name):
+    context = SolverContext(unfold(TABLE1_BENCHMARKS[name]()))
+    benchmark(_usc_question, context)
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_pair_search_no_balance_pruning(benchmark, name):
+    context = SolverContext(unfold(TABLE1_BENCHMARKS[name]()))
+    benchmark(_usc_question, context, use_balance_pruning=False)
+
+
+@pytest.mark.parametrize("name", MODELS[:2], ids=MODELS[:2])
+def test_pair_search_no_order_propagation(benchmark, name):
+    """Only the conflict-carrying models: without propagation the
+    conflict-free rows degenerate to near-exhaustive 4^q enumeration."""
+    context = SolverContext(unfold(TABLE1_BENCHMARKS[name]()))
+    benchmark(_usc_question, context, use_order_propagation=False)
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_generic_ilp_baseline(benchmark, name):
+    prefix = unfold(TABLE1_BENCHMARKS[name]())
+    holds, _, _ = benchmark(check_usc_ilp, prefix)
+    assert holds == name.endswith("-CSC")
+
+
+@pytest.mark.parametrize("name", MODELS, ids=MODELS)
+def test_sat_backend(benchmark, name):
+    """The MPSAT-style SAT encoding (extension beyond the paper)."""
+    from repro.sat import check_usc_sat
+
+    prefix = unfold(TABLE1_BENCHMARKS[name]())
+    report = benchmark(check_usc_sat, prefix)
+    assert report.holds == name.endswith("-CSC")
+
+
+def test_ablation_table_print(benchmark, capsys):
+    table = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

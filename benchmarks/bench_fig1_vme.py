@@ -1,0 +1,28 @@
+"""Figure 1: the VME bus CSC conflict on the explicit state graph."""
+
+from repro.bench.figures import figure1_report
+from repro.models import vme_bus
+from repro.stg.stategraph import build_state_graph
+
+
+def test_fig1_state_graph_conflict(benchmark):
+    stg = vme_bus()
+
+    def run():
+        graph = build_state_graph(stg)
+        return graph.csc_conflicts(first_only=True)
+
+    conflicts = benchmark(run)
+    assert conflicts
+    assert {conflicts[0].out_a, conflicts[0].out_b} == {
+        frozenset({"d"}),
+        frozenset({"lds"}),
+    }
+
+
+def test_fig1_print(benchmark, capsys):
+    report = benchmark.pedantic(figure1_report, rounds=1, iterations=1)
+    assert "10110" in report
+    with capsys.disabled():
+        print()
+        print(report)

@@ -1,0 +1,29 @@
+"""Figure 2: the VME unfolding prefix and the IP conflict detection on it."""
+
+from repro.bench.figures import figure2_report
+from repro.core import check_csc
+from repro.models import vme_bus
+from repro.unfolding import unfold
+
+
+def test_fig2_unfold_vme(benchmark):
+    stg = vme_bus()
+    prefix = benchmark(unfold, stg)
+    assert prefix.num_events == 12
+    assert prefix.num_cutoffs == 1
+
+
+def test_fig2_ip_conflict_on_prefix(benchmark):
+    stg = vme_bus()
+    prefix = unfold(stg)
+    report = benchmark(check_csc, prefix)
+    assert not report.holds
+    assert report.witness.out_a != report.witness.out_b
+
+
+def test_fig2_print(benchmark, capsys):
+    report = benchmark.pedantic(figure2_report, rounds=1, iterations=1)
+    assert "|E|=12" in report
+    with capsys.disabled():
+        print()
+        print(report)

@@ -1,0 +1,27 @@
+"""Figure 3: normalcy checking of the csc-resolved VME controller."""
+
+from repro.bench.figures import figure3_report
+from repro.core import check_normalcy
+from repro.models import vme_bus_csc_resolved
+from repro.stg.normalcy import check_normalcy_state_graph
+
+
+def test_fig3_normalcy_ip(benchmark):
+    stg = vme_bus_csc_resolved()
+    report = benchmark(check_normalcy, stg)
+    assert not report.normal
+    assert report.violating_signals() == ["csc"]
+
+
+def test_fig3_normalcy_state_graph_baseline(benchmark):
+    stg = vme_bus_csc_resolved()
+    report = benchmark(check_normalcy_state_graph, stg)
+    assert report.violating_signals() == ["csc"]
+
+
+def test_fig3_print(benchmark, capsys):
+    report = benchmark.pedantic(figure3_report, rounds=1, iterations=1)
+    assert "neither p-normal nor n-normal" in report
+    with capsys.disabled():
+        print()
+        print(report)

@@ -1,0 +1,25 @@
+"""The Section 8 memory claim: O(|E|) working set vs the state space."""
+
+from repro.bench.memory import memory_rows, run_memory
+
+
+def test_memory_shape(benchmark):
+    rows = benchmark.pedantic(memory_rows, rounds=1, iterations=1)
+    # the claim: states grow much faster than the prefix.  Compare growth
+    # factors between the smallest and the largest instance of each family.
+    by_family = {}
+    for row in rows:
+        by_family.setdefault(row.family, []).append(row)
+    for family, family_rows in by_family.items():
+        family_rows.sort(key=lambda r: r.size)
+        first, last = family_rows[0], family_rows[-1]
+        state_growth = last.states / first.states
+        prefix_growth = last.prefix_size / first.prefix_size
+        assert state_growth > 2 * prefix_growth, family
+
+
+def test_memory_table_print(benchmark, capsys):
+    table = benchmark.pedantic(run_memory, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

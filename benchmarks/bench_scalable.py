@@ -1,0 +1,38 @@
+"""Scalable families: prefix/IP method vs the exponential state space."""
+
+import pytest
+
+from repro.bench.scalable import run_scalable
+from repro.core import check_csc, check_usc
+from repro.models.counterflow import counterflow_pipeline
+from repro.models.ring import lazy_ring, token_ring
+from repro.models.scalable import muller_pipeline, parallel_forks
+from repro.unfolding import unfold
+
+CASES = {
+    "muller-8": (lambda: muller_pipeline(8), check_csc, True),
+    "muller-10": (lambda: muller_pipeline(10), check_csc, True),
+    "parfork-3": (lambda: parallel_forks(3), check_csc, True),
+    "parfork-4": (lambda: parallel_forks(4), check_csc, True),
+    "ring-8": (lambda: token_ring(8), check_usc, False),
+    "vme-chain-3": (lambda: lazy_ring(3), check_csc, False),
+    "counterflow-4": (lambda: counterflow_pipeline(4), check_csc, True),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=sorted(CASES))
+def test_scalable_ip_method(benchmark, case):
+    ctor, check, expected = CASES[case]
+    stg = ctor()
+
+    def run():
+        return check(unfold(stg)).holds
+
+    assert benchmark(run) == expected
+
+
+def test_scalable_sweep_print(benchmark, capsys):
+    table = benchmark.pedantic(run_scalable, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(table)

@@ -1,0 +1,58 @@
+"""Table 1 regeneration: per-row timings of the paper's method, plus the
+full table (including the state-graph baseline column) printed once.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see
+the reproduced table next to the per-row statistics.
+"""
+
+import pytest
+
+from repro.bench.table1 import SLOW_BASELINE_ROWS, run_table1
+from repro.core import check_csc, check_usc
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding import unfold
+
+ROW_NAMES = sorted(TABLE1_BENCHMARKS)
+
+#: expected CSC verdicts (RING's conflicts are USC-only, so CSC holds there)
+EXPECTED_CSC = {name: name.endswith("-CSC") or name == "RING" for name in ROW_NAMES}
+
+
+@pytest.mark.parametrize("name", ROW_NAMES, ids=ROW_NAMES)
+def test_table1_clp_column(benchmark, name):
+    """The CLP column: unfold + USC + CSC check, first conflict stops."""
+    stg = TABLE1_BENCHMARKS[name]()
+
+    def run():
+        prefix = unfold(stg)
+        usc = check_usc(prefix)
+        csc = check_csc(prefix)
+        return usc.holds, csc.holds
+
+    usc_holds, csc_holds = benchmark(run)
+    assert csc_holds == EXPECTED_CSC[name]
+    # the CF rows are the (fully) conflict-free half of the table
+    assert usc_holds == name.endswith("-CSC")
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in ROW_NAMES if n not in SLOW_BASELINE_ROWS], ids=str
+)
+def test_table1_pfy_column(benchmark, name):
+    """The Pfy column: symbolic state-graph computation of all conflicts."""
+    from repro.symbolic import symbolic_check_both
+
+    stg = TABLE1_BENCHMARKS[name]()
+    usc_report, csc_report = benchmark(symbolic_check_both, stg)
+    assert csc_report.holds == EXPECTED_CSC[name]
+    assert usc_report.holds == name.endswith("-CSC")
+
+
+def test_table1_full_print(benchmark, capsys):
+    """Print the complete reproduced Table 1 (one shot)."""
+    table = benchmark.pedantic(
+        run_table1, kwargs={"include_slow": False}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(table)

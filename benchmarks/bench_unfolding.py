@@ -1,0 +1,42 @@
+"""Micro-benchmarks of the substrates: prefix construction and BDD kernel."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.models import TABLE1_BENCHMARKS
+from repro.models.scalable import muller_pipeline, parallel_forks
+from repro.unfolding import PrefixRelations, unfold
+
+UNFOLD_CASES = {
+    "LAZYRING": lambda: TABLE1_BENCHMARKS["LAZYRING"](),
+    "CF-SYM-D-CSC": lambda: TABLE1_BENCHMARKS["CF-SYM-D-CSC"](),
+    "muller-12": lambda: muller_pipeline(12),
+    "parfork-5": lambda: parallel_forks(5),
+}
+
+
+@pytest.mark.parametrize("case", sorted(UNFOLD_CASES), ids=sorted(UNFOLD_CASES))
+def test_unfold_speed(benchmark, case):
+    stg = UNFOLD_CASES[case]()
+    prefix = benchmark(unfold, stg)
+    assert prefix.num_events > 0
+
+
+def test_relations_speed(benchmark):
+    prefix = unfold(muller_pipeline(12))
+    relations = benchmark(PrefixRelations, prefix)
+    assert relations.num_events == prefix.num_events
+
+
+def test_bdd_apply_chain(benchmark):
+    """A representative BDD workload: conjunction of parity constraints."""
+
+    def run():
+        m = BDD()
+        f = 1
+        for i in range(0, 24, 2):
+            f = m.and_(f, m.xor_(m.var(i), m.var(i + 1)))
+        return m.size(f)
+
+    size = benchmark(run)
+    assert size == 36  # 3 nodes per xor pair, 12 pairs conjoined

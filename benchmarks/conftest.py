@@ -1,0 +1,8 @@
+"""Shared benchmark configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # benchmarks double as smoke tests; keep runs reproducible and quiet
+    config.option.benchmark_disable_gc = True

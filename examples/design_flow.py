@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A small asynchronous-design flow: specify, verify, diagnose, iterate.
+
+Scenario: a designer writes the STG of a two-channel duplex link controller
+in the astg ``.g`` interchange format, checks it for implementability, reads
+the diagnostic traces, and compares candidate refinements — the workflow the
+paper's tooling is meant to slot into.
+
+Run:  python examples/design_flow.py
+"""
+
+from repro.core import check_csc, check_usc
+from repro.core.reachability import check_deadlock
+from repro.stg.consistency import check_consistency
+from repro.stg.parser import parse_stg, write_stg
+from repro.models import duplex_channel
+from repro.unfolding import unfold
+
+#: The designer's spec: strict-alternation duplex channel, written by hand
+#: in the same .g dialect petrify and punf use.
+SPEC = """
+.model duplex-draft
+.inputs acka ackb
+.outputs oea oeb reqa reqb
+.graph
+oea+ reqa+
+reqa+ acka+
+acka+ reqa-
+reqa- acka-
+acka- oea-
+oea- oeb+
+oeb+ reqb+
+reqb+ ackb+
+ackb+ reqb-
+reqb- ackb-
+ackb- oeb-
+oeb- oea+
+.marking { <oeb-,oea+> }
+.end
+"""
+
+
+def verify(stg, label):
+    print(f"== {label} ({stg.name}) ==")
+    consistency = check_consistency(stg)
+    print(f"  consistent, initial code "
+          f"{''.join(map(str, consistency.initial_code))} "
+          f"(signals {', '.join(stg.signals)})")
+
+    deadlock = check_deadlock(stg)
+    print(f"  deadlock: {'none' if deadlock is None else ' -> '.join(deadlock)}")
+
+    prefix = unfold(stg)
+    print(f"  prefix: |B|={prefix.num_conditions} |E|={prefix.num_events} "
+          f"|E_cut|={prefix.num_cutoffs}")
+
+    usc = check_usc(prefix)
+    csc = check_csc(prefix)
+    print(f"  USC: {'ok' if usc.holds else 'CONFLICT'}   "
+          f"CSC: {'ok' if csc.holds else 'CONFLICT'}")
+    if csc.witness is not None:
+        witness = csc.witness
+        print("  diagnostic (two executions, same code, different outputs):")
+        print(f"    A: {' -> '.join(witness.trace_a) or '(initial)'}"
+              f"   Out={sorted(witness.out_a)}")
+        print(f"    B: {' -> '.join(witness.trace_b) or '(initial)'}"
+              f"   Out={sorted(witness.out_b)}")
+    print()
+    return csc.holds
+
+
+def main() -> None:
+    # 1. parse the hand-written spec
+    draft = parse_stg(SPEC)
+    verify(draft, "designer's draft")
+    print("The turnaround states are code-identical (all signals low) while")
+    print("different output-enables are excited -> a genuine CSC conflict;")
+    print("the controller cannot remember whose turn it is.\n")
+
+    # 2. compare the library's catalogued refinements of the same protocol
+    for variant in ("4ph-a", "4ph-b", "mod-a"):
+        stg = duplex_channel(variant)
+        verify(stg, f"catalogue variant {variant}")
+
+    # 3. round-trip the draft back to .g for the downstream tools
+    text = write_stg(draft)
+    print("Round-tripped spec (.g):")
+    print("  " + "\n  ".join(text.strip().splitlines()[:6]) + "\n  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Full synthesis flow: detect -> resolve -> derive logic, automatically.
+
+This replays the complete journey of the paper's introduction on the VME bus
+controller:
+
+  (a) check implementability — the CSC conflict is found by the
+      unfolding/IP method (with SAT and BDD engines cross-checking);
+  (b) repair the specification — a state signal is inserted automatically
+      and the result re-verified;
+  (c) derive the boolean next-state functions — minimised complex-gate and
+      generalised-C-element covers, with a monotonicity report connecting
+      back to the paper's normalcy property.
+
+Run:  python examples/synthesis_flow.py
+"""
+
+from repro.core import check_csc, check_normalcy
+from repro.models import vme_bus
+from repro.sat import check_csc_sat
+from repro.stg.stategraph import build_state_graph
+from repro.symbolic import symbolic_check
+from repro.synthesis import resolve_csc, synthesise
+
+
+def main() -> None:
+    stg = vme_bus()
+    print(f"Specification: {stg}")
+
+    # (a) implementability check, three engines
+    ip = check_csc(stg)
+    sat = check_csc_sat(stg)
+    bdd = symbolic_check(stg, "csc")
+    print(f"CSC verdicts -- IP: {ip.holds}, SAT: {sat.holds}, BDD: {bdd.holds}")
+    assert ip.holds == sat.holds == bdd.holds is False
+    print(f"conflict: {ip.witness.describe()}\n")
+
+    # (b) automatic resolution
+    resolution = resolve_csc(stg)
+    print(f"inserted state signal: {resolution.describe()}")
+    resolved = resolution.stg
+    print(f"re-check: CSC = {check_csc(resolved).holds}\n")
+
+    # (c) logic derivation
+    result = synthesise(resolved)
+    print("complex-gate equations:")
+    for equation in result.equations():
+        print(f"  {equation}")
+    print("\ngeneralised C-element networks:")
+    for impl in result.per_signal.values():
+        print(f"  {impl.gc_equations(result.names)}")
+
+    graph = build_state_graph(resolved)
+    assert result.verify(graph), "covers must match Nxt on every state"
+    print("\ncover verification against the state graph: OK")
+
+    normalcy = check_normalcy(resolved)
+    print("\nmonotonicity report (syntactic vs behavioural):")
+    for signal, impl in result.per_signal.items():
+        behavioural = normalcy.per_signal[signal].normal
+        print(
+            f"  {signal:6s} unate-cover={str(impl.monotonic):5s} "
+            f"normal={behavioural}"
+        )
+    print(
+        "\nNote: a unate cover does not imply normalcy — don't-cares can\n"
+        "make a cover syntactically unate while the function on reachable\n"
+        "states is non-monotonic, which is why the paper checks normalcy\n"
+        "behaviourally (Section 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Reproduction of "Detecting State Coding Conflicts in STGs Using Integer
+Programming" (Khomenko, Koutny, Yakovlev; DATE 2002).
+
+Public entry points:
+
+* :func:`repro.core.check_usc` / :func:`repro.core.check_csc` /
+  :func:`repro.core.check_normalcy` -- the paper's unfolding+IP method;
+* :func:`repro.unfolding.unfold` -- complete-prefix construction;
+* :mod:`repro.stg` -- STGs, consistency, the explicit state-graph baseline;
+* :mod:`repro.symbolic` -- the BDD (Petrify-style) baseline;
+* :mod:`repro.models` -- the benchmark suite, including the paper's VME
+  controllers;
+* :mod:`repro.bench` -- the experiment harness (Table 1 etc.).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

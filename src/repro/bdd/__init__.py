@@ -1,0 +1,13 @@
+"""A from-scratch reduced ordered binary decision diagram (ROBDD) engine.
+
+Petrify — the tool the paper benchmarks against — detects coding conflicts by
+symbolic (BDD-based) traversal of the STG's reachability graph.  This package
+provides the BDD substrate for our reimplementation of that baseline:
+a hash-consed node store, the ``ite`` kernel with memoisation, boolean
+connectives, quantification, variable substitution and satisfying-assignment
+extraction.
+"""
+
+from repro.bdd.bdd import BDD, FALSE, TRUE
+
+__all__ = ["BDD", "TRUE", "FALSE"]

@@ -1,0 +1,394 @@
+"""Reduced ordered binary decision diagrams with hash-consing and ite.
+
+Nodes are integers: 0 and 1 are the terminals; every other node is an index
+into the manager's node table holding ``(level, low, high)`` triples, where
+``level`` is the variable's position in the global order (lower level = closer
+to the root).  The structure is canonical: equal functions are equal node ids.
+
+The implementation follows the classic Brace/Rudell/Bryant design:
+
+* a *unique table* hash-consing ``(level, low, high)`` triples,
+* the ``ite`` (if-then-else) operator with a computed table,
+* all binary connectives expressed through ``ite``,
+* existential/universal quantification and variable substitution built
+  recursively with their own memo tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Terminal nodes (shared by all managers).
+FALSE = 0
+TRUE = 1
+
+
+class BDD:
+    """A BDD manager over a growable ordered set of variables.
+
+    >>> m = BDD()
+    >>> x, y = m.var(0), m.var(1)
+    >>> f = m.and_(x, y)
+    >>> m.evaluate(f, {0: 1, 1: 1})
+    True
+    >>> m.evaluate(f, {0: 1, 1: 0})
+    False
+    """
+
+    def __init__(self):
+        # node id -> (level, low, high); ids 0/1 reserved for terminals
+        self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+
+    # -- node store -------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def node(self, node: int) -> Tuple[int, int, int]:
+        return self._nodes[node]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def size(self, node: int) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            _, low, high = self._nodes[n]
+            stack.append(low)
+            stack.append(high)
+        return len(seen)
+
+    # -- basic constructors -----------------------------------------------------
+
+    def var(self, level: int) -> int:
+        """The literal for variable at ``level``."""
+        return self._mk(level, FALSE, TRUE)
+
+    def nvar(self, level: int) -> int:
+        """The negated literal."""
+        return self._mk(level, TRUE, FALSE)
+
+    def const(self, value: bool) -> int:
+        return TRUE if value else FALSE
+
+    # -- the ite kernel -----------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h`` in canonical form."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(
+            level
+            for level in (
+                self.level_of(f),
+                self.level_of(g),
+                self.level_of(h),
+            )
+            if level >= 0
+        )
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        h0, h1 = self._cofactors(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if node <= 1:
+            return node, node
+        node_level, low, high = self._nodes[node]
+        if node_level == level:
+            return low, high
+        return node, node
+
+    # -- connectives ---------------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        if f <= 1:
+            return f ^ 1
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[f]
+        result = self._mk(level, self.not_(low), self.not_(high))
+        self._not_cache[f] = result
+        return result
+
+    def _and2(self, f: int, g: int) -> int:
+        # dedicated binary apply: ~3x cheaper than the general ite path
+        if f == g:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        key = (f, g) if f <= g else (g, f)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level = self._nodes[f][0]
+        g_level = self._nodes[g][0]
+        top = f_level if f_level <= g_level else g_level
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        result = self._mk(top, self._and2(f0, g0), self._and2(f1, g1))
+        self._and_cache[key] = result
+        return result
+
+    def _or2(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        key = (f, g) if f <= g else (g, f)
+        cached = self._or_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level = self._nodes[f][0]
+        g_level = self._nodes[g][0]
+        top = f_level if f_level <= g_level else g_level
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        result = self._mk(top, self._or2(f0, g0), self._or2(f1, g1))
+        self._or_cache[key] = result
+        return result
+
+    def and_(self, *fs: int) -> int:
+        result = TRUE
+        for f in fs:
+            result = self._and2(result, f)
+        return result
+
+    def or_(self, *fs: int) -> int:
+        result = FALSE
+        for f in fs:
+            result = self._or2(result, f)
+        return result
+
+    def xor_(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.not_(g)
+        if g == TRUE:
+            return self.not_(f)
+        key = (f, g) if f <= g else (g, f)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        f_level = self._nodes[f][0]
+        g_level = self._nodes[g][0]
+        top = f_level if f_level <= g_level else g_level
+        f0, f1 = self._cofactors(f, top)
+        g0, g1 = self._cofactors(g, top)
+        result = self._mk(top, self.xor_(f0, g0), self.xor_(f1, g1))
+        self._xor_cache[key] = result
+        return result
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def diff(self, f: int, g: int) -> int:
+        """``f & ~g``."""
+        return self._and2(f, self.not_(g))
+
+    # -- quantification ---------------------------------------------------------------
+
+    def exists(self, levels: Iterable[int], f: int) -> int:
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            low_r = walk(low)
+            high_r = walk(high)
+            if level in level_set:
+                result = self.or_(low_r, high_r)
+            else:
+                result = self._mk(level, low_r, high_r)
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def forall(self, levels: Iterable[int], f: int) -> int:
+        return self.not_(self.exists(levels, self.not_(f)))
+
+    # -- substitution -------------------------------------------------------------------
+
+    def rename(self, f: int, mapping: Dict[int, int]) -> int:
+        """Substitute variables by variables: ``mapping[old_level] = new_level``.
+
+        Levels are re-ordered on the fly (the result is rebuilt bottom-up
+        through ``ite``), so the mapping need not be order-preserving.
+        """
+        if not mapping:
+            return f
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            target = mapping.get(level, level)
+            result = self.ite(self.var(target), walk(high), walk(low))
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor: fix some variables to constants."""
+        if not assignment:
+            return f
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            if level in assignment:
+                result = walk(high if assignment[level] else low)
+            else:
+                result = self._mk(level, walk(low), walk(high))
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    # -- evaluation / models ----------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: Dict[int, int]) -> bool:
+        node = f
+        while node > 1:
+            level, low, high = self._nodes[node]
+            node = high if assignment.get(level, 0) else low
+        return node == TRUE
+
+    def any_sat(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying assignment over the variables on the path, or None."""
+        if f == FALSE:
+            return None
+        result: Dict[int, bool] = {}
+        node = f
+        while node > 1:
+            level, low, high = self._nodes[node]
+            if low != FALSE:
+                result[level] = False
+                node = low
+            else:
+                result[level] = True
+                node = high
+        return result
+
+    def sat_count(self, f: int, num_vars: int) -> int:
+        """Number of satisfying assignments over variables ``0..num_vars-1``."""
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> Tuple[int, int]:
+            """Returns (count, level) where count is over vars below level."""
+            if node == FALSE:
+                return 0, num_vars
+            if node == TRUE:
+                return 1, num_vars
+            if node in memo:
+                return memo[node]
+            level, low, high = self._nodes[node]
+            low_count, low_level = walk(low)
+            high_count, high_level = walk(high)
+            count = low_count * (1 << (low_level - level - 1)) + high_count * (
+                1 << (high_level - level - 1)
+            )
+            memo[node] = (count, level)
+            return count, level
+
+        count, level = walk(f)
+        return count * (1 << level)
+
+    def iter_sats(self, f: int, levels: Sequence[int]) -> Iterator[Dict[int, bool]]:
+        """All satisfying assignments, expanded over exactly ``levels``."""
+        level_list = sorted(levels)
+
+        def walk(node: int, index: int) -> Iterator[Dict[int, bool]]:
+            if index == len(level_list):
+                if node == TRUE:
+                    yield {}
+                return
+            if node == FALSE:
+                return
+            level = level_list[index]
+            node_level = self.level_of(node) if node > 1 else None
+            if node > 1 and node_level == level:
+                _, low, high = self._nodes[node]
+                for rest in walk(low, index + 1):
+                    yield {level: False, **rest}
+                for rest in walk(high, index + 1):
+                    yield {level: True, **rest}
+            else:
+                for rest in walk(node, index + 1):
+                    yield {level: False, **rest}
+                    yield {level: True, **rest}
+
+        return walk(f, 0)

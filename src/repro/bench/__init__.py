@@ -1,0 +1,11 @@
+"""Benchmark harnesses regenerating the paper's experimental material.
+
+Each module produces the rows of one table/figure as plain data plus a
+formatted text table; the ``benchmarks/`` directory wraps them in
+pytest-benchmark entry points, and ``repro-stg bench`` prints Table 1
+directly.
+"""
+
+from repro.bench.table1 import run_table1, table1_rows
+
+__all__ = ["run_table1", "table1_rows"]

@@ -1,0 +1,146 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Four switches are measured, each against the full configuration:
+
+1. **MCC / partial-order propagation** (Theorem 1): the pair search with
+   ``use_order_propagation=False`` validates compatibility only at the
+   leaves — the behaviour of a solver that received the compatibility
+   constraints but no structural knowledge.
+2. **Signal-balance pruning** (the linear conflict constraint used as an
+   interval bound).
+3. **Proposition 1 / window search** on dynamically conflict-free STGs.
+4. **Generic 0-1 ILP** (the explicit Section 3 system handed to the plain
+   branch-and-bound of :mod:`repro.ilp`) vs the Section 4 search.
+
+Reported metric: search nodes and wall time to settle the USC question.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.context import SolverContext
+from repro.core.ilp_encoding import check_usc_ilp
+from repro.core.search import MODE_EQUAL, PairSearch
+from repro.core.window import WindowSearch
+from repro.exceptions import SolverLimitError
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding import unfold
+from repro.utils.tables import format_table
+
+#: Benchmarks small enough for the crippled configurations to finish.
+DEFAULT_ABLATION_MODELS = (
+    "RING",
+    "DUP-4PH-A",
+    "DUP-MOD-A",
+    "LAZYRING",
+    "CF-SYM-A-CSC",
+    "CF-SYM-B-CSC",
+)
+
+
+@dataclass
+class AblationRow:
+    model: str
+    variant: str
+    nodes: Optional[int]
+    elapsed: Optional[float]
+    found_conflict: Optional[bool]
+
+
+def ablation_rows(
+    models: Sequence[str] = DEFAULT_ABLATION_MODELS,
+    node_budget: int = 2_000_000,
+) -> List[AblationRow]:
+    rows: List[AblationRow] = []
+    for name in models:
+        stg = TABLE1_BENCHMARKS[name]()
+        prefix = unfold(stg)
+        context = SolverContext(prefix)
+        nested = all(
+            len(stg.net.place_postset(p)) <= 1 for p in range(stg.net.num_places)
+        )
+
+        variants = {}
+        if nested:
+            variants["window (full)"] = lambda: _run_window(context, node_budget)
+        variants["pair search"] = lambda: _run_pair(
+            context, nested, True, True, node_budget
+        )
+        variants["no balance pruning"] = lambda: _run_pair(
+            context, nested, True, False, node_budget
+        )
+        variants["no order propagation"] = lambda: _run_pair(
+            context, nested, False, True, node_budget
+        )
+        if nested:
+            variants["no Prop.1 nesting"] = lambda: _run_pair(
+                context, False, True, True, node_budget
+            )
+        variants["generic 0-1 ILP"] = lambda: _run_ilp(prefix, node_budget)
+
+        for variant, runner in variants.items():
+            try:
+                started = time.perf_counter()
+                nodes, found = runner()
+                elapsed = time.perf_counter() - started
+                rows.append(AblationRow(name, variant, nodes, elapsed, found))
+            except SolverLimitError:
+                rows.append(AblationRow(name, variant, None, None, None))
+    return rows
+
+
+def _run_window(context: SolverContext, budget: int):
+    search = WindowSearch(context, node_budget=budget)
+    found = False
+    for _closure, _window in search.solutions():
+        found = True
+        break
+    return search.stats.nodes, found
+
+
+def _run_pair(
+    context: SolverContext,
+    nested: bool,
+    propagation: bool,
+    balance: bool,
+    budget: int,
+):
+    search = PairSearch(
+        context,
+        mode=MODE_EQUAL,
+        nested_only=nested,
+        use_order_propagation=propagation,
+        use_balance_pruning=balance,
+        node_budget=budget,
+    )
+    found = False
+    for mask_a, mask_b in search.solutions():
+        if context.marking_of(mask_a) != context.marking_of(mask_b):
+            found = True
+            break
+    return search.stats.nodes, found
+
+
+def _run_ilp(prefix, budget: int):
+    holds, _witness, stats = check_usc_ilp(prefix, node_budget=budget)
+    return stats.nodes, not holds
+
+
+def run_ablation(models: Sequence[str] = DEFAULT_ABLATION_MODELS) -> str:
+    rows = ablation_rows(models)
+    headers = ["model", "variant", "nodes", "time[s]", "USC conflict"]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.model,
+                row.variant,
+                row.nodes if row.nodes is not None else "budget",
+                f"{row.elapsed:.3f}" if row.elapsed is not None else "-",
+                {True: "found", False: "none", None: "-"}[row.found_conflict],
+            ]
+        )
+    return format_table(headers, body, title="Solver ablations (USC question)")

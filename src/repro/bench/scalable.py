@@ -1,0 +1,105 @@
+"""Scalable-family sweeps (the "scalable examples" of the full version [9]).
+
+For each family and size: state-space size vs prefix size, and the time of
+each method.  The shape to reproduce: the state space grows exponentially in
+the size parameter while the prefix grows polynomially, so the state-graph
+methods hit a wall the unfolding/IP method does not (the paper's headline
+memory argument).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import check_csc, check_usc
+from repro.models.counterflow import counterflow_pipeline
+from repro.models.ring import lazy_ring, token_ring
+from repro.models.scalable import muller_pipeline, parallel_forks
+from repro.stg.stategraph import build_state_graph
+from repro.unfolding import unfold
+from repro.utils.tables import format_table
+
+#: family name -> (constructor, verdict of interest, sizes)
+FAMILIES: Dict[str, tuple] = {
+    "muller-pipeline": (muller_pipeline, "csc", (2, 4, 6, 8, 10)),
+    "parallel-forks": (parallel_forks, "csc", (1, 2, 3, 4)),
+    "token-ring": (token_ring, "usc", (2, 4, 6, 8)),
+    "vme-chain": (lazy_ring, "csc", (1, 2, 3, 4)),
+    "counterflow": (counterflow_pipeline, "csc", (2, 3, 4, 5)),
+}
+
+
+@dataclass
+class ScalableRow:
+    family: str
+    size: int
+    places: int
+    states: int
+    conditions: int
+    events: int
+    sg_time: float
+    ip_time: float
+    holds: bool
+
+
+def scalable_rows(
+    families: Optional[Sequence[str]] = None,
+    max_states: int = 200_000,
+) -> List[ScalableRow]:
+    rows: List[ScalableRow] = []
+    for family in families or list(FAMILIES):
+        ctor, prop, sizes = FAMILIES[family]
+        for size in sizes:
+            stg = ctor(size)
+            started = time.perf_counter()
+            graph = build_state_graph(stg, max_states=max_states)
+            holds_sg = graph.has_usc() if prop == "usc" else graph.has_csc()
+            sg_time = time.perf_counter() - started
+
+            started = time.perf_counter()
+            prefix = unfold(stg)
+            check = check_usc if prop == "usc" else check_csc
+            report = check(prefix)
+            ip_time = time.perf_counter() - started
+            assert report.holds == holds_sg, f"method disagreement on {family}({size})"
+
+            rows.append(
+                ScalableRow(
+                    family=family,
+                    size=size,
+                    places=stg.net.num_places,
+                    states=graph.num_states,
+                    conditions=prefix.num_conditions,
+                    events=prefix.num_events,
+                    sg_time=sg_time,
+                    ip_time=ip_time,
+                    holds=report.holds,
+                )
+            )
+    return rows
+
+
+def run_scalable(families: Optional[Sequence[str]] = None) -> str:
+    rows = scalable_rows(families)
+    headers = [
+        "family", "n", "S", "states", "B", "E", "SG[s]", "IP[s]", "verdict",
+    ]
+    body = [
+        [
+            r.family,
+            r.size,
+            r.places,
+            r.states,
+            r.conditions,
+            r.events,
+            f"{r.sg_time:.3f}",
+            f"{r.ip_time:.3f}",
+            "clean" if r.holds else "conflict",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        headers, body, title="Scalable families: state space vs prefix growth"
+    )

@@ -1,0 +1,316 @@
+"""Command-line interface: ``repro-stg`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``check FILE.g``   — verify USC / CSC / normalcy / consistency / deadlock
+  with a choice of engine (``ilp`` = the paper's unfolding+IP method,
+  ``sg`` = explicit state graph, ``bdd`` = symbolic state graph);
+* ``unfold FILE.g``  — build and describe the complete prefix;
+* ``stats FILE.g``   — print STG / prefix / state-graph size statistics;
+* ``bench``          — regenerate the paper's Table 1 (delegates to
+  :mod:`repro.bench.table1`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+
+
+def _load_stg(path: str):
+    from repro.stg.parser import parse_stg
+
+    with open(path) as handle:
+        return parse_stg(handle.read())
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    stg = _load_stg(args.file)
+    properties = args.properties or ["csc"]
+    failures = 0
+    for prop in properties:
+        prop = prop.lower()
+        if prop == "consistency":
+            from repro.stg.consistency import is_consistent
+
+            holds = is_consistent(stg)
+            print(f"consistency: {'OK' if holds else 'VIOLATED'}")
+            failures += 0 if holds else 1
+            continue
+        if prop == "deadlock":
+            from repro.core.reachability import check_deadlock
+
+            trace = check_deadlock(stg)
+            if trace is None:
+                print("deadlock: none (live)")
+            else:
+                print(f"deadlock: reachable via [{', '.join(trace)}]")
+                failures += 1
+            continue
+        if prop == "autoconcurrency":
+            from repro.stg.implementability import check_autoconcurrency
+
+            witness = check_autoconcurrency(stg)
+            if witness is None:
+                print("autoconcurrency: none")
+            else:
+                print(
+                    f"autoconcurrency: signal {witness.signal} "
+                    f"after [{', '.join(witness.trace)}]"
+                )
+                failures += 1
+            continue
+        if prop == "persistency":
+            from repro.stg.implementability import check_output_persistency
+
+            violations = check_output_persistency(stg)
+            if not violations:
+                print("persistency: OK")
+            else:
+                first = violations[0]
+                print(
+                    f"persistency: VIOLATED ({first.disabled_edge} disabled "
+                    f"by {first.disabling_transition}; "
+                    f"{len(violations)} violation(s))"
+                )
+                failures += 1
+            continue
+        if prop == "normalcy":
+            holds = _check_normalcy(stg, args.method)
+            print(f"normalcy: {'OK' if holds else 'VIOLATED'}")
+            failures += 0 if holds else 1
+            continue
+        if prop in ("usc", "csc"):
+            holds = _check_coding(stg, prop, args.method, args.verbose)
+            print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
+            failures += 0 if holds else 1
+            continue
+        raise ReproError(f"unknown property {prop!r}")
+    return 1 if failures else 0
+
+
+def _check_coding(stg, prop: str, method: str, verbose: bool) -> bool:
+    if method == "ilp":
+        from repro.core import check_csc, check_usc
+
+        report = (check_usc if prop == "usc" else check_csc)(stg)
+        if verbose and report.witness is not None:
+            print(f"  witness: {report.witness.describe()}")
+        if verbose:
+            stats = report.prefix_stats
+            print(
+                f"  prefix: |B|={stats['conditions']} |E|={stats['events']} "
+                f"|E_cut|={stats['cutoffs']}; search nodes: "
+                f"{report.search_stats.nodes}; {report.elapsed:.3f}s"
+            )
+        return report.holds
+    if method == "sg":
+        from repro.stg.stategraph import build_state_graph
+
+        graph = build_state_graph(stg)
+        if verbose:
+            print(f"  state graph: {graph.num_states} states")
+        return graph.has_usc() if prop == "usc" else graph.has_csc()
+    if method == "bdd":
+        from repro.symbolic import symbolic_check
+
+        report = symbolic_check(stg, prop)
+        if verbose:
+            print(
+                f"  symbolic: {report.num_states} states, "
+                f"{report.num_conflict_pairs} conflict pairs, "
+                f"{report.bdd_nodes} BDD nodes; {report.elapsed:.3f}s"
+            )
+        return report.holds
+    if method == "sat":
+        from repro.sat import check_csc_sat, check_usc_sat
+
+        report = (check_usc_sat if prop == "usc" else check_csc_sat)(stg)
+        if verbose:
+            print(
+                f"  SAT: {report.num_vars} vars, {report.num_clauses} "
+                f"clauses, {report.sat_conflicts} conflicts, "
+                f"{report.candidates_blocked} candidates blocked; "
+                f"{report.elapsed:.3f}s"
+            )
+        return report.holds
+    raise ReproError(f"unknown method {method!r}")
+
+
+def _check_normalcy(stg, method: str) -> bool:
+    if method in ("ilp",):
+        from repro.core import check_normalcy
+
+        return check_normalcy(stg).normal
+    from repro.stg.normalcy import check_normalcy_state_graph
+
+    return check_normalcy_state_graph(stg).normal
+
+
+def _cmd_unfold(args: argparse.Namespace) -> int:
+    from repro.unfolding import unfold
+
+    stg = _load_stg(args.file)
+    prefix = unfold(stg)
+    print(
+        f"{stg.name}: |B|={prefix.num_conditions} |E|={prefix.num_events} "
+        f"|E_cut|={prefix.num_cutoffs}"
+    )
+    if args.events:
+        for event in prefix.events:
+            marker = "  [cutoff]" if event.is_cutoff else ""
+            print(f"  {prefix.event_name(event.index)}{marker}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.stg.stategraph import build_state_graph
+    from repro.unfolding import unfold
+
+    stg = _load_stg(args.file)
+    stats = stg.stats()
+    print(
+        f"STG {stg.name}: |S|={stats['places']} |T|={stats['transitions']} "
+        f"|Z|={stats['signals']}"
+    )
+    prefix = unfold(stg)
+    print(
+        f"prefix: |B|={prefix.num_conditions} |E|={prefix.num_events} "
+        f"|E_cut|={prefix.num_cutoffs}"
+    )
+    graph = build_state_graph(stg)
+    print(f"state graph: {graph.num_states} states, {graph.num_arcs} arcs")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.stg.stategraph import build_state_graph
+    from repro.synthesis import resolve_csc, synthesise
+
+    stg = _load_stg(args.file)
+    resolution = resolve_csc(stg, max_signals=args.max_signals)
+    if resolution.insertions:
+        print(f"CSC resolved by inserting: {resolution.describe()}")
+    stg = resolution.stg
+    result = synthesise(stg)
+    print("complex-gate equations:")
+    for equation in result.equations():
+        print(f"  {equation}")
+    if args.gc:
+        print("generalised C-element networks:")
+        for impl in result.per_signal.values():
+            print(f"  {impl.gc_equations(result.names)}")
+    if not result.verify(build_state_graph(stg)):
+        raise ReproError("internal error: covers do not match the state graph")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.export import prefix_to_dot, state_graph_to_dot, stg_to_dot
+    from repro.stg.stategraph import build_state_graph
+    from repro.unfolding import unfold
+
+    stg = _load_stg(args.file)
+    if args.what == "stg":
+        print(stg_to_dot(stg))
+    elif args.what == "prefix":
+        print(prefix_to_dot(unfold(stg)))
+    else:
+        print(state_graph_to_dot(build_state_graph(stg)))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.table1 import run_table1
+
+    print(run_table1(include_slow=args.full))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stg",
+        description="STG state-coding verification via unfoldings and "
+        "integer programming (DATE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="verify properties of an STG")
+    check.add_argument("file", help="astg .g file")
+    check.add_argument(
+        "--property",
+        "-p",
+        dest="properties",
+        action="append",
+        choices=[
+            "usc",
+            "csc",
+            "normalcy",
+            "consistency",
+            "deadlock",
+            "autoconcurrency",
+            "persistency",
+        ],
+        help="property to verify (repeatable; default: csc)",
+    )
+    check.add_argument(
+        "--method",
+        "-m",
+        default="ilp",
+        choices=["ilp", "sg", "bdd", "sat"],
+        help="engine: unfolding+IP (default), explicit or symbolic state "
+        "graph, or the SAT back-end",
+    )
+    check.add_argument("--verbose", "-v", action="store_true")
+    check.set_defaults(func=_cmd_check)
+
+    unfold_cmd = sub.add_parser("unfold", help="build the complete prefix")
+    unfold_cmd.add_argument("file")
+    unfold_cmd.add_argument("--events", action="store_true", help="list events")
+    unfold_cmd.set_defaults(func=_cmd_unfold)
+
+    stats = sub.add_parser("stats", help="size statistics")
+    stats.add_argument("file")
+    stats.set_defaults(func=_cmd_stats)
+
+    synth = sub.add_parser(
+        "synth", help="resolve CSC if needed and derive boolean equations"
+    )
+    synth.add_argument("file")
+    synth.add_argument("--gc", action="store_true", help="also print set/reset covers")
+    synth.add_argument("--max-signals", type=int, default=2)
+    synth.set_defaults(func=_cmd_synth)
+
+    export = sub.add_parser("export", help="emit Graphviz DOT")
+    export.add_argument("file")
+    export.add_argument(
+        "what", choices=["stg", "prefix", "sg"], help="which view to export"
+    )
+    export.set_defaults(func=_cmd_export)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's Table 1")
+    bench.add_argument(
+        "--full", action="store_true", help="include the slowest baseline runs"
+    )
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

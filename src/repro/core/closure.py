@@ -1,0 +1,67 @@
+"""Minimal ``Unf``-compatible closures (paper Definition 1, Theorems 1-2).
+
+A 0-1 vector over the prefix events is ``Unf``-compatible iff it is the
+characteristic vector of a configuration: closed under causal predecessors
+and conflict-free (Theorem 1).  A vector ``x`` has a compatible closure iff
+no two of its events are in conflict (Theorem 2); the minimal closure then
+simply adds all causal predecessors.
+
+The branch-and-bound search never materialises closures explicitly (its
+topological branching order keeps partial assignments closed by
+construction), but the closure operators are part of the paper's public
+machinery, are used by the tests as an independent oracle, and power the
+"seeded" search mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.unfolding.relations import PrefixRelations
+
+
+def has_compatible_closure(relations: PrefixRelations, event_mask: int) -> bool:
+    """Theorem 2: ``x`` has a compatible closure iff it is conflict-free."""
+    rest = event_mask
+    while rest:
+        low = rest & -rest
+        e = low.bit_length() - 1
+        if relations.conf[e] & event_mask:
+            return False
+        rest ^= low
+    return True
+
+
+def minimal_compatible_closure(
+    relations: PrefixRelations, event_mask: int
+) -> Optional[int]:
+    """``MCC(x)``: the least configuration containing all events of ``x``,
+    or ``None`` if none exists.
+
+    The closure adds every causal predecessor of every event in ``x``; it
+    exists iff the *result* is conflict-free (conflicts may also arise
+    between added predecessors, so the check runs on the closed set).
+    """
+    closure = event_mask
+    rest = event_mask
+    while rest:
+        low = rest & -rest
+        closure |= relations.pred[low.bit_length() - 1]
+        rest ^= low
+    if not has_compatible_closure(relations, closure):
+        return None
+    return closure
+
+
+def is_compatible(relations: PrefixRelations, event_mask: int) -> bool:
+    """Theorem 1: closed under predecessors and conflict-free."""
+    rest = event_mask
+    while rest:
+        low = rest & -rest
+        e = low.bit_length() - 1
+        if relations.pred[e] & ~event_mask:
+            return False
+        if relations.conf[e] & event_mask:
+            return False
+        rest ^= low
+    return True

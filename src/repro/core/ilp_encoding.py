@@ -1,0 +1,128 @@
+"""The paper's constraint system as an explicit 0-1 ILP (Section 3).
+
+This is the *un-refined* formulation that a standard solver receives — used
+by the ablation benchmarks to quantify how much the partial-order search of
+Section 4 buys:
+
+* variables ``x'(e), x''(e)`` for every prefix event;
+* **conflict constraints** (2): ``Code(x') = Code(x'')`` per signal;
+* **compatibility constraints**: ``M_in + I x >= 0`` per condition of the
+  prefix (on acyclic nets these characterise the Parikh vectors of
+  executions exactly, cf. Section 2.2);
+* **cut-off constraints** (3): ``x(e) = 0`` for cut-off events;
+* **USC separating constraint**: ``M' <_lex M''`` rendered as the single
+  k-ary comparison of Section 3 (safe STGs: binary weights) over the
+  original-net marking expressions of Section 5.
+
+The non-linear CSC/normalcy separating constraints are, as the paper
+recommends, evaluated on candidate solutions rather than encoded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.context import SolverContext
+from repro.ilp.model import Constraint, LinearExpr, Problem
+from repro.unfolding.occurrence_net import Prefix
+
+
+def encode_usc_system(prefix: Prefix) -> Tuple[Problem, Callable]:
+    """Build the full USC conflict system over 2q variables.
+
+    Returns ``(problem, decode)`` where ``decode(assignment)`` yields the two
+    event-index lists ``(events_a, events_b)`` of a solution.
+    """
+    if prefix.stg is None:
+        raise ValueError("USC encoding needs an STG prefix")
+    stg = prefix.stg
+    q = prefix.num_events
+    problem = Problem(
+        num_vars=2 * q,
+        names=[f"x'({prefix.event_name(e)})" for e in range(q)]
+        + [f"x''({prefix.event_name(e)})" for e in range(q)],
+    )
+
+    def var_a(e: int) -> int:
+        return e
+
+    def var_b(e: int) -> int:
+        return q + e
+
+    # conflict constraints (2): per signal, equal signal change
+    for s in range(len(stg.signals)):
+        expr = LinearExpr()
+        for e in range(q):
+            signal, delta = stg.signal_change(prefix.events[e].transition)
+            if signal == s:
+                expr = expr + LinearExpr.term(var_a(e), delta)
+                expr = expr + LinearExpr.term(var_b(e), -delta)
+        if expr.coeffs:
+            problem.add(Constraint.build(expr, "=="))
+
+    # compatibility constraints: M_in(b) + sum in - sum out >= 0 per condition
+    for side, var in (("a", var_a), ("b", var_b)):
+        for condition in prefix.conditions:
+            expr = LinearExpr.constant(1 if condition.pre_event is None else 0)
+            if condition.pre_event is not None:
+                expr = expr + LinearExpr.term(var(condition.pre_event))
+            for consumer in condition.post_events:
+                expr = expr + LinearExpr.term(var(consumer), -1)
+            problem.add(Constraint.build(expr, ">="))
+
+    # cut-off constraints (3)
+    for e in prefix.cutoff_events:
+        problem.fix_zero(var_a(e))
+        problem.fix_zero(var_b(e))
+
+    # USC separating constraint: M' <_lex M'' over original places (safe: k=1)
+    lex = LinearExpr()
+    for place in range(prefix.net.num_places):
+        weight = 1 << place
+        const, coeff_a, coeff_b = _marking_terms(prefix, place)
+        # M''(p) - M'(p), weighted
+        for e, c in coeff_b.items():
+            lex = lex + LinearExpr.term(var_b(e), weight * c)
+        for e, c in coeff_a.items():
+            lex = lex + LinearExpr.term(var_a(e), -weight * c)
+        # constants cancel between the two copies
+    problem.add(Constraint.build(lex, ">=", 1))
+
+    def decode(assignment: List[int]) -> Tuple[List[int], List[int]]:
+        events_a = [e for e in range(q) if assignment[var_a(e)]]
+        events_b = [e for e in range(q) if assignment[var_b(e)]]
+        return events_a, events_b
+
+    return problem, decode
+
+
+def _marking_terms(prefix: Prefix, place: int):
+    """``M(place)`` as (const, {event: coeff}) — the Section 5 expression."""
+    const = 0
+    coeffs = {}
+    for b in prefix.conditions_by_place.get(place, ()):
+        condition = prefix.conditions[b]
+        if condition.pre_event is None:
+            const += 1
+        else:
+            coeffs[condition.pre_event] = coeffs.get(condition.pre_event, 0) + 1
+        for consumer in condition.post_events:
+            coeffs[consumer] = coeffs.get(consumer, 0) - 1
+    return const, dict(coeffs), dict(coeffs)
+
+
+def check_usc_ilp(
+    prefix: Prefix, node_budget: Optional[int] = None
+) -> Tuple[bool, Optional[Tuple[List[int], List[int]]], "SolverStats"]:
+    """USC check via the generic solver — the ablation baseline.
+
+    Returns ``(holds, witness_events, stats)``.
+    """
+    from repro.ilp.solver import BranchAndBoundSolver, SolverOptions
+
+    problem, decode = encode_usc_system(prefix)
+    solver = BranchAndBoundSolver(problem, SolverOptions(node_budget=node_budget))
+    solution = solver.solve()
+    if solution is None:
+        return True, None, solver.stats
+    return False, decode(solution), solver.stats

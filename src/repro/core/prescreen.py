@@ -1,0 +1,136 @@
+"""Relaxation prescreens for the conflict system (linear-heuristics layer).
+
+The paper stresses that keeping the constraints linear admits "more good
+heuristics".  Two sound prescreens are implemented for the nested
+(Proposition 1) formulation, where a USC conflict exists iff some non-empty
+balanced window ``D`` has non-zero original-net token flow ``I·x_D``:
+
+1. **kernel test** (exact linear algebra, cheap): if every vector in the
+   null space of the signal-balance matrix also lies in the null space of
+   the incidence matrix, then *no* balanced vector — integral or not — can
+   change the marking, so the STG has no USC conflict and the search can be
+   skipped entirely.  Typical conclusive case: fully sequential cyclic
+   controllers, whose only balanced window is the full cycle.
+2. **LP test** (rational simplex, optional): for each place, maximise the
+   token flow into it over the balanced ``[0,1]``-box polytope; if every
+   optimum is 0 the same conclusion holds.  Strictly stronger than the
+   kernel test (the box can cut off spurious kernel directions) but costs
+   up to ``2|P|`` LP solves.
+
+Both are *sound for "no conflict"* only; an inconclusive answer falls
+through to the exact search.  Only valid together with Proposition 1, i.e.
+for dynamically conflict-free STGs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.context import SolverContext
+from repro.petri.analysis import _integer_kernel
+
+
+def _balance_matrix(context: SolverContext) -> np.ndarray:
+    """Rows: one per signal; columns: free positions; entries: edge deltas."""
+    matrix = np.zeros((context.num_signals, context.num_vars), dtype=np.int64)
+    for i in range(context.num_vars):
+        signal = context.signal_of[i]
+        if signal is not None:
+            matrix[signal, i] = context.delta_of[i]
+    return matrix
+
+
+def _flow_matrix(context: SolverContext) -> np.ndarray:
+    """Rows: original places; columns: free positions; entries: token flow."""
+    net = context.prefix.net
+    matrix = np.zeros((net.num_places, context.num_vars), dtype=np.int64)
+    for i in range(context.num_vars):
+        transition = context.prefix.events[context.order[i]].transition
+        for p, w in net.preset(transition).items():
+            matrix[p, i] -= w
+        for p, w in net.postset(transition).items():
+            matrix[p, i] += w
+    return matrix
+
+
+def kernel_prescreen(context: SolverContext) -> Optional[bool]:
+    """The exact-kernel test.
+
+    Returns ``False`` if provably no USC conflict exists (every balanced
+    vector has zero token flow), ``None`` if inconclusive.
+    """
+    balance = _balance_matrix(context)
+    flow = _flow_matrix(context)
+    kernel = _integer_kernel(balance)
+    for vector in kernel:
+        if (flow @ vector).any():
+            return None
+    return False
+
+
+def lp_prescreen(context: SolverContext) -> Optional[bool]:
+    """The LP relaxation of the nested pair system (stronger, costlier).
+
+    Variables: relaxed Parikh vectors ``x' <= x''`` in ``[0,1]``.
+    Constraints: the *compatibility* (prefix marking-equation) inequalities
+    ``M_in + I_unf x >= 0`` for both vectors — the Section 2.2 relaxation —
+    plus the signal balance of the difference ``x'' - x'``.  For each
+    original place the achievable token-flow difference is maximised in both
+    directions; all-zero optima prove the integer system infeasible, i.e.
+    no USC conflict.
+
+    Returns ``False`` for "provably conflict-free", ``None`` otherwise.
+    """
+    from repro.lp import LinearProgram, solve_lp
+
+    balance = _balance_matrix(context)
+    flow = _flow_matrix(context)
+    prefix = context.prefix
+    n = context.num_vars
+    # variable layout: x'_0..x'_{n-1}, x''_0..x''_{n-1}
+    constraints = []
+    for row in balance:
+        if row.any():
+            coeffs = [-int(c) for c in row] + [int(c) for c in row]
+            constraints.append((coeffs, "==", 0))
+    # x' <= x''  (Proposition 1 nesting)
+    for i in range(n):
+        coeffs = [0] * (2 * n)
+        coeffs[i] = 1
+        coeffs[n + i] = -1
+        constraints.append((coeffs, "<=", 0))
+    # prefix compatibility for both vectors: every condition's balance >= -M_in
+    for condition in prefix.conditions:
+        template = [0] * n
+        if condition.pre_event is not None:
+            position = context.position.get(condition.pre_event)
+            if position is not None:
+                template[position] += 1
+        for consumer in condition.post_events:
+            position = context.position.get(consumer)
+            if position is not None:
+                template[position] -= 1
+        if not any(template):
+            continue
+        initial = 1 if condition.pre_event is None else 0
+        constraints.append((template + [0] * n, ">=", -initial))
+        constraints.append(([0] * n + template, ">=", -initial))
+
+    for place_row in flow:
+        if not place_row.any():
+            continue
+        diff_objective = [Fraction(-int(c)) for c in place_row] + [
+            Fraction(int(c)) for c in place_row
+        ]
+        for sign in (1, -1):
+            problem = LinearProgram.feasibility(2 * n, constraints)
+            problem.add_upper_bounds(1)
+            problem.objective = [sign * c for c in diff_objective]
+            result = solve_lp(problem)
+            assert result.feasible, "x' = x'' = 0 is always a solution"
+            if result.objective_value is None or result.objective_value > 0:
+                return None
+    return False

@@ -1,0 +1,245 @@
+"""Extended reachability analysis over the prefix (paper Section 5).
+
+Any property ``P(M)`` stated as linear constraints over the markings of the
+*original* net can be re-expressed over ``Unf``-compatible vectors: the
+marking of an original place ``s`` is the sum over its condition instances
+``b in h^-1(s)`` of ``M_in(b) + sum_{f in •b} x(f) - sum_{f in b•} x(f)``,
+i.e. an affine function of the Parikh vector ``x``.
+
+:func:`find_configuration` searches for a single configuration satisfying a
+conjunction of such linear constraints, with the same topological-order
+compatibility propagation and interval pruning as the pair search.
+:func:`check_deadlock` instantiates it with the standard linear encoding of
+deadlock for safe nets (every transition misses at least one input token),
+reproducing the deadlock-detection application ([8]) that motivated the
+paper's approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.context import SolverContext
+from repro.exceptions import SolverLimitError
+from repro.petri.net import PetriNet
+from repro.stg.stg import STG
+from repro.unfolding.occurrence_net import Prefix
+from repro.unfolding.relations import PrefixRelations
+from repro.unfolding.unfolder import UnfoldingOptions, unfold
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``sum coeffs[i] * x(order[i]) (sense) rhs`` over free-event positions.
+
+    ``sense`` is one of ``"<="``, ``">="``, ``"=="``.  Build instances with
+    :func:`marking_expression` / :func:`constraint_on_places` rather than by
+    hand — positions depend on the context's variable order.
+    """
+
+    coeffs: Tuple[int, ...]
+    sense: str
+    rhs: int
+
+    def __post_init__(self):
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {self.sense!r}")
+
+    def satisfied(self, value: int) -> bool:
+        if self.sense == "<=":
+            return value <= self.rhs
+        if self.sense == ">=":
+            return value >= self.rhs
+        return value == self.rhs
+
+
+class _ConfigContext(SolverContext):
+    """A SolverContext that tolerates plain (unlabelled) net prefixes."""
+
+    def __init__(self, prefix: Prefix):
+        if prefix.stg is not None:
+            super().__init__(prefix)
+            return
+        # minimal re-implementation for unlabelled nets: no signals
+        self.prefix = prefix
+        self.stg = None
+        self.relations = PrefixRelations(prefix)
+        self.num_signals = 0
+        free_mask = self.relations.free_events_mask()
+        self.order = [
+            e for e in self.relations.topological_order() if (free_mask >> e) & 1
+        ]
+        self.num_vars = len(self.order)
+        self.position = {e: i for i, e in enumerate(self.order)}
+        self.pred_pos = [self._remap(self.relations.pred[e]) for e in self.order]
+        self.conf_pos = [self._remap(self.relations.conf[e]) for e in self.order]
+        self.signal_of = [None] * self.num_vars
+        self.delta_of = [0] * self.num_vars
+        self.suffix_count = [[] for _ in range(self.num_vars + 1)]
+
+
+def marking_expression(
+    context: Union[SolverContext, "_ConfigContext"], place: int
+) -> Tuple[int, List[int]]:
+    """``M(s) = const + sum coeffs[i] * x(position i)`` for original place
+    ``s`` (the Section 5 transformation).
+
+    Returns ``(const, coeffs)`` where ``const`` counts the minimal
+    conditions labelled ``s`` and ``coeffs[i]`` is (producers into ``s``)
+    minus (consumers from ``s``) for the event at position ``i``.
+    """
+    prefix = context.prefix
+    const = 0
+    coeffs = [0] * context.num_vars
+    for b in prefix.conditions_by_place.get(place, ()):
+        condition = prefix.conditions[b]
+        if condition.pre_event is None:
+            const += 1
+        else:
+            position = context.position.get(condition.pre_event)
+            if position is not None:
+                coeffs[position] += 1
+        for consumer in condition.post_events:
+            position = context.position.get(consumer)
+            if position is not None:
+                coeffs[position] -= 1
+    return const, coeffs
+
+
+def constraint_on_places(
+    context: Union[SolverContext, "_ConfigContext"],
+    place_weights: Dict[int, int],
+    sense: str,
+    rhs: int,
+) -> LinearConstraint:
+    """Lift a linear constraint over original-net place markings onto the
+    prefix variables: ``sum w_s * M(s) (sense) rhs``."""
+    total_const = 0
+    coeffs = [0] * context.num_vars
+    for place, weight in place_weights.items():
+        const, place_coeffs = marking_expression(context, place)
+        total_const += weight * const
+        for i, c in enumerate(place_coeffs):
+            coeffs[i] += weight * c
+    return LinearConstraint(tuple(coeffs), sense, rhs - total_const)
+
+
+def find_configuration(
+    source: Union[PetriNet, STG, Prefix],
+    constraints: Sequence[LinearConstraint] = (),
+    context: Optional[SolverContext] = None,
+    node_budget: Optional[int] = None,
+    unfolding_options: Optional[UnfoldingOptions] = None,
+) -> Optional[List[int]]:
+    """Find a configuration whose Parikh vector satisfies all constraints.
+
+    Returns the configuration as a list of prefix event indices, or ``None``
+    if no configuration satisfies the system.  Constraints must have been
+    built against the same context (see :func:`make_context`).
+    """
+    if context is None:
+        prefix = source if isinstance(source, Prefix) else unfold(
+            source, unfolding_options
+        )
+        context = make_context(prefix)
+    n = context.num_vars
+
+    # interval pruning state per constraint: current value + residual bounds
+    pos_tail = [[0] * (n + 1) for _ in constraints]
+    neg_tail = [[0] * (n + 1) for _ in constraints]
+    for k, constraint in enumerate(constraints):
+        for i in range(n - 1, -1, -1):
+            c = constraint.coeffs[i]
+            pos_tail[k][i] = pos_tail[k][i + 1] + (c if c > 0 else 0)
+            neg_tail[k][i] = neg_tail[k][i + 1] + (c if c < 0 else 0)
+
+    nodes = 0
+
+    def feasible(values: List[int], index: int) -> bool:
+        for k, constraint in enumerate(constraints):
+            low = values[k] + neg_tail[k][index]
+            high = values[k] + pos_tail[k][index]
+            if constraint.sense == "<=" and low > constraint.rhs:
+                return False
+            if constraint.sense == ">=" and high < constraint.rhs:
+                return False
+            if constraint.sense == "==" and not (low <= constraint.rhs <= high):
+                return False
+        return True
+
+    def descend(index: int, ones: int, values: List[int]) -> Optional[int]:
+        nonlocal nodes
+        nodes += 1
+        if node_budget is not None and nodes > node_budget:
+            raise SolverLimitError(f"search exceeded node budget {node_budget}")
+        if index == n:
+            if all(c.satisfied(v) for c, v in zip(constraints, values)):
+                return ones
+            return None
+        if not feasible(values, index):
+            return None
+        pred = context.pred_pos[index]
+        conf = context.conf_pos[index]
+        # try x = 1 first (finds deadlocks deep in the behaviour faster)
+        if pred & ~ones == 0 and conf & ones == 0:
+            new_values = [
+                v + c.coeffs[index] for c, v in zip(constraints, values)
+            ]
+            found = descend(index + 1, ones | (1 << index), new_values)
+            if found is not None:
+                return found
+        return descend(index + 1, ones, values)
+
+    result = descend(0, 0, [0] * len(constraints))
+    if result is None:
+        return None
+    return context.positions_to_events(result)
+
+
+def make_context(prefix: Prefix) -> Union[SolverContext, "_ConfigContext"]:
+    """Build the right context flavour for STG or plain-net prefixes."""
+    if prefix.stg is not None:
+        return SolverContext(prefix)
+    return _ConfigContext(prefix)
+
+
+def check_deadlock(
+    source: Union[PetriNet, STG, Prefix],
+    node_budget: Optional[int] = None,
+    unfolding_options: Optional[UnfoldingOptions] = None,
+) -> Optional[List[str]]:
+    """Find a reachable deadlock, or return ``None`` if the net is live.
+
+    Uses the linear encoding for safe nets ([8], [14]): a marking is dead iff
+    for every transition ``t`` some input place is empty, i.e.
+    ``sum_{s in •t} M(s) <= |•t| - 1``.  Returns a firing sequence
+    (transition names) leading to the deadlock.
+    """
+    if isinstance(source, Prefix):
+        prefix = source
+    else:
+        prefix = unfold(source, unfolding_options)
+    context = make_context(prefix)
+    net = prefix.net
+    constraints = []
+    for t in range(net.num_transitions):
+        preset = net.preset(t)
+        constraints.append(
+            constraint_on_places(
+                context,
+                {p: 1 for p in preset},
+                "<=",
+                len(preset) - 1,
+            )
+        )
+    events = find_configuration(
+        prefix, constraints, context=context, node_budget=node_budget
+    )
+    if events is None:
+        return None
+    from repro.unfolding.configurations import linearise
+    from repro.utils.bitset import BitSet
+
+    order = linearise(prefix, BitSet.from_iterable(events))
+    return [net.transition_name(t) for t in order]

@@ -1,0 +1,217 @@
+"""Branch-and-bound over pairs of ``Unf``-compatible 0-1 vectors.
+
+This is the verification algorithm of the paper's Section 4.  Instead of
+handing the constraint system (2)-(3) to a general-purpose solver, the search
+walks the free events of the prefix in a topological order of causality and
+decides, per event ``e``, the pair ``(x'(e), x''(e))``.  The partial-order
+dependencies of Theorem 1 turn into constant-time mask checks:
+
+* ``x(e) = 1`` is allowed only if all causal predecessors of ``e`` are
+  already 1 and no event in conflict with ``e`` is 1 — so every partial
+  assignment is a pair of partial configurations and the compatibility
+  constraints need never be generated (cf. Section 4);
+* cut-off events are excluded from the variable set up front (constraint (3)
+  eliminates variables, as the paper notes).
+
+The conflict constraint (2) — ``Code(x') = Code(x'')`` — is enforced by
+interval pruning: per signal the undecided suffix can change the code
+difference by at most the number of its occurrences.  Normalcy (Section 6)
+uses the same engine with the relaxed per-signal constraint
+``Code(x') <= Code(x'')``.
+
+For STGs free of dynamic conflicts the search can be restricted to
+set-ordered pairs ``C' ⊆ C''`` (Proposition 1), which prunes one of the four
+branches at every level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple
+
+from repro.exceptions import SolverLimitError
+from repro.core.context import SolverContext
+
+#: Constraint placed on the per-signal code difference ``Code(x')-Code(x'')``.
+MODE_EQUAL = "equal"   # USC / CSC: difference must vanish
+MODE_LEQ = "leq"       # normalcy: Code(x') <= Code(x'') componentwise
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one search run (used by the ablation benchmarks)."""
+
+    nodes: int = 0
+    leaves: int = 0
+    pruned_balance: int = 0
+    pruned_structure: int = 0
+    solutions: int = 0
+
+
+class PairSearch:
+    """Enumerates solution pairs ``(x', x'')`` of the conflict system.
+
+    Parameters:
+
+    ``mode``
+        :data:`MODE_EQUAL` for USC/CSC conflicts, :data:`MODE_LEQ` for
+        normalcy violations.
+    ``nested_only``
+        Apply Proposition 1 (sound only for dynamically conflict-free STGs):
+        restrict the enumeration to pairs with ``C' ⊆ C''``.
+    ``use_balance_pruning`` / ``use_order_propagation``
+        Ablation switches; disabling order propagation falls back to
+        validating compatibility at the leaves only (the "standard solver"
+        behaviour the paper improves upon).
+    ``node_budget``
+        Raise :class:`SolverLimitError` after this many search nodes.
+    """
+
+    def __init__(
+        self,
+        context: SolverContext,
+        mode: str = MODE_EQUAL,
+        nested_only: bool = False,
+        use_balance_pruning: bool = True,
+        use_order_propagation: bool = True,
+        node_budget: Optional[int] = None,
+    ):
+        if mode not in (MODE_EQUAL, MODE_LEQ):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.context = context
+        self.mode = mode
+        self.nested_only = nested_only
+        self.use_balance_pruning = use_balance_pruning
+        self.use_order_propagation = use_order_propagation
+        self.node_budget = node_budget
+        self.stats = SearchStats()
+
+    # -- public API -------------------------------------------------------------
+
+    def solutions(self) -> Iterator[Tuple[int, int]]:
+        """Yield all pairs of position masks satisfying the code constraint
+        (plus compatibility and the cut-off constraints), lazily.
+
+        The caller applies the remaining (generally non-linear) separating
+        constraints — ``Mark`` inequality for USC, ``Out`` inequality for
+        CSC, ``Nxt`` comparisons for normalcy — to each candidate, which is
+        exactly the paper's strategy of checking those directly on the STG.
+        """
+        diff = [0] * self.context.num_signals
+        yield from self._descend(0, 0, 0, diff, False)
+
+    # -- internals -------------------------------------------------------------
+
+    def _descend(
+        self,
+        index: int,
+        ones_a: int,
+        ones_b: int,
+        diff,
+        differed: bool,
+    ) -> Iterator[Tuple[int, int]]:
+        context = self.context
+        self.stats.nodes += 1
+        if self.node_budget is not None and self.stats.nodes > self.node_budget:
+            raise SolverLimitError(
+                f"pair search exceeded node budget {self.node_budget}"
+            )
+        if index == context.num_vars:
+            self.stats.leaves += 1
+            if self._leaf_ok(ones_a, ones_b, diff, differed):
+                self.stats.solutions += 1
+                yield ones_a, ones_b
+            return
+
+        bit = 1 << index
+        pred = context.pred_pos[index]
+        conf = context.conf_pos[index]
+        signal = context.signal_of[index]
+        delta = context.delta_of[index]
+
+        can_a = self._assignable(pred, conf, ones_a)
+        can_b = self._assignable(pred, conf, ones_b)
+
+        for a, b in ((1, 1), (0, 1), (1, 0), (0, 0)):
+            if a and not can_a:
+                continue
+            if b and not can_b:
+                continue
+            if a == 1 and b == 0:
+                if self.nested_only:
+                    continue  # Proposition 1: C' ⊆ C''
+                if self.mode == MODE_EQUAL and not differed:
+                    # symmetry breaking: the pair is unordered for USC/CSC,
+                    # so force the first difference to be (0, 1); normalcy
+                    # pairs are ordered (Code(x') <= Code(x'')) — keep both
+                    continue
+            now_differed = differed or a != b
+            if signal is not None and a != b:
+                diff[signal] += delta * (a - b)
+                if self._balance_violated(diff, signal, index + 1):
+                    self.stats.pruned_balance += 1
+                    diff[signal] -= delta * (a - b)
+                    continue
+                yield from self._descend(
+                    index + 1,
+                    ones_a | (bit if a else 0),
+                    ones_b | (bit if b else 0),
+                    diff,
+                    now_differed,
+                )
+                diff[signal] -= delta * (a - b)
+            else:
+                yield from self._descend(
+                    index + 1,
+                    ones_a | (bit if a else 0),
+                    ones_b | (bit if b else 0),
+                    diff,
+                    now_differed,
+                )
+
+    def _assignable(self, pred: int, conf: int, ones: int) -> bool:
+        if not self.use_order_propagation:
+            return True
+        return pred & ~ones == 0 and conf & ones == 0
+
+    def _balance_violated(self, diff, signal: int, next_index: int) -> bool:
+        if not self.use_balance_pruning:
+            return False
+        value = diff[signal]
+        if self.nested_only:
+            # only (0, 1) assignments remain possible, so a future s+ event
+            # can only lower diff and a future s- event can only raise it
+            lo = value - self.context.suffix_plus[next_index][signal]
+            hi = value + self.context.suffix_minus[next_index][signal]
+            if self.mode == MODE_EQUAL:
+                return lo > 0 or hi < 0
+            return lo > 0  # MODE_LEQ: must be able to come down to <= 0
+        remaining = self.context.suffix_count[next_index][signal]
+        if self.mode == MODE_EQUAL:
+            return abs(value) > remaining
+        return value > remaining  # MODE_LEQ: must be able to come down to <= 0
+
+    def _leaf_ok(self, ones_a: int, ones_b: int, diff, differed: bool) -> bool:
+        if self.mode == MODE_EQUAL:
+            if not differed:
+                return False
+            if any(diff):
+                return False
+        else:
+            if any(d > 0 for d in diff):
+                return False
+        if not self.use_order_propagation:
+            # compatibility was not enforced during the descent; validate now
+            from repro.core.closure import is_compatible
+
+            remap = self.context.positions_to_events
+            from repro.utils.bitset import BitSet
+
+            for mask in (ones_a, ones_b):
+                events = 0
+                for e in remap(mask):
+                    events |= 1 << e
+                if not is_compatible(self.context.relations, events):
+                    self.stats.pruned_structure += 1
+                    return False
+        return True

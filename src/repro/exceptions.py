@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class NetStructureError(ReproError):
+    """The Petri net structure is malformed (unknown node, duplicate id, ...)."""
+
+
+class NotEnabledError(ReproError):
+    """A transition was fired from a marking at which it is not enabled."""
+
+
+class UnboundedNetError(ReproError):
+    """An operation requiring a bounded (or safe) net met an unbounded one."""
+
+
+class InconsistentSTGError(ReproError):
+    """The STG violates the consistency requirement of the paper (Section 2.1).
+
+    Consistency demands that every reachable marking has a well defined binary
+    signal code: along every firing sequence the rising and falling edges of
+    each signal alternate, starting from the value given by the initial code.
+    """
+
+
+class ParseError(ReproError):
+    """A ``.g`` (astg) file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class UnfoldingError(ReproError):
+    """The unfolding engine met an unsupported situation (e.g. unsafe net)."""
+
+
+class SolverError(ReproError):
+    """An integer-programming solver failed (infeasible model misuse, limits)."""
+
+
+class SolverLimitError(SolverError):
+    """A solver gave up because a node/time budget was exhausted."""

@@ -1,0 +1,10 @@
+"""Graphviz DOT export for nets, STGs, prefixes and state graphs."""
+
+from repro.export.dot import (
+    net_to_dot,
+    stg_to_dot,
+    prefix_to_dot,
+    state_graph_to_dot,
+)
+
+__all__ = ["net_to_dot", "stg_to_dot", "prefix_to_dot", "state_graph_to_dot"]

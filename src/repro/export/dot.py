@@ -1,0 +1,139 @@
+"""Graphviz DOT renderers.
+
+Everything returns a DOT string; no graphviz dependency is needed to
+generate, only to render.  The drawing conventions follow the paper's
+figures: places as circles (tokens as filled dots in the label), transitions
+as boxes labelled with their signal edge, cut-off events double-boxed, and
+state-graph nodes labelled with their binary codes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.petri.net import PetriNet
+from repro.stg.stategraph import StateGraph
+from repro.stg.stg import STG
+from repro.unfolding.occurrence_net import Prefix
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def net_to_dot(net: PetriNet, title: Optional[str] = None) -> str:
+    """A plain net system: circles, boxes, token counts."""
+    lines = [f"digraph {_quote(title or net.name)} {{", "  rankdir=TB;"]
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        tokens = initial[p]
+        label = net.place_name(p) + (f"\\n{'•' * min(tokens, 3)}" if tokens else "")
+        lines.append(f"  {_quote('p' + str(p))} [shape=circle, label={_quote(label)}];")
+    for t in range(net.num_transitions):
+        lines.append(
+            f"  {_quote('t' + str(t))} "
+            f"[shape=box, label={_quote(net.transition_name(t))}];"
+        )
+    for t in range(net.num_transitions):
+        for p in net.preset(t):
+            lines.append(f"  {_quote('p' + str(p))} -> {_quote('t' + str(t))};")
+        for p in net.postset(t):
+            lines.append(f"  {_quote('t' + str(t))} -> {_quote('p' + str(p))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def stg_to_dot(stg: STG, hide_simple_places: bool = True) -> str:
+    """An STG in the paper's Figure 1 style: implicit places (one producer,
+    one consumer, unmarked) drawn as direct arcs between edge labels."""
+    net = stg.net
+    lines = [f"digraph {_quote(stg.name)} {{", "  rankdir=TB;"]
+    initial = net.initial_marking
+    for t in range(net.num_transitions):
+        label = stg.label(t)
+        text = str(label) if label is not None else net.transition_name(t)
+        shape = "box" if label is not None else "box, style=dashed"
+        lines.append(f"  {_quote('t' + str(t))} [shape={shape}, label={_quote(text)}];")
+    for p in range(net.num_places):
+        producers = list(net.place_preset(p))
+        consumers = list(net.place_postset(p))
+        simple = (
+            hide_simple_places
+            and len(producers) == 1
+            and len(consumers) == 1
+            and initial[p] == 0
+        )
+        if simple:
+            lines.append(
+                f"  {_quote('t' + str(producers[0]))} -> "
+                f"{_quote('t' + str(consumers[0]))};"
+            )
+            continue
+        label = "•" * min(initial[p], 3)
+        lines.append(
+            f"  {_quote('p' + str(p))} "
+            f"[shape=circle, label={_quote(label)}, width=0.25];"
+        )
+        for producer in producers:
+            lines.append(f"  {_quote('t' + str(producer))} -> {_quote('p' + str(p))};")
+        for consumer in consumers:
+            lines.append(f"  {_quote('p' + str(p))} -> {_quote('t' + str(consumer))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def prefix_to_dot(prefix: Prefix) -> str:
+    """A branching-process prefix: conditions labelled by their original
+    place, events by their edge/transition, cut-offs double-bordered."""
+    net = prefix.net
+    lines = [f"digraph {_quote('prefix')} {{", "  rankdir=LR;"]
+    for condition in prefix.conditions:
+        label = f"b{condition.index}\\n{net.place_name(condition.place)}"
+        lines.append(
+            f"  {_quote('b' + str(condition.index))} "
+            f"[shape=circle, label={_quote(label)}];"
+        )
+    for event in prefix.events:
+        name = net.transition_name(event.transition)
+        label = f"e{event.index}\\n{name}"
+        peripheries = ", peripheries=2" if event.is_cutoff else ""
+        lines.append(
+            f"  {_quote('e' + str(event.index))} "
+            f"[shape=box, label={_quote(label)}{peripheries}];"
+        )
+        for b in event.preset:
+            lines.append(f"  {_quote('b' + str(b))} -> {_quote('e' + str(event.index))};")
+        for b in event.postset:
+            lines.append(f"  {_quote('e' + str(event.index))} -> {_quote('b' + str(b))};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def state_graph_to_dot(
+    state_graph: StateGraph, highlight_conflicts: bool = True
+) -> str:
+    """The annotated state graph; USC-conflicting states share a colour."""
+    stg = state_graph.stg
+    net = stg.net
+    lines = [f"digraph {_quote(stg.name + '-sg')} {{", "  rankdir=TB;"]
+    conflict_states = set()
+    if highlight_conflicts:
+        for conflict in state_graph.usc_conflicts():
+            conflict_states.add(conflict.state_a)
+            conflict_states.add(conflict.state_b)
+    for state in range(state_graph.num_states):
+        code = "".join(map(str, state_graph.code(state)))
+        extra = ", style=filled, fillcolor=lightcoral" if state in conflict_states else ""
+        lines.append(
+            f"  {_quote('s' + str(state))} "
+            f"[shape=ellipse, label={_quote(code)}{extra}];"
+        )
+    graph = state_graph.consistency.graph
+    for source, transition, target in graph.edges:
+        label = net.transition_name(transition)
+        lines.append(
+            f"  {_quote('s' + str(source))} -> {_quote('s' + str(target))} "
+            f"[label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""A generic 0-1 integer linear programming layer.
+
+The paper observes that handing the conflict system (2)-(3) to a standard
+solver "needs too much time even for STGs of moderate size" and motivates the
+partial-order-aware search of Section 4.  This package provides that standard
+baseline for the ablation benchmarks: a small modelling API (variables,
+linear expressions, constraints) and a plain branch-and-bound solver with
+activity-interval pruning but *no* knowledge of the unfolding's causality and
+conflict relations.
+"""
+
+from repro.ilp.model import LinearExpr, Constraint, Problem
+from repro.ilp.solver import BranchAndBoundSolver, SolverOptions
+
+__all__ = [
+    "LinearExpr",
+    "Constraint",
+    "Problem",
+    "BranchAndBoundSolver",
+    "SolverOptions",
+]

@@ -1,0 +1,110 @@
+"""Modelling layer: linear expressions and constraint systems over 0-1 vars.
+
+Kept deliberately small — just what the paper's constraint systems need:
+integer-coefficient linear expressions, the three comparison senses, and a
+problem container with named variables for debuggability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class LinearExpr:
+    """An integer-coefficient linear expression ``const + sum c_i * x_i``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[Mapping[int, int]] = None, const: int = 0):
+        self.coeffs: Dict[int, int] = {
+            v: c for v, c in (coeffs or {}).items() if c != 0
+        }
+        self.const = const
+
+    @classmethod
+    def term(cls, var: int, coeff: int = 1) -> "LinearExpr":
+        return cls({var: coeff})
+
+    @classmethod
+    def constant(cls, value: int) -> "LinearExpr":
+        return cls(const=value)
+
+    def __add__(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, 0) + coeff
+        return LinearExpr(coeffs, self.const + other.const)
+
+    def __sub__(self, other: "LinearExpr") -> "LinearExpr":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "LinearExpr":
+        return LinearExpr(
+            {v: c * factor for v, c in self.coeffs.items()}, self.const * factor
+        )
+
+    def evaluate(self, assignment: Sequence[int]) -> int:
+        return self.const + sum(
+            coeff * assignment[var] for var, coeff in self.coeffs.items()
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*x{v}" for v, c in sorted(self.coeffs.items())]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``expr (sense) 0`` with sense in {'<=', '>=', '=='} (rhs folded in)."""
+
+    expr: LinearExpr
+    sense: str
+
+    def __post_init__(self):
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"bad sense {self.sense!r}")
+
+    def satisfied(self, assignment: Sequence[int]) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense == "<=":
+            return value <= 0
+        if self.sense == ">=":
+            return value >= 0
+        return value == 0
+
+    @classmethod
+    def build(cls, expr: LinearExpr, sense: str, rhs: int = 0) -> "Constraint":
+        return cls(expr - LinearExpr.constant(rhs), sense)
+
+
+@dataclass
+class Problem:
+    """A 0-1 feasibility problem (no objective — the paper's systems are
+    pure satisfaction problems solved to the first solution)."""
+
+    num_vars: int
+    constraints: List[Constraint] = field(default_factory=list)
+    names: List[str] = field(default_factory=list)
+
+    def add(self, constraint: Constraint) -> None:
+        for var in constraint.expr.coeffs:
+            if not 0 <= var < self.num_vars:
+                raise ValueError(f"constraint references unknown variable {var}")
+        self.constraints.append(constraint)
+
+    def fix_zero(self, var: int) -> None:
+        """The paper's cut-off constraint: pin a variable to 0."""
+        self.add(Constraint.build(LinearExpr.term(var), "==", 0))
+
+    def name_of(self, var: int) -> str:
+        if var < len(self.names):
+            return self.names[var]
+        return f"x{var}"
+
+    def check(self, assignment: Sequence[int]) -> bool:
+        if len(assignment) != self.num_vars:
+            raise ValueError("assignment length mismatch")
+        return all(c.satisfied(assignment) for c in self.constraints)

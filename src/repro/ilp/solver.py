@@ -1,0 +1,119 @@
+"""Plain branch-and-bound over 0-1 variables with activity intervals.
+
+This is the "standard solver" of the paper's comparison: depth-first search
+assigning variables in index order, pruning a node as soon as some
+constraint's reachable activity interval excludes feasibility.  It knows
+nothing about the unfolding structure — compatibility has to be supplied as
+explicit marking-equation constraints, which is exactly what makes it slow
+relative to the Section 4 algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SolverLimitError
+from repro.ilp.model import Constraint, Problem
+
+
+@dataclass
+class SolverOptions:
+    node_budget: Optional[int] = None
+    variable_order: Optional[Sequence[int]] = None
+
+
+@dataclass
+class SolverStats:
+    nodes: int = 0
+    solutions: int = 0
+    pruned: int = 0
+
+
+class BranchAndBoundSolver:
+    """Depth-first 0-1 feasibility enumeration with interval pruning."""
+
+    def __init__(self, problem: Problem, options: Optional[SolverOptions] = None):
+        self.problem = problem
+        self.options = options or SolverOptions()
+        self.stats = SolverStats()
+        order = list(self.options.variable_order or range(problem.num_vars))
+        if sorted(order) != list(range(problem.num_vars)):
+            raise ValueError("variable_order must be a permutation of all vars")
+        self.order = order
+        # position of each variable in the branching order
+        position = [0] * problem.num_vars
+        for i, var in enumerate(order):
+            position[var] = i
+        # per-constraint: coefficient per branching position + residual tails
+        self._coeffs: List[List[int]] = []
+        self._pos_tail: List[List[int]] = []
+        self._neg_tail: List[List[int]] = []
+        n = problem.num_vars
+        for constraint in problem.constraints:
+            row = [0] * n
+            for var, coeff in constraint.expr.coeffs.items():
+                row[position[var]] = coeff
+            pos_tail = [0] * (n + 1)
+            neg_tail = [0] * (n + 1)
+            for i in range(n - 1, -1, -1):
+                pos_tail[i] = pos_tail[i + 1] + (row[i] if row[i] > 0 else 0)
+                neg_tail[i] = neg_tail[i + 1] + (row[i] if row[i] < 0 else 0)
+            self._coeffs.append(row)
+            self._pos_tail.append(pos_tail)
+            self._neg_tail.append(neg_tail)
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(self) -> Optional[List[int]]:
+        """The first feasible assignment, or None."""
+        for solution in self.solutions():
+            return solution
+        return None
+
+    def solutions(self) -> Iterator[List[int]]:
+        """All feasible assignments, lazily."""
+        n = self.problem.num_vars
+        values = [c.expr.const for c in self.problem.constraints]
+        assignment = [0] * n
+        yield from self._descend(0, assignment, values)
+
+    # -- search ---------------------------------------------------------------
+
+    def _feasible(self, values: List[int], index: int) -> bool:
+        for k, constraint in enumerate(self.problem.constraints):
+            low = values[k] + self._neg_tail[k][index]
+            high = values[k] + self._pos_tail[k][index]
+            if constraint.sense == "<=" and low > 0:
+                return False
+            if constraint.sense == ">=" and high < 0:
+                return False
+            if constraint.sense == "==" and not (low <= 0 <= high):
+                return False
+        return True
+
+    def _descend(
+        self, index: int, assignment: List[int], values: List[int]
+    ) -> Iterator[List[int]]:
+        self.stats.nodes += 1
+        budget = self.options.node_budget
+        if budget is not None and self.stats.nodes > budget:
+            raise SolverLimitError(f"ILP solver exceeded node budget {budget}")
+        if not self._feasible(values, index):
+            self.stats.pruned += 1
+            return
+        if index == self.problem.num_vars:
+            self.stats.solutions += 1
+            yield list(assignment)
+            return
+        var = self.order[index]
+        for value in (0, 1):
+            assignment[var] = value
+            if value:
+                new_values = [
+                    v + row[index] for v, row in zip(values, self._coeffs)
+                ]
+            else:
+                new_values = values
+            yield from self._descend(index + 1, assignment, new_values)
+        assignment[var] = 0

@@ -1,0 +1,208 @@
+"""Two-phase primal simplex over exact rationals.
+
+Solves ``max c x  s.t.  A x (<=|>=|==) b,  x >= 0`` with
+:class:`fractions.Fraction` arithmetic — no numerical tolerance games, which
+matters because the conflict-system prescreen must never declare a feasible
+system infeasible.  Bland's rule guarantees termination.
+
+The implementation is the textbook dense tableau; problem sizes here are a
+few dozen variables/constraints, where exact arithmetic is entirely
+affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LinearProgram:
+    """``max objective . x`` subject to ``rows[i] . x (senses[i]) rhs[i]``,
+    ``x >= 0``."""
+
+    num_vars: int
+    rows: List[List[Fraction]]
+    senses: List[str]
+    rhs: List[Fraction]
+    objective: List[Fraction]
+
+    @classmethod
+    def feasibility(
+        cls,
+        num_vars: int,
+        constraints: Sequence[Tuple[Sequence[float], str, float]],
+    ) -> "LinearProgram":
+        """A pure feasibility problem (zero objective)."""
+        rows, senses, rhs = [], [], []
+        for coeffs, sense, bound in constraints:
+            if sense not in ("<=", ">=", "=="):
+                raise ValueError(f"bad sense {sense!r}")
+            rows.append([Fraction(c) for c in coeffs])
+            senses.append(sense)
+            rhs.append(Fraction(bound))
+        return cls(
+            num_vars=num_vars,
+            rows=rows,
+            senses=senses,
+            rhs=rhs,
+            objective=[Fraction(0)] * num_vars,
+        )
+
+    def add_upper_bounds(self, bound: float) -> None:
+        """Add ``x_i <= bound`` for every variable (0-1 relaxations)."""
+        for i in range(self.num_vars):
+            row = [Fraction(0)] * self.num_vars
+            row[i] = Fraction(1)
+            self.rows.append(row)
+            self.senses.append("<=")
+            self.rhs.append(Fraction(bound))
+
+
+@dataclass
+class SimplexResult:
+    feasible: bool
+    objective_value: Optional[Fraction]
+    solution: Optional[List[Fraction]]
+
+
+def solve_lp(problem: LinearProgram) -> SimplexResult:
+    """Two-phase simplex; returns feasibility, optimum and a solution point.
+
+    Unbounded problems report ``feasible=True`` with ``objective_value``
+    ``None`` (the prescreen only ever asks for feasibility).
+    """
+    n = problem.num_vars
+    m = len(problem.rows)
+
+    # normal form: every row becomes an equality with a slack (<=: +s,
+    # >=: -s + artificial, ==: artificial); rhs made non-negative first
+    rows = [list(r) for r in problem.rows]
+    senses = list(problem.senses)
+    rhs = list(problem.rhs)
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = [-c for c in rows[i]]
+            rhs[i] = -rhs[i]
+            senses[i] = {"<=": ">=", ">=": "<=", "==": "=="}[senses[i]]
+
+    slack_count = sum(1 for s in senses if s in ("<=", ">="))
+    total = n + slack_count
+    art_needed = [s in (">=", "==") for s in senses]
+    artificial_count = sum(art_needed)
+    width = total + artificial_count
+
+    tableau: List[List[Fraction]] = []
+    basis: List[int] = []
+    slack_index = n
+    art_index = total
+    for i in range(m):
+        row = [Fraction(0)] * width
+        for j in range(n):
+            row[j] = rows[i][j]
+        if senses[i] == "<=":
+            row[slack_index] = Fraction(1)
+            basis.append(slack_index)
+            slack_index += 1
+        elif senses[i] == ">=":
+            row[slack_index] = Fraction(-1)
+            slack_index += 1
+            row[art_index] = Fraction(1)
+            basis.append(art_index)
+            art_index += 1
+        else:
+            row[art_index] = Fraction(1)
+            basis.append(art_index)
+            art_index += 1
+        row.append(rhs[i])
+        tableau.append(row)
+
+    def pivot(tableau, basis, objective_row) -> bool:
+        """Run simplex with Bland's rule; returns False if unbounded."""
+        while True:
+            entering = None
+            for j in range(width):
+                if objective_row[j] > 0:
+                    entering = j
+                    break
+            if entering is None:
+                return True
+            leaving = None
+            best = None
+            for i in range(m):
+                coeff = tableau[i][entering]
+                if coeff > 0:
+                    ratio = tableau[i][-1] / coeff
+                    if best is None or ratio < best or (
+                        ratio == best and basis[i] < basis[leaving]
+                    ):
+                        best = ratio
+                        leaving = i
+            if leaving is None:
+                return False
+            _do_pivot(tableau, objective_row, basis, leaving, entering)
+
+    def _do_pivot(tableau, objective_row, basis, leaving, entering):
+        pivot_value = tableau[leaving][entering]
+        tableau[leaving] = [c / pivot_value for c in tableau[leaving]]
+        for i in range(m):
+            if i != leaving and tableau[i][entering] != 0:
+                factor = tableau[i][entering]
+                tableau[i] = [
+                    a - factor * b for a, b in zip(tableau[i], tableau[leaving])
+                ]
+        factor = objective_row[entering]
+        if factor != 0:
+            objective_row[:] = [
+                a - factor * b for a, b in zip(objective_row, tableau[leaving])
+            ]
+        basis[leaving] = entering
+
+    # phase 1: minimise the artificial sum (maximise its negation)
+    if artificial_count:
+        phase1 = [Fraction(0)] * width + [Fraction(0)]
+        for j in range(total, width):
+            phase1[j] = Fraction(-1)
+        # express in terms of the basis (artificials are basic)
+        for i in range(m):
+            if basis[i] >= total:
+                phase1 = [
+                    a + b for a, b in zip(phase1, tableau[i])
+                ]
+        bounded = pivot(tableau, basis, phase1)
+        assert bounded, "phase 1 is always bounded"
+        if phase1[-1] != 0:
+            return SimplexResult(False, None, None)
+        # drive any lingering artificial out of the basis if possible
+        for i in range(m):
+            if basis[i] >= total:
+                for j in range(total):
+                    if tableau[i][j] != 0:
+                        _do_pivot(tableau, phase1, basis, i, j)
+                        break
+
+    # phase 2
+    objective_row = [Fraction(0)] * width + [Fraction(0)]
+    for j in range(n):
+        objective_row[j] = Fraction(problem.objective[j])
+    for j in range(total, width):
+        objective_row[j] = Fraction(-10**12)  # keep artificials out
+    for i in range(m):
+        factor = objective_row[basis[i]]
+        if factor != 0:
+            objective_row = [
+                a - factor * b for a, b in zip(objective_row, tableau[i])
+            ]
+    bounded = pivot(tableau, basis, objective_row)
+
+    solution = [Fraction(0)] * n
+    for i in range(m):
+        if basis[i] < n:
+            solution[basis[i]] = tableau[i][-1]
+    if not bounded:
+        return SimplexResult(True, None, solution)
+    value = sum(
+        c * x for c, x in zip(problem.objective, solution)
+    )
+    return SimplexResult(True, value, solution)

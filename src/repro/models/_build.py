@@ -1,0 +1,56 @@
+"""Shared helpers for constructing benchmark STGs.
+
+The models are most naturally described as chains of signal edges connected
+by implicit places (the astg style); these helpers provide that notation on
+top of the :class:`~repro.stg.stg.STG` builder API.
+"""
+
+from __future__ import annotations
+
+from repro.stg.stg import STG, SignalEdge
+
+
+def edge(stg: STG, token: str) -> str:
+    """Ensure a transition named like its edge label exists; return the name.
+
+    ``token`` may carry an astg instance suffix (``lds+/2``); the label is
+    parsed from the part before the slash.
+    """
+    if not stg.net.has_transition(token):
+        base = token.split("/", 1)[0]
+        stg.add_transition(token, SignalEdge.parse(base))
+    return token
+
+
+def seq(stg: STG, *tokens: str, marked: bool = False) -> None:
+    """Chain transitions with fresh implicit places ``<src,dst>``.
+
+    ``marked=True`` puts a token on the *first* connecting place, which is
+    how cycle back-edges carry the initial marking.
+    """
+    first = True
+    for src, dst in zip(tokens, tokens[1:]):
+        edge(stg, src)
+        edge(stg, dst)
+        connect(stg, src, dst, marked=marked and first)
+        first = False
+
+
+def connect(stg: STG, src: str, dst: str, marked: bool = False) -> str:
+    """Add one implicit place between two transitions; return the place name.
+
+    The endpoint transitions are created on first use, like in ``seq``.
+    """
+    edge(stg, src)
+    edge(stg, dst)
+    place = f"<{src},{dst}>"
+    if stg.net.has_place(place):
+        # parallel places between the same pair get a disambiguating suffix
+        k = 2
+        while stg.net.has_place(f"<{src},{dst}>#{k}"):
+            k += 1
+        place = f"<{src},{dst}>#{k}"
+    stg.add_place(place, tokens=1 if marked else 0)
+    stg.add_arc(src, place)
+    stg.add_arc(place, dst)
+    return place

@@ -1,0 +1,95 @@
+"""Classic textbook asynchronous controllers.
+
+Small, well-known STGs used throughout the async-design literature (and the
+petrify benchmark suites), reconstructed here from their published behaviour:
+the Muller C-element, a set-dominant latch, a four-phase latch controller
+with decoupled input/output handshakes, and a toggle.  All are verified by
+the test suite to be safe, consistent and live, with their textbook
+USC/CSC verdicts pinned.
+"""
+
+from __future__ import annotations
+
+from repro.models._build import connect, seq
+from repro.stg.stg import STG
+
+
+def c_element() -> STG:
+    """The Muller C-element: output ``c`` rises when both inputs are high,
+    falls when both are low.  Safe marked graph; satisfies USC and CSC."""
+    stg = STG("c-element", inputs=["a", "b"], outputs=["c"])
+    connect(stg, "a+", "c+")
+    connect(stg, "b+", "c+")
+    connect(stg, "c+", "a-")
+    connect(stg, "c+", "b-")
+    connect(stg, "a-", "c-")
+    connect(stg, "b-", "c-")
+    connect(stg, "c-", "a+", marked=True)
+    connect(stg, "c-", "b+", marked=True)
+    return stg
+
+
+def sr_latch() -> STG:
+    """A set/reset latch driven by alternating set and reset pulses:
+    ``s+ q+ s- r+ q- r-``.  Fully sequential; satisfies USC and CSC."""
+    stg = STG("sr-latch", inputs=["s", "r"], outputs=["q"])
+    seq(stg, "s+", "q+", "s-", "r+", "q-", "r-")
+    seq(stg, "r-", "s+", marked=True)
+    return stg
+
+
+def latch_controller() -> STG:
+    """A four-phase pipeline latch controller with decoupled handshakes.
+
+    The input handshake (``rin``/``ain``) captures data into the latch
+    (``lt``), the output handshake (``rout``/``aout``) passes it on; the
+    return-to-zero phases of the two sides overlap.  This is the classic
+    "half-decoupled" controller shape; like most undecoupled latch
+    controllers it has a **CSC conflict** (the controller cannot tell the
+    pre-capture and post-release all-zero states apart), making it a nice
+    small non-benchmark test input for the conflict detectors.
+    """
+    stg = STG(
+        "latch-ctrl",
+        inputs=["rin", "aout"],
+        outputs=["ain", "rout", "lt"],
+    )
+    # capture: request in, latch, acknowledge in
+    seq(stg, "rin+", "lt+", "ain+", "rin-")
+    # pass on: once latched, drive the output handshake
+    seq(stg, "lt+", "rout+", "aout+", "rout-", "aout-")
+    # release: input side returns to zero while the output side completes
+    seq(stg, "rin-", "lt-", "ain-")
+    seq(stg, "aout+", "lt-")
+    # next cycle: both handshakes must have completed
+    connect(stg, "ain-", "rin+", marked=True)
+    connect(stg, "aout-", "rin+", marked=True)
+    return stg
+
+
+def toggle() -> STG:
+    """A toggle element: successive input pulses steer two phase outputs
+    (``q0``/``q1``).  Deliberately specified *without* internal state, so it
+    has a **CSC conflict** — the environment's pulses are indistinguishable
+    by code alone, which is exactly why hardware toggles carry an internal
+    phase bit.  ``repro.synthesis.resolve_csc`` finds that bit
+    automatically (see the tests)."""
+    stg = STG("toggle", inputs=["i"], outputs=["q0", "q1"])
+    seq(stg, "i+", "q0+", "i-")
+    seq(stg, "i-", "i+/2")
+    seq(stg, "i+/2", "q1+", "i-/2")
+    seq(stg, "i-/2", "q0-")
+    seq(stg, "q1+", "q0-")
+    seq(stg, "q0-", "i+/3")
+    seq(stg, "i+/3", "q1-", "i-/3")
+    seq(stg, "q0+", "q1-")
+    seq(stg, "i-/3", "i+", marked=True)
+    return stg
+
+
+CLASSIC_MODELS = {
+    "c-element": c_element,
+    "sr-latch": sr_latch,
+    "latch-ctrl": latch_controller,
+    "toggle": toggle,
+}

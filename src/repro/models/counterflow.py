@@ -1,0 +1,36 @@
+"""Counterflow pipeline controller STGs (Table 1 rows CF-*-CSC).
+
+Reconstructions of the counterflow pipeline processor control of Yakovlev
+(Formal Methods in System Design 12(1), 1998).  The ``-CSC`` suffix in the
+paper's table marks versions whose coding conflicts have already been
+resolved — these rows are the *conflict-free* (hard) half of the benchmark.
+
+We model the control as a Muller C-element pipeline whose first half carries
+the instruction wave forward (stages ``f0..``) and whose second half carries
+the result wave back (stages ``b0..``): a safe, consistent marked graph whose
+markings are determined by their codes, i.e. it satisfies USC (and hence
+CSC) — verified by the test suite against the explicit state graph.
+Symmetric variants use equal halves; asymmetric variants give the forward
+side one extra stage.
+"""
+
+from __future__ import annotations
+
+from repro.models.scalable import muller_pipeline
+from repro.stg.stg import STG
+
+
+def counterflow_pipeline(stages: int = 3, symmetric: bool = True) -> STG:
+    """Build a counterflow pipeline control with ``stages`` stages per side.
+
+    * symmetric:  ``2 * stages`` Muller stages (``f0..f{n-1} b0..b{n-1}``);
+    * asymmetric: ``2 * stages + 1`` stages (forward side one longer).
+    """
+    if stages < 2:
+        raise ValueError("need at least 2 stages per side")
+    forward = stages if symmetric else stages + 1
+    backward = stages
+    names = [f"f{i}" for i in range(forward)] + [f"b{i}" for i in range(backward)]
+    stg = muller_pipeline(forward + backward, signal_names=names)
+    stg.net.name = f"cf-{'sym' if symmetric else 'asym'}-{stages}"
+    return stg

@@ -1,0 +1,121 @@
+"""Duplex channel controller STGs (Table 1 rows DUP-*).
+
+Reconstructions of the power-efficient duplex communication system of
+Furber, Efthymiou and Singh (Async Interfaces workshop, 2000): a single
+physical channel is shared by an A-to-B and a B-to-A transfer engine; an
+output-enable signal per direction grabs the channel, a four-phase data
+handshake performs the transfer, and the channel is handed over to the other
+direction.
+
+All variants exhibit CSC conflicts at the turnaround points: the quiescent
+code between the two directions is identical while the enabled output-enable
+signal differs (``oea`` vs ``oeb``).
+
+Variants:
+
+* ``4ph-a``   — strict alternation, fully sequential four-phase transfers;
+* ``4ph-b``   — the channel release (``oe-``) of one direction overlaps the
+  other direction's grab (more concurrency, larger prefix);
+* ``4ph-mtr-a`` / ``4ph-mtr-b`` — *multiple-transfer* variants: after the
+  return-to-zero the engine chooses (free choice) between a second transfer
+  and turning the channel around; ``-b`` additionally overlaps the release;
+* ``mod-a`` / ``mod-b`` / ``mod-c`` — variants with an extra latch-control
+  stage (``lta``/``ltb``) pipelining the data path; ``-a`` pipelines one
+  direction, ``-b`` both, ``-c`` both plus overlapped release.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.models._build import edge, seq
+from repro.stg.stg import STG
+
+_VARIANTS = (
+    "4ph-a",
+    "4ph-b",
+    "4ph-mtr-a",
+    "4ph-mtr-b",
+    "mod-a",
+    "mod-b",
+    "mod-c",
+)
+
+
+def duplex_channel(variant: str = "4ph-a") -> STG:
+    """Build the requested duplex channel controller variant."""
+    if variant not in _VARIANTS:
+        raise ValueError(f"unknown duplex variant {variant!r}; pick from {_VARIANTS}")
+    multiple_transfer = "mtr" in variant
+    overlapped = variant in ("4ph-b", "4ph-mtr-b", "mod-c")
+    latched = {"a": variant.startswith("mod"), "b": variant in ("mod-b", "mod-c")}
+
+    internal = [f"lt{side}" for side in "ab" if latched[side]]
+    stg = STG(
+        f"dup-{variant}",
+        inputs=["acka", "ackb"],
+        outputs=["oea", "oeb", "reqa", "reqb"],
+        internal=internal,
+    )
+
+    def engine(side: str) -> Tuple[str, str]:
+        """Build one direction's engine.
+
+        Returns ``(grab_hook, data_hook)``: place names the *other* side's
+        ``oe+`` and ``req+`` must consume.  Under strict alternation both
+        hooks fire after the channel release; under overlap the grab hook
+        fires already when the transfer is done, concurrently with the
+        release.
+        """
+        oe, req, ack = f"oe{side}", f"req{side}", f"ack{side}"
+        if latched[side]:
+            lt = f"lt{side}"
+            seq(stg, f"{oe}+", f"{req}+", f"{lt}+", f"{ack}+", f"{req}-")
+            seq(stg, f"{req}-", f"{lt}-", f"{ack}-")
+        else:
+            seq(stg, f"{oe}+", f"{req}+", f"{ack}+", f"{req}-", f"{ack}-")
+
+        released = f"released_{side}"
+        stg.add_place(released)
+
+        if multiple_transfer:
+            # free choice after RTZ: a second transfer, or direct turnaround
+            choice = f"choice_{side}"
+            stg.add_place(choice)
+            stg.add_arc(f"{ack}-", choice)
+            seq(stg, f"{req}+/2", f"{ack}+/2", f"{req}-/2", f"{ack}-/2", f"{oe}-/2")
+            stg.add_arc(choice, f"{req}+/2")
+            edge(stg, f"{oe}-")
+            stg.add_arc(choice, f"{oe}-")
+            stg.add_arc(f"{oe}-", released)
+            stg.add_arc(f"{oe}-/2", released)
+            final_ack = f"{ack}-"  # the grab hook fires at the first RTZ
+        else:
+            done = f"done_{side}"
+            stg.add_place(done)
+            stg.add_arc(f"{ack}-", done)
+            edge(stg, f"{oe}-")
+            stg.add_arc(done, f"{oe}-")
+            stg.add_arc(f"{oe}-", released)
+            final_ack = f"{ack}-"
+
+        if overlapped:
+            grab = f"handover_{side}"
+            stg.add_place(grab)
+            stg.add_arc(final_ack, grab)
+            return grab, released
+        return released, released
+
+    grab_a, data_a = engine("a")
+    grab_b, data_b = engine("b")
+
+    # wire the hand-over: side B's hooks start side A and vice versa
+    stg.add_arc(grab_a, "oeb+")
+    stg.add_arc(grab_b, "oea+")
+    stg.net.set_tokens(grab_b, 1)
+    if overlapped:
+        # the new direction may only drive data once the channel is free
+        stg.add_arc(data_a, "reqb+")
+        stg.add_arc(data_b, "reqa+")
+        stg.net.set_tokens(data_b, 1)
+    return stg

@@ -1,0 +1,81 @@
+"""Token ring adapter STGs (Table 1 rows RING and LAZYRING).
+
+Reconstructions of the asynchronous token-ring arbiters of Carrion/Yakovlev
+(CS-TR-562) and Low/Yakovlev (CS-TR-537): a token circulates between
+stations; a station holding the token serves one request handshake and passes
+the token on.
+
+* :func:`token_ring` — plain service ring.  The quiescent states between
+  stations all carry the all-zero code, so the STG has **USC conflicts but no
+  CSC conflict** (only input edges are enabled in quiescent states).
+* :func:`lazy_ring` — each station is a full VME-style bus controller and the
+  token is passed at the end of a station's cycle.  The VME CSC conflict
+  survives inside each station, so the STG has genuine **CSC conflicts**.
+"""
+
+from __future__ import annotations
+
+from repro.models._build import connect, seq
+from repro.stg.stg import STG
+
+
+def token_ring(stations: int = 3) -> STG:
+    """A ring of ``stations`` request/grant stations served in token order.
+
+    Station ``i`` has input ``r{i}`` (request) and output ``g{i}`` (grant);
+    the token moves from station ``i`` to ``i+1`` when ``g{i}-`` fires.
+    """
+    if stations < 2:
+        raise ValueError("a ring needs at least 2 stations")
+    stg = STG(
+        f"ring{stations}",
+        inputs=[f"r{i}" for i in range(stations)],
+        outputs=[f"g{i}" for i in range(stations)],
+    )
+    for i in range(stations):
+        seq(stg, f"r{i}+", f"g{i}+", f"r{i}-", f"g{i}-")
+    for i in range(stations):
+        nxt = (i + 1) % stations
+        # token passing: the place <g{i}-, r{nxt}+> holds the ring token
+        connect(stg, f"g{i}-", f"r{nxt}+", marked=(nxt == 0))
+    return stg
+
+
+def lazy_ring(stations: int = 2) -> STG:
+    """A ring of VME-style stations; the token doubles as the bus request.
+
+    Station ``i`` carries the five VME signals suffixed with ``{i}``; the
+    ``dtack{i}-`` edge hands the token to station ``i+1`` (raising its
+    ``dsr``).  Each station retains the classic VME CSC conflict because the
+    local device release (``lds-``/``ldtack-``) runs concurrently with the
+    token leaving the station.
+    """
+    if stations < 1:
+        raise ValueError("need at least 1 station")
+    stg = STG(
+        f"lazyring{stations}",
+        inputs=[f"dsr{i}" for i in range(stations)]
+        + [f"ldtack{i}" for i in range(stations)],
+        outputs=[f"dtack{i}" for i in range(stations)]
+        + [f"lds{i}" for i in range(stations)]
+        + [f"d{i}" for i in range(stations)],
+    )
+    for i in range(stations):
+        seq(
+            stg,
+            f"dsr{i}+",
+            f"lds{i}+",
+            f"ldtack{i}+",
+            f"d{i}+",
+            f"dtack{i}+",
+            f"dsr{i}-",
+            f"d{i}-",
+        )
+        seq(stg, f"d{i}-", f"lds{i}-", f"ldtack{i}-")
+        seq(stg, f"ldtack{i}-", f"lds{i}+", marked=True)
+        seq(stg, f"d{i}-", f"dtack{i}-")
+    for i in range(stations):
+        nxt = (i + 1) % stations
+        # the token: station i's recovery enables the next station's request
+        connect(stg, f"dtack{i}-", f"dsr{nxt}+", marked=(nxt == 0))
+    return stg

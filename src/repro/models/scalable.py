@@ -1,0 +1,151 @@
+"""Scalable STG families for the growth benchmarks (full-version examples).
+
+These stand in for the "scalable examples" of the paper's technical-report
+companion: families whose state space grows exponentially while the unfolding
+prefix grows polynomially (or linearly), exposing the crossover between
+state-graph methods and the unfolding/IP method.
+
+* :func:`muller_pipeline` — an n-stage Muller C-element pipeline (classic
+  conflict-free, highly sequential wave behaviour);
+* :func:`muller_ring` — a closed ring of Muller stages carrying one or more
+  request waves (the substrate of the counterflow models);
+* :func:`parallel_forks` — a master handshake forking n concurrent worker
+  handshakes with per-worker completion flags (exponential state space,
+  linear prefix);
+* :func:`vme_chain` — n VME-style stations in a ring, each contributing a
+  genuine CSC conflict (the scalable conflict-carrying family);
+* :func:`service_ring` — alias of the plain token ring (scalable USC-conflict
+  family).
+"""
+
+from __future__ import annotations
+
+from repro.models._build import connect, seq
+from repro.models.ring import lazy_ring, token_ring
+from repro.stg.stg import STG
+
+
+def muller_pipeline(stages: int = 3, signal_names=None) -> STG:
+    """An ``stages``-long Muller C-element pipeline with a left environment.
+
+    Signals: input ``r`` (left request) and outputs ``c1..cn`` (or
+    ``signal_names``).  Stage ``i`` rises once the previous stage is set and
+    the next stage is reset, and falls once the previous stage is reset and
+    the next stage is set — the textbook C-element behaviour rendered as a
+    marked graph.  The net is safe, consistent and free of coding conflicts.
+    """
+    if stages < 1:
+        raise ValueError("need at least 1 stage")
+    if signal_names is None:
+        signal_names = [f"c{i}" for i in range(1, stages + 1)]
+    if len(signal_names) != stages:
+        raise ValueError("signal_names must have one name per stage")
+    stg = STG(
+        f"muller{stages}",
+        inputs=["r"],
+        outputs=list(signal_names),
+    )
+
+    def name(i: int) -> str:
+        return "r" if i == 0 else signal_names[i - 1]
+
+    # left environment handshake with stage 1
+    seq(stg, "r+", f"{name(1)}+")
+    for i in range(1, stages + 1):
+        prev, cur = name(i - 1), name(i)
+        if i > 1:
+            connect(stg, f"{prev}+", f"{cur}+")          # A_i: request forward
+        connect(stg, f"{prev}-", f"{cur}-")              # C_i: reset forward
+        if i < stages:
+            nxt = name(i + 1)
+            connect(stg, f"{nxt}-", f"{cur}+", marked=True)  # B_i: next reset
+            connect(stg, f"{nxt}+", f"{cur}-")               # D_i: next set
+        else:
+            # right boundary: alternation of the last stage is enforced by a
+            # marked self-cycle standing in for an eager right environment
+            connect(stg, f"{cur}-", f"{cur}+", marked=True)
+            connect(stg, f"{cur}+", f"{cur}-")
+    # environment: r- after c1+, r+ after c1- (token: env may start)
+    connect(stg, f"{name(1)}+", "r-")
+    connect(stg, f"{name(1)}-", "r+", marked=True)
+    return stg
+
+
+def muller_ring(stages: int, waves: int = 1, signal_names=None) -> STG:
+    """A closed ring of ``stages`` Muller C-elements carrying ``waves`` waves.
+
+    All signals are outputs (the system is autonomous).  A *wave* is a
+    rising edge travelling around the ring followed by its trailing reset;
+    wave ``w`` starts at stage ``w * stages // waves``.
+    """
+    if stages < 3:
+        raise ValueError("a Muller ring needs at least 3 stages")
+    if not 1 <= waves < stages:
+        raise ValueError("need 1 <= waves < stages")
+    if signal_names is None:
+        signal_names = [f"c{i}" for i in range(stages)]
+    if len(signal_names) != stages:
+        raise ValueError("signal_names must have one name per stage")
+    stg = STG(f"mring{stages}x{waves}", outputs=list(signal_names))
+    starts = {w * stages // waves for w in range(waves)}
+    for i in range(stages):
+        cur = signal_names[i]
+        prev = signal_names[(i - 1) % stages]
+        nxt = signal_names[(i + 1) % stages]
+        # A_i: request forward; marked where a wave is about to enter stage i
+        connect(stg, f"{prev}+", f"{cur}+", marked=(i in starts))
+        # B_i: next stage reset; marked unless the wave entering stage i+1
+        # has already spent that stage's bubble (keeps the net safe)
+        connect(stg, f"{nxt}-", f"{cur}+", marked=((i + 1) % stages not in starts))
+        # C_i: reset forward; marked where the previous reset wave ended
+        connect(stg, f"{prev}-", f"{cur}-", marked=(i in starts))
+        # D_i: next stage set
+        connect(stg, f"{nxt}+", f"{cur}-")
+    return stg
+
+
+def parallel_forks(workers: int = 3) -> STG:
+    """A master handshake forking ``workers`` concurrent worker handshakes.
+
+    The master raises ``rm``; each worker ``i`` runs a four-phase handshake
+    ``rw{i}+ aw{i}+ rw{i}- aw{i}-`` concurrently, raising its completion
+    flag ``dw{i}`` in the middle of the handshake (after the acknowledge,
+    before the return-to-zero) so that a finished worker is never
+    code-identical to an unstarted one; when all flags are up the master
+    acknowledges (``am+``), the flags are cleared concurrently, and the
+    cycle restarts.  The flags keep the code unambiguous, so the family is
+    conflict-free while its state space grows exponentially in ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("need at least 1 worker")
+    stg = STG(
+        f"parfork{workers}",
+        inputs=["rm"] + [f"aw{i}" for i in range(workers)],
+        outputs=["am"] + [f"rw{i}" for i in range(workers)]
+        + [f"dw{i}" for i in range(workers)],
+    )
+    for i in range(workers):
+        seq(
+            stg,
+            "rm+",
+            f"rw{i}+",
+            f"aw{i}+",
+            f"dw{i}+",
+            f"rw{i}-",
+            f"aw{i}-",
+            "am+",
+        )
+        seq(stg, "am+", f"dw{i}-", "am-")
+    seq(stg, "am+", "rm-", "am-")
+    seq(stg, "am-", "rm+", marked=True)
+    return stg
+
+
+def vme_chain(stations: int = 2) -> STG:
+    """Scalable CSC-conflict family: a ring of VME bus controllers."""
+    return lazy_ring(stations)
+
+
+def service_ring(stations: int = 4) -> STG:
+    """Scalable USC-conflict family: the plain token ring."""
+    return token_ring(stations)

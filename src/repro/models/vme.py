@@ -1,0 +1,60 @@
+"""The VME bus controller STGs of the paper's Figures 1-3.
+
+``vme_bus`` is the read-cycle controller of Figure 1: it exhibits the CSC
+conflict between two markings with code ``10110`` (signal order dsr, dtack,
+lds, ldtack, d) where one enables output ``d`` and the other output ``lds``.
+
+``vme_bus_csc_resolved`` is the Figure 3 variant with the internal signal
+``csc`` inserted (implementation ``csc = dsr AND (csc OR NOT ldtack)``): it
+satisfies CSC but violates normalcy for ``csc``, whose implementation
+function is non-monotonic (positive in ``dsr``, negative in ``ldtack``).
+"""
+
+from __future__ import annotations
+
+from repro.models._build import seq
+from repro.stg.stg import STG
+
+
+def vme_bus() -> STG:
+    """Figure 1: the simplified VME bus controller (data read cycle).
+
+    Signals: inputs ``dsr`` (data send request), ``ldtack`` (local device
+    acknowledge); outputs ``lds`` (local device select), ``d`` (data), and
+    ``dtack`` (data acknowledge).
+    """
+    stg = STG("vme-read", inputs=["dsr", "ldtack"], outputs=["dtack", "lds", "d"])
+    # main causal chain of the read cycle
+    seq(stg, "dsr+", "lds+", "ldtack+", "d+", "dtack+", "dsr-", "d-")
+    # release of the local device, re-enabling the next lds+
+    seq(stg, "d-", "lds-", "ldtack-")
+    seq(stg, "ldtack-", "lds+", marked=True)
+    # bus-side recovery, re-enabling the next dsr+
+    seq(stg, "d-", "dtack-")
+    seq(stg, "dtack-", "dsr+", marked=True)
+    return stg
+
+
+def vme_bus_csc_resolved() -> STG:
+    """Figure 3: the VME controller after CSC resolution with signal ``csc``.
+
+    ``csc+`` is inserted between ``dsr+`` and ``lds+``; ``csc-`` between
+    ``dsr-`` and ``d-``.  The resulting STG satisfies CSC (next-state
+    functions ``lds = d + csc``, ``dtack = d``, ``d = ldtack * csc``,
+    ``csc = dsr * (csc + ldtack')``) but ``csc`` is neither p-normal nor
+    n-normal.
+    """
+    stg = STG(
+        "vme-read-csc",
+        inputs=["dsr", "ldtack"],
+        outputs=["dtack", "lds", "d"],
+        internal=["csc"],
+    )
+    seq(stg, "dsr+", "csc+", "lds+", "ldtack+", "d+", "dtack+", "dsr-", "csc-", "d-")
+    seq(stg, "d-", "lds-", "ldtack-")
+    # csc's set function is dsr AND NOT ldtack: the next csc+ must wait for
+    # the local device release of the previous cycle
+    seq(stg, "ldtack-", "csc+", marked=True)
+    seq(stg, "d-", "dtack-")
+    seq(stg, "dtack-", "dsr+", marked=True)
+    return stg

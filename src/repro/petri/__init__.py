@@ -1,0 +1,49 @@
+"""Petri net substrate: structure, token game, reachability, analysis, I/O.
+
+This package implements the plain place/transition nets of the paper's
+Section 2.1: a net is a triple ``(S, T, F)``; a net system pairs a net with an
+initial marking.  Everything downstream (STGs, unfoldings, the integer
+programming core) builds on these classes.
+"""
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.incidence import incidence_matrix, marking_equation_feasible
+from repro.petri.reachability import ReachabilityGraph, explore
+from repro.petri.analysis import (
+    is_safe,
+    is_bounded,
+    bound,
+    is_marked_graph,
+    is_free_choice,
+    is_dynamically_conflict_free,
+    place_invariants,
+    transition_invariants,
+)
+from repro.petri.parser import parse_net, write_net
+from repro.petri.simulate import random_walk, stg_random_walk
+from repro.petri.coverability import coverability_graph, CoverabilityGraph, OMEGA
+
+__all__ = [
+    "random_walk",
+    "stg_random_walk",
+    "coverability_graph",
+    "CoverabilityGraph",
+    "OMEGA",
+    "Marking",
+    "PetriNet",
+    "incidence_matrix",
+    "marking_equation_feasible",
+    "ReachabilityGraph",
+    "explore",
+    "is_safe",
+    "is_bounded",
+    "bound",
+    "is_marked_graph",
+    "is_free_choice",
+    "is_dynamically_conflict_free",
+    "place_invariants",
+    "transition_invariants",
+    "parse_net",
+    "write_net",
+]

@@ -1,0 +1,176 @@
+"""Structural and behavioural net analysis.
+
+Provides the side conditions the paper relies on:
+
+* *safeness* / *boundedness* — the unfolding engine requires safe nets, and
+  the USC lexicographic constraint requires a known bound ``k``;
+* *marked graphs* and *free choice* nets — structural classes for which the
+  Section 7 optimisation (dynamic conflict freeness) holds by construction;
+* *dynamic conflict freeness* — no reachable marking enables two transitions
+  sharing an input place (Proposition 1's precondition);
+* *P/T-invariants* — integer left/right kernels of the incidence matrix,
+  used by tests as independent certificates of consistency and boundedness.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import UnboundedNetError
+from repro.petri.incidence import incidence_matrix
+from repro.petri.net import PetriNet
+from repro.petri.reachability import explore
+
+
+def is_bounded(net: PetriNet, max_states: int = 200_000) -> bool:
+    """Behavioural boundedness via Karp-Miller style domination detection.
+
+    We run a depth-first search keeping the path of markings; if a marking
+    strictly dominates one of its ancestors the net is unbounded (the pumping
+    argument).  Bounded nets terminate because their reachability set is
+    finite; ``max_states`` guards pathological sizes.
+    """
+    initial = net.initial_marking
+    seen = set()
+    stack = [(initial, [initial])]
+    while stack:
+        marking, path = stack.pop()
+        if marking in seen:
+            continue
+        seen.add(marking)
+        if len(seen) > max_states:
+            raise UnboundedNetError(f"state budget {max_states} exhausted")
+        for transition in net.enabled(marking):
+            successor = net.fire(marking, transition)
+            for ancestor in path:
+                if successor.strictly_dominates(ancestor):
+                    return False
+            if successor not in seen:
+                stack.append((successor, path + [successor]))
+    return True
+
+
+def bound(net: PetriNet, max_states: int = 200_000) -> int:
+    """The smallest ``k`` such that every reachable marking is ``<= k``
+    everywhere (the ``k`` of the paper's k-ary USC constraint)."""
+    if not is_bounded(net, max_states=max_states):
+        raise UnboundedNetError("net is unbounded")
+    graph = explore(net, max_states=max_states)
+    return max((m.max_count() for m in graph.markings), default=0)
+
+
+def is_safe(net: PetriNet, max_states: int = 200_000) -> bool:
+    """True iff no reachable marking puts more than one token on a place."""
+    try:
+        explore(net, max_states=max_states, max_tokens_per_place=1)
+    except UnboundedNetError:
+        return False
+    return True
+
+
+def is_marked_graph(net: PetriNet) -> bool:
+    """Every place has at most one producer and at most one consumer."""
+    return all(
+        len(net.place_preset(p)) <= 1 and len(net.place_postset(p)) <= 1
+        for p in range(net.num_places)
+    )
+
+
+def is_free_choice(net: PetriNet) -> bool:
+    """Classical free choice: if two transitions share an input place then
+    they have identical presets."""
+    for p in range(net.num_places):
+        consumers = list(net.place_postset(p))
+        if len(consumers) < 2:
+            continue
+        first = net.preset(consumers[0])
+        for t in consumers[1:]:
+            if net.preset(t) != first:
+                return False
+    return True
+
+
+def has_structural_conflicts(net: PetriNet) -> bool:
+    """True if some place feeds two or more transitions (potential choice)."""
+    return any(len(net.place_postset(p)) > 1 for p in range(net.num_places))
+
+
+def is_dynamically_conflict_free(
+    net: PetriNet, max_states: int = 200_000
+) -> bool:
+    """No reachable marking enables two distinct transitions with a common
+    input place (paper Section 7).
+
+    Marked graphs are dynamically conflict free by structure, so we shortcut;
+    otherwise the reachability graph is examined.  This predicate is used by
+    :mod:`repro.core.conflict_free` to decide whether Proposition 1 applies.
+    """
+    if is_marked_graph(net):
+        return True
+    graph = explore(net, max_states=max_states)
+    for marking in graph.markings:
+        enabled = net.enabled(marking)
+        for i, t in enumerate(enabled):
+            preset_t = set(net.preset(t))
+            for u in enabled[i + 1:]:
+                if preset_t & set(net.preset(u)):
+                    return False
+    return True
+
+
+def _integer_kernel(matrix: np.ndarray) -> List[np.ndarray]:
+    """A basis of integer vectors ``x >= uninvolved`` with ``matrix @ x = 0``.
+
+    Fraction-exact Gaussian elimination; each basis vector is scaled to
+    integers with content 1.  Returns the (possibly empty) list of basis
+    vectors of the rational kernel, cleared to integers.
+    """
+    rows, cols = matrix.shape
+    work = [[Fraction(int(v)) for v in row] for row in matrix]
+    pivot_cols: List[int] = []
+    r = 0
+    for c in range(cols):
+        pivot = next((i for i in range(r, rows) if work[i][c] != 0), None)
+        if pivot is None:
+            continue
+        work[r], work[pivot] = work[pivot], work[r]
+        inv = work[r][c]
+        work[r] = [v / inv for v in work[r]]
+        for i in range(rows):
+            if i != r and work[i][c] != 0:
+                factor = work[i][c]
+                work[i] = [a - factor * b for a, b in zip(work[i], work[r])]
+        pivot_cols.append(c)
+        r += 1
+        if r == rows:
+            break
+    free_cols = [c for c in range(cols) if c not in pivot_cols]
+    basis = []
+    for free in free_cols:
+        vector = [Fraction(0)] * cols
+        vector[free] = Fraction(1)
+        for row, pivot_col in zip(work, pivot_cols):
+            vector[pivot_col] = -row[free]
+        denominators = [v.denominator for v in vector]
+        scale = np.lcm.reduce(np.array(denominators, dtype=np.int64))
+        integers = np.array([int(v * int(scale)) for v in vector], dtype=np.int64)
+        gcd = np.gcd.reduce(np.abs(integers[integers != 0])) if integers.any() else 1
+        basis.append(integers // max(gcd, 1))
+    return basis
+
+
+def place_invariants(net: PetriNet) -> List[np.ndarray]:
+    """Integer P-invariants: vectors ``y`` with ``y^T I = 0``.
+
+    A positive P-invariant certifies boundedness of its support; STG models in
+    this repository are typically covered by 1-invariants (safe by design).
+    """
+    return _integer_kernel(incidence_matrix(net).T)
+
+
+def transition_invariants(net: PetriNet) -> List[np.ndarray]:
+    """Integer T-invariants: vectors ``x`` with ``I x = 0`` (cyclic behaviour)."""
+    return _integer_kernel(incidence_matrix(net))

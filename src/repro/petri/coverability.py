@@ -1,0 +1,124 @@
+"""Karp-Miller coverability graphs for (possibly unbounded) nets.
+
+The unfolding and symbolic engines require bounded inputs; the coverability
+graph is the classical way to *decide* boundedness and to answer coverability
+queries on arbitrary nets, rounding out the Petri net substrate.  Unbounded
+places are abstracted to the ω symbol, represented here as ``OMEGA``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+#: The ω (unbounded) token count.
+OMEGA = -1
+
+
+def _covers(extended: Tuple[int, ...], other: Tuple[int, ...]) -> bool:
+    """``extended >= other`` treating OMEGA as infinity."""
+    for a, b in zip(extended, other):
+        if a == OMEGA:
+            continue
+        if b == OMEGA or a < b:
+            return False
+    return True
+
+
+@dataclass
+class CoverabilityGraph:
+    """Karp-Miller tree collapsed into a graph over extended markings."""
+
+    net: PetriNet
+    nodes: List[Tuple[int, ...]] = field(default_factory=list)
+    index: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    edges: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    def add_node(self, marking: Tuple[int, ...]) -> int:
+        node = self.index.get(marking)
+        if node is None:
+            node = len(self.nodes)
+            self.nodes.append(marking)
+            self.index[marking] = node
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def is_bounded(self) -> bool:
+        return not any(OMEGA in node for node in self.nodes)
+
+    def unbounded_places(self) -> List[str]:
+        unbounded = set()
+        for node in self.nodes:
+            for p, count in enumerate(node):
+                if count == OMEGA:
+                    unbounded.add(p)
+        return sorted(self.net.place_name(p) for p in unbounded)
+
+    def covers(self, target: Marking) -> bool:
+        """Coverability: can some reachable marking dominate ``target``?"""
+        goal = tuple(target.counts)
+        return any(_covers(node, goal) for node in self.nodes)
+
+
+def coverability_graph(net: PetriNet, max_nodes: int = 100_000) -> CoverabilityGraph:
+    """Build the Karp-Miller coverability graph."""
+    graph = CoverabilityGraph(net)
+    initial = tuple(net.initial_marking.counts)
+    graph.add_node(initial)
+    # ancestry paths for ω acceleration: per node keep one tree-parent chain
+    parents: Dict[int, Optional[int]] = {0: None}
+    queue = deque([0])
+    while queue:
+        node = queue.popleft()
+        marking = graph.nodes[node]
+        for t in range(net.num_transitions):
+            successor = _fire_extended(net, marking, t)
+            if successor is None:
+                continue
+            # ω acceleration against every ancestor
+            accelerated = list(successor)
+            ancestor: Optional[int] = node
+            while ancestor is not None:
+                past = graph.nodes[ancestor]
+                if _covers(tuple(accelerated), past) and tuple(accelerated) != past:
+                    for p in range(len(accelerated)):
+                        if (
+                            accelerated[p] != OMEGA
+                            and past[p] != OMEGA
+                            and accelerated[p] > past[p]
+                        ):
+                            accelerated[p] = OMEGA
+                ancestor = parents[ancestor]
+            final = tuple(accelerated)
+            known = final in graph.index
+            target = graph.add_node(final)
+            graph.edges.append((node, t, target))
+            if not known:
+                if graph.num_nodes > max_nodes:
+                    raise RuntimeError(f"coverability budget {max_nodes} exceeded")
+                parents[target] = node
+                queue.append(target)
+    return graph
+
+
+def _fire_extended(
+    net: PetriNet, marking: Tuple[int, ...], transition: int
+) -> Optional[List[int]]:
+    for p, w in net.preset(transition).items():
+        if marking[p] != OMEGA and marking[p] < w:
+            return None
+    result = list(marking)
+    for p, w in net.preset(transition).items():
+        if result[p] != OMEGA:
+            result[p] -= w
+    for p, w in net.postset(transition).items():
+        if result[p] != OMEGA:
+            result[p] += w
+    return result

@@ -1,0 +1,143 @@
+"""Structured and random net generators.
+
+Used by the property-based tests (hypothesis strategies call into these) and
+by the scalable benchmarks.  All generators return safe, bounded nets unless
+stated otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.petri.net import PetriNet
+
+
+def chain(length: int, tokens_at: Sequence[int] = (0,)) -> PetriNet:
+    """A linear chain ``p0 -> t0 -> p1 -> t1 -> ... -> p_length``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    net = PetriNet(f"chain{length}")
+    marked = set(tokens_at)
+    for i in range(length + 1):
+        net.add_place(f"p{i}", tokens=1 if i in marked else 0)
+    for i in range(length):
+        net.add_transition(f"t{i}")
+        net.add_arc(f"p{i}", f"t{i}")
+        net.add_arc(f"t{i}", f"p{i + 1}")
+    return net
+
+
+def cycle(length: int, tokens: int = 1) -> PetriNet:
+    """A ring of ``length`` places/transitions carrying ``tokens`` tokens.
+
+    Tokens start evenly spaced.  With a single token the net is safe; with
+    more it is only ``tokens``-bounded (a trailing token may enter a place
+    before the leading one has left — there is no capacity back-pressure).
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    if not 0 <= tokens <= length:
+        raise ValueError("tokens must be within 0..length")
+    net = PetriNet(f"cycle{length}")
+    marked = {i * length // tokens for i in range(tokens)} if tokens else set()
+    for i in range(length):
+        net.add_place(f"p{i}", tokens=1 if i in marked else 0)
+        net.add_transition(f"t{i}")
+    for i in range(length):
+        net.add_arc(f"p{i}", f"t{i}")
+        net.add_arc(f"t{i}", f"p{(i + 1) % length}")
+    return net
+
+
+def fork_join(width: int) -> PetriNet:
+    """One transition forks into ``width`` parallel branches that re-join.
+
+    The state space is ``2^width`` between the fork and the join while the
+    net itself is linear in ``width`` — the canonical example of why
+    unfoldings beat reachability graphs.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    net = PetriNet(f"forkjoin{width}")
+    net.add_place("start", tokens=1)
+    net.add_place("done")
+    net.add_transition("fork")
+    net.add_transition("join")
+    net.add_arc("start", "fork")
+    net.add_arc("join", "done")
+    for i in range(width):
+        net.add_place(f"ready{i}")
+        net.add_place(f"finished{i}")
+        net.add_transition(f"work{i}")
+        net.add_arc("fork", f"ready{i}")
+        net.add_arc(f"ready{i}", f"work{i}")
+        net.add_arc(f"work{i}", f"finished{i}")
+        net.add_arc(f"finished{i}", "join")
+    return net
+
+
+def choice(branches: int, length: int = 1) -> PetriNet:
+    """Free choice between ``branches`` alternative chains of ``length``."""
+    if branches < 1 or length < 1:
+        raise ValueError("branches and length must be >= 1")
+    net = PetriNet(f"choice{branches}x{length}")
+    net.add_place("start", tokens=1)
+    net.add_place("done")
+    for b in range(branches):
+        previous = "start"
+        for step in range(length):
+            transition = f"b{b}s{step}"
+            net.add_transition(transition)
+            net.add_arc(previous, transition)
+            if step == length - 1:
+                net.add_arc(transition, "done")
+            else:
+                place = f"b{b}p{step}"
+                net.add_place(place)
+                net.add_arc(transition, place)
+                previous = place
+    return net
+
+
+def random_safe_net(
+    num_branches: int = 3,
+    branch_length: int = 3,
+    join_probability: float = 0.3,
+    seed: Optional[int] = None,
+) -> PetriNet:
+    """A random safe net assembled from parallel chains with occasional
+    synchronisations.
+
+    The construction guarantees safeness by keeping every place inside a
+    single token-conserving branch: we start from ``num_branches`` marked
+    cycles and randomly merge transition pairs across branches into
+    synchronising transitions (which consume from and produce into both
+    branches, preserving the per-branch token count).
+    """
+    rng = random.Random(seed)
+    net = PetriNet(f"random{num_branches}x{branch_length}")
+    # Build independent cycles first.
+    for b in range(num_branches):
+        for i in range(branch_length):
+            net.add_place(f"b{b}p{i}", tokens=1 if i == 0 else 0)
+    sync_pairs = []
+    for b in range(num_branches):
+        for i in range(branch_length):
+            if b > 0 and rng.random() < join_probability:
+                sync_pairs.append((b, i))
+                continue
+            net.add_transition(f"b{b}t{i}")
+            net.add_arc(f"b{b}p{i}", f"b{b}t{i}")
+            net.add_arc(f"b{b}t{i}", f"b{b}p{(i + 1) % branch_length}")
+    # Each synchronising transition also participates in branch 0 (joining
+    # two conserving cycles keeps both safe).
+    for b, i in sync_pairs:
+        name = f"sync_b{b}t{i}"
+        net.add_transition(name)
+        net.add_arc(f"b{b}p{i}", name)
+        net.add_arc(name, f"b{b}p{(i + 1) % branch_length}")
+        j = rng.randrange(branch_length)
+        net.add_arc(f"b0p{j}", name)
+        net.add_arc(name, f"b0p{j}")
+    return net

@@ -1,0 +1,132 @@
+"""Markings: multisets of places, stored as dense count vectors.
+
+A marking of a net ``N = (S, T, F)`` is a multiset ``M : S -> N`` (paper
+Section 2.1).  We fix the place order of the owning :class:`~repro.petri.net.
+PetriNet` and store counts in a tuple indexed by place position, which makes
+markings hashable (reachability sets are dictionaries keyed by marking) and
+cheap to compare lexicographically (the USC separating constraint of the paper
+orders markings as k-ary numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+
+
+class Marking:
+    """An immutable multiset of places over a fixed place universe.
+
+    The marking does not hold a reference to its net; it is just a count
+    vector.  Interpretation (which index is which place) is supplied by the
+    :class:`~repro.petri.net.PetriNet` that produced it.
+
+    >>> m = Marking((1, 0, 2))
+    >>> m[2]
+    2
+    >>> m.total()
+    3
+    >>> list(m.support())
+    [0, 2]
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Sequence[int]):
+        counts = tuple(int(c) for c in counts)
+        if any(c < 0 for c in counts):
+            raise ValueError("marking counts must be non-negative")
+        self._counts = counts
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, size: int, counts: Mapping[int, int]) -> "Marking":
+        """Build a marking of ``size`` places from a sparse ``{index: count}``."""
+        vector = [0] * size
+        for index, count in counts.items():
+            vector[index] = count
+        return cls(vector)
+
+    @classmethod
+    def empty(cls, size: int) -> "Marking":
+        return cls((0,) * size)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        return self._counts
+
+    def __getitem__(self, index: int) -> int:
+        return self._counts[index]
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counts)
+
+    def total(self) -> int:
+        """Total number of tokens."""
+        return sum(self._counts)
+
+    def support(self) -> Iterable[int]:
+        """Indices of places holding at least one token."""
+        return (i for i, c in enumerate(self._counts) if c > 0)
+
+    def support_set(self) -> frozenset:
+        return frozenset(self.support())
+
+    def max_count(self) -> int:
+        """The largest token count on any single place (0 for the empty net)."""
+        return max(self._counts, default=0)
+
+    def as_dict(self) -> Dict[int, int]:
+        return {i: c for i, c in enumerate(self._counts) if c > 0}
+
+    # -- multiset algebra ----------------------------------------------------
+
+    def add(self, deltas: Mapping[int, int]) -> "Marking":
+        """Multiset sum with a sparse delta (used when producing tokens)."""
+        vector = list(self._counts)
+        for index, amount in deltas.items():
+            vector[index] += amount
+        return Marking(vector)
+
+    def subtract(self, deltas: Mapping[int, int]) -> "Marking":
+        """Multiset difference with a sparse delta (raises if it goes negative)."""
+        vector = list(self._counts)
+        for index, amount in deltas.items():
+            vector[index] -= amount
+            if vector[index] < 0:
+                raise ValueError(f"marking would go negative at place index {index}")
+        return Marking(vector)
+
+    def covers(self, deltas: Mapping[int, int]) -> bool:
+        """True if this marking has at least ``deltas[i]`` tokens at each ``i``."""
+        return all(self._counts[i] >= amount for i, amount in deltas.items())
+
+    def dominates(self, other: "Marking") -> bool:
+        """Componentwise ``>=`` (used by the coverability/boundedness check)."""
+        return all(a >= b for a, b in zip(self._counts, other._counts))
+
+    def strictly_dominates(self, other: "Marking") -> bool:
+        return self.dominates(other) and self._counts != other._counts
+
+    # -- order & hashing -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Marking) and self._counts == other._counts
+
+    def __lt__(self, other: "Marking") -> bool:
+        """Lexicographic order: the ``<_lex`` of the USC separating constraint."""
+        return self._counts < other._counts
+
+    def __le__(self, other: "Marking") -> bool:
+        return self._counts <= other._counts
+
+    def __hash__(self) -> int:
+        return hash(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Marking({self._counts!r})"

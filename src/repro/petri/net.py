@@ -1,0 +1,264 @@
+"""Place/transition nets and the token game.
+
+A net is a triple ``N = (S, T, F)`` of places, transitions and a flow
+relation; a net system pairs it with an initial marking (paper Section 2.1).
+This module keeps both in one mutable class: nets are built incrementally by
+the parsers, the benchmark model constructors and the random generators, and
+then treated as immutable by the analysis code.
+
+Nodes are referred to by *name* in the public API, and by dense integer
+*index* in the performance-sensitive internals (markings are count vectors
+indexed by place position; the incidence matrix is indexed the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import NetStructureError, NotEnabledError
+from repro.petri.marking import Marking
+
+
+class PetriNet:
+    """A finite place/transition net with an initial marking.
+
+    >>> net = PetriNet("demo")
+    >>> net.add_place("p0", tokens=1)
+    0
+    >>> net.add_place("p1")
+    1
+    >>> net.add_transition("t")
+    0
+    >>> net.add_arc("p0", "t")
+    >>> net.add_arc("t", "p1")
+    >>> m0 = net.initial_marking
+    >>> net.enabled(m0)
+    [0]
+    >>> m1 = net.fire(m0, 0)
+    >>> m1.counts
+    (0, 1)
+    """
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self._places: List[str] = []
+        self._transitions: List[str] = []
+        self._place_index: Dict[str, int] = {}
+        self._transition_index: Dict[str, int] = {}
+        # arcs stored sparsely; weights are positive ints (ordinary nets use 1)
+        self._pre: List[Dict[int, int]] = []   # transition -> {place: weight}
+        self._post: List[Dict[int, int]] = []  # transition -> {place: weight}
+        self._place_pre: List[Dict[int, int]] = []   # place -> {transition: weight}
+        self._place_post: List[Dict[int, int]] = []  # place -> {transition: weight}
+        self._initial_tokens: List[int] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_place(self, name: str, tokens: int = 0) -> int:
+        """Add a place and return its index."""
+        if name in self._place_index or name in self._transition_index:
+            raise NetStructureError(f"duplicate node name: {name!r}")
+        if tokens < 0:
+            raise NetStructureError("initial token count must be non-negative")
+        index = len(self._places)
+        self._places.append(name)
+        self._place_index[name] = index
+        self._place_pre.append({})
+        self._place_post.append({})
+        self._initial_tokens.append(tokens)
+        return index
+
+    def add_transition(self, name: str) -> int:
+        """Add a transition and return its index."""
+        if name in self._place_index or name in self._transition_index:
+            raise NetStructureError(f"duplicate node name: {name!r}")
+        index = len(self._transitions)
+        self._transitions.append(name)
+        self._transition_index[name] = index
+        self._pre.append({})
+        self._post.append({})
+        return index
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Add a flow arc place->transition or transition->place."""
+        if weight <= 0:
+            raise NetStructureError("arc weight must be positive")
+        if source in self._place_index and target in self._transition_index:
+            place = self._place_index[source]
+            transition = self._transition_index[target]
+            self._pre[transition][place] = self._pre[transition].get(place, 0) + weight
+            self._place_post[place][transition] = self._pre[transition][place]
+        elif source in self._transition_index and target in self._place_index:
+            transition = self._transition_index[source]
+            place = self._place_index[target]
+            self._post[transition][place] = self._post[transition].get(place, 0) + weight
+            self._place_pre[place][transition] = self._post[transition][place]
+        else:
+            raise NetStructureError(
+                f"arc must connect a place and a transition: {source!r} -> {target!r}"
+            )
+        # the paper assumes t's preset and postset never share a place only for
+        # occurrence nets; general nets may have self-loops, so no check here.
+
+    def remove_arc(self, source: str, target: str) -> None:
+        """Remove the arc between a place and a transition (any direction).
+
+        Used by net transformations (e.g. transition splitting during CSC
+        resolution).  Raises if the arc does not exist.
+        """
+        if source in self._place_index and target in self._transition_index:
+            place = self._place_index[source]
+            transition = self._transition_index[target]
+            if place not in self._pre[transition]:
+                raise NetStructureError(f"no arc {source!r} -> {target!r}")
+            del self._pre[transition][place]
+            del self._place_post[place][transition]
+        elif source in self._transition_index and target in self._place_index:
+            transition = self._transition_index[source]
+            place = self._place_index[target]
+            if place not in self._post[transition]:
+                raise NetStructureError(f"no arc {source!r} -> {target!r}")
+            del self._post[transition][place]
+            del self._place_pre[place][transition]
+        else:
+            raise NetStructureError(
+                f"arc must connect a place and a transition: {source!r} -> {target!r}"
+            )
+
+    def set_tokens(self, place: str, tokens: int) -> None:
+        if tokens < 0:
+            raise NetStructureError("token count must be non-negative")
+        self._initial_tokens[self.place_index(place)] = tokens
+
+    # -- structure accessors ---------------------------------------------------
+
+    @property
+    def places(self) -> Sequence[str]:
+        return tuple(self._places)
+
+    @property
+    def transitions(self) -> Sequence[str]:
+        return tuple(self._transitions)
+
+    @property
+    def num_places(self) -> int:
+        return len(self._places)
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self._transitions)
+
+    def place_index(self, name: str) -> int:
+        try:
+            return self._place_index[name]
+        except KeyError:
+            raise NetStructureError(f"unknown place: {name!r}") from None
+
+    def transition_index(self, name: str) -> int:
+        try:
+            return self._transition_index[name]
+        except KeyError:
+            raise NetStructureError(f"unknown transition: {name!r}") from None
+
+    def has_place(self, name: str) -> bool:
+        return name in self._place_index
+
+    def has_transition(self, name: str) -> bool:
+        return name in self._transition_index
+
+    def place_name(self, index: int) -> str:
+        return self._places[index]
+
+    def transition_name(self, index: int) -> str:
+        return self._transitions[index]
+
+    def preset(self, transition: int) -> Mapping[int, int]:
+        """``•t`` as a sparse ``{place_index: weight}`` mapping."""
+        return self._pre[transition]
+
+    def postset(self, transition: int) -> Mapping[int, int]:
+        """``t•`` as a sparse ``{place_index: weight}`` mapping."""
+        return self._post[transition]
+
+    def place_preset(self, place: int) -> Mapping[int, int]:
+        """``•s``: the transitions producing into place ``s``."""
+        return self._place_pre[place]
+
+    def place_postset(self, place: int) -> Mapping[int, int]:
+        """``s•``: the transitions consuming from place ``s``."""
+        return self._place_post[place]
+
+    def arcs(self) -> Iterator[Tuple[str, str, int]]:
+        """All arcs as ``(source_name, target_name, weight)`` triples."""
+        for t, pre in enumerate(self._pre):
+            for p, w in pre.items():
+                yield self._places[p], self._transitions[t], w
+        for t, post in enumerate(self._post):
+            for p, w in post.items():
+                yield self._transitions[t], self._places[p], w
+
+    def is_ordinary(self) -> bool:
+        """True if every arc has weight 1 (required by the unfolding engine)."""
+        return all(
+            w == 1
+            for maps in (self._pre, self._post)
+            for arcs in maps
+            for w in arcs.values()
+        )
+
+    # -- token game ------------------------------------------------------------
+
+    @property
+    def initial_marking(self) -> Marking:
+        return Marking(self._initial_tokens)
+
+    def is_enabled(self, marking: Marking, transition: int) -> bool:
+        """``M[t>``: every input place carries enough tokens."""
+        return marking.covers(self._pre[transition])
+
+    def enabled(self, marking: Marking) -> List[int]:
+        """Indices of all transitions enabled at ``marking``."""
+        return [t for t in range(len(self._transitions)) if self.is_enabled(marking, t)]
+
+    def fire(self, marking: Marking, transition: int) -> Marking:
+        """``M[t>M'`` with ``M' = M - •t + t•``."""
+        if not self.is_enabled(marking, transition):
+            raise NotEnabledError(
+                f"transition {self._transitions[transition]!r} not enabled"
+            )
+        return marking.subtract(self._pre[transition]).add(self._post[transition])
+
+    def fire_sequence(
+        self, marking: Marking, sequence: Iterable[int]
+    ) -> Marking:
+        """Fire a whole sequence of transition indices, returning the final marking."""
+        current = marking
+        for transition in sequence:
+            current = self.fire(current, transition)
+        return current
+
+    def fire_by_name(self, marking: Marking, name: str) -> Marking:
+        return self.fire(marking, self.transition_index(name))
+
+    # -- misc --------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "PetriNet":
+        """A deep, independent copy of the net (same node order)."""
+        clone = PetriNet(name or self.name)
+        for place, tokens in zip(self._places, self._initial_tokens):
+            clone.add_place(place, tokens)
+        for transition in self._transitions:
+            clone.add_transition(transition)
+        for t, pre in enumerate(self._pre):
+            for p, w in pre.items():
+                clone.add_arc(self._places[p], self._transitions[t], w)
+        for t, post in enumerate(self._post):
+            for p, w in post.items():
+                clone.add_arc(self._transitions[t], self._places[p], w)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PetriNet({self.name!r}, |S|={self.num_places}, "
+            f"|T|={self.num_transitions})"
+        )

@@ -1,0 +1,98 @@
+"""Plain Petri net text format (read/write).
+
+STGs use the standard astg ``.g`` dialect (see :mod:`repro.stg.parser`); for
+*unlabelled* nets the tests and examples use a small explicit dialect that
+avoids the astg ambiguity between places and transitions:
+
+.. code-block:: text
+
+    .net buffer
+    .places p0=1 p1 p2
+    .transitions produce consume
+    .arcs
+    p0 produce
+    produce p1
+    p1 consume
+    consume p2
+    .end
+
+``=k`` after a place name gives its initial token count (default 0).
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ParseError
+from repro.petri.net import PetriNet
+
+
+def parse_net(text: str) -> PetriNet:
+    """Parse the explicit net dialect described in the module docstring."""
+    net = PetriNet()
+    mode = None
+    saw_end = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise ParseError("content after .end", line_no)
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            if directive == ".net":
+                net.name = rest.strip() or net.name
+                mode = None
+            elif directive == ".places":
+                for token in rest.split():
+                    name, _, count = token.partition("=")
+                    try:
+                        tokens = int(count) if count else 0
+                    except ValueError:
+                        raise ParseError(f"bad token count in {token!r}", line_no)
+                    net.add_place(name, tokens)
+                mode = None
+            elif directive == ".transitions":
+                for token in rest.split():
+                    net.add_transition(token)
+                mode = None
+            elif directive == ".arcs":
+                mode = "arcs"
+            elif directive == ".end":
+                saw_end = True
+            else:
+                raise ParseError(f"unknown directive {directive!r}", line_no)
+            continue
+        if mode != "arcs":
+            raise ParseError(f"unexpected line {line!r}", line_no)
+        parts = line.split()
+        if len(parts) < 2:
+            raise ParseError("arc line needs a source and at least one target", line_no)
+        source, targets = parts[0], parts[1:]
+        for target in targets:
+            try:
+                net.add_arc(source, target)
+            except Exception as exc:  # NetStructureError with location info
+                raise ParseError(str(exc), line_no) from exc
+    if not saw_end:
+        raise ParseError("missing .end")
+    return net
+
+
+def write_net(net: PetriNet) -> str:
+    """Serialise ``net`` in the dialect accepted by :func:`parse_net`."""
+    lines: List[str] = [f".net {net.name}"]
+    initial = net.initial_marking
+    place_tokens = []
+    for index, place in enumerate(net.places):
+        count = initial[index]
+        place_tokens.append(f"{place}={count}" if count else place)
+    lines.append(".places " + " ".join(place_tokens))
+    lines.append(".transitions " + " ".join(net.transitions))
+    lines.append(".arcs")
+    for source, target, weight in net.arcs():
+        for _ in range(weight):
+            lines.append(f"{source} {target}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,131 @@
+"""Explicit reachability graphs.
+
+This is the state-space construction that the paper's method is designed to
+*avoid*; we need it (a) as the baseline coding-conflict detector (the explicit
+analogue of Petrify's BDD traversal), and (b) as a test oracle for the
+unfolding-based algorithms on small nets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import UnboundedNetError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+class ReachabilityGraph:
+    """The reachable state space of a net system.
+
+    States are markings; edges are ``(source, transition, target)`` with
+    markings referred to by their dense state index.
+    """
+
+    def __init__(self, net: PetriNet):
+        self.net = net
+        self.markings: List[Marking] = []
+        self.index: Dict[Marking, int] = {}
+        self.edges: List[Tuple[int, int, int]] = []
+        self.successors: List[List[Tuple[int, int]]] = []  # state -> [(t, state')]
+
+    def add_state(self, marking: Marking) -> int:
+        state = self.index.get(marking)
+        if state is None:
+            state = len(self.markings)
+            self.markings.append(marking)
+            self.index[marking] = state
+            self.successors.append([])
+        return state
+
+    def add_edge(self, source: int, transition: int, target: int) -> None:
+        self.edges.append((source, transition, target))
+        self.successors[source].append((transition, target))
+
+    @property
+    def num_states(self) -> int:
+        return len(self.markings)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __contains__(self, marking: Marking) -> bool:
+        return marking in self.index
+
+    def __iter__(self) -> Iterator[Marking]:
+        return iter(self.markings)
+
+    def deadlocks(self) -> List[int]:
+        """States with no outgoing edges."""
+        return [s for s, succ in enumerate(self.successors) if not succ]
+
+    def path_to(self, target: int) -> List[int]:
+        """A transition sequence from the initial state to ``target`` (BFS)."""
+        parents: Dict[int, Tuple[int, int]] = {}
+        queue = deque([0])
+        seen = {0}
+        while queue:
+            state = queue.popleft()
+            if state == target:
+                break
+            for transition, nxt in self.successors[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = (state, transition)
+                    queue.append(nxt)
+        if target != 0 and target not in parents:
+            raise ValueError(f"state {target} unreachable from the initial state")
+        path: List[int] = []
+        state = target
+        while state != 0:
+            state, transition = parents[state]
+            path.append(transition)
+        path.reverse()
+        return path
+
+
+def explore(
+    net: PetriNet,
+    initial: Optional[Marking] = None,
+    max_states: Optional[int] = None,
+    max_tokens_per_place: Optional[int] = None,
+) -> ReachabilityGraph:
+    """Breadth-first construction of the reachability graph.
+
+    ``max_states`` guards against state explosion (raises
+    :class:`UnboundedNetError` when exceeded — for bounded nets pick it large
+    enough; for potentially unbounded nets it doubles as a divergence guard).
+    ``max_tokens_per_place`` raises as soon as any place exceeds the given
+    bound, which is how :func:`repro.petri.analysis.is_safe` detects
+    unsafeness without enumerating an infinite space.
+    """
+    graph = ReachabilityGraph(net)
+    start = initial if initial is not None else net.initial_marking
+    graph.add_state(start)
+    queue = deque([0])
+    while queue:
+        state = queue.popleft()
+        marking = graph.markings[state]
+        for transition in net.enabled(marking):
+            successor = net.fire(marking, transition)
+            if (
+                max_tokens_per_place is not None
+                and successor.max_count() > max_tokens_per_place
+            ):
+                raise UnboundedNetError(
+                    f"place bound {max_tokens_per_place} exceeded "
+                    f"after firing {net.transition_name(transition)!r}"
+                )
+            known = successor in graph.index
+            target = graph.add_state(successor)
+            graph.add_edge(state, transition, target)
+            if not known:
+                if max_states is not None and graph.num_states > max_states:
+                    raise UnboundedNetError(
+                        f"state budget {max_states} exhausted; "
+                        "net may be unbounded or too large"
+                    )
+                queue.append(target)
+    return graph

@@ -1,0 +1,25 @@
+"""A from-scratch CDCL SAT solver and the SAT encoding of the conflict system.
+
+Historically the paper's integer-programming approach evolved into the SAT
+encodings of the MPSAT tool; this package reproduces that trajectory as an
+extension: a conflict-driven clause-learning solver (two-watched literals,
+first-UIP learning, VSIDS-style activities, geometric restarts) plus a CNF
+encoding of the USC conflict system (configuration constraints from the
+direct causality/conflict relations, code equality via totalizer-merged
+cardinality constraints, and lazy blocking of spurious candidates for the
+non-linear separating constraints).
+"""
+
+from repro.sat.solver import CDCLSolver, SatResult
+from repro.sat.cnf import CNF, Totalizer
+from repro.sat.coding import check_usc_sat, check_csc_sat, SatCodingReport
+
+__all__ = [
+    "CDCLSolver",
+    "SatResult",
+    "CNF",
+    "Totalizer",
+    "check_usc_sat",
+    "check_csc_sat",
+    "SatCodingReport",
+]

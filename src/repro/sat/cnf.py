@@ -1,0 +1,146 @@
+"""CNF construction helpers: Tseitin gates and totalizer cardinality.
+
+The SAT encoding of the conflict system needs, besides plain clauses, two
+gadgets:
+
+* **Tseitin definitions** — fresh variables equivalent to AND/OR/XOR of
+  literals (used for the "the two vectors differ somewhere" constraint);
+* **totalizers** (Bailleux-Boutaouf) — unary counters ``o_1..o_n`` over a
+  set of input literals with ``o_j`` true iff at least ``j`` inputs are true,
+  encoded in both directions so that *equality* of two counts can be stated
+  literal-by-literal.  The conflict constraint ``Code(x') = Code(x'')``
+  becomes, per signal ``s``: ``count(s+ in x') + count(s- in x'') ==
+  count(s+ in x'') + count(s- in x')`` — two totalizers over disjoint input
+  sets whose outputs are pinned pairwise equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.sat.solver import CDCLSolver
+
+
+class CNF:
+    """A clause store with a fresh-variable allocator."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add(self, clause: Iterable[int]) -> None:
+        clause = list(clause)
+        for lit in clause:
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(clause)
+
+    # -- Tseitin gates ---------------------------------------------------------
+
+    def define_or(self, literals: Sequence[int]) -> int:
+        """A fresh variable g with g <-> OR(literals)."""
+        g = self.new_var()
+        for lit in literals:
+            self.add([-lit, g])
+        self.add([-g] + list(literals))
+        return g
+
+    def define_and(self, literals: Sequence[int]) -> int:
+        g = self.new_var()
+        for lit in literals:
+            self.add([-g, lit])
+        self.add([g] + [-lit for lit in literals])
+        return g
+
+    def define_xor(self, a: int, b: int) -> int:
+        g = self.new_var()
+        self.add([-g, a, b])
+        self.add([-g, -a, -b])
+        self.add([g, -a, b])
+        self.add([g, a, -b])
+        return g
+
+    def to_solver(self) -> CDCLSolver:
+        solver = CDCLSolver(self.num_vars)
+        for clause in self.clauses:
+            solver.add_clause(clause)
+        return solver
+
+
+class Totalizer:
+    """Unary counter over input literals with two-sided defining clauses.
+
+    ``outputs[j-1]`` is true iff at least ``j`` inputs are true (both
+    implications are encoded, so outputs can be constrained freely).
+    """
+
+    def __init__(self, cnf: CNF, inputs: Sequence[int]):
+        self.cnf = cnf
+        self.inputs = list(inputs)
+        self.outputs: List[int] = self._build(self.inputs)
+
+    def _build(self, literals: List[int]) -> List[int]:
+        if len(literals) <= 1:
+            return list(literals)
+        mid = len(literals) // 2
+        left = self._build(literals[:mid])
+        right = self._build(literals[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, a: List[int], b: List[int]) -> List[int]:
+        p, q = len(a), len(b)
+        outputs = self.cnf.new_vars(p + q)
+
+        def out(j: int) -> int:
+            return outputs[j - 1]
+
+        for i in range(p + 1):
+            for k in range(q + 1):
+                if i + k >= 1:
+                    # (a_i & b_k) -> o_{i+k}
+                    clause = [out(i + k)]
+                    if i >= 1:
+                        clause.append(-a[i - 1])
+                    if k >= 1:
+                        clause.append(-b[k - 1])
+                    self.cnf.add(clause)
+                if i + k < p + q:
+                    # o_{i+k+1} -> (a_{i+1} | b_{k+1})
+                    clause = [-out(i + k + 1)]
+                    if i < p:
+                        clause.append(a[i])
+                    if k < q:
+                        clause.append(b[k])
+                    self.cnf.add(clause)
+        return outputs
+
+    def at_most(self, bound: int) -> None:
+        for j in range(bound + 1, len(self.outputs) + 1):
+            self.cnf.add([-self.outputs[j - 1]])
+
+    def at_least(self, bound: int) -> None:
+        for j in range(1, min(bound, len(self.outputs)) + 1):
+            self.cnf.add([self.outputs[j - 1]])
+        if bound > len(self.outputs):
+            self.cnf.add([])  # trivially unsatisfiable
+
+
+def equalise_counts(cnf: CNF, a: Totalizer, b: Totalizer) -> None:
+    """Pin the two unary counts equal, padding the shorter with falses."""
+    width = max(len(a.outputs), len(b.outputs))
+    for j in range(1, width + 1):
+        lit_a = a.outputs[j - 1] if j <= len(a.outputs) else None
+        lit_b = b.outputs[j - 1] if j <= len(b.outputs) else None
+        if lit_a is None:
+            cnf.add([-lit_b])
+        elif lit_b is None:
+            cnf.add([-lit_a])
+        else:
+            cnf.add([-lit_a, lit_b])
+            cnf.add([lit_a, -lit_b])

@@ -1,0 +1,176 @@
+"""SAT encoding of the USC/CSC conflict systems (the MPSAT-style back-end).
+
+Variables (per free prefix event ``e``): ``x'(e)`` and ``x''(e)``.  Clauses:
+
+* **configuration constraints** — for every event and each of its direct
+  causal predecessors ``p``: ``x(e) -> x(p)``; for every pair of direct
+  conflicts (two consumers of one condition): ``not x(e) or not x(f)``.
+  Inherited causality/conflict follows by propagation, so the direct
+  relations suffice — the SAT analogue of Theorem 1;
+* **cut-off constraints** — handled by restriction to free events, as in
+  the IP core;
+* **conflict constraint (2)** — per signal ``s``, the totalizer identity
+  ``|s+ in x'| + |s- in x''| == |s+ in x''| + |s- in x'|``;
+* **difference constraint** — at least one event differs between the two
+  vectors (Tseitin XORs);
+* the **non-linear separating constraints** (``Mark`` inequality, ``Out``
+  inequality for CSC) are applied lazily: each model is decoded and
+  checked on the STG; spurious candidates are blocked by a clause over the
+  event variables and the solver re-runs — mirroring the paper's treatment
+  of the constraints that do not fit the linear system.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.context import SolverContext
+from repro.sat.cnf import CNF, Totalizer, equalise_counts
+from repro.stg.stg import STG
+from repro.unfolding.occurrence_net import Prefix
+from repro.unfolding.unfolder import UnfoldingOptions, unfold
+
+
+@dataclass
+class SatCodingReport:
+    """Outcome of a SAT-based USC/CSC check."""
+
+    property_name: str
+    holds: bool
+    witness_traces: Optional[Tuple[List[str], List[str]]]
+    num_vars: int
+    num_clauses: int
+    sat_conflicts: int
+    candidates_blocked: int
+    elapsed: float
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _build_encoding(context: SolverContext):
+    """Returns (cnf, var_a, var_b) with all static constraints asserted."""
+    cnf = CNF()
+    n = context.num_vars
+    var_a = cnf.new_vars(n)
+    var_b = cnf.new_vars(n)
+
+    for variables in (var_a, var_b):
+        for i in range(n):
+            # direct causal predecessors: x(e) -> x(p)
+            rest = context.pred_pos[i]
+            while rest:
+                low = rest & -rest
+                p = low.bit_length() - 1
+                cnf.add([-variables[i], variables[p]])
+                rest ^= low
+        # direct conflicts: consumers of a shared condition
+        prefix = context.prefix
+        consumers_by_condition = {}
+        for position in range(n):
+            event = prefix.events[context.order[position]]
+            for b in event.preset:
+                consumers_by_condition.setdefault(b, []).append(position)
+        for positions in consumers_by_condition.values():
+            for i, e in enumerate(positions):
+                for f in positions[i + 1:]:
+                    cnf.add([-variables[e], -variables[f]])
+
+    # conflict constraint (2) per signal, via totalizer count equality
+    for s in range(context.num_signals):
+        plus = [i for i in range(n) if context.signal_of[i] == s
+                and context.delta_of[i] > 0]
+        minus = [i for i in range(n) if context.signal_of[i] == s
+                 and context.delta_of[i] < 0]
+        if not plus and not minus:
+            continue
+        left = Totalizer(
+            cnf, [var_a[i] for i in plus] + [var_b[i] for i in minus]
+        )
+        right = Totalizer(
+            cnf, [var_b[i] for i in plus] + [var_a[i] for i in minus]
+        )
+        equalise_counts(cnf, left, right)
+
+    # the two vectors must differ somewhere
+    difference_bits = [
+        cnf.define_xor(var_a[i], var_b[i]) for i in range(n)
+    ]
+    cnf.add(difference_bits)
+    return cnf, var_a, var_b
+
+
+def _check(
+    source: Union[STG, Prefix],
+    property_name: str,
+    unfolding_options: Optional[UnfoldingOptions],
+    max_candidates: int,
+) -> SatCodingReport:
+    started = time.perf_counter()
+    prefix = source if isinstance(source, Prefix) else unfold(source, unfolding_options)
+    context = SolverContext(prefix)
+    cnf, var_a, var_b = _build_encoding(context)
+    solver = cnf.to_solver()
+    num_clauses = len(cnf.clauses)
+    blocked = 0
+    witness = None
+
+    event_vars = var_a + var_b
+    while True:
+        result = solver.solve()
+        if not result.satisfiable:
+            break
+        mask_a = sum(
+            1 << i for i in range(context.num_vars) if result.model[var_a[i]]
+        )
+        mask_b = sum(
+            1 << i for i in range(context.num_vars) if result.model[var_b[i]]
+        )
+        mark_a = context.marking_of(mask_a)
+        mark_b = context.marking_of(mask_b)
+        genuine = mark_a != mark_b
+        if genuine and property_name == "csc":
+            genuine = context.out_of(mark_a) != context.out_of(mark_b)
+        if genuine:
+            witness = (context.trace_of(mask_a), context.trace_of(mask_b))
+            break
+        blocked += 1
+        if blocked > max_candidates:
+            raise RuntimeError(
+                "candidate budget exhausted while filtering separating "
+                "constraints; raise max_candidates"
+            )
+        solver.add_clause(
+            [(-v if result.model[v] else v) for v in event_vars]
+        )
+
+    return SatCodingReport(
+        property_name=property_name.upper(),
+        holds=witness is None,
+        witness_traces=witness,
+        num_vars=cnf.num_vars,
+        num_clauses=num_clauses,
+        sat_conflicts=solver.conflicts,
+        candidates_blocked=blocked,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def check_usc_sat(
+    source: Union[STG, Prefix],
+    unfolding_options: Optional[UnfoldingOptions] = None,
+    max_candidates: int = 10_000,
+) -> SatCodingReport:
+    """USC check through the SAT back-end."""
+    return _check(source, "usc", unfolding_options, max_candidates)
+
+
+def check_csc_sat(
+    source: Union[STG, Prefix],
+    unfolding_options: Optional[UnfoldingOptions] = None,
+    max_candidates: int = 10_000,
+) -> SatCodingReport:
+    """CSC check through the SAT back-end (USC-first, Out filtered lazily)."""
+    return _check(source, "csc", unfolding_options, max_candidates)

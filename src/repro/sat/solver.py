@@ -1,0 +1,320 @@
+"""A compact conflict-driven clause-learning (CDCL) SAT solver.
+
+Literals are non-zero integers in the DIMACS convention: ``+v`` is variable
+``v`` true, ``-v`` false (variables are numbered from 1).  The solver
+implements the standard modern loop:
+
+* unit propagation over per-literal occurrence lists (full-clause status
+  scans — simpler than two-watched literals, and fast enough at this
+  library's problem sizes);
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping;
+* exponential-decay variable activities (VSIDS-lite) for branching, with
+  phase saving;
+* geometric restarts;
+* incremental solving under assumptions, and model enumeration by blocking
+  clauses (used by the coding-conflict checker to filter candidates against
+  the non-linear separating constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import SolverLimitError
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call."""
+
+    satisfiable: bool
+    model: Optional[Dict[int, bool]]  # variable -> value (None if UNSAT)
+    conflicts: int
+    decisions: int
+    propagations: int
+
+
+class CDCLSolver:
+    """A CDCL solver over variables ``1..num_vars``."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = []     # var -> 0 unassigned / +1 true / -1 false
+        self._level_of: List[int] = []   # var -> decision level
+        self._reason: List[Optional[int]] = []  # var -> clause index or None
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._head = 0
+        self._activity: List[float] = []
+        self._phase: List[bool] = []
+        self._activity_inc = 1.0
+        self._resize(num_vars)
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._unsat = False
+
+    # -- construction --------------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._resize(self.num_vars)
+        return self.num_vars
+
+    def _resize(self, n: int) -> None:
+        while len(self._assign) <= n:
+            self._assign.append(0)
+            self._level_of.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            self._unsat = True
+            return
+        for lit in clause:
+            if abs(lit) > self.num_vars:
+                self.num_vars = abs(lit)
+        self._resize(self.num_vars)
+        # tautology elimination
+        for i in range(len(clause) - 1):
+            if clause[i] == -clause[i + 1]:
+                return
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause:
+            self._watches.setdefault(-lit, []).append(index)
+        # a clause added mid-search may already be unit or conflicting; the
+        # next propagation pass re-examines it via the occurrence lists
+
+    def _attach(self, clause: List[int], index: int) -> None:
+        for lit in clause:
+            self._watches.setdefault(-lit, []).append(index)
+
+    # -- assignment plumbing --------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        """+1 true, -1 false, 0 unassigned (under the current assignment)."""
+        value = self._assign[abs(literal)]
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        var = abs(literal)
+        if self._assign[var] != 0:
+            return self._value(literal) > 0
+        self._assign[var] = 1 if literal > 0 else -1
+        self._level_of[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(literal)
+        self._phase[var] = literal > 0
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation from the trail head; returns a conflicting clause
+        index or None.  Uses occurrence lists (clauses containing the negation
+        of each assigned literal) with full-clause status scans — simpler than
+        two-watched literals and fast enough at this library's problem sizes.
+        """
+        while self._head < len(self._trail):
+            literal = self._trail[self._head]
+            self._head += 1
+            self.propagations += 1
+            for ci in self._watches.get(literal, ()):
+                clause = self.clauses[ci]
+                unit: Optional[int] = None
+                status = "conflict"
+                for candidate in clause:
+                    value = self._value(candidate)
+                    if value > 0:
+                        status = "satisfied"
+                        break
+                    if value == 0:
+                        if unit is None:
+                            unit = candidate
+                            status = "unit"
+                        else:
+                            status = "open"
+                            break
+                if status == "conflict":
+                    return ci
+                if status == "unit":
+                    assert unit is not None
+                    self._enqueue(unit, ci)
+        return None
+
+    # -- conflict analysis -------------------------------------------------------
+
+    def _analyse(self, conflict_index: int) -> (List[int], int):
+        """First-UIP learning: returns (learnt clause, backjump level)."""
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal: Optional[int] = None
+        clause = list(self.clauses[conflict_index])
+        current_level = len(self._trail_lim)
+        index = len(self._trail) - 1
+
+        while True:
+            for q in clause:
+                var = abs(q)
+                if seen[var] or self._level_of[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level_of[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # find the next seen literal on the trail
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            literal = self._trail[index]
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(literal)]
+            assert reason is not None
+            clause = [q for q in self.clauses[reason] if q != literal]
+            seen[abs(literal)] = False
+
+        learnt.insert(0, -literal)
+        if len(learnt) == 1:
+            return learnt, 0
+        backjump = max(self._level_of[abs(q)] for q in learnt[1:])
+        return learnt, backjump
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._activity_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._activity_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._activity_inc /= 0.95
+
+    # -- backtracking -----------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        target = self._trail_lim[level]
+        for literal in reversed(self._trail[target:]):
+            var = abs(literal)
+            self._assign[var] = 0
+            self._reason[var] = None
+        del self._trail[target:]
+        del self._trail_lim[level:]
+        self._head = min(self._head, len(self._trail))
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == 0 and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    # -- main loop ----------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> SatResult:
+        """Solve under the given assumption literals."""
+        if self._unsat:
+            return SatResult(False, None, self.conflicts, self.decisions, 0)
+        self._cancel_until(0)
+        self._head = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(False, None, self.conflicts, self.decisions,
+                             self.propagations)
+        restart_limit = 100
+        conflicts_here = 0
+
+        for assumption in assumptions:
+            if self._value(assumption) < 0:
+                return SatResult(False, None, self.conflicts, self.decisions,
+                                 self.propagations)
+            if self._value(assumption) == 0:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(assumption, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._cancel_until(0)
+                    return SatResult(
+                        False, None, self.conflicts, self.decisions,
+                        self.propagations,
+                    )
+        assumption_level = len(self._trail_lim)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if conflict_budget is not None and conflicts_here > conflict_budget:
+                    raise SolverLimitError("SAT conflict budget exhausted")
+                if len(self._trail_lim) <= assumption_level:
+                    self._cancel_until(0)
+                    return SatResult(
+                        False, None, self.conflicts, self.decisions,
+                        self.propagations,
+                    )
+                learnt, backjump = self._analyse(conflict)
+                self._cancel_until(max(backjump, assumption_level))
+                index = len(self.clauses)
+                self.clauses.append(learnt)
+                self._attach(learnt, index)
+                self._enqueue(learnt[0], index)
+                self._decay()
+                if conflicts_here >= restart_limit:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._cancel_until(assumption_level)
+                continue
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    v: self._assign[v] > 0 for v in range(1, self.num_vars + 1)
+                }
+                self._cancel_until(0)
+                return SatResult(
+                    True, model, self.conflicts, self.decisions,
+                    self.propagations,
+                )
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def enumerate_models(
+        self,
+        interesting: Sequence[int],
+        limit: Optional[int] = None,
+        conflict_budget: Optional[int] = None,
+    ):
+        """Yield models, blocking each projection onto ``interesting`` vars."""
+        count = 0
+        while True:
+            result = self.solve(conflict_budget=conflict_budget)
+            if not result.satisfiable:
+                return
+            yield result.model
+            count += 1
+            if limit is not None and count >= limit:
+                return
+            blocking = [
+                (-v if result.model[v] else v) for v in interesting
+            ]
+            self.add_clause(blocking)

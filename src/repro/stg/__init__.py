@@ -1,0 +1,63 @@
+"""Signal Transition Graphs: labelled nets, consistency, state coding.
+
+An STG is a net system whose transitions are labelled with rising/falling
+signal edges ``z+`` / ``z-`` (or the silent label ``tau``), paper Section 2.1.
+This package provides the STG class, the consistency check, the explicit
+state-graph baseline for USC/CSC detection, next-state functions and the
+state-graph normalcy check.
+"""
+
+from repro.stg.stg import STG, SignalEdge, TAU
+from repro.stg.consistency import check_consistency, ConsistencyResult
+from repro.stg.stategraph import StateGraph, build_state_graph
+from repro.stg.nextstate import enabled_signals, enabled_outputs, next_state_value
+from repro.stg.normalcy import (
+    NormalcyReport,
+    SignalNormalcy,
+    check_normalcy_state_graph,
+)
+from repro.stg.parser import parse_stg, write_stg
+from repro.stg.implementability import (
+    check_autoconcurrency,
+    check_output_persistency,
+    is_output_persistent,
+)
+from repro.stg.compose import (
+    parallel_compose,
+    hide,
+    internalise,
+    rename_signals,
+)
+from repro.stg.transform import (
+    contract_all_dummies,
+    contract_dummy,
+    remove_duplicate_places,
+)
+
+__all__ = [
+    "parallel_compose",
+    "hide",
+    "internalise",
+    "rename_signals",
+    "contract_all_dummies",
+    "contract_dummy",
+    "remove_duplicate_places",
+    "check_autoconcurrency",
+    "check_output_persistency",
+    "is_output_persistent",
+    "STG",
+    "SignalEdge",
+    "TAU",
+    "check_consistency",
+    "ConsistencyResult",
+    "StateGraph",
+    "build_state_graph",
+    "enabled_signals",
+    "enabled_outputs",
+    "next_state_value",
+    "NormalcyReport",
+    "SignalNormalcy",
+    "check_normalcy_state_graph",
+    "parse_stg",
+    "write_stg",
+]

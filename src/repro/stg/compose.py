@@ -1,0 +1,221 @@
+"""STG composition: parallel composition, signal hiding, renaming.
+
+Controllers are specified compositionally: an STG for the device, one for
+the environment, one per channel — combined by *parallel composition*, which
+synchronises transitions of shared signals, and *hiding*, which internalises
+or silences signals after composition.  These are the standard operations of
+the STG literature (and of tools like pcomp); the duplex/ring benchmarks in
+`repro.models` were hand-composed in exactly this style.
+
+Rules of :func:`parallel_compose` for a shared signal ``s``:
+
+* I/O typing: input+input -> input; input+output -> output (the outputting
+  side drives, the other observes); output+output is a composition error;
+  internal signals must not be shared at all (hide or rename them first);
+* transitions: every ``s±``-labelled transition of one component pairs with
+  every same-polarity ``s±`` transition of the other; the pair fires as one
+  transition consuming/producing both components' places.  Non-shared
+  transitions (and dummies) are copied verbatim;
+* places and initial markings are the disjoint union.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.stg.stg import STG, SignalEdge
+
+
+class CompositionError(ReproError):
+    """The components cannot be composed (signal typing clash)."""
+
+
+def _signal_kind(stg: STG, signal: str) -> Optional[str]:
+    if signal in stg.inputs:
+        return "input"
+    if signal in stg.outputs:
+        return "output"
+    if signal in stg.internal:
+        return "internal"
+    return None
+
+
+def parallel_compose(a: STG, b: STG, name: Optional[str] = None) -> STG:
+    """The parallel composition of two STGs (synchronising shared signals)."""
+    shared = set(a.signals) & set(b.signals)
+    for signal in shared:
+        kind_a, kind_b = _signal_kind(a, signal), _signal_kind(b, signal)
+        if "internal" in (kind_a, kind_b):
+            raise CompositionError(
+                f"internal signal {signal!r} cannot be shared; hide or "
+                "rename it first"
+            )
+        if kind_a == kind_b == "output":
+            raise CompositionError(
+                f"signal {signal!r} is an output of both components"
+            )
+
+    inputs, outputs = [], []
+    for stg in (a, b):
+        for signal in stg.inputs:
+            kind_other = _signal_kind(b if stg is a else a, signal)
+            if kind_other == "output":
+                continue  # becomes an output, added from the other side
+            if signal not in inputs:
+                inputs.append(signal)
+        for signal in stg.outputs:
+            if signal not in outputs:
+                outputs.append(signal)
+    internal = list(dict.fromkeys(a.internal + b.internal))
+    inputs = [s for s in inputs if s not in outputs]
+
+    result = STG(
+        name or f"({a.name}||{b.name})",
+        inputs=inputs,
+        outputs=outputs,
+        internal=internal,
+    )
+
+    # places: disjoint union, prefixed by component
+    def place_name(tag: str, stg: STG, p: int) -> str:
+        return f"{tag}:{stg.net.place_name(p)}"
+
+    for tag, stg in (("A", a), ("B", b)):
+        initial = stg.net.initial_marking
+        for p in range(stg.net.num_places):
+            result.add_place(place_name(tag, stg, p), tokens=initial[p])
+
+    def add_copy(tag: str, stg: STG, t: int, new_name: str) -> None:
+        result.add_transition(new_name, stg.label(t))
+        for p in stg.net.preset(t):
+            result.add_arc(place_name(tag, stg, p), new_name)
+        for p in stg.net.postset(t):
+            result.add_arc(new_name, place_name(tag, stg, p))
+
+    # non-shared (and dummy) transitions are copied
+    used_names: Dict[str, int] = {}
+
+    def fresh(base: str) -> str:
+        if base not in used_names and not result.net.has_transition(base):
+            used_names[base] = 0
+            return base
+        used_names[base] = used_names.get(base, 0) + 1
+        return f"{base}/{used_names[base]}"
+
+    for tag, stg in (("A", a), ("B", b)):
+        for t in range(stg.net.num_transitions):
+            label = stg.label(t)
+            if label is not None and label.signal in shared:
+                continue
+            add_copy(tag, stg, t, fresh(stg.net.transition_name(t)))
+
+    # shared signals: synchronise same-polarity transition pairs
+    for signal in sorted(shared):
+        for polarity in (+1, -1):
+            edge = SignalEdge(signal, polarity)
+            for ta in a.edge_transitions(signal, polarity):
+                for tb in b.edge_transitions(signal, polarity):
+                    new_name = fresh(str(edge))
+                    result.add_transition(new_name, edge)
+                    for p in a.net.preset(ta):
+                        result.add_arc(place_name("A", a, p), new_name)
+                    for p in a.net.postset(ta):
+                        result.add_arc(new_name, place_name("A", a, p))
+                    for p in b.net.preset(tb):
+                        result.add_arc(place_name("B", b, p), new_name)
+                    for p in b.net.postset(tb):
+                        result.add_arc(new_name, place_name("B", b, p))
+
+    for signal, value in {**a.declared_initial_code, **b.declared_initial_code}.items():
+        if signal in result.signals:
+            result.set_initial_value(signal, value)
+    return result
+
+
+def hide(stg: STG, signals: Iterable[str], name: Optional[str] = None) -> STG:
+    """Silence the given signals: their transitions become dummies.
+
+    Hiding is how composed internal channels disappear from the interface;
+    combine with :func:`repro.stg.transform.contract_all_dummies` to remove
+    the silent transitions structurally.
+    """
+    hidden = set(signals)
+    unknown = hidden - set(stg.signals)
+    if unknown:
+        raise ReproError(f"cannot hide unknown signals: {sorted(unknown)}")
+    result = STG(
+        name or stg.name,
+        inputs=[s for s in stg.inputs if s not in hidden],
+        outputs=[s for s in stg.outputs if s not in hidden],
+        internal=[s for s in stg.internal if s not in hidden],
+    )
+    net = stg.net
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        result.add_place(net.place_name(p), tokens=initial[p])
+    for t in range(net.num_transitions):
+        label = stg.label(t)
+        if label is not None and label.signal in hidden:
+            label = None
+        result.add_transition(net.transition_name(t), label)
+        for p in net.preset(t):
+            result.add_arc(net.place_name(p), net.transition_name(t))
+        for p in net.postset(t):
+            result.add_arc(net.transition_name(t), net.place_name(p))
+    for signal, value in stg.declared_initial_code.items():
+        if signal not in hidden:
+            result.set_initial_value(signal, value)
+    return result
+
+
+def internalise(stg: STG, signals: Iterable[str], name: Optional[str] = None) -> STG:
+    """Move the given output signals to the internal set (keeps the edges)."""
+    moved = set(signals)
+    bad = moved - set(stg.outputs)
+    if bad:
+        raise ReproError(
+            f"only outputs can be internalised; not outputs: {sorted(bad)}"
+        )
+    result = stg.copy(name or stg.name)
+    result.outputs = [s for s in result.outputs if s not in moved]
+    result.internal = result.internal + sorted(moved)
+    return result
+
+
+def rename_signals(
+    stg: STG, mapping: Dict[str, str], name: Optional[str] = None
+) -> STG:
+    """Rename signals (e.g. to wire components together before composing)."""
+    for old, new in mapping.items():
+        if old not in stg.signals:
+            raise ReproError(f"unknown signal {old!r}")
+        if new in stg.signals and new not in mapping:
+            raise ReproError(f"renaming {old!r} collides with existing {new!r}")
+
+    def rename(s: str) -> str:
+        return mapping.get(s, s)
+
+    result = STG(
+        name or stg.name,
+        inputs=[rename(s) for s in stg.inputs],
+        outputs=[rename(s) for s in stg.outputs],
+        internal=[rename(s) for s in stg.internal],
+    )
+    net = stg.net
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        result.add_place(net.place_name(p), tokens=initial[p])
+    for t in range(net.num_transitions):
+        label = stg.label(t)
+        if label is not None:
+            label = SignalEdge(rename(label.signal), label.polarity)
+        # transition names keep their old text (names are free-form)
+        result.add_transition(net.transition_name(t), label)
+        for p in net.preset(t):
+            result.add_arc(net.place_name(p), net.transition_name(t))
+        for p in net.postset(t):
+            result.add_arc(net.transition_name(t), net.place_name(p))
+    for signal, value in stg.declared_initial_code.items():
+        result.set_initial_value(rename(signal), value)
+    return result

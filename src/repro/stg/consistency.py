@@ -1,0 +1,135 @@
+"""STG consistency: well-definedness of the binary state code.
+
+Paper Section 2.1: an STG is *consistent* if for every reachable marking all
+firing sequences from ``M0`` yield the same signal-change vector, and the
+resulting code ``Code(M) = v0 + v_sigma`` is binary.  Equivalently, per
+signal, rising and falling edges strictly alternate along every firing
+sequence, starting with the edge direction fixed by ``v0``.
+
+The check explores the reachability graph once, propagating signal-change
+vectors; the initial vector ``v0`` is inferred (or validated, if declared on
+the STG) from the requirement that all codes be in ``{0,1}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import InconsistentSTGError
+from repro.petri.marking import Marking
+from repro.petri.reachability import ReachabilityGraph, explore
+from repro.stg.stg import STG
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of :func:`check_consistency`.
+
+    ``initial_code`` maps each signal to its inferred/declared initial value.
+    ``deltas`` maps each reachable state index to its signal-change vector
+    relative to the initial marking.  ``graph`` is the reachability graph the
+    check walked (reused by the state-graph builder to avoid re-exploration).
+    """
+
+    stg: STG
+    graph: ReachabilityGraph
+    initial_code: Tuple[int, ...]
+    deltas: List[Tuple[int, ...]]
+
+    def code_of_state(self, state: int) -> Tuple[int, ...]:
+        return tuple(
+            v + d for v, d in zip(self.initial_code, self.deltas[state])
+        )
+
+
+def check_consistency(
+    stg: STG, max_states: int = 500_000
+) -> ConsistencyResult:
+    """Verify consistency and return codes; raise
+    :class:`InconsistentSTGError` otherwise.
+
+    Consistency failures reported:
+
+    * *path-dependent code*: two firing sequences reach the same marking with
+      different signal-change vectors;
+    * *non-binary code*: some signal's change vector spans more than the two
+      values a binary signal can take;
+    * *declared value contradiction*: an explicitly declared initial value is
+      incompatible with the observed edge directions.
+    """
+    graph = explore(stg.net, max_states=max_states)
+    num_signals = len(stg.signals)
+    deltas: List[Optional[Tuple[int, ...]]] = [None] * graph.num_states
+    deltas[0] = (0,) * num_signals
+    queue = deque([0])
+    while queue:
+        state = queue.popleft()
+        delta = deltas[state]
+        assert delta is not None
+        for transition, target in graph.successors[state]:
+            signal, change = stg.signal_change(transition)
+            if signal is None:
+                new_delta = delta
+            else:
+                new_delta = (
+                    delta[:signal] + (delta[signal] + change,) + delta[signal + 1:]
+                )
+            if deltas[target] is None:
+                deltas[target] = new_delta
+                queue.append(target)
+            elif deltas[target] != new_delta:
+                raise InconsistentSTGError(
+                    f"marking {_marking_str(stg, graph.markings[target])} is "
+                    f"reached with different signal-change vectors "
+                    f"{deltas[target]} and {new_delta}"
+                )
+
+    resolved: List[Tuple[int, ...]] = [d for d in deltas if d is not None]
+    assert len(resolved) == graph.num_states
+
+    initial_code: List[int] = []
+    declared = stg.declared_initial_code
+    for i, signal in enumerate(stg.signals):
+        low = min(d[i] for d in resolved)
+        high = max(d[i] for d in resolved)
+        if high - low > 1:
+            raise InconsistentSTGError(
+                f"signal {signal!r} has non-binary code range [{low}, {high}]"
+            )
+        if low == -1:
+            value = 1
+        elif high == 1:
+            value = 0
+        else:  # signal never changes; take declared value or default 0
+            value = declared.get(signal, 0)
+        if signal in declared and declared[signal] != value and high != low:
+            raise InconsistentSTGError(
+                f"declared initial value {declared[signal]} of {signal!r} "
+                f"contradicts observed edges (inferred {value})"
+            )
+        if signal in declared and high == low:
+            value = declared[signal]
+        initial_code.append(value)
+
+    return ConsistencyResult(
+        stg=stg,
+        graph=graph,
+        initial_code=tuple(initial_code),
+        deltas=resolved,
+    )
+
+
+def is_consistent(stg: STG, max_states: int = 500_000) -> bool:
+    """Boolean wrapper around :func:`check_consistency`."""
+    try:
+        check_consistency(stg, max_states=max_states)
+    except InconsistentSTGError:
+        return False
+    return True
+
+
+def _marking_str(stg: STG, marking: Marking) -> str:
+    names = [stg.net.place_name(i) for i in marking.support()]
+    return "{" + ", ".join(sorted(names)) + "}"

@@ -1,0 +1,153 @@
+"""Further implementability conditions: autoconcurrency and persistency.
+
+The paper's step (a) — "checking the necessary and sufficient conditions for
+STG's implementability as a logic circuit" — bundles several conditions
+besides USC/CSC.  This module adds the two standard behavioural ones:
+
+* **no autoconcurrency** — two edges of the *same* signal must never be
+  concurrently enabled (a circuit cannot fire one signal twice at once;
+  together with consistency this keeps the code well defined).  We check it
+  structurally on the unfolding prefix: autoconcurrency is exactly a pair of
+  concurrent events with the same signal label — a nice showcase of prefix
+  reasoning (no state traversal needed);
+* **output persistency** — an enabled *output* edge may not be disabled by
+  firing any other transition (a disabled excited output is a potential
+  hazard).  Checked on the explicit state graph, which doubles as the test
+  oracle for the prefix-based autoconcurrency check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.stg.stategraph import StateGraph, build_state_graph
+from repro.stg.stg import STG
+from repro.unfolding.occurrence_net import Prefix
+from repro.unfolding.relations import PrefixRelations
+from repro.unfolding.unfolder import unfold
+
+
+@dataclass
+class AutoconcurrencyWitness:
+    """Two concurrent events carrying edges of the same signal."""
+
+    signal: str
+    event_a: int
+    event_b: int
+    trace: List[str]  # a firing sequence enabling both
+
+
+@dataclass
+class PersistencyViolation:
+    """An excited output edge disabled by another transition firing."""
+
+    signal: str                 # the disabled output signal
+    disabled_edge: str          # transition name of the disabled edge
+    disabling_transition: str   # what fired
+    trace: List[str]            # path to the state where it happens
+
+
+def check_autoconcurrency(
+    source: Union[STG, Prefix],
+    relations: Optional[PrefixRelations] = None,
+) -> Optional[AutoconcurrencyWitness]:
+    """Return a witness of autoconcurrency, or ``None`` if there is none.
+
+    Two events are autoconcurrent iff they are concurrent in the prefix and
+    carry the same signal.  Completeness: any reachable marking enabling two
+    same-signal transitions yields two concurrent events somewhere in the
+    full unfolding, and the complete prefix preserves at least one such pair
+    below its cut-offs (both events extend a common cut-off-free
+    configuration).
+    """
+    prefix = source if isinstance(source, Prefix) else unfold(source)
+    if prefix.stg is None:
+        raise ValueError("autoconcurrency is an STG property")
+    stg = prefix.stg
+    relations = relations or PrefixRelations(prefix)
+    by_signal = {}
+    for event in prefix.events:
+        label = stg.label(event.transition)
+        if label is None:
+            continue
+        by_signal.setdefault(label.signal, []).append(event.index)
+    for signal, events in by_signal.items():
+        for i, e in enumerate(events):
+            for f in events[i + 1:]:
+                if relations.concurrent(e, f):
+                    trace = _joint_trace(prefix, e, f)
+                    return AutoconcurrencyWitness(signal, e, f, trace)
+    return None
+
+
+def _joint_trace(prefix: Prefix, e: int, f: int) -> List[str]:
+    """A firing sequence executing [e] ∪ [f] minus the two events themselves
+    (reaching a marking at which both are enabled)."""
+    from repro.unfolding.configurations import linearise
+    from repro.utils.bitset import BitSet
+
+    joint = BitSet(
+        (prefix.events[e].history.bits | prefix.events[f].history.bits)
+        & ~(1 << e)
+        & ~(1 << f)
+    )
+    return [prefix.net.transition_name(t) for t in linearise(prefix, joint)]
+
+
+def check_output_persistency(
+    stg: STG, state_graph: Optional[StateGraph] = None
+) -> List[PersistencyViolation]:
+    """All output-persistency violations (empty list = persistent).
+
+    A violation is a state ``M`` with an enabled output edge ``t`` and a
+    transition ``u`` (of a different signal) such that ``M[u>M'`` and ``t``
+    is not enabled at ``M'``.
+    """
+    if state_graph is None:
+        state_graph = build_state_graph(stg)
+    graph = state_graph.consistency.graph
+    net = stg.net
+    non_inputs = set(stg.non_input_signals)
+    violations: List[PersistencyViolation] = []
+    seen: set = set()
+    for state in range(graph.num_states):
+        marking = graph.markings[state]
+        enabled = net.enabled(marking)
+        output_edges = [
+            t
+            for t in enabled
+            if (label := stg.label(t)) is not None and label.signal in non_inputs
+        ]
+        if not output_edges:
+            continue
+        for u, target in graph.successors[state]:
+            label_u = stg.label(u)
+            target_marking = graph.markings[target]
+            for t in output_edges:
+                if t == u:
+                    continue
+                label_t = stg.label(t)
+                if label_u is not None and label_u.signal == label_t.signal:
+                    continue  # the same signal firing is not a disabling
+                if not net.is_enabled(target_marking, t):
+                    key = (label_t.signal, t, u)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    violations.append(
+                        PersistencyViolation(
+                            signal=label_t.signal,
+                            disabled_edge=net.transition_name(t),
+                            disabling_transition=net.transition_name(u),
+                            trace=[
+                                net.transition_name(x)
+                                for x in graph.path_to(state)
+                            ],
+                        )
+                    )
+    return violations
+
+
+def is_output_persistent(stg: STG) -> bool:
+    return not check_output_persistency(stg)

@@ -1,0 +1,93 @@
+"""Enabled signals, output excitation and the next-state function ``Nxt_z``.
+
+Paper Section 2.1 defines ``Out(M)``, the set of *output* signals with an
+enabled edge at marking ``M`` — the ingredient that distinguishes CSC from
+USC.  Section 6 defines the boolean next-state function ``Nxt_z`` used by the
+normalcy property: ``Nxt_z(M)`` is the code bit of ``z`` at ``M`` flipped iff
+an edge of ``z`` is enabled at ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence
+
+from repro.petri.marking import Marking
+from repro.stg.stg import STG
+
+
+def enabled_signals(stg: STG, marking: Marking) -> FrozenSet[str]:
+    """All signals (input or output) with an enabled edge at ``marking``."""
+    result = set()
+    for transition in stg.net.enabled(marking):
+        label = stg.label(transition)
+        if label is not None:
+            result.add(label.signal)
+    return frozenset(result)
+
+
+def enabled_outputs(
+    stg: STG, marking: Marking, weak: bool = False
+) -> FrozenSet[str]:
+    """``Out(M)``: non-input signals with an enabled edge at ``marking``.
+
+    With ``weak=True`` the excitation is taken modulo silent moves: an
+    output counts as enabled if some sequence of dummy transitions enables
+    it.  This is the appropriate notion for STGs with dummies (two markings
+    related only by silent moves should not constitute a CSC conflict — the
+    τ-case the paper defers to its full version).
+    """
+    non_inputs = set(stg.non_input_signals)
+    if not weak or not stg.has_dummies():
+        return frozenset(
+            s for s in enabled_signals(stg, marking) if s in non_inputs
+        )
+    result = set()
+    for m in silent_closure(stg, marking):
+        for s in enabled_signals(stg, m):
+            if s in non_inputs:
+                result.add(s)
+    return frozenset(result)
+
+
+def silent_closure(stg: STG, marking: Marking) -> FrozenSet[Marking]:
+    """All markings reachable from ``marking`` by dummy transitions only."""
+    seen = {marking}
+    stack = [marking]
+    while stack:
+        current = stack.pop()
+        for t in stg.net.enabled(current):
+            if stg.label(t) is not None:
+                continue
+            successor = stg.net.fire(current, t)
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return frozenset(seen)
+
+
+def enabled_edge_polarities(stg: STG, marking: Marking, signal: str) -> FrozenSet[int]:
+    """The set of enabled edge directions (+1/-1) of ``signal`` at ``marking``."""
+    result = set()
+    for transition in stg.net.enabled(marking):
+        label = stg.label(transition)
+        if label is not None and label.signal == signal:
+            result.add(label.polarity)
+    return frozenset(result)
+
+
+def next_state_value(
+    stg: STG, marking: Marking, code: Sequence[int], signal: str
+) -> int:
+    """``Nxt_z(M)`` for ``z = signal`` given the code of ``M``.
+
+    Per the paper: with ``u = Code(M)``, ``Nxt_z(M) = 0`` if ``u_z = 0`` and
+    no ``z+`` is enabled, or ``u_z = 1`` and a ``z-`` is enabled; dually for
+    value 1.  This collapses to XOR-ing the code bit with "an edge of ``z``
+    is enabled" — on consistent STGs the enabled edge always has the polarity
+    that flips the current bit, so both formulations agree.
+    """
+    bit = code[stg.signal_index(signal)]
+    polarities = enabled_edge_polarities(stg, marking, signal)
+    if bit == 0:
+        return 1 if +1 in polarities else 0
+    return 0 if -1 in polarities else 1

@@ -1,0 +1,121 @@
+"""State-graph normalcy check (paper Section 6) — the baseline oracle.
+
+An output signal ``z`` is *p-normal* if ``Code(M') <= Code(M'')``
+(componentwise) implies ``Nxt_z(M') <= Nxt_z(M'')`` over all reachable pairs,
+*n-normal* with the implication reversed, and *normal* if it is one or the
+other.  Normalcy is necessary for implementing ``z`` with a gate whose
+characteristic function is monotonic, and it implies CSC.
+
+This module checks normalcy on the explicit state graph by examining all
+state pairs — quadratic and memory-hungry, which is exactly what the
+unfolding-based method of :mod:`repro.core.normalcy` avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.stg.stategraph import StateGraph, build_state_graph
+from repro.stg.stg import STG
+
+
+@dataclass
+class NormalcyViolation:
+    """A pair of states witnessing a violation of one normalcy direction.
+
+    ``kind`` is ``"p"`` when the pair violates p-normalcy (codes ordered
+    ``<=`` but next-state values strictly decreasing) and ``"n"`` for the
+    n-normalcy dual.
+    """
+
+    signal: str
+    kind: str
+    state_low: int
+    state_high: int
+    code_low: Tuple[int, ...]
+    code_high: Tuple[int, ...]
+    nxt_low: int
+    nxt_high: int
+
+
+@dataclass
+class SignalNormalcy:
+    """Verdict for a single output signal."""
+
+    signal: str
+    p_normal: bool
+    n_normal: bool
+    p_witness: Optional[NormalcyViolation]
+    n_witness: Optional[NormalcyViolation]
+
+    @property
+    def normal(self) -> bool:
+        return self.p_normal or self.n_normal
+
+
+@dataclass
+class NormalcyReport:
+    """Verdicts for every output signal of an STG."""
+
+    per_signal: Dict[str, SignalNormalcy]
+
+    @property
+    def normal(self) -> bool:
+        return all(v.normal for v in self.per_signal.values())
+
+    def violating_signals(self) -> List[str]:
+        return [s for s, v in self.per_signal.items() if not v.normal]
+
+
+def check_normalcy_state_graph(
+    stg: STG, state_graph: Optional[StateGraph] = None
+) -> NormalcyReport:
+    """Check normalcy of every non-input signal over the explicit state graph.
+
+    For each signal we scan all ordered code pairs; the first violating pair
+    in each direction is recorded as a witness.  A signal is normal iff at
+    least one direction has no violation.
+    """
+    if state_graph is None:
+        state_graph = build_state_graph(stg)
+
+    num_states = state_graph.num_states
+    codes = state_graph.codes
+    report: Dict[str, SignalNormalcy] = {}
+
+    for signal in stg.non_input_signals:
+        nxt = [state_graph.next_state_vector(s, signal) for s in range(num_states)]
+        p_witness: Optional[NormalcyViolation] = None
+        n_witness: Optional[NormalcyViolation] = None
+        for a in range(num_states):
+            for b in range(num_states):
+                if a == b:
+                    continue
+                if not _leq(codes[a], codes[b]):
+                    continue
+                # codes[a] <= codes[b] componentwise
+                if nxt[a] > nxt[b] and p_witness is None:
+                    p_witness = NormalcyViolation(
+                        signal, "p", a, b, codes[a], codes[b], nxt[a], nxt[b]
+                    )
+                if nxt[a] < nxt[b] and n_witness is None:
+                    n_witness = NormalcyViolation(
+                        signal, "n", a, b, codes[a], codes[b], nxt[a], nxt[b]
+                    )
+                if p_witness is not None and n_witness is not None:
+                    break
+            if p_witness is not None and n_witness is not None:
+                break
+        report[signal] = SignalNormalcy(
+            signal=signal,
+            p_normal=p_witness is None,
+            n_normal=n_witness is None,
+            p_witness=p_witness,
+            n_witness=n_witness,
+        )
+    return NormalcyReport(per_signal=report)
+
+
+def _leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    return all(x <= y for x, y in zip(a, b))

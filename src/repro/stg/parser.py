@@ -1,0 +1,269 @@
+"""Reader/writer for the standard astg ``.g`` STG interchange format.
+
+The dialect understood here is the one used by SIS, petrify and punf:
+
+.. code-block:: text
+
+    .model vme
+    .inputs dsr ldtack
+    .outputs lds d dtack
+    .graph
+    dsr+ lds+
+    lds+ ldtack+
+    ldtack+ d+
+    ...
+    .marking { <dsr-,dsr+> }
+    .end
+
+Rules applied when classifying ``.graph`` tokens:
+
+* ``z+``, ``z-`` (optionally with an instance suffix ``/k``) where ``z`` is a
+  declared signal denote signal transitions;
+* a bare name (optionally ``/k``) declared in ``.dummy`` denotes a silent
+  transition;
+* any other token is an (explicit) place;
+* an arc written directly between two transitions goes through an *implicit*
+  place named ``<src,dst>``, which is also how ``.marking`` refers to it.
+
+Extensions: ``.internal`` declares internal signals (treated as outputs for
+CSC purposes but written back as ``.internal``); ``.initial z=1 ...`` pins
+initial signal values (non-standard but convenient for tests).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import ParseError
+from repro.stg.stg import STG, SignalEdge
+
+_EDGE_RE = re.compile(r"^(?P<signal>[A-Za-z_][\w.\[\]]*)(?P<dir>[+-])(?:/(?P<inst>\d+))?$")
+_DUMMY_RE = re.compile(r"^(?P<name>[A-Za-z_][\w.\[\]]*)(?:/(?P<inst>\d+))?$")
+
+
+def _classify(
+    token: str, signals: set, dummies: set
+) -> Tuple[str, Optional[SignalEdge]]:
+    """Return ``(kind, edge)`` with kind in {'transition', 'place'}."""
+    match = _EDGE_RE.match(token)
+    if match and match.group("signal") in signals:
+        edge = SignalEdge(match.group("signal"), +1 if match.group("dir") == "+" else -1)
+        return "transition", edge
+    match = _DUMMY_RE.match(token)
+    if match and match.group("name") in dummies:
+        return "transition", None
+    return "place", None
+
+
+def parse_stg(text: str) -> STG:
+    """Parse astg text into an :class:`~repro.stg.stg.STG`."""
+    model_name = "stg"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    internal: List[str] = []
+    dummies: List[str] = []
+    graph_lines: List[Tuple[int, str]] = []
+    marking_tokens: List[str] = []
+    initial_values: Dict[str, int] = {}
+    mode = None
+    saw_end = False
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise ParseError("content after .end", line_no)
+        if line.startswith("."):
+            directive, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if directive in (".model", ".name"):
+                model_name = rest or model_name
+            elif directive == ".inputs":
+                inputs.extend(rest.split())
+            elif directive == ".outputs":
+                outputs.extend(rest.split())
+            elif directive == ".internal":
+                internal.extend(rest.split())
+            elif directive == ".dummy":
+                dummies.extend(rest.split())
+            elif directive == ".graph":
+                mode = "graph"
+            elif directive == ".marking":
+                marking_tokens.extend(_marking_tokens(rest, line_no))
+                mode = None
+            elif directive == ".initial":
+                for assignment in rest.split():
+                    name, _, value = assignment.partition("=")
+                    if value not in ("0", "1"):
+                        raise ParseError(
+                            f"bad initial value in {assignment!r}", line_no
+                        )
+                    initial_values[name] = int(value)
+            elif directive in (".capacity", ".slowenv", ".end"):
+                if directive == ".end":
+                    saw_end = True
+                mode = None
+            else:
+                raise ParseError(f"unknown directive {directive!r}", line_no)
+            continue
+        if mode == "graph":
+            graph_lines.append((line_no, line))
+        else:
+            raise ParseError(f"unexpected line {line!r}", line_no)
+
+    if not saw_end:
+        raise ParseError("missing .end")
+
+    stg = STG(model_name, inputs=inputs, outputs=outputs, internal=internal)
+    signals = set(stg.signals)
+    dummy_set = set(dummies)
+
+    def ensure_node(token: str, line_no: int) -> Tuple[str, str]:
+        """Create the node for ``token`` if new; return (kind, net_name)."""
+        kind, edge = _classify(token, signals, dummy_set)
+        if kind == "transition":
+            if not stg.net.has_transition(token):
+                stg.add_transition(token, edge)
+            return kind, token
+        if not stg.net.has_place(token):
+            stg.add_place(token)
+        return kind, token
+
+    implicit: Dict[Tuple[str, str], str] = {}
+
+    for line_no, line in graph_lines:
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise ParseError("graph line needs a source and targets", line_no)
+        src_kind, src = ensure_node(tokens[0], line_no)
+        for token in tokens[1:]:
+            dst_kind, dst = ensure_node(token, line_no)
+            if src_kind == dst_kind == "transition":
+                place = f"<{src},{dst}>"
+                if (src, dst) not in implicit:
+                    stg.add_place(place)
+                    implicit[(src, dst)] = place
+                    stg.add_arc(src, place)
+                    stg.add_arc(place, dst)
+            elif src_kind == dst_kind == "place":
+                raise ParseError(
+                    f"arc between two places: {src!r} -> {dst!r}", line_no
+                )
+            else:
+                stg.add_arc(src, dst)
+
+    for token in marking_tokens:
+        name, _, count_text = token.partition("=")
+        count = int(count_text) if count_text else 1
+        if name.startswith("<") and name.endswith(">"):
+            inner = name[1:-1]
+            src, _, dst = inner.partition(",")
+            place = implicit.get((src.strip(), dst.strip()))
+            if place is None:
+                raise ParseError(f"marking names unknown implicit place {name!r}")
+            stg.net.set_tokens(place, count)
+        else:
+            if not stg.net.has_place(name):
+                raise ParseError(f"marking names unknown place {name!r}")
+            stg.net.set_tokens(name, count)
+
+    for signal, value in initial_values.items():
+        stg.set_initial_value(signal, value)
+
+    return stg
+
+
+def _marking_tokens(rest: str, line_no: int) -> List[str]:
+    body = rest.strip()
+    if body.startswith("{"):
+        body = body[1:]
+    if body.endswith("}"):
+        body = body[:-1]
+    # implicit place tokens contain a comma inside <...>; protect them
+    tokens: List[str] = []
+    depth = 0
+    current = ""
+    for char in body:
+        if char == "<":
+            depth += 1
+        elif char == ">":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced '<' in .marking", line_no)
+        if char.isspace() and depth == 0:
+            if current:
+                tokens.append(current)
+                current = ""
+        else:
+            current += char
+    if current:
+        tokens.append(current)
+    if depth != 0:
+        raise ParseError("unbalanced '<' in .marking", line_no)
+    return tokens
+
+
+def write_stg(stg: STG) -> str:
+    """Serialise an STG back to astg text accepted by :func:`parse_stg`.
+
+    Implicit places (one producer, one consumer, name not needed elsewhere)
+    are written as direct transition-to-transition arcs, matching the usual
+    astg style; all other places are written explicitly.
+    """
+    net = stg.net
+    lines = [f".model {stg.name}"]
+    if stg.inputs:
+        lines.append(".inputs " + " ".join(stg.inputs))
+    if stg.outputs:
+        lines.append(".outputs " + " ".join(stg.outputs))
+    if stg.internal:
+        lines.append(".internal " + " ".join(stg.internal))
+    dummies = sorted(
+        {net.transition_name(t) for t in range(net.num_transitions) if stg.is_dummy(t)}
+    )
+    if dummies:
+        lines.append(".dummy " + " ".join(dummies))
+    lines.append(".graph")
+
+    initial = net.initial_marking
+    marked: List[str] = []
+    written_pairs = set()
+    for p in range(net.num_places):
+        producers = list(net.place_preset(p))
+        consumers = list(net.place_postset(p))
+        implicit = len(producers) == 1 and len(consumers) == 1
+        if implicit:
+            pair = (producers[0], consumers[0])
+            # two parallel places between the same transitions would collapse
+            # into one on re-read; keep all but the first explicit
+            if pair in written_pairs:
+                implicit = False
+            else:
+                written_pairs.add(pair)
+        name = net.place_name(p)
+        if implicit:
+            src = net.transition_name(producers[0])
+            dst = net.transition_name(consumers[0])
+            lines.append(f"{src} {dst}")
+            if initial[p]:
+                token = f"<{src},{dst}>"
+                marked.append(token if initial[p] == 1 else f"{token}={initial[p]}")
+        else:
+            for producer in producers:
+                lines.append(f"{net.transition_name(producer)} {name}")
+            for consumer in consumers:
+                lines.append(f"{name} {net.transition_name(consumer)}")
+            if initial[p]:
+                marked.append(name if initial[p] == 1 else f"{name}={initial[p]}")
+
+    lines.append(".marking { " + " ".join(marked) + " }")
+    declared = stg.declared_initial_code
+    if declared:
+        lines.append(
+            ".initial "
+            + " ".join(f"{signal}={value}" for signal, value in sorted(declared.items()))
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

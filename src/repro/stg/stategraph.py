@@ -1,0 +1,165 @@
+"""Explicit state graphs with binary codes — the baseline conflict detector.
+
+Paper Section 2.1: the state graph ``SG = (S, A, s0, Code)`` annotates every
+reachable marking with its binary signal code.  Two distinct states are in
+
+* **USC conflict** if they carry the same code;
+* **CSC conflict** if additionally their sets of enabled output signals
+  (``Out``) differ.
+
+This module builds the full state graph explicitly — exactly the approach
+whose memory blow-up motivates the paper — and detects conflicts by hashing
+states on their codes.  It serves as (a) the explicit baseline in the
+benchmark harness and (b) the ground-truth oracle for the unfolding/IP
+method in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.petri.marking import Marking
+from repro.stg.consistency import ConsistencyResult, check_consistency
+from repro.stg.nextstate import enabled_outputs, next_state_value
+from repro.stg.stg import STG
+
+
+@dataclass
+class CodingConflict:
+    """A witnessed pair of states in USC (and possibly CSC) conflict."""
+
+    code: Tuple[int, ...]
+    state_a: int
+    state_b: int
+    marking_a: Marking
+    marking_b: Marking
+    out_a: FrozenSet[str]
+    out_b: FrozenSet[str]
+
+    @property
+    def is_csc_conflict(self) -> bool:
+        return self.out_a != self.out_b
+
+    def describe(self, stg: STG) -> str:
+        code = "".join(map(str, self.code))
+        return (
+            f"code {code}: states {self.state_a} and {self.state_b}, "
+            f"Out={{{', '.join(sorted(self.out_a))}}} vs "
+            f"Out={{{', '.join(sorted(self.out_b))}}}"
+        )
+
+
+@dataclass
+class StateGraph:
+    """The annotated state graph of a consistent STG."""
+
+    stg: STG
+    consistency: ConsistencyResult
+    codes: List[Tuple[int, ...]] = field(default_factory=list)
+    out_sets: List[FrozenSet[str]] = field(default_factory=list)
+
+    @property
+    def num_states(self) -> int:
+        return self.consistency.graph.num_states
+
+    @property
+    def num_arcs(self) -> int:
+        return self.consistency.graph.num_edges
+
+    @property
+    def initial_code(self) -> Tuple[int, ...]:
+        return self.consistency.initial_code
+
+    def marking(self, state: int) -> Marking:
+        return self.consistency.graph.markings[state]
+
+    def code(self, state: int) -> Tuple[int, ...]:
+        return self.codes[state]
+
+    def out(self, state: int) -> FrozenSet[str]:
+        return self.out_sets[state]
+
+    def next_state_vector(self, state: int, signal: str) -> int:
+        return next_state_value(
+            self.stg, self.marking(state), self.codes[state], signal
+        )
+
+    # -- conflict detection ----------------------------------------------------
+
+    def _code_classes(self) -> Dict[Tuple[int, ...], List[int]]:
+        classes: Dict[Tuple[int, ...], List[int]] = {}
+        for state, code in enumerate(self.codes):
+            classes.setdefault(code, []).append(state)
+        return classes
+
+    def usc_conflicts(self, first_only: bool = False) -> List[CodingConflict]:
+        """All (or the first) pairs of distinct states sharing a code."""
+        conflicts: List[CodingConflict] = []
+        for code, states in self._code_classes().items():
+            for i, a in enumerate(states):
+                for b in states[i + 1:]:
+                    conflicts.append(self._make_conflict(code, a, b))
+                    if first_only:
+                        return conflicts
+        return conflicts
+
+    def csc_conflicts(self, first_only: bool = False) -> List[CodingConflict]:
+        """USC conflicts whose ``Out`` sets differ."""
+        conflicts: List[CodingConflict] = []
+        for code, states in self._code_classes().items():
+            for i, a in enumerate(states):
+                for b in states[i + 1:]:
+                    if self.out_sets[a] != self.out_sets[b]:
+                        conflicts.append(self._make_conflict(code, a, b))
+                        if first_only:
+                            return conflicts
+        return conflicts
+
+    def has_usc(self) -> bool:
+        """True iff the STG satisfies the Unique State Coding property."""
+        return not self.usc_conflicts(first_only=True)
+
+    def has_csc(self) -> bool:
+        """True iff the STG satisfies the Complete State Coding property."""
+        return not self.csc_conflicts(first_only=True)
+
+    def _make_conflict(
+        self, code: Tuple[int, ...], a: int, b: int
+    ) -> CodingConflict:
+        return CodingConflict(
+            code=code,
+            state_a=a,
+            state_b=b,
+            marking_a=self.marking(a),
+            marking_b=self.marking(b),
+            out_a=self.out_sets[a],
+            out_b=self.out_sets[b],
+        )
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def trace_to(self, state: int) -> List[str]:
+        """Transition names along a shortest path from the initial state."""
+        path = self.consistency.graph.path_to(state)
+        return [self.stg.net.transition_name(t) for t in path]
+
+
+def build_state_graph(
+    stg: STG,
+    consistency: Optional[ConsistencyResult] = None,
+    max_states: int = 500_000,
+) -> StateGraph:
+    """Explore the STG, check consistency and annotate states with codes and
+    ``Out`` sets."""
+    if consistency is None:
+        consistency = check_consistency(stg, max_states=max_states)
+    graph = StateGraph(stg=stg, consistency=consistency)
+    for state in range(consistency.graph.num_states):
+        code = consistency.code_of_state(state)
+        graph.codes.append(code)
+        graph.out_sets.append(
+            # weak excitation only differs on STGs with dummies
+            enabled_outputs(stg, consistency.graph.markings[state], weak=True)
+        )
+    return graph

@@ -1,0 +1,222 @@
+"""The STG class: a net system plus signal edge labelling.
+
+Following the paper, an STG is a triple ``(Sigma, Z, lambda)`` where ``Sigma``
+is a net system, ``Z`` a finite signal set and ``lambda`` labels each
+transition with ``z+``, ``z-`` or the silent label ``tau``.  Signals are
+partitioned into inputs and outputs (outputs include internal signals for the
+purposes of CSC; we additionally track the internal set so that writers can
+round-trip ``.g`` files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import NetStructureError
+from repro.petri.net import PetriNet
+
+#: The silent (dummy) label of the paper's ``lambda : T -> Z± ∪ {tau}``.
+TAU = None
+
+
+@dataclass(frozen=True)
+class SignalEdge:
+    """A signal transition label ``z+`` or ``z-``.
+
+    ``polarity`` is ``+1`` for a rising edge and ``-1`` for a falling edge.
+    """
+
+    signal: str
+    polarity: int
+
+    def __post_init__(self):
+        if self.polarity not in (+1, -1):
+            raise ValueError("polarity must be +1 or -1")
+
+    def __str__(self) -> str:
+        return f"{self.signal}{'+' if self.polarity > 0 else '-'}"
+
+    @classmethod
+    def parse(cls, token: str) -> "SignalEdge":
+        """Parse ``z+`` / ``z-`` (no instance suffix)."""
+        if len(token) < 2 or token[-1] not in "+-":
+            raise ValueError(f"not a signal edge: {token!r}")
+        return cls(token[:-1], +1 if token[-1] == "+" else -1)
+
+
+class STG:
+    """A Signal Transition Graph.
+
+    The underlying net is built through this class so that every transition
+    receives a label at creation time.  Transition *names* are distinct from
+    labels: several transitions may carry the same edge label (``lds+/1``,
+    ``lds+/2`` in astg notation).
+
+    >>> stg = STG("tiny", inputs=["a"], outputs=["b"])
+    >>> stg.add_place("p0", tokens=1)
+    0
+    >>> stg.add_transition("a+", SignalEdge("a", +1))
+    0
+    >>> stg.net.num_transitions
+    1
+    >>> str(stg.label(0))
+    'a+'
+    """
+
+    def __init__(
+        self,
+        name: str = "stg",
+        inputs: Iterable[str] = (),
+        outputs: Iterable[str] = (),
+        internal: Iterable[str] = (),
+    ):
+        self.net = PetriNet(name)
+        self.inputs: List[str] = list(dict.fromkeys(inputs))
+        self.outputs: List[str] = list(dict.fromkeys(outputs))
+        self.internal: List[str] = list(dict.fromkeys(internal))
+        overlap = (set(self.inputs) & set(self.outputs)) | (
+            set(self.inputs) & set(self.internal)
+        ) | (set(self.outputs) & set(self.internal))
+        if overlap:
+            raise NetStructureError(f"signals declared twice: {sorted(overlap)}")
+        self._labels: List[Optional[SignalEdge]] = []
+        self._initial_code: Dict[str, int] = {}
+
+    # -- signal sets ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.net.name
+
+    @property
+    def signals(self) -> List[str]:
+        """All signals in declaration order: inputs, outputs, internal."""
+        return self.inputs + self.outputs + self.internal
+
+    @property
+    def non_input_signals(self) -> List[str]:
+        """Outputs plus internal signals — the ``Z_O`` of the CSC definition."""
+        return self.outputs + self.internal
+
+    def signal_index(self, signal: str) -> int:
+        try:
+            return self.signals.index(signal)
+        except ValueError:
+            raise NetStructureError(f"unknown signal: {signal!r}") from None
+
+    def is_output_like(self, signal: str) -> bool:
+        return signal in self.outputs or signal in self.internal
+
+    # -- construction --------------------------------------------------------
+
+    def add_place(self, name: str, tokens: int = 0) -> int:
+        return self.net.add_place(name, tokens)
+
+    def add_transition(self, name: str, label: Optional[SignalEdge]) -> int:
+        """Add a transition carrying ``label`` (``TAU``/None for dummies)."""
+        if label is not None and label.signal not in self.signals:
+            raise NetStructureError(
+                f"label {label} uses undeclared signal {label.signal!r}"
+            )
+        index = self.net.add_transition(name)
+        self._labels.append(label)
+        return index
+
+    def add_arc(self, source: str, target: str) -> None:
+        self.net.add_arc(source, target)
+
+    def set_initial_value(self, signal: str, value: int) -> None:
+        """Pin a component of the initial code vector ``v0`` explicitly."""
+        if signal not in self.signals:
+            raise NetStructureError(f"unknown signal: {signal!r}")
+        if value not in (0, 1):
+            raise NetStructureError("initial signal value must be 0 or 1")
+        self._initial_code[signal] = value
+
+    @property
+    def declared_initial_code(self) -> Dict[str, int]:
+        return dict(self._initial_code)
+
+    # -- labelling accessors ---------------------------------------------------
+
+    def label(self, transition: int) -> Optional[SignalEdge]:
+        return self._labels[transition]
+
+    @property
+    def labels(self) -> Sequence[Optional[SignalEdge]]:
+        return tuple(self._labels)
+
+    def is_dummy(self, transition: int) -> bool:
+        return self._labels[transition] is None
+
+    def has_dummies(self) -> bool:
+        return any(label is None for label in self._labels)
+
+    def transitions_of(self, signal: str) -> List[int]:
+        """All transitions labelled ``signal±``."""
+        return [
+            t
+            for t, label in enumerate(self._labels)
+            if label is not None and label.signal == signal
+        ]
+
+    def edge_transitions(self, signal: str, polarity: int) -> List[int]:
+        """All transitions labelled exactly ``signal+`` or ``signal-``."""
+        return [
+            t
+            for t, label in enumerate(self._labels)
+            if label is not None
+            and label.signal == signal
+            and label.polarity == polarity
+        ]
+
+    def signal_change(self, transition: int) -> Tuple[Optional[int], int]:
+        """``(signal_index, delta)`` of firing ``transition``; dummies give
+        ``(None, 0)``."""
+        label = self._labels[transition]
+        if label is None:
+            return None, 0
+        return self.signal_index(label.signal), label.polarity
+
+    # -- convenience -----------------------------------------------------------
+
+    def unique_transition_name(self, edge: SignalEdge) -> str:
+        """A fresh astg-style name ``z+/k`` not yet used in the net."""
+        base = str(edge)
+        if not self.net.has_transition(base):
+            return base
+        k = 1
+        while self.net.has_transition(f"{base}/{k}"):
+            k += 1
+        return f"{base}/{k}"
+
+    def add_edge_transition(self, edge: SignalEdge) -> int:
+        """Add a transition with an auto-generated astg-style name."""
+        return self.add_transition(self.unique_transition_name(edge), edge)
+
+    def copy(self, name: Optional[str] = None) -> "STG":
+        clone = STG(
+            name or self.name,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            internal=self.internal,
+        )
+        clone.net = self.net.copy(name or self.name)
+        clone._labels = list(self._labels)
+        clone._initial_code = dict(self._initial_code)
+        return clone
+
+    def stats(self) -> Dict[str, int]:
+        """The ``|S|, |T|, |Z|`` triple reported in the paper's Table 1."""
+        return {
+            "places": self.net.num_places,
+            "transitions": self.net.num_transitions,
+            "signals": len(self.signals),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"STG({self.name!r}, |S|={self.net.num_places}, "
+            f"|T|={self.net.num_transitions}, |Z|={len(self.signals)})"
+        )

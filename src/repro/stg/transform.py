@@ -1,0 +1,190 @@
+"""Structural STG transformations: dummy contraction and place simplification.
+
+The paper's main text assumes STGs without dummy (τ) transitions and defers
+the general case to the full version.  This library supports dummies end to
+end (they are zero-weight events for every checker), but contracting them
+away first is usually cheaper and is what production flows do.  Secure
+transition contraction is implemented here, along with removal of redundant
+(duplicate or loop-only) places.
+
+Contraction of a dummy ``t`` merges each input place ``p ∈ •t`` with each
+output place ``q ∈ t•`` into a product place carrying their token sum; it is
+*secure* (behaviour-preserving for the properties we check) when
+
+* ``t`` is the only consumer of each ``p ∈ •t`` and the only producer of
+  each ``q ∈ t•`` does not additionally receive from elsewhere in a
+  conflicting way — we implement the standard safe sufficient condition:
+  ``|•t| = 1`` or ``|t•| = 1``, the single shared place has no other
+  consumers/producers on the merging side, and no self-loop is involved.
+
+Transformations return new STGs; the originals are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.stg.stg import STG
+
+
+class ContractionError(ReproError):
+    """The requested dummy transition cannot be securely contracted."""
+
+
+def _rebuild(
+    stg: STG,
+    keep_transition: List[bool],
+    place_groups: List[List[int]],
+    group_tokens: List[int],
+    arcs: Set[Tuple[str, str]],
+    name: str,
+) -> STG:
+    """Assemble a new STG from surviving transitions and merged places."""
+    result = STG(
+        name, inputs=stg.inputs, outputs=stg.outputs, internal=stg.internal
+    )
+    net = stg.net
+    for t in range(net.num_transitions):
+        if keep_transition[t]:
+            result.add_transition(net.transition_name(t), stg.label(t))
+    for gi, group in enumerate(place_groups):
+        merged_name = "+".join(net.place_name(p) for p in group)
+        result.add_place(merged_name, tokens=group_tokens[gi])
+    for source, target in sorted(arcs):
+        result.add_arc(source, target)
+    for signal, value in stg.declared_initial_code.items():
+        result.set_initial_value(signal, value)
+    return result
+
+
+def contract_dummy(stg: STG, transition_name: str) -> STG:
+    """Securely contract one dummy transition; raises if not secure."""
+    net = stg.net
+    t = net.transition_index(transition_name)
+    if not stg.is_dummy(t):
+        raise ContractionError(f"{transition_name!r} is not a dummy transition")
+    preset = list(net.preset(t))
+    postset = list(net.postset(t))
+    if not preset or not postset:
+        raise ContractionError("contraction needs non-empty preset and postset")
+    if set(preset) & set(postset):
+        raise ContractionError("self-loop dummies cannot be contracted")
+    if len(preset) > 1 and len(postset) > 1:
+        raise ContractionError(
+            "non-secure contraction: both |•t| > 1 and |t•| > 1"
+        )
+    # the side with the single place must have t as its only connection on
+    # the merging direction, otherwise tokens could bypass the merge
+    if len(preset) == 1:
+        p = preset[0]
+        if list(net.place_postset(p)) != [t]:
+            raise ContractionError(
+                f"place {net.place_name(p)!r} has other consumers"
+            )
+    if len(postset) == 1:
+        q = postset[0]
+        if list(net.place_preset(q)) != [t]:
+            raise ContractionError(
+                f"place {net.place_name(q)!r} has other producers"
+            )
+
+    initial = net.initial_marking
+    keep_transition = [u != t for u in range(net.num_transitions)]
+    # merged places: every (p, q) pair; untouched places stay singleton groups
+    merged_pairs = [(p, q) for p in preset for q in postset]
+    touched = set(preset) | set(postset)
+    place_groups: List[List[int]] = [[(pl)] for pl in range(net.num_places)
+                                     if pl not in touched]
+    group_tokens = [initial[g[0]] for g in place_groups]
+    for p, q in merged_pairs:
+        place_groups.append([p, q])
+        group_tokens.append(initial[p] + initial[q])
+
+    def group_name(gi: int) -> str:
+        return "+".join(net.place_name(pl) for pl in place_groups[gi])
+
+    member_groups: Dict[int, List[int]] = {}
+    for gi, group in enumerate(place_groups):
+        for pl in group:
+            member_groups.setdefault(pl, []).append(gi)
+
+    arcs: Set[Tuple[str, str]] = set()
+    for u in range(net.num_transitions):
+        if u == t:
+            continue
+        u_name = net.transition_name(u)
+        for pl in net.preset(u):
+            for gi in member_groups[pl]:
+                arcs.add((group_name(gi), u_name))
+        for pl in net.postset(u):
+            for gi in member_groups[pl]:
+                arcs.add((u_name, group_name(gi)))
+    return _rebuild(
+        stg, keep_transition, place_groups, group_tokens, arcs,
+        stg.name,
+    )
+
+
+def contract_all_dummies(stg: STG) -> STG:
+    """Contract dummies greedily until none is securely contractible.
+
+    Returns an STG with as few dummies as this transformation can remove
+    (possibly none left); dummies that resist secure contraction are kept —
+    all checkers handle them anyway.
+    """
+    current = stg
+    progress = True
+    while progress:
+        progress = False
+        for t in range(current.net.num_transitions):
+            if not current.is_dummy(t):
+                continue
+            name = current.net.transition_name(t)
+            try:
+                current = contract_dummy(current, name)
+            except ContractionError:
+                continue
+            progress = True
+            break
+    return current
+
+
+def remove_duplicate_places(stg: STG) -> STG:
+    """Drop places with identical preset, postset and initial marking.
+
+    Duplicate places constrain nothing extra; parsers and transformations
+    occasionally introduce them.
+    """
+    net = stg.net
+    initial = net.initial_marking
+    seen: Dict[Tuple, int] = {}
+    drop: Set[int] = set()
+    for p in range(net.num_places):
+        key = (
+            tuple(sorted(net.place_preset(p).items())),
+            tuple(sorted(net.place_postset(p).items())),
+            initial[p],
+        )
+        if key in seen:
+            drop.add(p)
+        else:
+            seen[key] = p
+    if not drop:
+        return stg
+    result = STG(
+        stg.name, inputs=stg.inputs, outputs=stg.outputs, internal=stg.internal
+    )
+    for t in range(net.num_transitions):
+        result.add_transition(net.transition_name(t), stg.label(t))
+    for p in range(net.num_places):
+        if p in drop:
+            continue
+        result.add_place(net.place_name(p), tokens=initial[p])
+        for producer in net.place_preset(p):
+            result.add_arc(net.transition_name(producer), net.place_name(p))
+        for consumer in net.place_postset(p):
+            result.add_arc(net.place_name(p), net.transition_name(consumer))
+    for signal, value in stg.declared_initial_code.items():
+        result.set_initial_value(signal, value)
+    return result

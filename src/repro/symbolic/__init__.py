@@ -1,0 +1,22 @@
+"""Symbolic (BDD-based) state-graph analysis — the Petrify-style baseline.
+
+Reimplements the approach the paper compares against: encode the STG's
+reachable (marking, code) pairs as a BDD by symbolic breadth-first traversal
+and compute the *characteristic function of all coding conflicts* (Petrify
+computes all conflicts rather than stopping at the first, as the paper notes
+in Section 8).
+"""
+
+from repro.symbolic.encoding import SymbolicSTG
+from repro.symbolic.csc import (
+    SymbolicConflictReport,
+    symbolic_check,
+    symbolic_check_both,
+)
+
+__all__ = [
+    "SymbolicSTG",
+    "SymbolicConflictReport",
+    "symbolic_check",
+    "symbolic_check_both",
+]

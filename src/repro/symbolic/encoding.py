@@ -1,0 +1,195 @@
+"""Boolean state encoding and symbolic reachability for safe STGs.
+
+State variables: one boolean per place (safe nets) plus one per signal (the
+binary code).  Each variable has a *current* and a *next* copy, interleaved
+in the BDD order (``2k`` current, ``2k+1`` next) — the standard layout that
+keeps transition-relation BDDs small.
+
+The transition relation is a disjunction over STG transitions of
+
+    enabled(current places) AND frame(unchanged vars) AND updates,
+
+and reachability is the usual breadth-first image iteration.  This is the
+machinery Petrify's conflict detection rests on; the memory it consumes (BDD
+nodes for the whole reachable set) is exactly what the paper's prefix-based
+method avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bdd import BDD, FALSE, TRUE
+from repro.exceptions import UnboundedNetError
+from repro.stg.stg import STG
+
+
+class SymbolicSTG:
+    """Symbolic encoding of a (safe, consistent) STG's state graph."""
+
+    def __init__(self, stg: STG):
+        self.stg = stg
+        self.net = stg.net
+        self.manager = BDD()
+        self.num_places = self.net.num_places
+        self.num_signals = len(stg.signals)
+        self.num_state_vars = self.num_places + self.num_signals
+        # levels: state var k -> current 2k, next 2k+1
+        self._reachable: Optional[int] = None
+        self._transition_relation: Optional[int] = None
+
+    # -- variable helpers ---------------------------------------------------------
+
+    def place_var(self, place: int, primed: bool = False) -> int:
+        return 2 * place + (1 if primed else 0)
+
+    def signal_var(self, signal: int, primed: bool = False) -> int:
+        return 2 * (self.num_places + signal) + (1 if primed else 0)
+
+    def current_levels(self) -> List[int]:
+        return [2 * k for k in range(self.num_state_vars)]
+
+    def next_levels(self) -> List[int]:
+        return [2 * k + 1 for k in range(self.num_state_vars)]
+
+    def signal_levels(self) -> List[int]:
+        return [2 * (self.num_places + s) for s in range(self.num_signals)]
+
+    def place_levels(self) -> List[int]:
+        return [2 * p for p in range(self.num_places)]
+
+    # -- building blocks -----------------------------------------------------------
+
+    def initial_state(self, initial_code: Tuple[int, ...]) -> int:
+        m = self.manager
+        initial = self.net.initial_marking
+        if initial.max_count() > 1:
+            raise UnboundedNetError("symbolic encoding requires a safe net")
+        terms = []
+        for p in range(self.num_places):
+            var = m.var(2 * p)
+            terms.append(var if initial[p] else m.not_(var))
+        for s in range(self.num_signals):
+            var = m.var(2 * (self.num_places + s))
+            terms.append(var if initial_code[s] else m.not_(var))
+        return m.and_(*terms)
+
+    def enabled_bdd(self, transition: int, primed: bool = False) -> int:
+        """The enabling condition of a transition over (current) place vars."""
+        m = self.manager
+        offset = 1 if primed else 0
+        return m.and_(
+            *(m.var(2 * p + offset) for p in self.net.preset(transition))
+        )
+
+    def transition_relation(self) -> int:
+        if self._transition_relation is not None:
+            return self._transition_relation
+        m = self.manager
+        relation = FALSE
+        for t in range(self.net.num_transitions):
+            pre = set(self.net.preset(t))
+            post = set(self.net.postset(t))
+            touched_places = pre | post
+            signal, delta = self.stg.signal_change(t)
+            terms = [self.enabled_bdd(t)]
+            for p in range(self.num_places):
+                cur = m.var(2 * p)
+                nxt = m.var(2 * p + 1)
+                if p in pre and p not in post:
+                    terms.append(m.not_(nxt))
+                elif p in post and p not in pre:
+                    # safeness: the target place must be empty (else the net
+                    # is unsafe and the encoding invalid)
+                    terms.append(nxt)
+                elif p in pre and p in post:
+                    terms.append(nxt)  # self-loop keeps the token
+                else:
+                    terms.append(m.iff(cur, nxt))
+            for s in range(self.num_signals):
+                cur = m.var(2 * (self.num_places + s))
+                nxt = m.var(2 * (self.num_places + s) + 1)
+                if s == signal:
+                    # consistency: a rising edge requires the signal low
+                    terms.append(m.not_(cur) if delta > 0 else cur)
+                    terms.append(nxt if delta > 0 else m.not_(nxt))
+                else:
+                    terms.append(m.iff(cur, nxt))
+            relation = m.or_(relation, m.and_(*terms))
+        self._transition_relation = relation
+        return relation
+
+    # -- reachability ------------------------------------------------------------------
+
+    def _image_actions(self):
+        """Per-transition image recipes: (enabled, changed levels, updates).
+
+        STG transitions have *constant* updates (token moves and one signal
+        flip), so an image step needs no primed variables at all: restrict
+        to the enabled states, quantify the changed variables, conjoin their
+        new constant values.  This partitioned deterministic image is far
+        cheaper than relational products against a monolithic relation.
+        """
+        cached = getattr(self, "_actions", None)
+        if cached is not None:
+            return cached
+        m = self.manager
+        actions = []
+        for t in range(self.net.num_transitions):
+            pre = set(self.net.preset(t))
+            post = set(self.net.postset(t))
+            signal, delta = self.stg.signal_change(t)
+            enabled = self.enabled_bdd(t)
+            if signal is not None:
+                sig_level = 2 * (self.num_places + signal)
+                # consistency guard: a rising edge requires the signal low
+                guard = m.not_(m.var(sig_level)) if delta > 0 else m.var(sig_level)
+                enabled = m.and_(enabled, guard)
+            changed = []
+            updates = []
+            for p in pre - post:
+                changed.append(2 * p)
+                updates.append(m.not_(m.var(2 * p)))
+            for p in post - pre:
+                changed.append(2 * p)
+                updates.append(m.var(2 * p))
+            if signal is not None:
+                sig_level = 2 * (self.num_places + signal)
+                changed.append(sig_level)
+                updates.append(m.var(sig_level) if delta > 0 else m.not_(m.var(sig_level)))
+            actions.append((enabled, changed, m.and_(*updates) if updates else 1))
+        self._actions = actions
+        return actions
+
+    def reachable(self, initial_code: Tuple[int, ...]) -> int:
+        """The BDD of all reachable (marking, code) states (current vars)."""
+        if self._reachable is not None:
+            return self._reachable
+        m = self.manager
+        actions = self._image_actions()
+        reached = self.initial_state(initial_code)
+        frontier = reached
+        iterations = 0
+        while frontier != FALSE:
+            iterations += 1
+            image = FALSE
+            for enabled, changed, updates in actions:
+                fired = m.and_(frontier, enabled)
+                if fired == FALSE:
+                    continue
+                fired = m.exists(changed, fired)
+                image = m.or_(image, m.and_(fired, updates))
+            frontier = m.diff(image, reached)
+            reached = m.or_(reached, frontier)
+        self.iterations = iterations
+        self._reachable = reached
+        return reached
+
+    def count_states(self, reached: int) -> int:
+        """Number of reachable (marking, code) states."""
+        # states are functions of current vars only; count over those levels
+        m = self.manager
+        # map current levels to a compact 0..n-1 range for counting
+        mapping = {2 * k: k for k in range(self.num_state_vars)}
+        compact = m.rename(reached, mapping)
+        return m.sat_count(compact, self.num_state_vars)

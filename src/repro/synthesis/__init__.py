@@ -1,0 +1,38 @@
+"""Logic synthesis from STGs — step (c) of the paper's synthesis flow.
+
+Once USC/CSC hold, each non-input signal's next-state function is a
+well-defined boolean function of the state code; this package derives those
+functions from the state graph, minimises them (Quine-McCluskey prime
+generation plus a greedy/essential cover step), renders complex-gate and
+generalised-C-element (set/reset) implementations, and ties unateness of the
+covers back to the paper's normalcy property.
+
+It also provides automatic CSC conflict *resolution* by state-signal
+insertion (step (b) of the flow), validated end-to-end by the library's own
+checkers — the transformation the paper's Figure 3 performs by hand.
+"""
+
+from repro.synthesis.boolean import Cube, Cover, minimise
+from repro.synthesis.functions import (
+    NextStateFunction,
+    derive_next_state_functions,
+)
+from repro.synthesis.equations import (
+    SignalImplementation,
+    synthesise,
+    SynthesisResult,
+)
+from repro.synthesis.resolution import resolve_csc, CSCResolution
+
+__all__ = [
+    "Cube",
+    "Cover",
+    "minimise",
+    "NextStateFunction",
+    "derive_next_state_functions",
+    "SignalImplementation",
+    "synthesise",
+    "SynthesisResult",
+    "resolve_csc",
+    "CSCResolution",
+]

@@ -1,0 +1,121 @@
+"""Boolean equations and gate-style implementations for STG outputs.
+
+Produces, per non-input signal:
+
+* the **complex-gate** implementation: a minimised cover of ``Nxt_z`` over
+  all signal variables (the form Petrify reports, e.g. the paper's
+  ``csc = dsr (csc + ldtack')`` after factoring);
+* the **generalised C-element** implementation: separate minimised *set*
+  (``Nxt=1, z=0``) and *reset* (``Nxt=0, z=1``) covers;
+* a **monotonicity verdict** linking back to Section 6: a unate complex-gate
+  cover is implementable with a monotonic gate network, and normalcy is the
+  behavioural counterpart of that syntactic property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.stg.stategraph import StateGraph, build_state_graph
+from repro.stg.stg import STG
+from repro.synthesis.boolean import Cover, minimise
+from repro.synthesis.functions import (
+    NextStateFunction,
+    derive_next_state_functions,
+)
+
+
+@dataclass
+class SignalImplementation:
+    """Synthesised logic for one output signal."""
+
+    signal: str
+    function: NextStateFunction
+    complex_gate: Cover          # cover of Nxt_z
+    set_cover: Cover             # gC set network: Nxt=1 & z=0 region
+    reset_cover: Cover           # gC reset network: Nxt=0 & z=1 region
+
+    def equation(self, names: List[str]) -> str:
+        return f"{self.signal} = {self.complex_gate.to_string(names)}"
+
+    def gc_equations(self, names: List[str]) -> str:
+        return (
+            f"set({self.signal}) = {self.set_cover.to_string(names)}; "
+            f"reset({self.signal}) = {self.reset_cover.to_string(names)}"
+        )
+
+    @property
+    def monotonic(self) -> bool:
+        """Syntactic unateness of the complex-gate cover."""
+        return self.complex_gate.is_unate()
+
+
+@dataclass
+class SynthesisResult:
+    """Equations for every non-input signal of a CSC-satisfying STG."""
+
+    stg: STG
+    names: List[str]
+    per_signal: Dict[str, SignalImplementation]
+
+    def equations(self) -> List[str]:
+        return [
+            impl.equation(self.names) for impl in self.per_signal.values()
+        ]
+
+    def verify(self, state_graph: StateGraph) -> bool:
+        """Replay every reachable state: each cover must equal ``Nxt_z``."""
+        for state in range(state_graph.num_states):
+            code = state_graph.code(state)
+            minterm = 0
+            for i, bit in enumerate(code):
+                if bit:
+                    minterm |= 1 << i
+            for signal, impl in self.per_signal.items():
+                expected = state_graph.next_state_vector(state, signal)
+                if impl.complex_gate.evaluate(minterm) != bool(expected):
+                    return False
+        return True
+
+
+def synthesise(
+    stg: STG,
+    state_graph: Optional[StateGraph] = None,
+    signals: Optional[List[str]] = None,
+) -> SynthesisResult:
+    """Derive and minimise implementations for the STG's output signals.
+
+    Raises :class:`repro.synthesis.functions.CSCViolationError` if the STG
+    has a CSC conflict (synthesis requires well-defined functions — run
+    :func:`repro.synthesis.resolution.resolve_csc` first in that case).
+    """
+    if state_graph is None:
+        state_graph = build_state_graph(stg)
+    functions = derive_next_state_functions(
+        stg, state_graph, signals=signals, strict=True
+    )
+    num_vars = len(stg.signals)
+    per_signal: Dict[str, SignalImplementation] = {}
+    for signal, fn in functions.items():
+        dc = fn.dc_set
+        complex_gate = minimise(fn.on_set, dc, num_vars)
+        z_bit = 1 << stg.signal_index(signal)
+        set_on = {m for m in fn.on_set if not m & z_bit}
+        reset_on = {m for m in fn.off_set if m & z_bit}
+        # everything outside the own excitation/quiescent region of the
+        # respective network is a don't-care for that network
+        set_dc = set(range(1 << num_vars)) - set_on - {
+            m for m in fn.off_set if not m & z_bit
+        }
+        reset_dc = set(range(1 << num_vars)) - reset_on - {
+            m for m in fn.on_set if m & z_bit
+        }
+        per_signal[signal] = SignalImplementation(
+            signal=signal,
+            function=fn,
+            complex_gate=complex_gate,
+            set_cover=minimise(set_on, set_dc, num_vars),
+            reset_cover=minimise(reset_on, reset_dc, num_vars),
+        )
+    return SynthesisResult(stg=stg, names=list(stg.signals), per_signal=per_signal)

@@ -1,0 +1,116 @@
+"""Deriving next-state functions from the state graph.
+
+For a CSC-satisfying STG, each non-input signal ``z`` has a well-defined
+boolean next-state function ``Nxt_z`` of the state code: the on-set are the
+codes of states with ``Nxt_z = 1``, the off-set those with ``Nxt_z = 0``,
+and every unreachable code is a don't-care.  A CSC violation w.r.t. ``z``
+surfaces here as a code in both sets — this module reports it precisely,
+giving an independent (state-based) characterisation of CSC used by the test
+suite to cross-check the unfolding/IP verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+from repro.stg.stategraph import StateGraph, build_state_graph
+from repro.stg.stg import STG
+
+
+class CSCViolationError(ReproError):
+    """A next-state function is ill-defined: some code requires both values."""
+
+    def __init__(self, signal: str, code: Tuple[int, ...]):
+        super().__init__(
+            f"signal {signal!r} has conflicting next-state values at code "
+            f"{''.join(map(str, code))} (CSC violation)"
+        )
+        self.signal = signal
+        self.code = code
+
+
+@dataclass
+class NextStateFunction:
+    """The truth table of ``Nxt_z`` over the signal variables.
+
+    Minterms encode codes with signal ``i`` on bit ``i`` (the STG's signal
+    order).  ``ambiguous`` lists codes demanded both 0 and 1 — non-empty
+    exactly when the STG has a CSC conflict involving ``z``.
+    """
+
+    signal: str
+    num_vars: int
+    on_set: Set[int] = field(default_factory=set)
+    off_set: Set[int] = field(default_factory=set)
+    ambiguous: Set[int] = field(default_factory=set)
+
+    @property
+    def well_defined(self) -> bool:
+        return not self.ambiguous
+
+    @property
+    def dc_set(self) -> Set[int]:
+        universe = set(range(1 << self.num_vars))
+        return universe - self.on_set - self.off_set - self.ambiguous
+
+    def value_at(self, code: int) -> Optional[int]:
+        if code in self.on_set:
+            return 1
+        if code in self.off_set:
+            return 0
+        return None
+
+
+def _code_to_minterm(code: Sequence[int]) -> int:
+    minterm = 0
+    for i, bit in enumerate(code):
+        if bit:
+            minterm |= 1 << i
+    return minterm
+
+
+def derive_next_state_functions(
+    stg: STG,
+    state_graph: Optional[StateGraph] = None,
+    signals: Optional[List[str]] = None,
+    strict: bool = True,
+) -> Dict[str, NextStateFunction]:
+    """Build ``Nxt_z`` truth tables for the requested non-input signals.
+
+    ``strict=True`` raises :class:`CSCViolationError` on the first
+    ill-defined function; ``strict=False`` records the ambiguity instead
+    (useful for diagnosing which signals are implicated in a conflict).
+    """
+    if state_graph is None:
+        state_graph = build_state_graph(stg)
+    targets = signals if signals is not None else list(stg.non_input_signals)
+    num_vars = len(stg.signals)
+    functions = {
+        z: NextStateFunction(signal=z, num_vars=num_vars) for z in targets
+    }
+    for state in range(state_graph.num_states):
+        code = state_graph.code(state)
+        minterm = _code_to_minterm(code)
+        for z in targets:
+            value = state_graph.next_state_vector(state, z)
+            fn = functions[z]
+            if minterm in fn.ambiguous:
+                continue
+            if value and minterm in fn.off_set or not value and minterm in fn.on_set:
+                if strict:
+                    raise CSCViolationError(z, code)
+                fn.on_set.discard(minterm)
+                fn.off_set.discard(minterm)
+                fn.ambiguous.add(minterm)
+                continue
+            (fn.on_set if value else fn.off_set).add(minterm)
+    return functions
+
+
+def csc_conflict_signals(stg: STG, state_graph: Optional[StateGraph] = None) -> List[str]:
+    """The non-input signals whose next-state functions are ill-defined —
+    empty iff the STG satisfies CSC (state-based characterisation)."""
+    functions = derive_next_state_functions(stg, state_graph, strict=False)
+    return [z for z, fn in functions.items() if not fn.well_defined]

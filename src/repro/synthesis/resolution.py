@@ -1,0 +1,143 @@
+"""Automatic CSC conflict resolution by state-signal insertion — step (b).
+
+The classical remedy for a CSC conflict is to insert a fresh internal signal
+whose value distinguishes the conflicting states (the paper's Figure 3 does
+this by hand for the VME controller).  This module automates a simple but
+effective version:
+
+* candidate insertions place ``csc+`` *in sequence after* one existing
+  transition and ``csc-`` after another (transition splitting: the host
+  transition's postset moves to the new signal transition, so all original
+  orderings are preserved and safety/liveness are untouched);
+* candidates are screened cheaply (consistency first), then validated with
+  the library's own checkers: the result must be consistent, deadlock-free
+  and satisfy CSC (USC is not required — the original VME resolution also
+  leaves USC conflicts only if there were non-CSC ones, and none here);
+* if one signal does not suffice, the procedure recurses with a second
+  signal, up to ``max_signals``.
+
+The search is exhaustive over ordered host pairs, so on the benchmark sizes
+it finds the textbook resolutions (for the VME controller: ``csc+`` after
+``dsr+`` and ``csc-`` after ``dsr-`` — the Figure 3 insertion up to the
+concurrency-equivalent placement).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import check_csc
+from repro.exceptions import ReproError
+from repro.stg.consistency import is_consistent
+from repro.stg.stg import STG, SignalEdge
+
+
+@dataclass
+class CSCResolution:
+    """Outcome of :func:`resolve_csc`."""
+
+    stg: STG                                  # the resolved STG
+    insertions: List[Tuple[str, str, str]]    # (signal, after_plus, after_minus)
+
+    def describe(self) -> str:
+        return "; ".join(
+            f"{signal}+ after {plus}, {signal}- after {minus}"
+            for signal, plus, minus in self.insertions
+        )
+
+
+def _split_after(stg: STG, host: str, new_name: str, edge: SignalEdge) -> None:
+    """Insert a new signal transition in sequence after ``host``:
+    ``host``'s postset places move to the new transition."""
+    net = stg.net
+    host_index = net.transition_index(host)
+    moved = list(net.postset(host_index).items())
+    stg.add_transition(new_name, edge)
+    # re-point the host's former output arcs through the new transition
+    for place, weight in moved:
+        place_name = net.place_name(place)
+        net.remove_arc(host, place_name)
+        for _ in range(weight):
+            stg.add_arc(new_name, place_name)
+    bridge = f"<{host},{new_name}>"
+    stg.add_place(bridge)
+    stg.add_arc(host, bridge)
+    stg.add_arc(bridge, new_name)
+
+
+def _insert_signal(
+    stg: STG, signal: str, after_plus: str, after_minus: str
+) -> STG:
+    candidate = stg.copy(stg.name + "+" + signal)
+    candidate.internal.append(signal)
+    _split_after(candidate, after_plus, f"{signal}+", SignalEdge(signal, +1))
+    _split_after(candidate, after_minus, f"{signal}-", SignalEdge(signal, -1))
+    return candidate
+
+
+def resolve_csc(
+    stg: STG,
+    max_signals: int = 2,
+    signal_prefix: str = "csc",
+    max_states: int = 100_000,
+) -> CSCResolution:
+    """Search for state-signal insertions establishing CSC.
+
+    Raises :class:`ReproError` if no resolution within ``max_signals``
+    freshly inserted signals is found.
+    """
+    report = check_csc(stg)
+    if report.holds:
+        return CSCResolution(stg=stg, insertions=[])
+    if max_signals < 1:
+        raise ReproError(
+            "the STG has a CSC conflict but no insertions are allowed"
+        )
+    return _resolve(stg, [], 1, max_signals, signal_prefix, max_states)
+
+
+def _resolve(
+    stg: STG,
+    insertions: List[Tuple[str, str, str]],
+    depth: int,
+    max_signals: int,
+    prefix: str,
+    max_states: int,
+) -> CSCResolution:
+    """Breadth-first over insertion depth: exhaust all single-insertion
+    candidates before trying any pair, so minimal resolutions win."""
+    from repro.core.reachability import check_deadlock
+
+    signal = prefix if depth == 1 else f"{prefix}{depth}"
+    transitions = [
+        stg.net.transition_name(t) for t in range(stg.net.num_transitions)
+    ]
+    viable: List[Tuple[Tuple[str, str, str], STG]] = []
+    for after_plus, after_minus in itertools.permutations(transitions, 2):
+        candidate = _insert_signal(stg, signal, after_plus, after_minus)
+        if not is_consistent(candidate, max_states=max_states):
+            continue
+        if check_deadlock(candidate) is not None:
+            continue
+        attempt = (signal, after_plus, after_minus)
+        if check_csc(candidate).holds:
+            return CSCResolution(stg=candidate, insertions=insertions + [attempt])
+        viable.append((attempt, candidate))
+    if depth < max_signals:
+        for attempt, candidate in viable:
+            try:
+                return _resolve(
+                    candidate,
+                    insertions + [attempt],
+                    depth + 1,
+                    max_signals,
+                    prefix,
+                    max_states,
+                )
+            except ReproError:
+                continue
+    raise ReproError(
+        f"no CSC resolution found with up to {max_signals} inserted signals"
+    )

@@ -1,0 +1,34 @@
+"""Petri net unfoldings: occurrence nets, branching processes, complete prefixes.
+
+Implements the partial-order semantics of the paper's Sections 2.3 and 3:
+the Esparza/Roemer/Vogler refinement of McMillan's complete-prefix algorithm
+for bounded ordinary nets, plus the causality/conflict/concurrency relations
+the integer-programming core exploits.
+"""
+
+from repro.unfolding.occurrence_net import Condition, Event, Prefix
+from repro.unfolding.unfolder import unfold, UnfoldingOptions
+from repro.unfolding.relations import PrefixRelations
+from repro.unfolding.configurations import (
+    Configuration,
+    is_configuration,
+    local_configuration,
+    cut_of,
+    marking_of,
+    linearise,
+)
+
+__all__ = [
+    "Condition",
+    "Event",
+    "Prefix",
+    "unfold",
+    "UnfoldingOptions",
+    "PrefixRelations",
+    "Configuration",
+    "is_configuration",
+    "local_configuration",
+    "cut_of",
+    "marking_of",
+    "linearise",
+]

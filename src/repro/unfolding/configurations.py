@@ -1,0 +1,107 @@
+"""Configurations, cuts and their markings (paper Section 2.3).
+
+A configuration of an occurrence net is a causally closed, conflict-free set
+of events; its cut is the co-set of conditions reached by firing it, and
+``Mark(C)`` is the original-net marking labelling that cut.  The integer
+programming method identifies configurations with 0-1 Parikh vectors; these
+helpers convert between the two views and are also used as test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.petri.marking import Marking
+from repro.unfolding.occurrence_net import Prefix
+from repro.utils.bitset import BitSet
+
+#: A configuration is represented as a BitSet of event indices.
+Configuration = BitSet
+
+
+def local_configuration(prefix: Prefix, event: int) -> Configuration:
+    """``[e]``: the event together with all its causal predecessors."""
+    return prefix.events[event].history
+
+
+def is_configuration(prefix: Prefix, events: BitSet) -> bool:
+    """Check causal closure and conflict-freeness of a set of events.
+
+    Causal closure: for every event the producers of its preset conditions
+    are in the set.  Conflict-freeness: no condition is consumed by two
+    distinct events of the set.
+    """
+    consumed: Set[int] = set()
+    for e in events:
+        for b in prefix.events[e].preset:
+            if b in consumed:
+                return False
+            consumed.add(b)
+            producer = prefix.conditions[b].pre_event
+            if producer is not None and producer not in events:
+                return False
+    return True
+
+
+def cut_of(prefix: Prefix, events: BitSet) -> List[int]:
+    """``Cut(C) = (Min ∪ C•) \\ •C`` as a sorted list of condition indices."""
+    consumed: Set[int] = set()
+    produced: Set[int] = set(prefix.min_conditions)
+    for e in events:
+        event = prefix.events[e]
+        consumed.update(event.preset)
+        produced.update(event.postset)
+    return sorted(produced - consumed)
+
+def marking_of(prefix: Prefix, events: BitSet) -> Marking:
+    """``Mark(C)``: the original-net marking reached by configuration ``C``."""
+    counts = [0] * prefix.net.num_places
+    for b in cut_of(prefix, events):
+        counts[prefix.conditions[b].place] += 1
+    return Marking(counts)
+
+
+def linearise(prefix: Prefix, events: BitSet) -> List[int]:
+    """A firing sequence (list of *original* transition indices) executing
+    the configuration — the "execution path leading to an encoding conflict"
+    the paper extracts from a solution.
+
+    Events are emitted in a topological order of the causality relation.
+    """
+    pending = set(events)
+    available_tokens: Set[int] = set(prefix.min_conditions)
+    order: List[int] = []
+    while pending:
+        fired_something = False
+        for e in sorted(pending):
+            event = prefix.events[e]
+            if all(b in available_tokens for b in event.preset):
+                order.append(event.transition)
+                available_tokens.difference_update(event.preset)
+                available_tokens.update(event.postset)
+                pending.remove(e)
+                fired_something = True
+                break
+        if not fired_something:
+            raise ValueError("event set is not a configuration (not executable)")
+    return order
+
+
+def parikh_of(prefix: Prefix, events: Iterable[int]) -> List[int]:
+    """The original-net Parikh vector of a set of prefix events."""
+    counts = [0] * prefix.net.num_transitions
+    for e in events:
+        counts[prefix.events[e].transition] += 1
+    return counts
+
+
+def signal_change_of(prefix: Prefix, events: Iterable[int]) -> List[int]:
+    """The signal-change vector ``v_C`` of a configuration of an STG prefix."""
+    if prefix.stg is None:
+        raise ValueError("prefix was not built from an STG")
+    change = [0] * len(prefix.stg.signals)
+    for e in events:
+        signal, delta = prefix.stg.signal_change(prefix.events[e].transition)
+        if signal is not None:
+            change[signal] += delta
+    return change

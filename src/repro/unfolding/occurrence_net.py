@@ -1,0 +1,191 @@
+"""Occurrence nets and finite branching-process prefixes.
+
+An occurrence net (paper Section 2.3) is an acyclic net whose conditions
+have at most one producer and in which no node is in self-conflict.  A
+branching process pairs an occurrence net with a homomorphism ``h`` into the
+original net system; we store ``h`` directly on the nodes (each condition
+knows its original place, each event its original transition).
+
+The :class:`Prefix` is the central data structure of the reproduction: the
+integer-programming method of the paper operates entirely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import STG
+from repro.utils.bitset import BitSet
+
+
+@dataclass
+class Condition:
+    """A condition (place instance) of the prefix.
+
+    ``place`` is the index of the original place (the homomorphism image);
+    ``pre_event`` is the producing event index or ``None`` for minimal
+    conditions; ``post_events`` are the consuming event indices.
+    """
+
+    index: int
+    place: int
+    pre_event: Optional[int]
+    post_events: List[int] = field(default_factory=list)
+
+    def is_minimal(self) -> bool:
+        return self.pre_event is None
+
+
+@dataclass
+class Event:
+    """An event (transition instance) of the prefix.
+
+    ``transition`` is the original transition index; ``preset`` / ``postset``
+    are condition indices.  ``history`` is the local configuration ``[e]``
+    as a bitset of event indices (including ``e`` itself), and ``mark`` the
+    final marking ``Mark([e])`` of the original net — both are computed at
+    insertion time and drive the cut-off criterion.
+    """
+
+    index: int
+    transition: int
+    preset: Tuple[int, ...]
+    postset: Tuple[int, ...] = ()
+    history: BitSet = field(default_factory=BitSet)
+    mark: Optional[Marking] = None
+    is_cutoff: bool = False
+
+    @property
+    def local_size(self) -> int:
+        return len(self.history)
+
+
+class Prefix:
+    """A finite branching-process prefix of the unfolding of a net system.
+
+    Exposes both the branching-process view (events/conditions with their
+    homomorphism labels) and the *net system* view ``Unf`` used by the paper
+    (a safe acyclic net with the canonical initial marking putting one token
+    on each minimal condition).
+    """
+
+    def __init__(self, net: PetriNet, stg: Optional[STG] = None):
+        self.net = net
+        self.stg = stg
+        self.conditions: List[Condition] = []
+        self.events: List[Event] = []
+        self.conditions_by_place: Dict[int, List[int]] = {}
+        self.min_conditions: List[int] = []
+
+    # -- construction (used by the unfolder) -----------------------------------
+
+    def add_condition(self, place: int, pre_event: Optional[int]) -> int:
+        index = len(self.conditions)
+        self.conditions.append(Condition(index, place, pre_event))
+        self.conditions_by_place.setdefault(place, []).append(index)
+        if pre_event is None:
+            self.min_conditions.append(index)
+        else:
+            self.events[pre_event].postset += (index,)
+        return index
+
+    def add_event(
+        self,
+        transition: int,
+        preset: Iterable[int],
+        history: BitSet,
+        mark: Marking,
+    ) -> int:
+        index = len(self.events)
+        event = Event(
+            index=index,
+            transition=transition,
+            preset=tuple(preset),
+            history=history,
+            mark=mark,
+        )
+        self.events.append(event)
+        for b in event.preset:
+            self.conditions[b].post_events.append(index)
+        return index
+
+    # -- sizes (the B / E / E_cut columns of Table 1) ----------------------------
+
+    @property
+    def num_conditions(self) -> int:
+        return len(self.conditions)
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_cutoffs(self) -> int:
+        return sum(1 for e in self.events if e.is_cutoff)
+
+    @property
+    def cutoff_events(self) -> List[int]:
+        return [e.index for e in self.events if e.is_cutoff]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "conditions": self.num_conditions,
+            "events": self.num_events,
+            "cutoffs": self.num_cutoffs,
+        }
+
+    # -- homomorphism helpers -----------------------------------------------------
+
+    def place_of(self, condition: int) -> int:
+        return self.conditions[condition].place
+
+    def transition_of(self, event: int) -> int:
+        return self.events[event].transition
+
+    def event_label(self, event: int):
+        """The STG signal edge of an event (None for dummies / plain nets)."""
+        if self.stg is None:
+            return None
+        return self.stg.label(self.events[event].transition)
+
+    def event_name(self, event: int) -> str:
+        """A human-readable ``e<i>:<transition>`` name."""
+        t = self.events[event].transition
+        return f"e{event}:{self.net.transition_name(t)}"
+
+    # -- the Unf net-system view ---------------------------------------------------
+
+    def initial_marking(self) -> Marking:
+        """The canonical initial marking ``M_in`` (one token per minimal
+        condition)."""
+        counts = [0] * len(self.conditions)
+        for b in self.min_conditions:
+            counts[b] = 1
+        return Marking(counts)
+
+    def as_net(self, name: str = "unf") -> PetriNet:
+        """Materialise the prefix as a plain :class:`PetriNet` (Unf)."""
+        unf = PetriNet(name)
+        for condition in self.conditions:
+            unf.add_place(
+                f"b{condition.index}:{self.net.place_name(condition.place)}",
+                tokens=1 if condition.pre_event is None else 0,
+            )
+        for event in self.events:
+            unf.add_transition(self.event_name(event.index))
+        for event in self.events:
+            t_name = self.event_name(event.index)
+            for b in event.preset:
+                unf.add_arc(unf.places[b], t_name)
+            for b in event.postset:
+                unf.add_arc(t_name, unf.places[b])
+        return unf
+
+    def __repr__(self) -> str:
+        return (
+            f"Prefix(|B|={self.num_conditions}, |E|={self.num_events}, "
+            f"|E_cut|={self.num_cutoffs})"
+        )

@@ -1,0 +1,110 @@
+"""Causality / conflict / concurrency relations over a prefix's events.
+
+The integer-programming solver of the paper prunes its search with the
+partial-order dependencies of Theorem 1:
+
+* ``x(e) = 1`` forces ``x(f) = 1`` for every causal predecessor ``f < e``
+  and ``x(g) = 0`` for every ``g # e``;
+* ``x(e) = 0`` forces ``x(f) = 0`` for every causal successor ``f > e``.
+
+This module precomputes those relations as integer bitmasks, one word-packed
+row per event, so the solver's minimal-compatible-closure steps are a few
+bitwise operations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.unfolding.occurrence_net import Prefix
+
+
+class PrefixRelations:
+    """Bitmask rows of the causality and conflict relations of a prefix.
+
+    ``pred[e]`` / ``succ[e]`` are the *strict* causal predecessor/successor
+    masks; ``conf[e]`` the conflict mask; ``cutoff_mask`` the set of cut-off
+    events.  All masks index events by their prefix index.
+    """
+
+    def __init__(self, prefix: Prefix):
+        self.prefix = prefix
+        q = prefix.num_events
+        self.num_events = q
+        self.pred: List[int] = [0] * q
+        self.succ: List[int] = [0] * q
+        self.conf: List[int] = [0] * q
+        self.cutoff_mask = 0
+        self.all_mask = (1 << q) - 1
+        self._compute()
+
+    def _compute(self) -> None:
+        prefix = self.prefix
+        for event in prefix.events:
+            bit = 1 << event.index
+            history_mask = event.history.bits & ~bit
+            self.pred[event.index] = history_mask
+            rest = history_mask
+            while rest:
+                low = rest & -rest
+                self.succ[low.bit_length() - 1] |= bit
+                rest ^= low
+            if event.is_cutoff:
+                self.cutoff_mask |= bit
+
+        # conflicts: every pair of distinct consumers of a condition starts a
+        # pair of conflicting cones (the consumer and all its successors)
+        cones = [
+            (1 << e) | self.succ[e] for e in range(prefix.num_events)
+        ]
+        for condition in prefix.conditions:
+            consumers = condition.post_events
+            for i, c1 in enumerate(consumers):
+                for c2 in consumers[i + 1:]:
+                    m1, m2 = cones[c1], cones[c2]
+                    rest = m1
+                    while rest:
+                        low = rest & -rest
+                        self.conf[low.bit_length() - 1] |= m2
+                        rest ^= low
+                    rest = m2
+                    while rest:
+                        low = rest & -rest
+                        self.conf[low.bit_length() - 1] |= m1
+                        rest ^= low
+
+    # -- queries -------------------------------------------------------------
+
+    def in_conflict(self, e: int, f: int) -> bool:
+        """``e # f`` (inherited conflict)."""
+        return (self.conf[e] >> f) & 1 == 1
+
+    def causally_ordered(self, e: int, f: int) -> bool:
+        """``e < f`` or ``f < e``."""
+        return (self.succ[e] >> f) & 1 == 1 or (self.succ[f] >> e) & 1 == 1
+
+    def concurrent(self, e: int, f: int) -> bool:
+        """``e co f``: distinct, not ordered, not in conflict."""
+        return e != f and not self.causally_ordered(e, f) and not self.in_conflict(e, f)
+
+    def local_configuration_mask(self, e: int) -> int:
+        return self.pred[e] | (1 << e)
+
+    def topological_order(self) -> List[int]:
+        """Events sorted by local-configuration size (a linearisation of <)."""
+        return sorted(
+            range(self.num_events),
+            key=lambda e: (self.prefix.events[e].local_size, e),
+        )
+
+    def free_events_mask(self) -> int:
+        """Events allowed in configurations: everything but cut-offs and
+        their successors (a successor of a cut-off is unusable anyway since
+        its history would contain the cut-off)."""
+        blocked = self.cutoff_mask
+        rest = self.cutoff_mask
+        while rest:
+            low = rest & -rest
+            blocked |= self.succ[low.bit_length() - 1]
+            rest ^= low
+        return self.all_mask & ~blocked

@@ -1,0 +1,262 @@
+"""Complete-prefix construction (McMillan / Esparza-Roemer-Vogler).
+
+Builds a finite and complete prefix of the unfolding of a bounded ordinary
+net system (paper Section 2.3).  The algorithm is the standard possible-
+extensions loop:
+
+1. start from one condition per token of the initial marking;
+2. keep a priority queue of *possible extensions* — pairs ``(t, B)`` of an
+   original transition and a co-set of conditions labelled by ``•t`` —
+   ordered by an adequate order on the local configurations;
+3. pop the minimal extension, insert it as an event; if an event with the
+   same final marking and a strictly smaller local configuration already
+   exists, mark it as a *cut-off* and do not extend beyond it;
+4. otherwise add its postset conditions, update the concurrency relation and
+   generate the new possible extensions they enable.
+
+Two adequate orders are provided: McMillan's ``|C|`` and the ERV refinement
+``(|C|, Parikh-lex)``; the latter produces smaller prefixes and is the
+default.  The concurrency relation is maintained incrementally as bitmasks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import UnfoldingError
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.stg.stg import STG
+from repro.unfolding.occurrence_net import Prefix
+from repro.utils.bitset import BitSet
+
+
+@dataclass
+class UnfoldingOptions:
+    """Tuning knobs of :func:`unfold`.
+
+    ``order``: ``"erv"`` (size, then Parikh-lex — smaller prefixes) or
+    ``"mcmillan"`` (size only).  ``max_events`` bounds the prefix to guard
+    against unbounded inputs (raises :class:`UnfoldingError` when hit).
+    """
+
+    order: str = "erv"
+    max_events: int = 100_000
+
+    def __post_init__(self):
+        if self.order not in ("erv", "mcmillan"):
+            raise ValueError(f"unknown adequate order {self.order!r}")
+
+
+def unfold(
+    source: Union[PetriNet, STG], options: Optional[UnfoldingOptions] = None
+) -> Prefix:
+    """Build a finite complete prefix of the unfolding of ``source``.
+
+    ``source`` may be a plain net system or an STG (whose prefix then keeps
+    the signal labelling for the coding-conflict machinery).
+    """
+    options = options or UnfoldingOptions()
+    stg = source if isinstance(source, STG) else None
+    net = source.net if isinstance(source, STG) else source
+    if not net.is_ordinary():
+        raise UnfoldingError("the unfolder requires an ordinary net (arc weights 1)")
+    for t in range(net.num_transitions):
+        if not net.preset(t):
+            raise UnfoldingError(
+                f"transition {net.transition_name(t)!r} has an empty preset; "
+                "its unfolding would be infinite in every prefix"
+            )
+    builder = _Builder(net, stg, options)
+    return builder.run()
+
+
+class _Builder:
+    def __init__(self, net: PetriNet, stg: Optional[STG], options: UnfoldingOptions):
+        self.net = net
+        self.options = options
+        self.prefix = Prefix(net, stg)
+        self.co: List[int] = []          # condition -> bitmask of concurrent conditions
+        self.dead: List[bool] = []       # condition produced by a cut-off event
+        self.parikh: List[Tuple[int, ...]] = []  # event -> Parikh of [e]
+        self.queue: List[Tuple] = []     # heap of possible extensions
+        self.enqueued: Set[Tuple[int, Tuple[int, ...]]] = set()
+        # minimal adequate-order key seen for each final marking
+        self.mark_table: Dict[Marking, Tuple] = {}
+
+    # -- adequate order ------------------------------------------------------
+
+    def _key(self, size: int, parikh: Tuple[int, ...]) -> Tuple:
+        if self.options.order == "mcmillan":
+            return (size,)
+        return (size, parikh)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Prefix:
+        self._seed_initial_conditions()
+        zero_parikh = (0,) * self.net.num_transitions
+        self.mark_table[self.net.initial_marking] = self._key(0, zero_parikh)
+        for b in range(len(self.prefix.conditions)):
+            self._generate_extensions(b)
+
+        while self.queue:
+            key, _tiebreak, transition, preset = heapq.heappop(self.queue)
+            self._insert_event(key, transition, preset)
+            if self.prefix.num_events > self.options.max_events:
+                raise UnfoldingError(
+                    f"event budget {self.options.max_events} exhausted; "
+                    "the input net may be unbounded"
+                )
+        return self.prefix
+
+    # -- initialisation ------------------------------------------------------
+
+    def _seed_initial_conditions(self) -> None:
+        initial = self.net.initial_marking
+        for place, count in enumerate(initial.counts):
+            for _ in range(count):
+                self._add_condition(place, pre_event=None, sibling_mask=0)
+        # all minimal conditions are pairwise concurrent
+        all_mask = (1 << len(self.prefix.conditions)) - 1
+        for b in range(len(self.prefix.conditions)):
+            self.co[b] = all_mask & ~(1 << b)
+
+    # -- condition / event insertion ---------------------------------------------
+
+    def _add_condition(self, place: int, pre_event: Optional[int], sibling_mask: int) -> int:
+        index = self.prefix.add_condition(place, pre_event)
+        self.co.append(0)
+        self.dead.append(False)
+        return index
+
+    def _insert_event(self, key: Tuple, transition: int, preset: Tuple[int, ...]) -> None:
+        history = BitSet()
+        for b in preset:
+            producer = self.prefix.conditions[b].pre_event
+            if producer is not None:
+                history = history | self.prefix.events[producer].history
+        size = len(history) + 1
+        parikh = self._parikh_with(history, transition)
+        assert self._key(size, parikh) == key
+
+        mark = self._marking_after(history, preset, transition)
+        event_index = self.prefix.add_event(transition, preset, BitSet(), mark)
+        event = self.prefix.events[event_index]
+        event.history = history.add(event_index)
+        self.parikh.append(parikh)
+
+        best = self.mark_table.get(mark)
+        if best is not None and best < key:
+            event.is_cutoff = True
+            # the postset conditions exist in the prefix (completeness needs
+            # configurations reaching beyond cut-offs by one event) but are
+            # dead: they never enable further extensions
+            for place in self.net.postset(transition):
+                b = self._add_condition(place, event_index, 0)
+                self.dead[b] = True
+            return
+
+        if best is None or key < best:
+            self.mark_table[mark] = key
+
+        # live postset: compute concurrency and new possible extensions
+        pre_mask = 0
+        for b in preset:
+            pre_mask |= 1 << b
+        common = ~0
+        for b in preset:
+            common &= self.co[b]
+        common &= ~pre_mask
+        new_conditions = []
+        for place in self.net.postset(transition):
+            new_conditions.append(self._add_condition(place, event_index, 0))
+        sibling_mask = 0
+        for b in new_conditions:
+            sibling_mask |= 1 << b
+        for b in new_conditions:
+            mask = (common | sibling_mask) & ~(1 << b)
+            self.co[b] = mask
+            # symmetrically extend the masks of the old concurrent conditions
+            rest = common
+            while rest:
+                low = rest & -rest
+                other = low.bit_length() - 1
+                self.co[other] |= 1 << b
+                rest ^= low
+        for b in new_conditions:
+            self._generate_extensions(b)
+
+    def _parikh_with(self, history: BitSet, transition: int) -> Tuple[int, ...]:
+        counts = [0] * self.net.num_transitions
+        for e in history:
+            counts[self.prefix.events[e].transition] += 1
+        counts[transition] += 1
+        return tuple(counts)
+
+    def _marking_after(
+        self, history: BitSet, preset: Tuple[int, ...], transition: int
+    ) -> Marking:
+        """``Mark([e])`` for the candidate event: fire the whole local
+        configuration from the canonical initial marking."""
+        produced = list(self.prefix.min_conditions)
+        consumed: Set[int] = set(preset)
+        for e in history:
+            ev = self.prefix.events[e]
+            consumed.update(ev.preset)
+            produced.extend(ev.postset)
+        counts = [0] * self.net.num_places
+        for b in produced:
+            if b not in consumed:
+                counts[self.prefix.conditions[b].place] += 1
+        for place in self.net.postset(transition):
+            counts[place] += 1
+        return Marking(counts)
+
+    # -- possible extensions -----------------------------------------------------
+
+    def _generate_extensions(self, trigger: int) -> None:
+        """Enqueue every new event whose preset contains condition ``trigger``."""
+        if self.dead[trigger]:
+            return
+        place = self.prefix.conditions[trigger].place
+        for transition in self.net.place_postset(place):
+            needed = [p for p in self.net.preset(transition) if p != place]
+            self._search_cosets(transition, needed, [trigger], self.co[trigger])
+
+    def _search_cosets(
+        self,
+        transition: int,
+        needed: Sequence[int],
+        chosen: List[int],
+        mask: int,
+    ) -> None:
+        """Backtracking search for co-sets completing ``chosen`` with one
+        condition per place in ``needed`` (all pairwise concurrent)."""
+        if not needed:
+            preset = tuple(sorted(chosen))
+            token = (transition, preset)
+            if token in self.enqueued:
+                return
+            self.enqueued.add(token)
+            history = BitSet()
+            for b in preset:
+                producer = self.prefix.conditions[b].pre_event
+                if producer is not None:
+                    history = history | self.prefix.events[producer].history
+            size = len(history) + 1
+            parikh = self._parikh_with(history, transition)
+            key = self._key(size, parikh)
+            heapq.heappush(self.queue, (key, token, transition, preset))
+            return
+        place, rest = needed[0], needed[1:]
+        for candidate in self.prefix.conditions_by_place.get(place, ()):
+            if self.dead[candidate]:
+                continue
+            if not (mask >> candidate) & 1:
+                continue
+            self._search_cosets(
+                transition, rest, chosen + [candidate], mask & self.co[candidate]
+            )

@@ -1,0 +1,6 @@
+"""Small shared utilities: bitsets, topological orders, table rendering."""
+
+from repro.utils.bitset import BitSet
+from repro.utils.tables import format_table
+
+__all__ = ["BitSet", "format_table"]

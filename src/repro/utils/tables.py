@@ -1,0 +1,54 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness reproduces the paper's Table 1 as aligned monospace
+text, so the output can be eyeballed next to the published table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Numeric cells are right-aligned, everything else left-aligned.  Floats
+    are shown with two decimal places (times in seconds, as in the paper).
+
+    >>> print(format_table(["name", "n"], [["a", 1], ["bb", 22]]))
+    name | n
+    -----+---
+    a    |  1
+    bb   | 22
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, original: object, width: int) -> str:
+        if isinstance(original, (int, float)):
+            return cell.rjust(width)
+        return cell.ljust(width)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row, raw in zip(rendered, rows):
+        lines.append(
+            " | ".join(align(c, o, w) for c, o, w in zip(row, raw, widths)).rstrip()
+        )
+    return "\n".join(lines)

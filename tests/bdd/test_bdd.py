@@ -1,0 +1,208 @@
+"""Unit and property tests for the ROBDD engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD, FALSE, TRUE
+
+
+@pytest.fixture
+def manager():
+    return BDD()
+
+
+class TestBasics:
+    def test_terminals(self, manager):
+        assert manager.const(True) == TRUE
+        assert manager.const(False) == FALSE
+
+    def test_var_and_nvar(self, manager):
+        x = manager.var(0)
+        assert manager.evaluate(x, {0: 1})
+        assert not manager.evaluate(x, {0: 0})
+        nx = manager.nvar(0)
+        assert manager.evaluate(nx, {0: 0})
+
+    def test_hash_consing(self, manager):
+        assert manager.var(3) == manager.var(3)
+        a = manager.and_(manager.var(0), manager.var(1))
+        b = manager.and_(manager.var(0), manager.var(1))
+        assert a == b
+
+    def test_reduction_no_redundant_nodes(self, manager):
+        x = manager.var(0)
+        f = manager.or_(x, manager.not_(x))  # tautology
+        assert f == TRUE
+
+    def test_size(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, y)
+        assert manager.size(f) == 2
+        assert manager.size(TRUE) == 0
+
+
+class TestConnectives:
+    def test_truth_tables(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        cases = [(a, b) for a in (0, 1) for b in (0, 1)]
+        for f, expected in [
+            (manager.and_(x, y), lambda a, b: a and b),
+            (manager.or_(x, y), lambda a, b: a or b),
+            (manager.xor_(x, y), lambda a, b: a != b),
+            (manager.implies(x, y), lambda a, b: (not a) or b),
+            (manager.iff(x, y), lambda a, b: a == b),
+            (manager.diff(x, y), lambda a, b: a and not b),
+        ]:
+            for a, b in cases:
+                assert manager.evaluate(f, {0: a, 1: b}) == bool(expected(a, b))
+
+    def test_variadic(self, manager):
+        vs = [manager.var(i) for i in range(5)]
+        f = manager.and_(*vs)
+        assert manager.evaluate(f, {i: 1 for i in range(5)})
+        assert not manager.evaluate(f, {0: 1, 1: 1, 2: 0, 3: 1, 4: 1})
+        assert manager.and_() == TRUE
+        assert manager.or_() == FALSE
+
+    def test_double_negation(self, manager):
+        x = manager.var(2)
+        assert manager.not_(manager.not_(x)) == x
+
+    def test_ite_shortcuts(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        assert manager.ite(TRUE, x, y) == x
+        assert manager.ite(FALSE, x, y) == y
+        assert manager.ite(x, TRUE, FALSE) == x
+        assert manager.ite(x, y, y) == y
+
+
+class TestQuantification:
+    def test_exists(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, y)
+        assert manager.exists([0], f) == y
+        assert manager.exists([0, 1], f) == TRUE
+        assert manager.exists([], f) == f
+
+    def test_forall(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.or_(x, y)
+        assert manager.forall([0], f) == y
+        assert manager.forall([0, 1], manager.and_(x, y)) == FALSE
+
+
+class TestSubstitution:
+    def test_rename_shift(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, manager.not_(y))
+        g = manager.rename(f, {0: 2, 1: 3})
+        assert manager.evaluate(g, {2: 1, 3: 0})
+        assert not manager.evaluate(g, {2: 1, 3: 1})
+
+    def test_rename_non_monotone(self, manager):
+        # swap the order of two variables
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, manager.not_(y))
+        g = manager.rename(f, {0: 1, 1: 0})
+        assert manager.evaluate(g, {1: 1, 0: 0})
+
+    def test_restrict(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.xor_(x, y)
+        assert manager.restrict(f, {0: True}) == manager.not_(y)
+        assert manager.restrict(f, {0: False}) == y
+
+
+class TestModels:
+    def test_any_sat(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, manager.not_(y))
+        model = manager.any_sat(f)
+        assert model == {0: True, 1: False}
+        assert manager.any_sat(FALSE) is None
+        assert manager.any_sat(TRUE) == {}
+
+    def test_sat_count(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        assert manager.sat_count(manager.and_(x, y), 2) == 1
+        assert manager.sat_count(manager.or_(x, y), 2) == 3
+        assert manager.sat_count(TRUE, 3) == 8
+        assert manager.sat_count(FALSE, 3) == 0
+        assert manager.sat_count(x, 2) == 2
+
+    def test_iter_sats(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.or_(x, y)
+        models = list(manager.iter_sats(f, [0, 1]))
+        assert len(models) == 3
+        for model in models:
+            assert manager.evaluate(f, {k: int(v) for k, v in model.items()})
+
+
+# -- property tests against a brute-force oracle ------------------------------
+
+NUM_VARS = 4
+
+formula = st.deferred(
+    lambda: st.one_of(
+        st.builds(lambda v: ("var", v), st.integers(0, NUM_VARS - 1)),
+        st.tuples(st.just("not"), formula),
+        st.tuples(st.just("and"), formula, formula),
+        st.tuples(st.just("or"), formula, formula),
+        st.tuples(st.just("xor"), formula, formula),
+    )
+)
+
+
+def build(manager, tree):
+    op = tree[0]
+    if op == "var":
+        return manager.var(tree[1])
+    if op == "not":
+        return manager.not_(build(manager, tree[1]))
+    f = build(manager, tree[1])
+    g = build(manager, tree[2])
+    return getattr(manager, f"{op}_")(f, g)
+
+
+def brute(tree, assignment):
+    op = tree[0]
+    if op == "var":
+        return bool(assignment[tree[1]])
+    if op == "not":
+        return not brute(tree[1], assignment)
+    a = brute(tree[1], assignment)
+    b = brute(tree[2], assignment)
+    return {"and": a and b, "or": a or b, "xor": a != b}[op]
+
+
+class TestPropertyBased:
+    @settings(max_examples=150, deadline=None)
+    @given(formula)
+    def test_bdd_matches_brute_force(self, tree):
+        manager = BDD()
+        node = build(manager, tree)
+        for bits in range(1 << NUM_VARS):
+            assignment = {i: (bits >> i) & 1 for i in range(NUM_VARS)}
+            assert manager.evaluate(node, assignment) == brute(tree, assignment)
+
+    @settings(max_examples=80, deadline=None)
+    @given(formula)
+    def test_sat_count_matches_enumeration(self, tree):
+        manager = BDD()
+        node = build(manager, tree)
+        expected = sum(
+            brute(tree, {i: (bits >> i) & 1 for i in range(NUM_VARS)})
+            for bits in range(1 << NUM_VARS)
+        )
+        assert manager.sat_count(node, NUM_VARS) == expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(formula)
+    def test_canonicity(self, tree):
+        """Semantically equal formulas produce identical node ids."""
+        manager = BDD()
+        node = build(manager, tree)
+        double_neg = manager.not_(manager.not_(node))
+        assert double_neg == node

@@ -1,0 +1,86 @@
+"""Shared fixtures: benchmark STGs and small reference nets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    TABLE1_BENCHMARKS,
+    vme_bus,
+    vme_bus_csc_resolved,
+)
+from repro.petri.generators import chain, choice, cycle, fork_join
+from repro.petri.net import PetriNet
+
+
+@pytest.fixture
+def vme():
+    return vme_bus()
+
+
+@pytest.fixture
+def vme_csc():
+    return vme_bus_csc_resolved()
+
+
+@pytest.fixture
+def simple_net():
+    """p0 -> t0 -> p1 -> t1 -> p2 with one initial token."""
+    return chain(2)
+
+
+@pytest.fixture
+def ring_net():
+    return cycle(4, tokens=1)
+
+
+@pytest.fixture
+def fork_net():
+    return fork_join(3)
+
+
+@pytest.fixture
+def choice_net():
+    return choice(3, length=2)
+
+
+@pytest.fixture(params=sorted(TABLE1_BENCHMARKS))
+def table1_stg(request):
+    """Parametrised over every Table 1 benchmark STG."""
+    return TABLE1_BENCHMARKS[request.param]()
+
+
+#: Expected verdicts of the Table 1 benchmarks, used by several test modules.
+TABLE1_VERDICTS = {
+    "LAZYRING": dict(usc=False, csc=False),
+    "RING": dict(usc=False, csc=True),
+    "DUP-4PH-A": dict(usc=False, csc=False),
+    "DUP-4PH-B": dict(usc=False, csc=False),
+    "DUP-4PH-MTR-A": dict(usc=False, csc=False),
+    "DUP-4PH-MTR-B": dict(usc=False, csc=False),
+    "DUP-MOD-A": dict(usc=False, csc=False),
+    "DUP-MOD-B": dict(usc=False, csc=False),
+    "DUP-MOD-C": dict(usc=False, csc=False),
+    "CF-SYM-A-CSC": dict(usc=True, csc=True),
+    "CF-SYM-B-CSC": dict(usc=True, csc=True),
+    "CF-SYM-C-CSC": dict(usc=True, csc=True),
+    "CF-SYM-D-CSC": dict(usc=True, csc=True),
+    "CF-ASYM-A-CSC": dict(usc=True, csc=True),
+    "CF-ASYM-B-CSC": dict(usc=True, csc=True),
+}
+
+#: Subset of Table 1 small enough for exhaustive / quadratic oracles.
+SMALL_TABLE1 = [
+    "LAZYRING",
+    "RING",
+    "DUP-4PH-A",
+    "DUP-4PH-B",
+    "DUP-4PH-MTR-A",
+    "DUP-4PH-MTR-B",
+    "DUP-MOD-A",
+    "DUP-MOD-B",
+    "DUP-MOD-C",
+    "CF-SYM-A-CSC",
+    "CF-SYM-B-CSC",
+    "CF-ASYM-A-CSC",
+]

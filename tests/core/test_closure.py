@@ -1,0 +1,85 @@
+"""Tests for Unf-compatibility and minimal compatible closures (Thms 1-2)."""
+
+import pytest
+
+from repro.core.closure import (
+    has_compatible_closure,
+    is_compatible,
+    minimal_compatible_closure,
+)
+from repro.models import vme_bus
+from repro.petri.generators import choice
+from repro.unfolding import PrefixRelations, unfold
+from repro.unfolding.configurations import is_configuration
+from repro.utils.bitset import BitSet
+
+
+@pytest.fixture
+def vme_rel(vme):
+    prefix = unfold(vme)
+    return prefix, PrefixRelations(prefix)
+
+
+class TestTheorem1:
+    def test_compatible_iff_configuration(self, vme_rel):
+        """Theorem 1: the Unf-compatible vectors are exactly the
+        characteristic vectors of configurations."""
+        prefix, rel = vme_rel
+        for bits in range(1 << prefix.num_events):
+            assert is_compatible(rel, bits) == is_configuration(
+                prefix, BitSet(bits)
+            )
+
+
+class TestTheorem2:
+    def test_closure_exists_iff_conflict_free(self, vme_rel):
+        prefix, rel = vme_rel
+        for bits in range(0, 1 << prefix.num_events, 7):  # stride for speed
+            closure = minimal_compatible_closure(rel, bits)
+            assert (closure is not None) == has_compatible_closure(rel, bits)
+
+    def test_closure_is_minimal_and_compatible(self, vme_rel):
+        prefix, rel = vme_rel
+        for bits in range(0, 1 << prefix.num_events, 11):
+            closure = minimal_compatible_closure(rel, bits)
+            if closure is None:
+                continue
+            assert closure & bits == bits  # contains the seed
+            assert is_compatible(rel, closure)
+            # minimality: removing any added event breaks compatibility or
+            # containment
+            added = closure & ~bits
+            rest = added
+            while rest:
+                low = rest & -rest
+                smaller = closure & ~low
+                assert not (
+                    is_compatible(rel, smaller) and smaller & bits == bits
+                )
+                rest ^= low
+
+    def test_conflicting_seed_has_no_closure(self):
+        prefix = unfold(choice(2, 1))
+        rel = PrefixRelations(prefix)
+        # find two events in direct conflict
+        pair = None
+        for e in range(prefix.num_events):
+            for f in range(e + 1, prefix.num_events):
+                if rel.in_conflict(e, f):
+                    pair = (1 << e) | (1 << f)
+                    break
+            if pair:
+                break
+        assert pair is not None
+        assert not has_compatible_closure(rel, pair)
+        assert minimal_compatible_closure(rel, pair) is None
+
+    def test_closure_of_configuration_is_itself(self, vme_rel):
+        prefix, rel = vme_rel
+        for event in prefix.events:
+            mask = event.history.bits
+            assert minimal_compatible_closure(rel, mask) == mask
+
+    def test_closure_of_empty_is_empty(self, vme_rel):
+        _, rel = vme_rel
+        assert minimal_compatible_closure(rel, 0) == 0

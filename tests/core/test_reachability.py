@@ -1,0 +1,137 @@
+"""Tests for extended reachability analysis and deadlock checking (Sec. 5)."""
+
+import pytest
+
+from repro.core.reachability import (
+    LinearConstraint,
+    check_deadlock,
+    constraint_on_places,
+    find_configuration,
+    make_context,
+    marking_expression,
+)
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+from repro.petri.generators import chain, choice, cycle, fork_join
+from repro.petri.net import PetriNet
+from repro.unfolding import unfold
+from repro.unfolding.configurations import marking_of
+from repro.utils.bitset import BitSet
+
+
+class TestMarkingExpression:
+    def test_expression_evaluates_to_marking(self, vme):
+        """For every local configuration, the affine expression must equal
+        the real marking component."""
+        prefix = unfold(vme)
+        ctx = make_context(prefix)
+        for event in prefix.events:
+            if event.is_cutoff:
+                continue
+            mask = 0
+            for e in event.history:
+                pos = ctx.position.get(e)
+                assert pos is not None
+                mask |= 1 << pos
+            marking = ctx.marking_of(mask)
+            for place in range(vme.net.num_places):
+                const, coeffs = marking_expression(ctx, place)
+                value = const + sum(
+                    c for i, c in enumerate(coeffs) if (mask >> i) & 1
+                )
+                assert value == marking[place]
+
+    def test_constraint_on_places_shifts_rhs(self, vme):
+        ctx = make_context(unfold(vme))
+        place = vme.net.place_index("<dsr+,lds+>")
+        constraint = constraint_on_places(ctx, {place: 1}, ">=", 1)
+        assert constraint.sense == ">="
+
+
+class TestFindConfiguration:
+    def test_unconstrained_returns_some_configuration(self, vme):
+        """With no constraints any configuration works; the solver prefers
+        including events (deadlocks tend to live deep), so it returns a
+        maximal configuration."""
+        events = find_configuration(vme)
+        assert events is not None
+        prefix = unfold(vme)
+        from repro.unfolding.configurations import is_configuration
+
+        assert is_configuration(prefix, BitSet.from_iterable(events))
+
+    def test_reach_specific_place(self, vme):
+        """Find an execution marking the place between d+ and dtack+."""
+        prefix = unfold(vme)
+        ctx = make_context(prefix)
+        place = vme.net.place_index("<d+,dtack+>")
+        constraint = constraint_on_places(ctx, {place: 1}, ">=", 1)
+        events = find_configuration(prefix, [constraint], context=ctx)
+        assert events is not None
+        marking = marking_of(prefix, BitSet.from_iterable(events))
+        assert marking[place] == 1
+
+    def test_unreachable_constraint(self, vme):
+        prefix = unfold(vme)
+        ctx = make_context(prefix)
+        # two mutually exclusive places marked simultaneously
+        p1 = vme.net.place_index("<dsr+,lds+>")
+        p2 = vme.net.place_index("<lds+,ldtack+>")
+        constraints = [
+            constraint_on_places(ctx, {p1: 1}, ">=", 1),
+            constraint_on_places(ctx, {p2: 1}, ">=", 1),
+        ]
+        assert find_configuration(prefix, constraints, context=ctx) is None
+
+    def test_equality_sense(self, vme):
+        prefix = unfold(vme)
+        ctx = make_context(prefix)
+        place = vme.net.place_index("<dtack-,dsr+>")
+        constraint = constraint_on_places(ctx, {place: 1}, "==", 0)
+        events = find_configuration(prefix, [constraint], context=ctx)
+        assert events is not None
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError):
+            LinearConstraint((1,), "!", 0)
+
+
+class TestDeadlock:
+    def test_chain_deadlocks(self):
+        trace = check_deadlock(chain(3))
+        assert trace is not None
+        net = chain(3)
+        m = net.initial_marking
+        for name in trace:
+            m = net.fire_by_name(m, name)
+        assert not net.enabled(m)
+
+    def test_cycle_is_live(self):
+        assert check_deadlock(cycle(5)) is None
+
+    def test_fork_join_deadlocks_at_done(self):
+        # fork_join terminates: the final marking {done} enables nothing
+        trace = check_deadlock(fork_join(3))
+        assert trace is not None
+        assert sorted(trace) == sorted(["fork", "work0", "work1", "work2", "join"])
+
+    def test_choice_deadlocks_at_done(self):
+        trace = check_deadlock(choice(3, 2))
+        assert trace is not None
+        assert len(trace) == 2  # one branch of length 2
+
+    def test_benchmark_stgs_are_live(self, table1_stg):
+        assert check_deadlock(table1_stg) is None
+
+    def test_partial_deadlock_found(self):
+        """A net where one choice branch deadlocks and the other loops."""
+        net = PetriNet("trap")
+        net.add_place("start", tokens=1)
+        net.add_place("stuck")
+        net.add_transition("good")
+        net.add_transition("bad")
+        net.add_arc("start", "good")
+        net.add_arc("good", "start")
+        net.add_arc("start", "bad")
+        net.add_arc("bad", "stuck")
+        trace = check_deadlock(net)
+        assert trace == ["bad"]

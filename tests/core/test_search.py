@@ -1,0 +1,141 @@
+"""Unit tests for the pair branch-and-bound search."""
+
+import pytest
+
+from repro.core.context import SolverContext
+from repro.core.search import MODE_EQUAL, MODE_LEQ, PairSearch
+from repro.exceptions import SolverLimitError, SolverError
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+from repro.petri.generators import fork_join
+from repro.unfolding import unfold
+
+
+@pytest.fixture
+def vme_ctx(vme):
+    return SolverContext(unfold(vme))
+
+
+class TestContext:
+    def test_free_variables_exclude_cutoffs(self, vme_ctx):
+        prefix = vme_ctx.prefix
+        assert vme_ctx.num_vars == prefix.num_events - prefix.num_cutoffs
+        for e in prefix.cutoff_events:
+            assert e not in vme_ctx.position
+
+    def test_topological_positions(self, vme_ctx):
+        for i in range(vme_ctx.num_vars):
+            assert vme_ctx.pred_pos[i] < (1 << i), "preds must come earlier"
+
+    def test_suffix_counts_decreasing(self, vme_ctx):
+        for s in range(vme_ctx.num_signals):
+            values = [row[s] for row in vme_ctx.suffix_count]
+            assert values == sorted(values, reverse=True)
+            assert values[-1] == 0
+
+    def test_suffix_split_sums(self, vme_ctx):
+        for i in range(vme_ctx.num_vars + 1):
+            for s in range(vme_ctx.num_signals):
+                assert (
+                    vme_ctx.suffix_plus[i][s] + vme_ctx.suffix_minus[i][s]
+                    == vme_ctx.suffix_count[i][s]
+                )
+
+    def test_requires_stg(self):
+        prefix = unfold(fork_join(2))
+        with pytest.raises(SolverError):
+            SolverContext(prefix)
+
+    def test_initial_code_inferred(self, vme_ctx):
+        assert vme_ctx.initial_code() == (0, 0, 0, 0, 0)
+
+    def test_marking_of_empty_mask(self, vme_ctx, vme):
+        assert vme_ctx.marking_of(0) == vme.net.initial_marking
+
+    def test_trace_of_roundtrip(self, vme_ctx, vme):
+        # take the first three positions as a configuration prefix
+        mask = 0b111
+        trace = vme_ctx.trace_of(mask)
+        m = vme.net.initial_marking
+        for name in trace:
+            m = vme.net.fire_by_name(m, name)
+        assert m == vme_ctx.marking_of(mask)
+
+
+class TestSolutionProperties:
+    def test_solutions_are_configurations_with_equal_codes(self, vme_ctx):
+        from repro.core.closure import is_compatible
+
+        search = PairSearch(vme_ctx, mode=MODE_EQUAL, nested_only=False)
+        count = 0
+        for mask_a, mask_b in search.solutions():
+            count += 1
+            assert mask_a != mask_b
+            assert vme_ctx.code_change_of(mask_a) == vme_ctx.code_change_of(mask_b)
+            for mask in (mask_a, mask_b):
+                events = 0
+                for e in vme_ctx.positions_to_events(mask):
+                    events |= 1 << e
+                assert is_compatible(vme_ctx.relations, events)
+        assert count > 0
+
+    def test_leq_mode_orders_codes(self, vme_ctx):
+        search = PairSearch(vme_ctx, mode=MODE_LEQ)
+        seen = 0
+        for mask_a, mask_b in search.solutions():
+            change_a = vme_ctx.code_change_of(mask_a)
+            change_b = vme_ctx.code_change_of(mask_b)
+            assert all(x <= y for x, y in zip(change_a, change_b))
+            seen += 1
+            if seen > 200:
+                break
+        assert seen > 0
+
+    def test_nested_mode_solutions_nested(self, vme_ctx):
+        search = PairSearch(vme_ctx, mode=MODE_EQUAL, nested_only=True)
+        for mask_a, mask_b in search.solutions():
+            assert mask_a & ~mask_b == 0  # C' subset of C''
+
+    def test_symmetry_breaking_halves_space(self, vme_ctx):
+        """Without nesting, each unordered pair appears exactly once."""
+        search = PairSearch(vme_ctx, mode=MODE_EQUAL, nested_only=False)
+        seen = set()
+        for mask_a, mask_b in search.solutions():
+            assert (mask_b, mask_a) not in seen
+            seen.add((mask_a, mask_b))
+
+
+class TestAblationSwitches:
+    def test_no_propagation_agrees_on_tiny_model(self):
+        stg = TABLE1_BENCHMARKS["DUP-4PH-A"]()
+        ctx = SolverContext(unfold(stg))
+        fast = PairSearch(ctx, nested_only=False)
+        slow = PairSearch(
+            ctx, nested_only=False, use_order_propagation=False
+        )
+        fast_solutions = {tuple(s) for s in fast.solutions()}
+        slow_solutions = {tuple(s) for s in slow.solutions()}
+        assert fast_solutions == slow_solutions
+        assert slow.stats.nodes > fast.stats.nodes
+
+    def test_no_balance_pruning_agrees(self, vme_ctx):
+        fast = PairSearch(vme_ctx, nested_only=False)
+        slow = PairSearch(vme_ctx, nested_only=False, use_balance_pruning=False)
+        assert {tuple(s) for s in fast.solutions()} == {
+            tuple(s) for s in slow.solutions()
+        }
+        assert slow.stats.leaves >= fast.stats.leaves
+
+    def test_node_budget(self, vme_ctx):
+        search = PairSearch(vme_ctx, node_budget=5)
+        with pytest.raises(SolverLimitError):
+            list(search.solutions())
+
+    def test_bad_mode_rejected(self, vme_ctx):
+        with pytest.raises(ValueError):
+            PairSearch(vme_ctx, mode="bogus")
+
+    def test_stats_populated(self, vme_ctx):
+        search = PairSearch(vme_ctx)
+        list(search.solutions())
+        assert search.stats.nodes > 0
+        assert search.stats.solutions == search.stats.solutions

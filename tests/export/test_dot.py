@@ -1,0 +1,67 @@
+"""Tests for the Graphviz DOT exporters."""
+
+from repro.export import net_to_dot, prefix_to_dot, state_graph_to_dot, stg_to_dot
+from repro.petri.generators import fork_join
+from repro.stg.stategraph import build_state_graph
+from repro.unfolding import unfold
+
+
+class TestNetDot:
+    def test_structure(self, simple_net):
+        dot = net_to_dot(simple_net)
+        assert dot.startswith("digraph")
+        assert dot.count("shape=circle") == simple_net.num_places
+        assert dot.count("shape=box") == simple_net.num_transitions
+        assert dot.rstrip().endswith("}")
+
+    def test_tokens_rendered(self, simple_net):
+        assert "•" in net_to_dot(simple_net)
+
+    def test_arcs_complete(self):
+        net = fork_join(2)
+        dot = net_to_dot(net)
+        arcs = sum(1 for line in dot.splitlines() if "->" in line)
+        assert arcs == sum(1 for _ in net.arcs())
+
+
+class TestSTGDot:
+    def test_edge_labels(self, vme):
+        dot = stg_to_dot(vme)
+        assert '"dsr+"' in dot
+        assert '"ldtack-"' in dot
+
+    def test_simple_places_hidden(self, vme):
+        dot = stg_to_dot(vme, hide_simple_places=True)
+        full = stg_to_dot(vme, hide_simple_places=False)
+        assert dot.count("shape=circle") < full.count("shape=circle")
+        # marked places are always drawn
+        assert dot.count("shape=circle") == 2
+
+
+class TestPrefixDot:
+    def test_cutoffs_double_bordered(self, vme):
+        prefix = unfold(vme)
+        dot = prefix_to_dot(prefix)
+        assert dot.count("peripheries=2") == prefix.num_cutoffs
+        assert dot.count("shape=circle") == prefix.num_conditions
+        assert dot.count("shape=box") == prefix.num_events
+
+
+class TestStateGraphDot:
+    def test_codes_and_conflicts(self, vme):
+        graph = build_state_graph(vme)
+        dot = state_graph_to_dot(graph)
+        conflict = graph.csc_conflicts(first_only=True)[0]
+        code = "".join(map(str, conflict.code))
+        assert f'"{code}"' in dot
+        assert "lightcoral" in dot  # conflicting states highlighted
+
+    def test_clean_graph_has_no_highlight(self, vme_csc):
+        graph = build_state_graph(vme_csc)
+        dot = state_graph_to_dot(graph)
+        assert "lightcoral" not in dot
+
+    def test_edges_labelled(self, vme):
+        graph = build_state_graph(vme)
+        dot = state_graph_to_dot(graph)
+        assert 'label="dsr+"' in dot

@@ -1,0 +1,69 @@
+"""Tests for the ILP modelling layer."""
+
+import pytest
+
+from repro.ilp.model import Constraint, LinearExpr, Problem
+
+
+class TestLinearExpr:
+    def test_term_and_constant(self):
+        e = LinearExpr.term(0, 2) + LinearExpr.constant(3)
+        assert e.evaluate([1]) == 5
+        assert e.evaluate([0]) == 3
+
+    def test_addition_merges(self):
+        e = LinearExpr.term(0) + LinearExpr.term(0) + LinearExpr.term(1, -1)
+        assert e.coeffs == {0: 2, 1: -1}
+
+    def test_zero_coefficients_dropped(self):
+        e = LinearExpr.term(0) - LinearExpr.term(0)
+        assert e.coeffs == {}
+
+    def test_scale(self):
+        e = (LinearExpr.term(0, 2) + LinearExpr.constant(1)).scale(-3)
+        assert e.coeffs == {0: -6}
+        assert e.const == -3
+
+    def test_repr_stable(self):
+        e = LinearExpr({1: 2, 0: -1}, 5)
+        assert repr(e) == "-1*x0 + 2*x1 + 5"
+        assert repr(LinearExpr()) == "0"
+
+
+class TestConstraint:
+    def test_senses(self):
+        x = LinearExpr.term(0)
+        assert Constraint.build(x, "<=", 1).satisfied([1])
+        assert not Constraint.build(x, ">=", 1).satisfied([0])
+        assert Constraint.build(x, "==", 1).satisfied([1])
+
+    def test_build_folds_rhs(self):
+        c = Constraint.build(LinearExpr.term(0), "<=", 5)
+        assert c.expr.const == -5
+
+    def test_bad_sense(self):
+        with pytest.raises(ValueError):
+            Constraint(LinearExpr(), "<")
+
+
+class TestProblem:
+    def test_add_validates_vars(self):
+        p = Problem(num_vars=2)
+        with pytest.raises(ValueError):
+            p.add(Constraint.build(LinearExpr.term(5), "<=", 1))
+
+    def test_fix_zero(self):
+        p = Problem(num_vars=1)
+        p.fix_zero(0)
+        assert p.check([0])
+        assert not p.check([1])
+
+    def test_check_length(self):
+        p = Problem(num_vars=2)
+        with pytest.raises(ValueError):
+            p.check([0])
+
+    def test_names(self):
+        p = Problem(num_vars=2, names=["alpha"])
+        assert p.name_of(0) == "alpha"
+        assert p.name_of(1) == "x1"

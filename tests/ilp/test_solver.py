@@ -1,0 +1,97 @@
+"""Tests for the generic 0-1 branch-and-bound solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverLimitError
+from repro.ilp.model import Constraint, LinearExpr, Problem
+from repro.ilp.solver import BranchAndBoundSolver, SolverOptions
+
+
+def knapsack_problem():
+    """x0 + 2 x1 + 3 x2 == 3."""
+    p = Problem(num_vars=3)
+    expr = (
+        LinearExpr.term(0, 1) + LinearExpr.term(1, 2) + LinearExpr.term(2, 3)
+    )
+    p.add(Constraint.build(expr, "==", 3))
+    return p
+
+
+class TestSolve:
+    def test_finds_all_solutions(self):
+        solver = BranchAndBoundSolver(knapsack_problem())
+        solutions = {tuple(s) for s in solver.solutions()}
+        assert solutions == {(1, 1, 0), (0, 0, 1)}
+
+    def test_first_solution(self):
+        solution = BranchAndBoundSolver(knapsack_problem()).solve()
+        assert solution in ([1, 1, 0], [0, 0, 1])
+
+    def test_infeasible(self):
+        p = Problem(num_vars=2)
+        p.add(Constraint.build(LinearExpr.term(0) + LinearExpr.term(1), ">=", 3))
+        assert BranchAndBoundSolver(p).solve() is None
+
+    def test_unconstrained_enumerates_all(self):
+        p = Problem(num_vars=3)
+        assert len(list(BranchAndBoundSolver(p).solutions())) == 8
+
+    def test_node_budget(self):
+        p = Problem(num_vars=20)
+        solver = BranchAndBoundSolver(p, SolverOptions(node_budget=10))
+        with pytest.raises(SolverLimitError):
+            list(solver.solutions())
+
+    def test_custom_variable_order(self):
+        p = knapsack_problem()
+        solver = BranchAndBoundSolver(p, SolverOptions(variable_order=[2, 1, 0]))
+        solutions = {tuple(s) for s in solver.solutions()}
+        assert solutions == {(1, 1, 0), (0, 0, 1)}
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(
+                Problem(num_vars=2), SolverOptions(variable_order=[0, 0])
+            )
+
+    def test_pruning_reduces_nodes(self):
+        p = Problem(num_vars=12)
+        expr = LinearExpr()
+        for i in range(12):
+            expr = expr + LinearExpr.term(i)
+        p.add(Constraint.build(expr, ">=", 12))  # all ones forced
+        solver = BranchAndBoundSolver(p)
+        assert solver.solve() == [1] * 12
+        # with the >= bound, every 0-branch is pruned immediately
+        assert solver.stats.nodes <= 2 * 12 + 2
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(-3, 3), min_size=4, max_size=4),
+                st.sampled_from(["<=", ">=", "=="]),
+                st.integers(-4, 4),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_enumeration(self, raw_constraints):
+        p = Problem(num_vars=4)
+        for coeffs, sense, rhs in raw_constraints:
+            expr = LinearExpr({i: c for i, c in enumerate(coeffs)})
+            p.add(Constraint.build(expr, sense, rhs))
+        solver_solutions = {tuple(s) for s in BranchAndBoundSolver(p).solutions()}
+        brute = {
+            bits
+            for bits in itertools.product((0, 1), repeat=4)
+            if p.check(list(bits))
+        }
+        assert solver_solutions == brute

@@ -1,0 +1,128 @@
+"""Tests for the exact-rational simplex."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import LinearProgram, solve_lp
+
+
+def lp(num_vars, constraints, objective=None):
+    problem = LinearProgram.feasibility(num_vars, constraints)
+    if objective is not None:
+        problem.objective = [Fraction(c) for c in objective]
+    return problem
+
+
+class TestFeasibility:
+    def test_trivial(self):
+        assert solve_lp(lp(1, [([1], "<=", 5)])).feasible
+
+    def test_infeasible_pair(self):
+        result = solve_lp(lp(1, [([1], ">=", 3), ([1], "<=", 2)]))
+        assert not result.feasible
+
+    def test_equality(self):
+        result = solve_lp(lp(2, [([1, 1], "==", 4), ([1, -1], "==", 0)]))
+        assert result.feasible
+        assert result.solution == [Fraction(2), Fraction(2)]
+
+    def test_infeasible_equalities(self):
+        assert not solve_lp(
+            lp(1, [([1], "==", 1), ([1], "==", 2)])
+        ).feasible
+
+    def test_negative_rhs_normalised(self):
+        # x >= -1 is vacuous under x >= 0
+        assert solve_lp(lp(1, [([1], ">=", -1)])).feasible
+
+    def test_nonnegativity_is_implicit(self):
+        # x <= -2 contradicts x >= 0
+        assert not solve_lp(lp(1, [([1], "<=", -2)])).feasible
+
+
+class TestOptimisation:
+    def test_simple_max(self):
+        result = solve_lp(
+            lp(2, [([1, 1], "<=", 4), ([1, 0], "<=", 3)], objective=[3, 2])
+        )
+        assert result.feasible
+        assert result.objective_value == Fraction(11)  # x=3, y=1
+
+    def test_degenerate_cycling_guard(self):
+        """The classical Beale cycling example must terminate (Bland)."""
+        constraints = [
+            ([Fraction(1, 4), -8, -1, 9], "<=", 0),
+            ([Fraction(1, 2), -12, Fraction(-1, 2), 3], "<=", 0),
+            ([0, 0, 1, 0], "<=", 1),
+        ]
+        result = solve_lp(
+            lp(4, constraints, objective=[Fraction(3, 4), -20, Fraction(1, 2), -6])
+        )
+        assert result.feasible
+        assert result.objective_value == Fraction(5, 4)
+
+    def test_unbounded(self):
+        result = solve_lp(lp(1, [([1], ">=", 0)], objective=[1]))
+        assert result.feasible
+        assert result.objective_value is None
+
+    def test_exact_fractions(self):
+        result = solve_lp(
+            lp(1, [([3], "<=", 1)], objective=[1])
+        )
+        assert result.objective_value == Fraction(1, 3)
+
+
+class TestAddUpperBounds:
+    def test_box_constraints(self):
+        problem = lp(2, [([1, 1], ">=", 1)], objective=[1, 1])
+        problem.add_upper_bounds(1)
+        result = solve_lp(problem)
+        assert result.objective_value == Fraction(2)
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+                st.sampled_from(["<=", ">="]),
+                st.integers(-5, 5),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_solution_satisfies_constraints(self, raw):
+        problem = lp(3, raw)
+        result = solve_lp(problem)
+        if not result.feasible:
+            return
+        x = result.solution
+        assert all(v >= 0 for v in x)
+        for coeffs, sense, bound in raw:
+            value = sum(Fraction(c) * v for c, v in zip(coeffs, x))
+            if sense == "<=":
+                assert value <= bound
+            else:
+                assert value >= bound
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 3), min_size=2, max_size=2),
+                st.integers(0, 5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_nonnegative_systems_always_feasible(self, raw):
+        """A x <= b with A, b >= 0 always admits x = 0."""
+        constraints = [(coeffs, "<=", bound) for coeffs, bound in raw]
+        assert solve_lp(lp(2, constraints)).feasible

@@ -1,0 +1,80 @@
+"""Tests for the classic textbook controllers."""
+
+import pytest
+
+from repro.core import check_csc, check_usc
+from repro.models.classic import (
+    CLASSIC_MODELS,
+    c_element,
+    latch_controller,
+    sr_latch,
+    toggle,
+)
+from repro.petri.analysis import is_safe
+from repro.stg.consistency import is_consistent
+from repro.stg.stategraph import build_state_graph
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", sorted(CLASSIC_MODELS), ids=sorted(CLASSIC_MODELS))
+    def test_safe_consistent_live(self, name):
+        stg = CLASSIC_MODELS[name]()
+        assert is_safe(stg.net)
+        assert is_consistent(stg)
+        assert not build_state_graph(stg).consistency.graph.deadlocks()
+
+
+class TestVerdicts:
+    def test_c_element_clean(self):
+        graph = build_state_graph(c_element())
+        assert graph.has_usc()
+        # all 8 (a,b,c)-combinations minus none: full cube reachable
+        assert graph.num_states == 8
+
+    def test_sr_latch_clean(self):
+        assert build_state_graph(sr_latch()).has_usc()
+
+    def test_latch_controller_csc_conflict(self):
+        stg = latch_controller()
+        assert not check_csc(stg).holds
+        assert not check_usc(stg).holds
+
+    def test_toggle_needs_state(self):
+        assert not check_csc(toggle()).holds
+
+
+class TestToggleResolution:
+    def test_resolve_adds_phase_bit(self):
+        """The CSC resolver discovers the toggle's missing internal phase."""
+        from repro.synthesis import resolve_csc, synthesise
+
+        resolution = resolve_csc(toggle())
+        assert resolution.insertions
+        assert check_csc(resolution.stg).holds
+        result = synthesise(resolution.stg)
+        assert result.verify(build_state_graph(resolution.stg))
+
+
+class TestCElementSynthesis:
+    def test_c_element_equation(self):
+        """Synthesis must recover the C-element's characteristic function
+        c = ab + c(a + b) (or an equivalent cover)."""
+        from repro.synthesis import synthesise
+
+        result = synthesise(c_element())
+        impl = result.per_signal["c"]
+        # the function is positive-unate in a, b and c
+        assert impl.complex_gate.is_positive_unate()
+        # check the truth table of the majority function on reachable codes
+        graph = build_state_graph(c_element())
+        stg = c_element()
+        for state in range(graph.num_states):
+            code = graph.code(state)
+            a, b, c = (
+                code[stg.signal_index("a")],
+                code[stg.signal_index("b")],
+                code[stg.signal_index("c")],
+            )
+            minterm = sum(1 << i for i, bit in enumerate(code) if bit)
+            majority = int(a + b + c >= 2)
+            assert impl.complex_gate.evaluate(minterm) == bool(majority)

@@ -1,0 +1,152 @@
+"""Tests for the benchmark model constructors (structure and verdicts)."""
+
+import pytest
+
+from repro.models import TABLE1_BENCHMARKS, vme_bus, vme_bus_csc_resolved
+from repro.models.counterflow import counterflow_pipeline
+from repro.models.duplex import duplex_channel
+from repro.models.ring import lazy_ring, token_ring
+from repro.models.scalable import (
+    muller_pipeline,
+    muller_ring,
+    parallel_forks,
+    service_ring,
+    vme_chain,
+)
+from repro.petri.analysis import is_safe
+from repro.petri.reachability import explore
+from repro.stg.consistency import is_consistent
+from repro.stg.stategraph import build_state_graph
+from tests.conftest import TABLE1_VERDICTS
+
+
+class TestWellFormedness:
+    def test_all_benchmarks_safe_consistent_live(self, table1_stg):
+        assert is_safe(table1_stg.net)
+        assert is_consistent(table1_stg)
+        assert not explore(table1_stg.net).deadlocks()
+
+    def test_vme_sizes_match_paper(self, vme):
+        # Figure 1: 5 signals; the net has 10 transitions (one per edge)
+        assert vme.stats() == {"places": 11, "transitions": 10, "signals": 5}
+
+    def test_registry_names_are_table1(self):
+        assert len(TABLE1_BENCHMARKS) == 15
+        assert set(TABLE1_BENCHMARKS) == set(TABLE1_VERDICTS)
+
+
+class TestParameters:
+    def test_token_ring_validation(self):
+        with pytest.raises(ValueError):
+            token_ring(1)
+
+    def test_lazy_ring_validation(self):
+        with pytest.raises(ValueError):
+            lazy_ring(0)
+
+    def test_duplex_variant_validation(self):
+        with pytest.raises(ValueError):
+            duplex_channel("bogus")
+
+    def test_counterflow_validation(self):
+        with pytest.raises(ValueError):
+            counterflow_pipeline(1)
+
+    def test_muller_pipeline_validation(self):
+        with pytest.raises(ValueError):
+            muller_pipeline(0)
+        with pytest.raises(ValueError):
+            muller_pipeline(3, signal_names=["a"])
+
+    def test_muller_ring_validation(self):
+        with pytest.raises(ValueError):
+            muller_ring(2)
+        with pytest.raises(ValueError):
+            muller_ring(5, waves=5)
+        with pytest.raises(ValueError):
+            muller_ring(5, signal_names=["a"])
+
+    def test_parallel_forks_validation(self):
+        with pytest.raises(ValueError):
+            parallel_forks(0)
+
+
+class TestScalableFamilies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_muller_pipeline_conflict_free(self, n):
+        graph = build_state_graph(muller_pipeline(n))
+        assert graph.has_usc()
+        assert graph.num_states == 2 ** (n + 1)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_parallel_forks_conflict_free(self, n):
+        graph = build_state_graph(parallel_forks(n))
+        assert graph.has_usc()
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_token_ring_usc_only_conflicts(self, n):
+        graph = build_state_graph(token_ring(n))
+        assert not graph.has_usc()
+        assert graph.has_csc()
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_vme_chain_csc_conflicts(self, n):
+        graph = build_state_graph(vme_chain(n))
+        assert not graph.has_csc()
+
+    def test_service_ring_alias(self):
+        assert service_ring(4).net.name == token_ring(4).net.name
+
+    def test_muller_ring_bounded_but_unsafe(self):
+        ring = muller_ring(4)
+        assert not is_safe(ring.net)
+        from repro.petri.analysis import bound
+
+        assert bound(ring.net) == 2
+
+    def test_muller_ring_consistent(self):
+        assert is_consistent(muller_ring(5))
+
+
+class TestDuplexVariants:
+    @pytest.mark.parametrize(
+        "variant",
+        ["4ph-a", "4ph-b", "4ph-mtr-a", "4ph-mtr-b", "mod-a", "mod-b", "mod-c"],
+    )
+    def test_all_variants_have_csc_conflicts(self, variant):
+        stg = duplex_channel(variant)
+        graph = build_state_graph(stg)
+        assert not graph.has_csc()
+        # the conflict is at the channel turnaround: some witness involves
+        # the output-enable signals
+        assert any(
+            "oea" in (c.out_a | c.out_b) or "oeb" in (c.out_a | c.out_b)
+            for c in graph.csc_conflicts()
+        )
+
+    def test_latched_variants_have_internal_signals(self):
+        assert duplex_channel("mod-a").internal == ["lta"]
+        assert set(duplex_channel("mod-b").internal) == {"lta", "ltb"}
+
+    def test_mtr_variants_have_choice(self):
+        from repro.petri.analysis import has_structural_conflicts
+
+        assert has_structural_conflicts(duplex_channel("4ph-mtr-a").net)
+        assert not has_structural_conflicts(duplex_channel("4ph-a").net)
+
+
+class TestCounterflow:
+    @pytest.mark.parametrize("n,symmetric", [(2, True), (3, True), (2, False)])
+    def test_conflict_free(self, n, symmetric):
+        graph = build_state_graph(counterflow_pipeline(n, symmetric=symmetric))
+        assert graph.has_usc()
+
+    def test_asymmetric_is_larger(self):
+        sym = counterflow_pipeline(3, symmetric=True)
+        asym = counterflow_pipeline(3, symmetric=False)
+        assert asym.net.num_places > sym.net.num_places
+
+    def test_signal_naming(self):
+        stg = counterflow_pipeline(2, symmetric=True)
+        assert "f0" in stg.signals
+        assert "b0" in stg.signals

@@ -1,0 +1,134 @@
+"""Tests for structural and behavioural net analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import UnboundedNetError
+from repro.petri.analysis import (
+    bound,
+    has_structural_conflicts,
+    is_bounded,
+    is_dynamically_conflict_free,
+    is_free_choice,
+    is_marked_graph,
+    is_safe,
+    place_invariants,
+    transition_invariants,
+)
+from repro.petri.generators import chain, choice, cycle, fork_join
+from repro.petri.incidence import incidence_matrix
+from repro.petri.net import PetriNet
+
+
+def unbounded_net():
+    net = PetriNet("grow")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    net.add_arc("t", "p")
+    net.add_arc("t", "q")
+    return net
+
+
+class TestBoundedness:
+    def test_safe_nets(self, simple_net, ring_net, fork_net):
+        assert is_safe(simple_net)
+        assert is_safe(ring_net)
+        assert is_safe(fork_net)
+
+    def test_multi_token_cycle_is_2_bounded(self):
+        net = cycle(3, tokens=2)
+        # a trailing token can enter a place before the leading one leaves
+        assert not is_safe(net)
+        assert is_bounded(net)
+        assert bound(net) == 2
+
+    def test_genuinely_2bounded(self):
+        net = PetriNet()
+        net.add_place("a", tokens=2)
+        net.add_place("b")
+        net.add_transition("t")
+        net.add_arc("a", "t")
+        net.add_arc("t", "b")
+        assert not is_safe(net)
+        assert is_bounded(net)
+        assert bound(net) == 2
+
+    def test_unbounded(self):
+        assert not is_bounded(unbounded_net())
+        with pytest.raises(UnboundedNetError):
+            bound(unbounded_net())
+
+    def test_bound_of_safe_net(self, ring_net):
+        assert bound(ring_net) == 1
+
+
+class TestStructuralClasses:
+    def test_marked_graph(self, simple_net, ring_net):
+        assert is_marked_graph(simple_net)
+        assert is_marked_graph(ring_net)
+
+    def test_choice_net_not_marked_graph(self, choice_net):
+        assert not is_marked_graph(choice_net)
+        assert has_structural_conflicts(choice_net)
+
+    def test_free_choice(self, choice_net):
+        assert is_free_choice(choice_net)
+
+    def test_non_free_choice(self):
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b", tokens=1)
+        net.add_transition("t1")
+        net.add_transition("t2")
+        net.add_arc("a", "t1")
+        net.add_arc("a", "t2")
+        net.add_arc("b", "t2")  # t1, t2 share a but have different presets
+        assert not is_free_choice(net)
+
+    def test_dynamic_conflict_freeness(self, simple_net, choice_net):
+        assert is_dynamically_conflict_free(simple_net)
+        assert not is_dynamically_conflict_free(choice_net)
+
+    def test_structurally_conflicting_but_dynamically_free(self):
+        # two consumers of p, but the second can never be enabled
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_place("never")  # no token ever
+        net.add_place("done")
+        net.add_transition("use")
+        net.add_transition("blocked")
+        net.add_arc("p", "use")
+        net.add_arc("use", "done")
+        net.add_arc("p", "blocked")
+        net.add_arc("never", "blocked")
+        assert has_structural_conflicts(net)
+        assert is_dynamically_conflict_free(net)
+
+
+class TestInvariants:
+    def test_cycle_has_token_conservation(self, ring_net):
+        invariants = place_invariants(ring_net)
+        matrix = incidence_matrix(ring_net)
+        assert invariants, "a cycle conserves its token count"
+        for y in invariants:
+            assert not (y @ matrix).any()
+
+    def test_cycle_t_invariant_is_full_rotation(self, ring_net):
+        invariants = transition_invariants(ring_net)
+        matrix = incidence_matrix(ring_net)
+        assert invariants
+        for x in invariants:
+            assert not (matrix @ x).any()
+
+    def test_chain_has_no_t_invariant(self, simple_net):
+        # acyclic net: only the zero vector satisfies I x = 0
+        assert transition_invariants(simple_net) == []
+
+    def test_fork_join_invariants_cover_all_places(self, fork_net):
+        invariants = place_invariants(fork_net)
+        covered = set()
+        for y in invariants:
+            covered.update(np.nonzero(y)[0])
+        assert covered == set(range(fork_net.num_places))

@@ -1,0 +1,80 @@
+"""Tests for the Karp-Miller coverability graph."""
+
+import pytest
+
+from repro.petri.coverability import OMEGA, CoverabilityGraph, coverability_graph
+from repro.petri.generators import chain, cycle, fork_join
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+
+
+def unbounded_net():
+    net = PetriNet("grow")
+    net.add_place("p", tokens=1)
+    net.add_place("q")
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    net.add_arc("t", "p")
+    net.add_arc("t", "q")
+    return net
+
+
+class TestBoundedNets:
+    @pytest.mark.parametrize(
+        "builder", [lambda: chain(3), lambda: cycle(4), lambda: fork_join(3)]
+    )
+    def test_bounded_detected(self, builder):
+        graph = coverability_graph(builder())
+        assert graph.is_bounded()
+        assert graph.unbounded_places() == []
+
+    def test_nodes_match_reachability_for_bounded(self):
+        from repro.petri.reachability import explore
+
+        net = fork_join(3)
+        graph = coverability_graph(net)
+        reach = explore(net)
+        assert graph.num_nodes == reach.num_states
+
+
+class TestUnboundedNets:
+    def test_omega_appears(self):
+        graph = coverability_graph(unbounded_net())
+        assert not graph.is_bounded()
+        assert graph.unbounded_places() == ["q"]
+
+    def test_covers_arbitrary_targets(self):
+        net = unbounded_net()
+        graph = coverability_graph(net)
+        # q can hold any number of tokens (with p = 1)
+        assert graph.covers(Marking((1, 50)))
+        # but never 2 tokens in p
+        assert not graph.covers(Marking((2, 0)))
+
+    def test_two_counter_net(self):
+        net = PetriNet("two")
+        net.add_place("ctl", tokens=1)
+        net.add_place("a")
+        net.add_place("b")
+        net.add_transition("make_a")
+        net.add_transition("swap")
+        net.add_arc("ctl", "make_a")
+        net.add_arc("make_a", "ctl")
+        net.add_arc("make_a", "a")
+        net.add_arc("a", "swap")
+        net.add_arc("swap", "b")
+        graph = coverability_graph(net)
+        assert set(graph.unbounded_places()) == {"a", "b"}
+
+
+class TestCoverQueries:
+    def test_bounded_cover(self):
+        net = cycle(3)
+        graph = coverability_graph(net)
+        assert graph.covers(Marking((1, 0, 0)))
+        assert graph.covers(Marking((0, 1, 0)))
+        assert not graph.covers(Marking((1, 1, 0)))
+
+    def test_budget(self):
+        with pytest.raises(RuntimeError):
+            coverability_graph(fork_join(6), max_nodes=5)

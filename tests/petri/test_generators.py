@@ -1,0 +1,83 @@
+"""Tests for the structured/random net generators."""
+
+import pytest
+
+from repro.petri.analysis import is_marked_graph, is_safe
+from repro.petri.generators import chain, choice, cycle, fork_join, random_safe_net
+from repro.petri.reachability import explore
+
+
+class TestChain:
+    def test_structure(self):
+        net = chain(5)
+        assert net.num_places == 6
+        assert net.num_transitions == 5
+        assert is_marked_graph(net)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestCycle:
+    def test_single_token_live_and_safe(self):
+        net = cycle(6, tokens=1)
+        assert is_safe(net)
+        assert not explore(net).deadlocks()
+
+    def test_multi_token_is_k_bounded_not_safe(self):
+        from repro.petri.analysis import bound
+
+        net = cycle(6, tokens=2)
+        assert not is_safe(net)  # no capacity back-pressure
+        assert bound(net) == 2
+        assert not explore(net).deadlocks()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cycle(0)
+        with pytest.raises(ValueError):
+            cycle(3, tokens=4)
+
+
+class TestForkJoin:
+    @pytest.mark.parametrize("width", [1, 2, 5])
+    def test_state_space_size(self, width):
+        graph = explore(fork_join(width))
+        assert graph.num_states == 2 ** width + 2
+
+    def test_safe(self):
+        assert is_safe(fork_join(4))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fork_join(0)
+
+
+class TestChoice:
+    def test_branch_count(self):
+        net = choice(4, length=2)
+        graph = explore(net)
+        # start + 4 branches * 1 intermediate + done
+        assert graph.num_states == 1 + 4 + 1
+        assert is_safe(net)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            choice(0)
+        with pytest.raises(ValueError):
+            choice(2, length=0)
+
+
+class TestRandomSafeNet:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_safe(self, seed):
+        net = random_safe_net(num_branches=3, branch_length=3, seed=seed)
+        assert is_safe(net, max_states=50_000)
+
+    def test_deterministic_for_seed(self):
+        a = random_safe_net(seed=42)
+        b = random_safe_net(seed=42)
+        assert a.places == b.places
+        assert a.transitions == b.transitions
+        assert sorted(a.arcs()) == sorted(b.arcs())

@@ -1,0 +1,97 @@
+"""Tests for the incidence matrix and the marking equation."""
+
+import numpy as np
+import pytest
+
+from repro.petri.generators import chain, cycle
+from repro.petri.incidence import (
+    incidence_matrix,
+    marking_equation_feasible,
+    parikh_vector,
+    state_equation_result,
+)
+from repro.petri.marking import Marking
+from repro.petri.net import PetriNet
+from repro.petri.reachability import explore
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_entries(self, simple_net):
+        matrix = incidence_matrix(simple_net)
+        assert matrix.shape == (3, 2)
+        # t0 consumes p0, produces p1
+        assert matrix[0, 0] == -1
+        assert matrix[1, 0] == 1
+        assert matrix[2, 0] == 0
+
+    def test_self_loop_cancels(self):
+        net = PetriNet()
+        net.add_place("p", tokens=1)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("t", "p")
+        assert incidence_matrix(net)[0, 0] == 0
+
+    def test_weighted_arcs(self):
+        net = PetriNet()
+        net.add_place("p", tokens=2)
+        net.add_place("q")
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        net.add_arc("t", "q", weight=3)
+        matrix = incidence_matrix(net)
+        assert matrix[0, 0] == -2
+        assert matrix[1, 0] == 3
+
+
+class TestStateEquation:
+    def test_firing_sequence_satisfies_equation(self, ring_net):
+        sequence = [0, 1, 2]
+        parikh = parikh_vector(ring_net, sequence)
+        final = ring_net.fire_sequence(ring_net.initial_marking, sequence)
+        predicted = state_equation_result(ring_net, ring_net.initial_marking, parikh)
+        assert np.array_equal(predicted, np.array(final.counts))
+
+    def test_every_reachable_marking_feasible(self):
+        net = cycle(4)
+        graph = explore(net)
+        for marking in graph.markings:
+            assert marking_equation_feasible(net, marking)
+
+    def test_infeasible_marking_rejected(self, simple_net):
+        # two tokens cannot appear from one
+        impossible = Marking((1, 1, 1))
+        assert not marking_equation_feasible(simple_net, impossible)
+
+    def test_feasible_but_unreachable_spurious_solution(self):
+        # the classical gap: the equation is necessary, not sufficient.
+        # two places swap tokens through a cycle that is never enabled.
+        net = PetriNet()
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_place("lock")  # required by both transitions, never marked
+        net.add_transition("ab")
+        net.add_transition("ba")
+        net.add_arc("a", "ab")
+        net.add_arc("lock", "ab")
+        net.add_arc("ab", "b")
+        net.add_arc("ab", "lock")
+        net.add_arc("b", "ba")
+        net.add_arc("ba", "a")
+        target = Marking((0, 1, 0))
+        # unreachable (lock never marked) but the equation has a solution
+        graph = explore(net)
+        assert target not in graph.index
+        assert marking_equation_feasible(net, target)
+
+    def test_acyclic_net_equation_exact(self, simple_net):
+        # on acyclic nets feasibility == reachability (paper Section 2.2)
+        graph = explore(simple_net)
+        reachable = set(graph.markings)
+        all_markings = [
+            Marking((a, b, c)) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        ]
+        for marking in all_markings:
+            assert marking_equation_feasible(simple_net, marking) == (
+                marking in reachable
+            )

@@ -1,0 +1,93 @@
+"""Unit and property tests for Marking (multiset semantics, lex order)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.petri.marking import Marking
+
+vectors = st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=8)
+
+
+class TestBasics:
+    def test_construction_and_access(self):
+        m = Marking((1, 0, 2))
+        assert m[0] == 1
+        assert m[2] == 2
+        assert len(m) == 3
+        assert m.total() == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Marking((1, -1))
+
+    def test_from_dict(self):
+        m = Marking.from_dict(4, {1: 2, 3: 1})
+        assert m.counts == (0, 2, 0, 1)
+
+    def test_empty(self):
+        assert Marking.empty(3).counts == (0, 0, 0)
+
+    def test_support(self):
+        m = Marking((0, 1, 0, 3))
+        assert list(m.support()) == [1, 3]
+        assert m.support_set() == frozenset({1, 3})
+
+    def test_as_dict(self):
+        assert Marking((0, 2, 1)).as_dict() == {1: 2, 2: 1}
+
+    def test_max_count(self):
+        assert Marking((0, 3, 1)).max_count() == 3
+        assert Marking(()).max_count() == 0
+
+
+class TestAlgebra:
+    def test_add_subtract(self):
+        m = Marking((1, 1))
+        m2 = m.add({0: 1}).subtract({1: 1})
+        assert m2.counts == (2, 0)
+        # original untouched (immutability)
+        assert m.counts == (1, 1)
+
+    def test_subtract_underflow_raises(self):
+        with pytest.raises(ValueError):
+            Marking((0, 1)).subtract({0: 1})
+
+    def test_covers(self):
+        m = Marking((2, 1, 0))
+        assert m.covers({0: 2, 1: 1})
+        assert not m.covers({2: 1})
+
+    def test_dominates(self):
+        a, b = Marking((2, 1)), Marking((1, 1))
+        assert a.dominates(b)
+        assert a.strictly_dominates(b)
+        assert not b.dominates(a)
+        assert not a.strictly_dominates(a)
+
+
+class TestOrderAndHash:
+    def test_lex_order_matches_tuples(self):
+        assert Marking((0, 1)) < Marking((1, 0))
+        assert Marking((1, 0)) <= Marking((1, 0))
+
+    def test_hash_consistency(self):
+        assert hash(Marking((1, 2))) == hash(Marking((1, 2)))
+        assert Marking((1, 2)) == Marking((1, 2))
+        assert Marking((1, 2)) != Marking((2, 1))
+
+    @given(vectors, vectors)
+    def test_lex_total_order_property(self, xs, ys):
+        a, b = Marking(xs), Marking(ys)
+        assert (a < b) == (tuple(xs) < tuple(ys))
+
+    @given(vectors)
+    def test_add_then_subtract_roundtrip(self, xs):
+        m = Marking(xs)
+        delta = {i: 1 for i in range(len(xs))}
+        assert m.add(delta).subtract(delta) == m
+
+    @given(vectors)
+    def test_dominates_reflexive(self, xs):
+        m = Marking(xs)
+        assert m.dominates(m)

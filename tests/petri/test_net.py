@@ -1,0 +1,138 @@
+"""Unit tests for the Petri net kernel (structure and token game)."""
+
+import pytest
+
+from repro.exceptions import NetStructureError, NotEnabledError
+from repro.petri.net import PetriNet
+
+
+@pytest.fixture
+def buffer_net():
+    net = PetriNet("buffer")
+    net.add_place("empty", tokens=1)
+    net.add_place("full")
+    net.add_transition("put")
+    net.add_transition("get")
+    net.add_arc("empty", "put")
+    net.add_arc("put", "full")
+    net.add_arc("full", "get")
+    net.add_arc("get", "empty")
+    return net
+
+
+class TestConstruction:
+    def test_indices_are_dense(self, buffer_net):
+        assert buffer_net.place_index("empty") == 0
+        assert buffer_net.place_index("full") == 1
+        assert buffer_net.transition_index("put") == 0
+
+    def test_duplicate_name_rejected(self, buffer_net):
+        with pytest.raises(NetStructureError):
+            buffer_net.add_place("empty")
+        with pytest.raises(NetStructureError):
+            buffer_net.add_transition("put")
+        # cross-kind duplicates rejected too
+        with pytest.raises(NetStructureError):
+            buffer_net.add_transition("empty")
+
+    def test_arc_must_be_bipartite(self, buffer_net):
+        with pytest.raises(NetStructureError):
+            buffer_net.add_arc("empty", "full")
+        with pytest.raises(NetStructureError):
+            buffer_net.add_arc("put", "get")
+        with pytest.raises(NetStructureError):
+            buffer_net.add_arc("nope", "put")
+
+    def test_negative_tokens_rejected(self):
+        net = PetriNet()
+        with pytest.raises(NetStructureError):
+            net.add_place("p", tokens=-1)
+
+    def test_nonpositive_weight_rejected(self, buffer_net):
+        with pytest.raises(NetStructureError):
+            buffer_net.add_arc("empty", "get", weight=0)
+
+    def test_presets_and_postsets(self, buffer_net):
+        put = buffer_net.transition_index("put")
+        assert dict(buffer_net.preset(put)) == {0: 1}
+        assert dict(buffer_net.postset(put)) == {1: 1}
+        assert dict(buffer_net.place_postset(0)) == {put: 1}
+        assert dict(buffer_net.place_preset(1)) == {put: 1}
+
+    def test_arcs_iterator_roundtrip(self, buffer_net):
+        arcs = set(buffer_net.arcs())
+        assert ("empty", "put", 1) in arcs
+        assert ("put", "full", 1) in arcs
+        assert len(arcs) == 4
+
+    def test_is_ordinary(self, buffer_net):
+        assert buffer_net.is_ordinary()
+        buffer_net.add_place("heavy")
+        buffer_net.add_arc("put", "heavy", weight=2)
+        assert not buffer_net.is_ordinary()
+
+    def test_parallel_arcs_accumulate_weight(self):
+        net = PetriNet()
+        net.add_place("p", tokens=2)
+        net.add_transition("t")
+        net.add_arc("p", "t")
+        net.add_arc("p", "t")
+        assert dict(net.preset(0)) == {0: 2}
+
+
+class TestTokenGame:
+    def test_enabled_and_fire(self, buffer_net):
+        m0 = buffer_net.initial_marking
+        put = buffer_net.transition_index("put")
+        get = buffer_net.transition_index("get")
+        assert buffer_net.enabled(m0) == [put]
+        m1 = buffer_net.fire(m0, put)
+        assert m1.counts == (0, 1)
+        assert buffer_net.enabled(m1) == [get]
+
+    def test_fire_disabled_raises(self, buffer_net):
+        m0 = buffer_net.initial_marking
+        get = buffer_net.transition_index("get")
+        with pytest.raises(NotEnabledError):
+            buffer_net.fire(m0, get)
+
+    def test_fire_sequence(self, buffer_net):
+        m0 = buffer_net.initial_marking
+        put = buffer_net.transition_index("put")
+        get = buffer_net.transition_index("get")
+        m = buffer_net.fire_sequence(m0, [put, get, put])
+        assert m.counts == (0, 1)
+
+    def test_fire_by_name(self, buffer_net):
+        m1 = buffer_net.fire_by_name(buffer_net.initial_marking, "put")
+        assert m1.counts == (0, 1)
+
+    def test_set_tokens(self, buffer_net):
+        buffer_net.set_tokens("full", 1)
+        m0 = buffer_net.initial_marking
+        assert m0.counts == (1, 1)
+        with pytest.raises(NetStructureError):
+            buffer_net.set_tokens("full", -1)
+
+
+class TestCopy:
+    def test_copy_is_deep(self, buffer_net):
+        clone = buffer_net.copy("clone")
+        clone.set_tokens("full", 1)
+        assert buffer_net.initial_marking.counts == (1, 0)
+        assert clone.initial_marking.counts == (1, 1)
+        assert clone.name == "clone"
+
+    def test_copy_preserves_structure(self, buffer_net):
+        clone = buffer_net.copy()
+        assert clone.places == buffer_net.places
+        assert clone.transitions == buffer_net.transitions
+        assert set(clone.arcs()) == set(buffer_net.arcs())
+
+    def test_weighted_arcs_survive_copy(self):
+        net = PetriNet()
+        net.add_place("p", tokens=3)
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=3)
+        clone = net.copy()
+        assert dict(clone.preset(0)) == {0: 3}

@@ -1,0 +1,88 @@
+"""Tests for the plain-net text format parser/writer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.petri.generators import cycle, fork_join
+from repro.petri.parser import parse_net, write_net
+
+SAMPLE = """
+.net buffer
+.places p0=1 p1 p2
+.transitions produce consume
+.arcs
+p0 produce
+produce p1
+p1 consume
+consume p2
+.end
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        net = parse_net(SAMPLE)
+        assert net.name == "buffer"
+        assert net.num_places == 3
+        assert net.num_transitions == 2
+        assert net.initial_marking.counts == (1, 0, 0)
+
+    def test_comments_and_blank_lines(self):
+        text = SAMPLE.replace(".arcs", ".arcs\n# a comment\n\n")
+        assert parse_net(text).num_places == 3
+
+    def test_multi_target_arc_line(self):
+        text = """
+.net fan
+.places a=1 b c
+.transitions t
+.arcs
+a t
+t b c
+.end
+"""
+        net = parse_net(text)
+        t = net.transition_index("t")
+        assert set(net.postset(t)) == {net.place_index("b"), net.place_index("c")}
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_net(".net x\n.places p\n.transitions t\n.arcs\np t\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(ParseError):
+            parse_net(SAMPLE + "\nstray")
+
+    def test_bad_token_count(self):
+        with pytest.raises(ParseError):
+            parse_net(".net x\n.places p=abc\n.end")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse_net(".net x\n.bogus\n.end")
+
+    def test_arc_outside_arcs_section(self):
+        with pytest.raises(ParseError):
+            parse_net(".net x\n.places p\n.transitions t\np t\n.end")
+
+    def test_arc_needs_two_tokens(self):
+        with pytest.raises(ParseError) as err:
+            parse_net(".net x\n.places p\n.transitions t\n.arcs\np\n.end")
+        assert "line 5" in str(err.value)
+
+    def test_unknown_node_in_arc(self):
+        with pytest.raises(ParseError):
+            parse_net(".net x\n.places p\n.transitions t\n.arcs\np nope\n.end")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "net_builder", [lambda: cycle(4, tokens=2), lambda: fork_join(3)]
+    )
+    def test_write_then_parse(self, net_builder):
+        original = net_builder()
+        recovered = parse_net(write_net(original))
+        assert recovered.places == original.places
+        assert recovered.transitions == original.transitions
+        assert sorted(recovered.arcs()) == sorted(original.arcs())
+        assert recovered.initial_marking == original.initial_marking

@@ -1,0 +1,83 @@
+"""Tests for the token-game simulator and waveform recorder."""
+
+import pytest
+
+from repro.models import vme_bus
+from repro.petri.generators import chain, cycle, fork_join
+from repro.petri.simulate import (
+    estimate_reachable_states,
+    random_walk,
+    stg_random_walk,
+)
+
+
+class TestRandomWalk:
+    def test_walk_is_replayable(self):
+        net = cycle(5)
+        trace = random_walk(net, 50, seed=1)
+        marking = net.initial_marking
+        for i, transition in enumerate(trace.transitions):
+            assert net.is_enabled(marking, transition)
+            marking = net.fire(marking, transition)
+            assert marking == trace.markings[i + 1]
+        assert trace.final_marking() == marking
+
+    def test_deadlock_stops_walk(self):
+        trace = random_walk(chain(3), 100, seed=0)
+        assert trace.deadlocked
+        assert trace.length == 3
+
+    def test_live_net_runs_full_length(self):
+        trace = random_walk(cycle(4), 100, seed=0)
+        assert not trace.deadlocked
+        assert trace.length == 100
+
+    def test_deterministic_for_seed(self):
+        a = random_walk(fork_join(3), 40, seed=7)
+        b = random_walk(fork_join(3), 40, seed=7)
+        assert a.transitions == b.transitions
+
+    def test_transition_names(self):
+        trace = random_walk(chain(2), 10, seed=0)
+        assert trace.transition_names() == ["t0", "t1"]
+
+
+class TestWaveform:
+    def test_vme_waveform_consistent(self, vme):
+        trace, waveform = stg_random_walk(vme, 200, seed=3)
+        # replay: at each step the recorded value must match the signal
+        # change count parity
+        counts = {s: 0 for s in vme.signals}
+        for step, transition in enumerate(trace.transitions, start=1):
+            label = vme.label(transition)
+            counts[label.signal] += label.polarity
+            for signal in vme.signals:
+                assert waveform.value_at(signal, step) == counts[signal]
+
+    def test_values_binary(self, vme):
+        _, waveform = stg_random_walk(vme, 300, seed=11)
+        for signal in vme.signals:
+            for _, value in waveform.changes[signal]:
+                assert value in (0, 1)
+
+    def test_render_has_row_per_signal(self, vme):
+        _, waveform = stg_random_walk(vme, 100, seed=2)
+        render = waveform.render()
+        assert len(render.splitlines()) == len(vme.signals)
+
+    def test_initial_code_override(self, vme):
+        _, waveform = stg_random_walk(
+            vme, 0, seed=0, initial_code={"dsr": 1}
+        )
+        assert waveform.value_at("dsr", 0) == 1
+
+
+class TestEstimate:
+    def test_lower_bound_on_states(self):
+        from repro.petri.reachability import explore
+
+        net = fork_join(3)
+        estimate = estimate_reachable_states(net, walks=80, steps=60, seed=5)
+        exact = explore(net).num_states
+        assert estimate <= exact
+        assert estimate >= exact // 2  # walks cover most of this tiny space

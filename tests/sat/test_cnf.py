@@ -1,0 +1,106 @@
+"""Tests for Tseitin gates and totalizer cardinality constraints."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF, Totalizer, equalise_counts
+
+
+def models_over(cnf, variables):
+    """All assignments to ``variables`` extendable to a model of ``cnf``."""
+    solver = cnf.to_solver()
+    result = set()
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assumptions = [
+            v if value else -v for v, value in zip(variables, bits)
+        ]
+        if solver.solve(assumptions=assumptions).satisfiable:
+            result.add(bits)
+    return result
+
+
+class TestGates:
+    def test_or_gate(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        g = cnf.define_or([a, b])
+        cnf.add([g])
+        assert models_over(cnf, [a, b]) == {(False, True), (True, False), (True, True)}
+
+    def test_and_gate(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        g = cnf.define_and([a, b])
+        cnf.add([g])
+        assert models_over(cnf, [a, b]) == {(True, True)}
+
+    def test_xor_gate(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        g = cnf.define_xor(a, b)
+        cnf.add([g])
+        assert models_over(cnf, [a, b]) == {(False, True), (True, False)}
+
+    def test_negated_gate_outputs(self):
+        cnf = CNF()
+        a, b = cnf.new_vars(2)
+        g = cnf.define_or([a, b])
+        cnf.add([-g])
+        assert models_over(cnf, [a, b]) == {(False, False)}
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_outputs_track_count(self, n):
+        cnf = CNF()
+        inputs = cnf.new_vars(n)
+        totalizer = Totalizer(cnf, inputs)
+        solver = cnf.to_solver()
+        for bits in itertools.product([False, True], repeat=n):
+            assumptions = [v if b else -v for v, b in zip(inputs, bits)]
+            result = solver.solve(assumptions=assumptions)
+            assert result.satisfiable
+            count = sum(bits)
+            for j, out in enumerate(totalizer.outputs, start=1):
+                assert result.model[out] == (count >= j)
+
+    def test_at_most(self):
+        cnf = CNF()
+        inputs = cnf.new_vars(4)
+        totalizer = Totalizer(cnf, inputs)
+        totalizer.at_most(2)
+        assert all(
+            sum(bits) <= 2 for bits in models_over(cnf, inputs)
+        )
+        assert models_over(cnf, inputs)  # still satisfiable
+
+    def test_at_least(self):
+        cnf = CNF()
+        inputs = cnf.new_vars(4)
+        totalizer = Totalizer(cnf, inputs)
+        totalizer.at_least(3)
+        models = models_over(cnf, inputs)
+        assert models
+        assert all(sum(bits) >= 3 for bits in models)
+
+    def test_at_least_impossible(self):
+        cnf = CNF()
+        inputs = cnf.new_vars(2)
+        totalizer = Totalizer(cnf, inputs)
+        totalizer.at_least(3)
+        assert not cnf.to_solver().solve().satisfiable
+
+
+class TestEqualise:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_counts_forced_equal(self, n, m):
+        cnf = CNF()
+        xs = cnf.new_vars(n)
+        ys = cnf.new_vars(m)
+        equalise_counts(cnf, Totalizer(cnf, xs), Totalizer(cnf, ys))
+        for bits in models_over(cnf, xs + ys):
+            assert sum(bits[:n]) == sum(bits[n:])

@@ -1,0 +1,64 @@
+"""The SAT back-end vs the state-graph oracle and the IP core."""
+
+import pytest
+
+from repro.core import check_csc, check_usc
+from repro.models import TABLE1_BENCHMARKS, vme_bus, vme_bus_csc_resolved
+from repro.sat import check_csc_sat, check_usc_sat
+from repro.stg.stategraph import build_state_graph
+from tests.conftest import SMALL_TABLE1
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("name", SMALL_TABLE1)
+    def test_verdicts_match(self, name):
+        stg = TABLE1_BENCHMARKS[name]()
+        graph = build_state_graph(stg)
+        assert check_usc_sat(stg).holds == graph.has_usc()
+        assert check_csc_sat(stg).holds == graph.has_csc()
+
+    def test_vme_pair(self, vme, vme_csc):
+        assert not check_csc_sat(vme).holds
+        assert check_csc_sat(vme_csc).holds
+
+    def test_hard_conflict_free_rows(self):
+        for name in ("CF-SYM-C-CSC", "CF-SYM-D-CSC"):
+            report = check_csc_sat(TABLE1_BENCHMARKS[name]())
+            assert report.holds
+            assert report.sat_conflicts > 0
+
+
+class TestWitnesses:
+    def test_traces_replay_to_conflict(self, vme):
+        report = check_csc_sat(vme)
+        assert report.witness_traces is not None
+        trace_a, trace_b = report.witness_traces
+        net = vme.net
+        m_a = net.initial_marking
+        for name in trace_a:
+            m_a = net.fire_by_name(m_a, name)
+        m_b = net.initial_marking
+        for name in trace_b:
+            m_b = net.fire_by_name(m_b, name)
+        assert m_a != m_b
+
+    def test_ring_blocks_usc_only_candidates(self):
+        """RING: CSC holds but USC conflicts exist, so the CSC check must
+        block spurious (USC-only) candidates before concluding."""
+        report = check_csc_sat(TABLE1_BENCHMARKS["RING"]())
+        assert report.holds
+        assert report.candidates_blocked > 0
+
+
+class TestAgreementWithIP:
+    @pytest.mark.parametrize("name", ["RING", "LAZYRING", "CF-SYM-B-CSC"])
+    def test_sat_and_ip_agree(self, name):
+        stg = TABLE1_BENCHMARKS[name]()
+        assert check_usc_sat(stg).holds == check_usc(stg).holds
+        assert check_csc_sat(stg).holds == check_csc(stg).holds
+
+    def test_accepts_prebuilt_prefix(self, vme):
+        from repro.unfolding import unfold
+
+        prefix = unfold(vme)
+        assert not check_usc_sat(prefix).holds

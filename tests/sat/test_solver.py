@@ -1,0 +1,163 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverLimitError
+from repro.sat.solver import CDCLSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in c) for c in clauses):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] is True
+
+    def test_trivial_unsat(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert not solver.solve().satisfiable
+
+    def test_empty_clause_unsat(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([])
+        assert not solver.solve().satisfiable
+
+    def test_tautology_ignored(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1, -1])
+        assert solver.solve().satisfiable
+
+    def test_no_clauses(self):
+        assert CDCLSolver(3).solve().satisfiable
+
+    def test_new_var(self):
+        solver = CDCLSolver()
+        v = solver.new_var()
+        assert v == 1
+        solver.add_clause([-v])
+        result = solver.solve()
+        assert result.model[v] is False
+
+    def test_implication_chain(self):
+        solver = CDCLSolver(5)
+        solver.add_clause([1])
+        for v in range(1, 5):
+            solver.add_clause([-v, v + 1])
+        result = solver.solve()
+        assert all(result.model[v] for v in range(1, 6))
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_php_unsat(self, holes):
+        pigeons = holes + 1
+        solver = CDCLSolver()
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        result = solver.solve()
+        assert not result.satisfiable
+        assert result.conflicts > 0  # learning actually happened
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        result = solver.solve(assumptions=[-1])
+        assert result.satisfiable
+        assert result.model[2] is True
+
+    def test_conflicting_assumptions(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([-1, 2])
+        assert not solver.solve(assumptions=[1, -2]).satisfiable
+
+    def test_solver_reusable_after_assumptions(self):
+        solver = CDCLSolver(1)
+        assert not solver.solve(assumptions=[1, -1] if False else [-1]).model[1]
+        assert solver.solve(assumptions=[1]).model[1]
+
+
+class TestEnumeration:
+    def test_enumerate_all_models(self):
+        solver = CDCLSolver(3)
+        solver.add_clause([1, 2])
+        models = list(solver.enumerate_models([1, 2, 3]))
+        projections = {(m[1], m[2], m[3]) for m in models}
+        expected = {
+            bits
+            for bits in itertools.product([False, True], repeat=3)
+            if bits[0] or bits[1]
+        }
+        assert projections == expected
+
+    def test_limit(self):
+        solver = CDCLSolver(4)
+        assert len(list(solver.enumerate_models([1, 2, 3, 4], limit=3))) == 3
+
+    def test_budget(self):
+        solver = CDCLSolver()
+        holes, pigeons = 5, 6
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        with pytest.raises(SolverLimitError):
+            solver.solve(conflict_budget=2)
+
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=6).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestPropertyBased:
+    @settings(max_examples=200, deadline=None)
+    @given(clause_strategy)
+    def test_matches_brute_force(self, clauses):
+        solver = CDCLSolver(6)
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.satisfiable == brute_force_sat(6, clauses)
+        if result.satisfiable:
+            for clause in clauses:
+                assert any(
+                    (lit > 0) == result.model[abs(lit)] for lit in clause
+                )

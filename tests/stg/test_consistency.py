@@ -1,0 +1,98 @@
+"""Tests for the STG consistency check (paper Section 2.1)."""
+
+import pytest
+
+from repro.exceptions import InconsistentSTGError
+from repro.models._build import seq
+from repro.stg.consistency import check_consistency, is_consistent
+from repro.stg.stg import STG, SignalEdge
+
+
+def simple_cycle_stg():
+    stg = STG("cyc", inputs=["a"], outputs=["b"])
+    seq(stg, "a+", "b+", "a-", "b-")
+    seq(stg, "b-", "a+", marked=True)
+    return stg
+
+
+class TestConsistent:
+    def test_simple_cycle(self):
+        result = check_consistency(simple_cycle_stg())
+        assert result.initial_code == (0, 0)
+        assert len(result.deltas) == result.graph.num_states
+
+    def test_vme_is_consistent(self, vme):
+        result = check_consistency(vme)
+        # all signals start low in the VME read cycle
+        assert result.initial_code == (0,) * 5
+
+    def test_initially_high_signal(self):
+        stg = STG("high", outputs=["z"])
+        seq(stg, "z-", "z+")
+        seq(stg, "z+", "z-", marked=True)
+        result = check_consistency(stg)
+        assert result.initial_code == (1,)
+
+    def test_declared_value_for_constant_signal(self):
+        stg = STG("const", inputs=["a"], outputs=["z"])
+        seq(stg, "a+", "a-")
+        seq(stg, "a-", "a+", marked=True)
+        stg.set_initial_value("z", 1)
+        result = check_consistency(stg)
+        assert result.initial_code[stg.signal_index("z")] == 1
+
+    def test_code_of_state(self):
+        stg = simple_cycle_stg()
+        result = check_consistency(stg)
+        codes = {result.code_of_state(s) for s in range(result.graph.num_states)}
+        assert codes == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_all_benchmarks_consistent(self, table1_stg):
+        assert is_consistent(table1_stg)
+
+
+class TestInconsistent:
+    def test_double_rise(self):
+        # a+ twice in a row with no a- in between
+        stg = STG("bad", inputs=["a"])
+        seq(stg, "a+", "a+/2")
+        seq(stg, "a+/2", "a+", marked=True)
+        with pytest.raises(InconsistentSTGError):
+            check_consistency(stg)
+        assert not is_consistent(stg)
+
+    def test_path_dependent_code(self):
+        # two branches reach the same final place with different codes
+        stg = STG("split", inputs=["a"], outputs=["b"])
+        stg.add_place("start", tokens=1)
+        stg.add_place("end")
+        stg.add_transition("a+", SignalEdge("a", 1))
+        stg.add_transition("b+", SignalEdge("b", 1))
+        stg.add_arc("start", "a+")
+        stg.add_arc("start", "b+")
+        stg.add_arc("a+", "end")
+        stg.add_arc("b+", "end")
+        with pytest.raises(InconsistentSTGError):
+            check_consistency(stg)
+
+    def test_declared_value_contradiction(self):
+        stg = STG("contra", inputs=["a"])
+        seq(stg, "a+", "a-")
+        seq(stg, "a-", "a+", marked=True)
+        stg.set_initial_value("a", 1)  # but the first edge is rising
+        with pytest.raises(InconsistentSTGError):
+            check_consistency(stg)
+
+    def test_dummies_do_not_affect_code(self):
+        stg = STG("eps", inputs=["a"])
+        stg.add_place("p0", tokens=1)
+        stg.add_place("p1")
+        stg.add_place("p2")
+        stg.add_transition("a+", SignalEdge("a", 1))
+        stg.add_transition("eps", None)
+        stg.add_arc("p0", "a+")
+        stg.add_arc("a+", "p1")
+        stg.add_arc("p1", "eps")
+        stg.add_arc("eps", "p2")
+        result = check_consistency(stg)
+        assert result.initial_code == (0,)

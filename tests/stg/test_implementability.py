@@ -1,0 +1,134 @@
+"""Tests for autoconcurrency and output-persistency checking."""
+
+import pytest
+
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+from repro.models._build import connect, seq
+from repro.stg.implementability import (
+    check_autoconcurrency,
+    check_output_persistency,
+    is_output_persistent,
+)
+from repro.stg.stg import STG, SignalEdge
+
+
+def autoconcurrent_stg():
+    """Two concurrent branches both firing edges of signal z (z+ twice in
+    parallel) — blatantly autoconcurrent and inconsistent, but the structural
+    check does not need consistency."""
+    stg = STG("auto", outputs=["z", "w"])
+    stg.add_place("p0", tokens=1)
+    stg.add_transition("fork", SignalEdge("w", +1))
+    stg.add_arc("p0", "fork")
+    for branch in ("l", "r"):
+        stg.add_place(f"q{branch}")
+        stg.add_arc("fork", f"q{branch}")
+        stg.add_transition(f"z+{branch}", SignalEdge("z", +1))
+        stg.add_arc(f"q{branch}", f"z+{branch}")
+        stg.add_place(f"r{branch}")
+        stg.add_arc(f"z+{branch}", f"r{branch}")
+    return stg
+
+
+def non_persistent_stg():
+    """An output edge disabled by an input firing: after a+, both z+ (output)
+    and b+ (input) are enabled, and b+ steals the shared place."""
+    stg = STG("npers", inputs=["a", "b"], outputs=["z"])
+    stg.add_place("start", tokens=1)
+    stg.add_transition("a+", SignalEdge("a", +1))
+    stg.add_arc("start", "a+")
+    stg.add_place("shared")
+    stg.add_arc("a+", "shared")
+    stg.add_transition("z+", SignalEdge("z", +1))
+    stg.add_transition("b+", SignalEdge("b", +1))
+    stg.add_arc("shared", "z+")
+    stg.add_arc("shared", "b+")
+    stg.add_place("done_z")
+    stg.add_place("done_b")
+    stg.add_arc("z+", "done_z")
+    stg.add_arc("b+", "done_b")
+    return stg
+
+
+class TestAutoconcurrency:
+    def test_benchmarks_are_autoconcurrency_free(self, table1_stg):
+        assert check_autoconcurrency(table1_stg) is None
+
+    def test_detects_parallel_same_signal_edges(self):
+        witness = check_autoconcurrency(autoconcurrent_stg())
+        assert witness is not None
+        assert witness.signal == "z"
+        assert witness.event_a != witness.event_b
+
+    def test_witness_trace_enables_both(self):
+        stg = autoconcurrent_stg()
+        witness = check_autoconcurrency(stg)
+        marking = stg.net.initial_marking
+        for name in witness.trace:
+            marking = stg.net.fire_by_name(marking, name)
+        enabled_signals = [
+            stg.label(t).signal
+            for t in stg.net.enabled(marking)
+            if stg.label(t) is not None
+        ]
+        assert enabled_signals.count("z") >= 2
+
+    def test_requires_stg_prefix(self):
+        from repro.petri.generators import fork_join
+        from repro.unfolding import unfold
+
+        with pytest.raises(ValueError):
+            check_autoconcurrency(unfold(fork_join(2)))
+
+    def test_accepts_prebuilt_prefix(self, vme):
+        from repro.unfolding import unfold
+
+        assert check_autoconcurrency(unfold(vme)) is None
+
+
+class TestPersistency:
+    def test_vme_read_is_output_persistent(self, vme):
+        assert is_output_persistent(vme)
+
+    def test_detects_disabled_output(self):
+        violations = check_output_persistency(non_persistent_stg())
+        assert violations
+        first = violations[0]
+        assert first.signal == "z"
+        assert first.disabled_edge == "z+"
+        assert first.disabling_transition == "b+"
+        assert first.trace == ["a+"]
+
+    def test_same_signal_firing_not_a_violation(self):
+        """Two transitions of the same label in choice: firing one is how
+        the signal fires, not a disabling."""
+        stg = STG("choice", outputs=["z"])
+        stg.add_place("p", tokens=1)
+        stg.add_transition("z+", SignalEdge("z", +1))
+        stg.add_transition("z+/2", SignalEdge("z", +1))
+        stg.add_arc("p", "z+")
+        stg.add_arc("p", "z+/2")
+        stg.add_place("q")
+        stg.add_arc("z+", "q")
+        stg.add_arc("z+/2", "q")
+        assert is_output_persistent(stg)
+
+    def test_input_choice_allowed(self):
+        """Inputs may be disabled by inputs (the environment's choice);
+        only outputs must be persistent."""
+        stg = STG("inchoice", inputs=["a", "b"], outputs=[])
+        stg.add_place("p", tokens=1)
+        for s in ("a", "b"):
+            stg.add_transition(f"{s}+", SignalEdge(s, +1))
+            stg.add_arc("p", f"{s}+")
+            stg.add_place(f"q{s}")
+            stg.add_arc(f"{s}+", f"q{s}")
+        assert is_output_persistent(stg)
+
+    def test_mtr_duplex_output_choice_is_nonpersistent(self):
+        """The multiple-transfer duplex variants choose between two output
+        edges (req+/2 vs oe-) — a genuine output-persistency violation that
+        a real flow would flag for arbitration."""
+        stg = TABLE1_BENCHMARKS["DUP-4PH-MTR-A"]()
+        violations = check_output_persistency(stg)
+        assert violations

@@ -1,0 +1,68 @@
+"""Tests for Out(M), enabled signals and the next-state function Nxt_z."""
+
+from repro.models._build import seq
+from repro.stg.consistency import check_consistency
+from repro.stg.nextstate import (
+    enabled_edge_polarities,
+    enabled_outputs,
+    enabled_signals,
+    next_state_value,
+)
+from repro.stg.stg import STG
+
+
+class TestEnabledSets:
+    def test_vme_initial(self, vme):
+        m0 = vme.net.initial_marking
+        assert enabled_signals(vme, m0) == frozenset({"dsr"})
+        assert enabled_outputs(vme, m0) == frozenset()
+
+    def test_vme_after_dsr(self, vme):
+        m = vme.net.fire_by_name(vme.net.initial_marking, "dsr+")
+        assert enabled_signals(vme, m) == frozenset({"lds"})
+        assert enabled_outputs(vme, m) == frozenset({"lds"})
+
+    def test_polarities(self, vme):
+        m0 = vme.net.initial_marking
+        assert enabled_edge_polarities(vme, m0, "dsr") == frozenset({+1})
+        assert enabled_edge_polarities(vme, m0, "lds") == frozenset()
+
+    def test_internal_counts_as_output(self, vme_csc):
+        m = vme_csc.net.fire_by_name(vme_csc.net.initial_marking, "dsr+")
+        assert "csc" in enabled_outputs(vme_csc, m)
+
+
+class TestNxt:
+    def test_nxt_flips_when_enabled(self, vme):
+        result = check_consistency(vme)
+        m0 = vme.net.initial_marking
+        code0 = result.code_of_state(0)
+        # dsr is 0 and dsr+ is enabled: Nxt_dsr = 1
+        assert next_state_value(vme, m0, code0, "dsr") == 1
+        # lds is 0 and not enabled: Nxt_lds = 0
+        assert next_state_value(vme, m0, code0, "lds") == 0
+
+    def test_nxt_holds_when_stable(self):
+        stg = STG("hold", inputs=["a"], outputs=["z"])
+        seq(stg, "a+", "z+", "a-", "z-")
+        seq(stg, "z-", "a+", marked=True)
+        result = check_consistency(stg)
+        # state after a+ z+: z=1 and z- not yet enabled (needs a-)
+        m = stg.net.fire_by_name(stg.net.initial_marking, "a+")
+        m = stg.net.fire_by_name(m, "z+")
+        state = result.graph.index[m]
+        code = result.code_of_state(state)
+        assert code[stg.signal_index("z")] == 1
+        assert next_state_value(stg, m, code, "z") == 1
+        # after a-, z- becomes enabled: Nxt_z drops to 0
+        m2 = stg.net.fire_by_name(m, "a-")
+        state2 = result.graph.index[m2]
+        assert next_state_value(stg, m2, result.code_of_state(state2), "z") == 0
+
+    def test_nxt_all_states_binary(self, vme_csc):
+        result = check_consistency(vme_csc)
+        for state in range(result.graph.num_states):
+            m = result.graph.markings[state]
+            code = result.code_of_state(state)
+            for z in vme_csc.non_input_signals:
+                assert next_state_value(vme_csc, m, code, z) in (0, 1)

@@ -1,0 +1,70 @@
+"""Tests for the state-graph normalcy check (paper Section 6, Figure 3)."""
+
+from repro.models._build import seq
+from repro.stg.normalcy import check_normalcy_state_graph
+from repro.stg.stg import STG
+
+
+class TestFigure3:
+    def test_csc_resolved_vme_violates_normalcy_for_csc(self, vme_csc):
+        """The paper's Figure 3: the csc-resolved VME controller is free of
+        CSC conflicts but signal ``csc`` is neither p-normal nor n-normal."""
+        report = check_normalcy_state_graph(vme_csc)
+        assert not report.normal
+        assert report.violating_signals() == ["csc"]
+        verdict = report.per_signal["csc"]
+        assert not verdict.p_normal and not verdict.n_normal
+        assert verdict.p_witness is not None
+        assert verdict.n_witness is not None
+
+    def test_witnesses_are_genuine(self, vme_csc):
+        report = check_normalcy_state_graph(vme_csc)
+        for witness in (
+            report.per_signal["csc"].p_witness,
+            report.per_signal["csc"].n_witness,
+        ):
+            # codes ordered componentwise
+            assert all(
+                a <= b for a, b in zip(witness.code_low, witness.code_high)
+            )
+            if witness.kind == "p":
+                assert witness.nxt_low > witness.nxt_high
+            else:
+                assert witness.nxt_low < witness.nxt_high
+
+    def test_other_vme_signals_normal(self, vme_csc):
+        report = check_normalcy_state_graph(vme_csc)
+        for signal in ("dtack", "lds", "d"):
+            assert report.per_signal[signal].normal
+
+
+class TestSimpleCases:
+    def test_buffer_is_normal(self):
+        stg = STG("buf", inputs=["a"], outputs=["z"])
+        seq(stg, "a+", "z+", "a-", "z-")
+        seq(stg, "z-", "a+", marked=True)
+        report = check_normalcy_state_graph(stg)
+        assert report.normal
+        # z follows a: monotonically increasing next-state function
+        assert report.per_signal["z"].p_normal
+
+    def test_inverter_is_n_normal(self):
+        stg = STG("inv", inputs=["a"], outputs=["z"])
+        stg.set_initial_value("z", 1)
+        seq(stg, "a+", "z-", "a-", "z+")
+        seq(stg, "z+", "a+", marked=True)
+        report = check_normalcy_state_graph(stg)
+        verdict = report.per_signal["z"]
+        assert verdict.normal
+        assert verdict.n_normal
+        assert not verdict.p_normal
+
+    def test_normalcy_implies_csc_on_benchmarks(self, table1_stg):
+        """Normalcy implies CSC ([16]): any benchmark failing CSC must fail
+        normalcy as well."""
+        from repro.stg.stategraph import build_state_graph
+
+        graph = build_state_graph(table1_stg)
+        report = check_normalcy_state_graph(table1_stg, graph)
+        if report.normal:
+            assert graph.has_csc()

@@ -1,0 +1,146 @@
+"""Tests for the astg .g STG format reader/writer."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+from repro.stg.consistency import check_consistency
+from repro.stg.parser import parse_stg, write_stg
+from repro.stg.stategraph import build_state_graph
+
+VME_G = """
+.model vme
+.inputs dsr ldtack
+.outputs dtack lds d
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- lds-
+lds- ldtack-
+ldtack- lds+
+d- dtack-
+dtack- dsr+
+.marking { <ldtack-,lds+> <dtack-,dsr+> }
+.end
+"""
+
+
+class TestParse:
+    def test_vme_from_text_matches_builder(self, vme):
+        parsed = parse_stg(VME_G)
+        assert parsed.stats() == vme.stats()
+        assert set(parsed.inputs) == set(vme.inputs)
+        sg_a = build_state_graph(parsed)
+        sg_b = build_state_graph(vme)
+        assert sg_a.num_states == sg_b.num_states
+        assert sg_a.has_csc() == sg_b.has_csc()
+
+    def test_instance_suffixes(self):
+        text = """
+.model multi
+.outputs z
+.graph
+z+ z-
+z- z+/2
+z+/2 z-/2
+z-/2 z+
+.marking { <z-/2,z+> }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.net.num_transitions == 4
+        assert len(stg.edge_transitions("z", +1)) == 2
+
+    def test_dummy_transitions(self):
+        text = """
+.model dum
+.inputs a
+.dummy eps
+.graph
+a+ eps
+eps a-
+a- a+
+.marking { <a-,a+> }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.has_dummies()
+        assert sum(stg.is_dummy(t) for t in range(stg.net.num_transitions)) == 1
+
+    def test_explicit_places(self):
+        text = """
+.model pl
+.inputs a b
+.graph
+p0 a+
+a+ p1
+p1 b+
+b+ p0
+.marking { p0 }
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.net.has_place("p0")
+        assert stg.net.initial_marking[stg.net.place_index("p0")] == 1
+
+    def test_internal_and_initial(self):
+        text = """
+.model ii
+.inputs a
+.internal x
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+
+.marking { <x-,a+> }
+.initial a=0 x=0
+.end
+"""
+        stg = parse_stg(text)
+        assert stg.internal == ["x"]
+        assert stg.declared_initial_code == {"a": 0, "x": 0}
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_stg(".model x\n.graph\n.marking { }\n")  # missing .end
+        with pytest.raises(ParseError):
+            parse_stg(".model x\n.bogus\n.end")
+        with pytest.raises(ParseError):
+            parse_stg(".model x\n.inputs a\n.graph\na+\n.end")  # 1-token line
+        with pytest.raises(ParseError):
+            parse_stg(
+                ".model x\n.inputs a\n.graph\np q\n.end"
+            )  # place-to-place arc
+        with pytest.raises(ParseError):
+            parse_stg(
+                ".model x\n.inputs a\n.graph\na+ a-\n.marking { <a-,a+> }\n.end"
+            )  # marking references unknown implicit place
+
+    def test_bad_initial_value(self):
+        with pytest.raises(ParseError):
+            parse_stg(".model x\n.inputs a\n.initial a=2\n.end")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "name", sorted(TABLE1_BENCHMARKS), ids=sorted(TABLE1_BENCHMARKS)
+    )
+    def test_all_benchmarks_roundtrip(self, name):
+        original = TABLE1_BENCHMARKS[name]()
+        recovered = parse_stg(write_stg(original))
+        assert recovered.stats() == original.stats()
+        sg_a = build_state_graph(original)
+        sg_b = build_state_graph(recovered)
+        assert sg_a.num_states == sg_b.num_states
+        assert sg_a.has_usc() == sg_b.has_usc()
+        assert sg_a.has_csc() == sg_b.has_csc()
+
+    def test_writer_emits_marking(self, vme):
+        text = write_stg(vme)
+        assert ".marking" in text
+        assert ".model vme-read" in text

@@ -1,0 +1,103 @@
+"""Tests for the STG class and signal edge labels."""
+
+import pytest
+
+from repro.exceptions import NetStructureError
+from repro.stg.stg import STG, SignalEdge, TAU
+
+
+class TestSignalEdge:
+    def test_parse_and_str(self):
+        edge = SignalEdge.parse("lds+")
+        assert edge.signal == "lds"
+        assert edge.polarity == 1
+        assert str(edge) == "lds+"
+        assert str(SignalEdge.parse("d-")) == "d-"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SignalEdge.parse("lds")
+        with pytest.raises(ValueError):
+            SignalEdge.parse("+")
+
+    def test_polarity_validated(self):
+        with pytest.raises(ValueError):
+            SignalEdge("a", 2)
+
+    def test_hashable(self):
+        assert SignalEdge("a", 1) == SignalEdge("a", 1)
+        assert len({SignalEdge("a", 1), SignalEdge("a", 1)}) == 1
+
+
+class TestSTGConstruction:
+    def test_signal_sets(self):
+        stg = STG("x", inputs=["a"], outputs=["b"], internal=["c"])
+        assert stg.signals == ["a", "b", "c"]
+        assert stg.non_input_signals == ["b", "c"]
+        assert stg.is_output_like("b")
+        assert stg.is_output_like("c")
+        assert not stg.is_output_like("a")
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(NetStructureError):
+            STG("x", inputs=["a"], outputs=["a"])
+
+    def test_undeclared_signal_label_rejected(self):
+        stg = STG("x", inputs=["a"])
+        with pytest.raises(NetStructureError):
+            stg.add_transition("z+", SignalEdge("z", 1))
+
+    def test_dummy_transitions(self):
+        stg = STG("x", inputs=["a"])
+        t = stg.add_transition("eps", TAU)
+        assert stg.is_dummy(t)
+        assert stg.has_dummies()
+        assert stg.signal_change(t) == (None, 0)
+
+    def test_signal_change(self):
+        stg = STG("x", inputs=["a"], outputs=["b"])
+        ta = stg.add_transition("a+", SignalEdge("a", 1))
+        tb = stg.add_transition("b-", SignalEdge("b", -1))
+        assert stg.signal_change(ta) == (0, 1)
+        assert stg.signal_change(tb) == (1, -1)
+
+    def test_edge_transitions_and_transitions_of(self):
+        stg = STG("x", outputs=["z"])
+        t1 = stg.add_transition("z+", SignalEdge("z", 1))
+        t2 = stg.add_transition("z+/2", SignalEdge("z", 1))
+        t3 = stg.add_transition("z-", SignalEdge("z", -1))
+        assert stg.transitions_of("z") == [t1, t2, t3]
+        assert stg.edge_transitions("z", +1) == [t1, t2]
+        assert stg.edge_transitions("z", -1) == [t3]
+
+    def test_unique_transition_name(self):
+        stg = STG("x", outputs=["z"])
+        edge = SignalEdge("z", 1)
+        assert stg.unique_transition_name(edge) == "z+"
+        stg.add_edge_transition(edge)
+        assert stg.unique_transition_name(edge) == "z+/1"
+        stg.add_edge_transition(edge)
+        assert stg.unique_transition_name(edge) == "z+/2"
+
+    def test_initial_value_validation(self):
+        stg = STG("x", inputs=["a"])
+        stg.set_initial_value("a", 1)
+        assert stg.declared_initial_code == {"a": 1}
+        with pytest.raises(NetStructureError):
+            stg.set_initial_value("nope", 0)
+        with pytest.raises(NetStructureError):
+            stg.set_initial_value("a", 2)
+
+    def test_copy_is_independent(self, vme):
+        clone = vme.copy("clone")
+        clone.set_initial_value("dsr", 1)
+        assert "dsr" not in vme.declared_initial_code
+        assert clone.net.num_places == vme.net.num_places
+
+    def test_stats(self, vme):
+        stats = vme.stats()
+        assert stats == {"places": 11, "transitions": 10, "signals": 5}
+
+    def test_signal_index_unknown(self, vme):
+        with pytest.raises(NetStructureError):
+            vme.signal_index("bogus")

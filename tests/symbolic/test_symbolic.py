@@ -1,0 +1,132 @@
+"""Tests for the symbolic (BDD) state-graph baseline."""
+
+import pytest
+
+from repro.exceptions import UnboundedNetError
+from repro.models import TABLE1_BENCHMARKS, vme_bus, vme_bus_csc_resolved
+from repro.stg.consistency import check_consistency
+from repro.stg.stategraph import build_state_graph
+from repro.symbolic import SymbolicSTG, symbolic_check, symbolic_check_both
+from tests.conftest import SMALL_TABLE1, TABLE1_VERDICTS
+
+
+class TestReachability:
+    def test_vme_state_count(self, vme):
+        code = check_consistency(vme).initial_code
+        sym = SymbolicSTG(vme)
+        reached = sym.reachable(code)
+        assert sym.count_states(reached) == 14
+
+    @pytest.mark.parametrize("name", SMALL_TABLE1[:8])
+    def test_state_counts_match_explicit(self, name):
+        stg = TABLE1_BENCHMARKS[name]()
+        result = check_consistency(stg)
+        sym = SymbolicSTG(stg)
+        reached = sym.reachable(result.initial_code)
+        assert sym.count_states(reached) == result.graph.num_states
+
+    def test_reachable_set_membership(self, vme):
+        """Every explicit (marking, code) state must satisfy the BDD."""
+        result = check_consistency(vme)
+        sym = SymbolicSTG(vme)
+        reached = sym.reachable(result.initial_code)
+        m = sym.manager
+        for state in range(result.graph.num_states):
+            marking = result.graph.markings[state]
+            code = result.code_of_state(state)
+            assignment = {}
+            for p in range(vme.net.num_places):
+                assignment[2 * p] = marking[p]
+            for s in range(len(vme.signals)):
+                assignment[2 * (vme.net.num_places + s)] = code[s]
+            assert m.evaluate(reached, assignment)
+
+    def test_unsafe_net_rejected(self):
+        from repro.models.scalable import muller_ring
+        from repro.petri.generators import cycle
+        from repro.stg.stg import STG, SignalEdge
+
+        # a 2-bounded STG: symbolic encoding must refuse
+        stg = STG("unsafe", outputs=["a"])
+        stg.add_place("p", tokens=2)
+        stg.add_transition("a+", SignalEdge("a", 1))
+        stg.add_arc("p", "a+")
+        sym = SymbolicSTG(stg)
+        with pytest.raises(UnboundedNetError):
+            sym.initial_state((0,))
+
+
+class TestConflicts:
+    @pytest.mark.parametrize("name", SMALL_TABLE1)
+    def test_verdicts_match_oracle(self, name):
+        stg = TABLE1_BENCHMARKS[name]()
+        graph = build_state_graph(stg)
+        usc_report, csc_report = symbolic_check_both(stg)
+        assert usc_report.holds == graph.has_usc()
+        assert csc_report.holds == graph.has_csc()
+
+    @pytest.mark.parametrize("name", ["RING", "DUP-4PH-A", "LAZYRING"])
+    def test_conflict_pair_counts_match_explicit(self, name):
+        """The symbolic method computes ALL conflicts; the counts must match
+        the explicit state graph's pair enumeration."""
+        stg = TABLE1_BENCHMARKS[name]()
+        graph = build_state_graph(stg)
+        usc_report, csc_report = symbolic_check_both(stg)
+        assert usc_report.num_conflict_pairs == len(graph.usc_conflicts())
+        assert csc_report.num_conflict_pairs == len(graph.csc_conflicts())
+
+    def test_vme_witness_markings_reachable(self, vme):
+        report = symbolic_check(vme, "csc")
+        assert not report.holds
+        first, second = report.witness
+        reachable_supports = set()
+        graph = build_state_graph(vme)
+        for state in range(graph.num_states):
+            support = frozenset(
+                vme.net.place_name(p) for p in graph.marking(state).support()
+            )
+            reachable_supports.add(support)
+        support_1 = frozenset(p for p, v in first.items() if v)
+        support_2 = frozenset(p for p, v in second.items() if v)
+        assert support_1 in reachable_supports
+        assert support_2 in reachable_supports
+        assert support_1 != support_2
+
+    def test_both_shares_work(self, vme):
+        usc_report, csc_report = symbolic_check_both(vme)
+        assert usc_report.num_states == csc_report.num_states == 14
+        assert not usc_report.holds and not csc_report.holds
+
+    def test_bad_property_rejected(self, vme):
+        with pytest.raises(ValueError):
+            symbolic_check(vme, "bogus")
+
+    def test_resolved_vme_clean(self, vme_csc):
+        usc_report, csc_report = symbolic_check_both(vme_csc)
+        assert usc_report.holds and csc_report.holds
+        assert usc_report.num_conflict_pairs == 0
+
+
+class TestTransitionRelation:
+    def test_monolithic_relation_matches_explicit_edges(self, vme):
+        """The (unused-by-default) monolithic relation must agree with the
+        explicit successor relation on every reachable state."""
+        result = check_consistency(vme)
+        sym = SymbolicSTG(vme)
+        relation = sym.transition_relation()
+        m = sym.manager
+        graph = result.graph
+        n_places = vme.net.num_places
+        for state in range(graph.num_states):
+            marking = graph.markings[state]
+            code = result.code_of_state(state)
+            for transition, target in graph.successors[state]:
+                target_code = result.code_of_state(target)
+                assignment = {}
+                for p in range(n_places):
+                    assignment[2 * p] = marking[p]
+                    assignment[2 * p + 1] = graph.markings[target][p]
+                for s in range(len(vme.signals)):
+                    assignment[2 * (n_places + s)] = code[s]
+                    assignment[2 * (n_places + s) + 1] = target_code[s]
+                assert m.evaluate(relation, assignment)

@@ -1,0 +1,131 @@
+"""Tests for next-state function derivation, synthesis and CSC resolution."""
+
+import pytest
+
+from repro.core import check_csc
+from repro.exceptions import ReproError
+from repro.models import TABLE1_BENCHMARKS, vme_bus, vme_bus_csc_resolved
+from repro.models._build import seq
+from repro.stg.stategraph import build_state_graph
+from repro.stg.stg import STG
+from repro.synthesis import resolve_csc, synthesise
+from repro.synthesis.functions import (
+    CSCViolationError,
+    csc_conflict_signals,
+    derive_next_state_functions,
+)
+
+
+class TestNextStateFunctions:
+    def test_vme_conflict_detected_as_ambiguity(self, vme):
+        with pytest.raises(CSCViolationError):
+            derive_next_state_functions(vme)
+
+    def test_non_strict_reports_signals(self, vme):
+        implicated = csc_conflict_signals(vme)
+        # the Figure 1 conflict involves outputs d and lds
+        assert set(implicated) == {"d", "lds"}
+
+    def test_resolved_vme_well_defined(self, vme_csc):
+        functions = derive_next_state_functions(vme_csc)
+        assert all(fn.well_defined for fn in functions.values())
+
+    def test_state_based_csc_matches_ip_method(self, table1_stg):
+        """Ill-defined next-state functions <=> CSC conflict."""
+        implicated = csc_conflict_signals(table1_stg)
+        assert bool(implicated) == (not check_csc(table1_stg).holds)
+
+    def test_on_off_sets_partition_reachable_codes(self, vme_csc):
+        graph = build_state_graph(vme_csc)
+        functions = derive_next_state_functions(vme_csc, graph)
+        reachable = set()
+        for state in range(graph.num_states):
+            minterm = 0
+            for i, bit in enumerate(graph.code(state)):
+                if bit:
+                    minterm |= 1 << i
+            reachable.add(minterm)
+        for fn in functions.values():
+            assert fn.on_set | fn.off_set == reachable
+            assert not fn.on_set & fn.off_set
+
+
+class TestSynthesise:
+    def test_figure3_equations(self, vme_csc):
+        """The paper gives dtack = d for the resolved controller; our
+        synthesis must reproduce it (the simplest of the four equations)."""
+        result = synthesise(vme_csc)
+        dtack = result.per_signal["dtack"]
+        names = result.names
+        assert dtack.complex_gate.to_string(names) == "d"
+
+    def test_covers_verify_against_state_graph(self, vme_csc):
+        result = synthesise(vme_csc)
+        assert result.verify(build_state_graph(vme_csc))
+
+    def test_gc_covers_correct(self, vme_csc):
+        """Set/reset covers must match the excitation regions."""
+        graph = build_state_graph(vme_csc)
+        result = synthesise(vme_csc)
+        for signal, impl in result.per_signal.items():
+            z = vme_csc.signal_index(signal)
+            for state in range(graph.num_states):
+                code = graph.code(state)
+                minterm = sum(1 << i for i, b in enumerate(code) if b)
+                nxt = graph.next_state_vector(state, signal)
+                if code[z] == 0 and nxt == 1:
+                    assert impl.set_cover.evaluate(minterm)
+                if code[z] == 0 and nxt == 0:
+                    assert not impl.set_cover.evaluate(minterm)
+                if code[z] == 1 and nxt == 0:
+                    assert impl.reset_cover.evaluate(minterm)
+                if code[z] == 1 and nxt == 1:
+                    assert not impl.reset_cover.evaluate(minterm)
+
+    def test_simple_buffer_equation(self):
+        stg = STG("buf", inputs=["a"], outputs=["z"])
+        seq(stg, "a+", "z+", "a-", "z-")
+        seq(stg, "z-", "a+", marked=True)
+        result = synthesise(stg)
+        assert result.per_signal["z"].complex_gate.to_string(["a", "z"]) == "a"
+        assert result.per_signal["z"].monotonic
+
+    def test_unsynthesisable_raises(self, vme):
+        with pytest.raises(CSCViolationError):
+            synthesise(vme)
+
+    def test_conflict_free_benchmarks_synthesise(self):
+        for name in ("RING", "CF-SYM-A-CSC"):
+            stg = TABLE1_BENCHMARKS[name]()
+            result = synthesise(stg)
+            assert result.verify(build_state_graph(stg))
+
+
+class TestResolution:
+    def test_vme_resolution_single_signal(self, vme):
+        resolution = resolve_csc(vme)
+        assert len(resolution.insertions) == 1
+        assert check_csc(resolution.stg).holds
+        # the resolved STG stays consistent and synthesisable
+        result = synthesise(resolution.stg)
+        assert result.verify(build_state_graph(resolution.stg))
+
+    def test_already_clean_is_noop(self, vme_csc):
+        resolution = resolve_csc(vme_csc)
+        assert resolution.insertions == []
+        assert resolution.stg is vme_csc
+
+    def test_duplex_resolution(self):
+        stg = TABLE1_BENCHMARKS["DUP-4PH-A"]()
+        resolution = resolve_csc(stg)
+        assert check_csc(resolution.stg).holds
+        assert resolution.describe()
+
+    def test_inserted_signal_is_internal(self, vme):
+        resolution = resolve_csc(vme)
+        signal = resolution.insertions[0][0]
+        assert signal in resolution.stg.internal
+
+    def test_budget_exhaustion_raises(self, vme):
+        with pytest.raises(ReproError):
+            resolve_csc(vme, max_signals=0)

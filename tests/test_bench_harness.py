@@ -1,0 +1,101 @@
+"""Tests for the benchmark harness modules (they double as experiment code,
+so their data paths deserve coverage of their own)."""
+
+import pytest
+
+from repro.bench.ablation import ablation_rows, run_ablation
+from repro.bench.figures import figure1_report, figure2_report, figure3_report
+from repro.bench.memory import memory_rows, run_memory
+from repro.bench.scalable import scalable_rows, run_scalable
+from repro.bench.table1 import run_table1, table1_rows
+
+
+class TestTable1:
+    def test_row_contents(self):
+        rows = table1_rows(names=["RING", "DUP-4PH-A"], run_baseline=True)
+        by_name = {r.name: r for r in rows}
+        ring = by_name["RING"]
+        assert (ring.places, ring.transitions, ring.signals) == (12, 12, 6)
+        assert not ring.usc_holds and ring.csc_holds
+        assert ring.baseline_states == 12
+        dup = by_name["DUP-4PH-A"]
+        assert not dup.csc_holds
+        assert dup.cutoffs >= 1
+
+    def test_baseline_skip(self):
+        rows = table1_rows(names=["CF-SYM-C-CSC"], run_baseline=True)
+        assert rows[0].baseline_time is None  # slow row skipped by default
+
+    def test_no_baseline(self):
+        rows = table1_rows(names=["RING"], run_baseline=False)
+        assert rows[0].baseline_time is None
+
+    def test_rendered_table(self):
+        text = run_table1(run_baseline=False)
+        assert "Problem" in text
+        assert "LAZYRING" in text
+        assert "CF-ASYM-B-CSC" in text
+        assert text.count("\n") >= 16
+
+
+class TestFigures:
+    def test_figure1_facts(self):
+        report = figure1_report()
+        assert "10110" in report
+        assert "Out={d}" in report and "Out={lds}" in report
+
+    def test_figure2_facts(self):
+        report = figure2_report()
+        assert "|E|=12" in report
+        assert "|E_cut|=1" in report
+        assert "cut-off" in report
+
+    def test_figure3_facts(self):
+        report = figure3_report()
+        assert "CSC: holds" in report
+        assert "normalcy: violated" in report
+        assert "['csc']" in report
+
+
+class TestScalable:
+    def test_rows_shape(self):
+        rows = scalable_rows(families=["muller-pipeline"])
+        assert len(rows) == 5
+        states = [r.states for r in rows]
+        events = [r.events for r in rows]
+        # exponential states, linear prefix
+        assert states[-1] / states[0] > events[-1] / events[0]
+
+    def test_rendered(self):
+        text = run_scalable(families=["parallel-forks"])
+        assert "parallel-forks" in text
+
+
+class TestAblation:
+    def test_rows_and_ordering(self):
+        rows = ablation_rows(models=["RING", "CF-SYM-A-CSC"], node_budget=500_000)
+        by_variant = {}
+        for row in rows:
+            by_variant.setdefault(row.model, {})[row.variant] = row
+        ring = by_variant["RING"]
+        # the full window search must beat the generic ILP on nodes
+        assert ring["window (full)"].nodes < ring["generic 0-1 ILP"].nodes
+        cf = by_variant["CF-SYM-A-CSC"]
+        assert cf["window (full)"].nodes < cf["no Prop.1 nesting"].nodes
+
+    def test_rendered(self):
+        text = run_ablation(models=["RING"])
+        assert "window (full)" in text
+
+
+class TestMemory:
+    def test_rows(self):
+        rows = memory_rows(max_size=6)
+        assert rows
+        for row in rows:
+            assert row.prefix_size > 0
+            assert row.solver_masks > 0
+
+    def test_rendered(self):
+        text = run_memory()
+        assert "muller-pipeline" in text

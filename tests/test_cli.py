@@ -1,0 +1,91 @@
+"""Tests for the repro-stg command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.models import vme_bus, vme_bus_csc_resolved
+from repro.stg.parser import write_stg
+
+
+@pytest.fixture
+def vme_file(tmp_path):
+    path = tmp_path / "vme.g"
+    path.write_text(write_stg(vme_bus()))
+    return str(path)
+
+
+@pytest.fixture
+def vme_csc_file(tmp_path):
+    path = tmp_path / "vme_csc.g"
+    path.write_text(write_stg(vme_bus_csc_resolved()))
+    return str(path)
+
+
+class TestCheck:
+    def test_csc_conflict_exit_code(self, vme_file, capsys):
+        assert main(["check", vme_file]) == 1
+        assert "CSC: CONFLICT" in capsys.readouterr().out
+
+    def test_csc_clean_exit_code(self, vme_csc_file, capsys):
+        assert main(["check", vme_csc_file]) == 0
+        assert "CSC: OK" in capsys.readouterr().out
+
+    def test_multiple_properties(self, vme_file, capsys):
+        code = main(
+            [
+                "check", vme_file,
+                "-p", "consistency", "-p", "deadlock", "-p", "usc", "-p", "csc",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "consistency: OK" in out
+        assert "deadlock: none" in out
+        assert "USC: CONFLICT" in out
+
+    def test_normalcy(self, vme_csc_file, capsys):
+        assert main(["check", vme_csc_file, "-p", "normalcy"]) == 1
+        assert "normalcy: VIOLATED" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["ilp", "sg", "bdd"])
+    def test_methods_agree(self, vme_file, method, capsys):
+        assert main(["check", vme_file, "-m", method]) == 1
+
+    def test_verbose_prints_witness(self, vme_file, capsys):
+        main(["check", vme_file, "-v"])
+        out = capsys.readouterr().out
+        assert "witness" in out
+        assert "prefix" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.g"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.g"
+        bad.write_text(".model x\n.bogus\n.end\n")
+        assert main(["check", str(bad)]) == 2
+
+
+class TestUnfold:
+    def test_prints_sizes(self, vme_file, capsys):
+        assert main(["unfold", vme_file]) == 0
+        out = capsys.readouterr().out
+        assert "|B|=15" in out
+        assert "|E|=12" in out
+        assert "|E_cut|=1" in out
+
+    def test_events_listing(self, vme_file, capsys):
+        main(["unfold", vme_file, "--events"])
+        out = capsys.readouterr().out
+        assert "[cutoff]" in out
+        assert "lds+" in out
+
+
+class TestStats:
+    def test_prints_all_sections(self, vme_file, capsys):
+        assert main(["stats", vme_file]) == 0
+        out = capsys.readouterr().out
+        assert "|S|=11" in out
+        assert "prefix" in out
+        assert "state graph: 14 states" in out

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    if script.name == "scalability_study.py":
+        args = [sys.executable, str(script), "--max-seconds", "2"]
+    else:
+        args = [sys.executable, str(script)]
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must produce output"
+
+
+def test_quickstart_mentions_conflict():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=600
+    )
+    assert "CSC holds: False" in result.stdout
+    assert "path A" in result.stdout

@@ -1,0 +1,120 @@
+"""Tests for configurations, cuts, markings and linearisations."""
+
+import pytest
+
+from repro.models import vme_bus
+from repro.petri.generators import fork_join
+from repro.unfolding import unfold
+from repro.unfolding.configurations import (
+    cut_of,
+    is_configuration,
+    linearise,
+    local_configuration,
+    marking_of,
+    parikh_of,
+    signal_change_of,
+)
+from repro.utils.bitset import BitSet
+
+
+@pytest.fixture
+def vme_prefix(vme):
+    return unfold(vme)
+
+
+class TestIsConfiguration:
+    def test_empty_is_configuration(self, vme_prefix):
+        assert is_configuration(vme_prefix, BitSet())
+
+    def test_local_configurations(self, vme_prefix):
+        for event in vme_prefix.events:
+            assert is_configuration(
+                vme_prefix, local_configuration(vme_prefix, event.index)
+            )
+
+    def test_not_causally_closed(self, vme_prefix):
+        # event 1 (lds+) without its cause (dsr+)
+        assert not is_configuration(vme_prefix, BitSet.from_iterable([1]))
+
+    def test_conflicting_set(self):
+        from repro.petri.generators import choice
+
+        prefix = unfold(choice(2, 1))
+        # both branch events consume the same start condition
+        both = BitSet.from_iterable([0, 1])
+        assert not is_configuration(prefix, both)
+
+
+class TestCutAndMarking:
+    def test_empty_cut_is_min(self, vme_prefix):
+        assert cut_of(vme_prefix, BitSet()) == sorted(vme_prefix.min_conditions)
+
+    def test_empty_marking_is_initial(self, vme_prefix, vme):
+        assert marking_of(vme_prefix, BitSet()) == vme.net.initial_marking
+
+    def test_marking_matches_replay(self, vme_prefix, vme):
+        for event in vme_prefix.events:
+            config = local_configuration(vme_prefix, event.index)
+            sequence = linearise(vme_prefix, config)
+            replayed = vme.net.fire_sequence(vme.net.initial_marking, sequence)
+            assert replayed == marking_of(vme_prefix, config)
+
+    def test_cut_conditions_pairwise_concurrent(self, vme_prefix):
+        from repro.unfolding import PrefixRelations
+
+        rel = PrefixRelations(vme_prefix)
+        for event in vme_prefix.events:
+            cut = cut_of(vme_prefix, event.history)
+            # conditions in a cut share no producing/consuming order: check
+            # via their producing events being concurrent or equal
+            producers = [
+                vme_prefix.conditions[b].pre_event
+                for b in cut
+                if vme_prefix.conditions[b].pre_event is not None
+            ]
+            for i, e in enumerate(producers):
+                for f in producers[i + 1:]:
+                    if e != f:
+                        assert not rel.in_conflict(e, f)
+
+
+class TestLinearise:
+    def test_respects_causality(self, vme_prefix):
+        for event in vme_prefix.events:
+            config = local_configuration(vme_prefix, event.index)
+            sequence = linearise(vme_prefix, config)
+            assert len(sequence) == len(config)
+
+    def test_rejects_non_configuration(self, vme_prefix):
+        with pytest.raises(ValueError):
+            linearise(vme_prefix, BitSet.from_iterable([1]))  # missing cause
+
+
+class TestVectors:
+    def test_parikh_counts(self, vme_prefix, vme):
+        full = BitSet.from_iterable(
+            e.index for e in vme_prefix.events if not e.is_cutoff
+        )
+        parikh = parikh_of(vme_prefix, full)
+        assert sum(parikh) == len(full)
+        # dsr+ occurs twice in the prefix (e0 and the restart)
+        dsr_plus = vme.net.transition_index("dsr+")
+        assert parikh[dsr_plus] == 2
+
+    def test_signal_change_of_full_cycle(self, vme_prefix, vme):
+        """A configuration executing one full cycle returns all signals to
+        their initial values."""
+        # the history of the cut-off event is a full cycle plus the restart
+        (cutoff,) = vme_prefix.cutoff_events
+        config = vme_prefix.events[cutoff].history.remove(cutoff)
+        change = signal_change_of(vme_prefix, config)
+        # dsr rose again (second cycle) -> +1; everything else balanced
+        dsr = vme.signal_index("dsr")
+        lds = vme.signal_index("lds")
+        assert change[dsr] == 1
+        assert change[lds] == 0
+
+    def test_signal_change_requires_stg(self):
+        prefix = unfold(fork_join(2))
+        with pytest.raises(ValueError):
+            signal_change_of(prefix, BitSet())

@@ -1,0 +1,126 @@
+"""Tests for the causality/conflict/concurrency relations of a prefix."""
+
+import pytest
+
+from repro.models import vme_bus
+from repro.petri.generators import choice, fork_join
+from repro.unfolding import PrefixRelations, unfold
+
+
+@pytest.fixture
+def vme_rel(vme):
+    prefix = unfold(vme)
+    return prefix, PrefixRelations(prefix)
+
+
+class TestCausality:
+    def test_pred_matches_history(self, vme_rel):
+        prefix, rel = vme_rel
+        for event in prefix.events:
+            expected = event.history.bits & ~(1 << event.index)
+            assert rel.pred[event.index] == expected
+
+    def test_succ_is_inverse_of_pred(self, vme_rel):
+        prefix, rel = vme_rel
+        for e in range(prefix.num_events):
+            for f in range(prefix.num_events):
+                assert ((rel.succ[e] >> f) & 1) == ((rel.pred[f] >> e) & 1)
+
+    def test_local_configuration_mask(self, vme_rel):
+        prefix, rel = vme_rel
+        for event in prefix.events:
+            assert rel.local_configuration_mask(event.index) == event.history.bits
+
+
+class TestConflict:
+    def test_no_conflicts_in_marked_graph_unfolding(self):
+        prefix = unfold(fork_join(3))
+        rel = PrefixRelations(prefix)
+        assert all(c == 0 for c in rel.conf)
+
+    def test_direct_conflicts_in_choice(self):
+        prefix = unfold(choice(3, 1))
+        rel = PrefixRelations(prefix)
+        # the three branch transitions consume the same start condition
+        first_events = [
+            e.index for e in prefix.events if not e.preset[0]
+        ]  # preset condition 0 == the marked start place
+        # at least one pair of events must be in conflict
+        pairs = [
+            (e, f)
+            for e in range(prefix.num_events)
+            for f in range(prefix.num_events)
+            if e < f and rel.in_conflict(e, f)
+        ]
+        assert pairs
+
+    def test_conflict_is_symmetric_and_irreflexive(self, vme_rel):
+        prefix, rel = vme_rel
+        for e in range(prefix.num_events):
+            assert not rel.in_conflict(e, e)
+            for f in range(prefix.num_events):
+                assert rel.in_conflict(e, f) == rel.in_conflict(f, e)
+
+    def test_conflict_inherited_by_successors(self):
+        prefix = unfold(choice(2, 2))
+        rel = PrefixRelations(prefix)
+        for e in range(prefix.num_events):
+            for f in range(prefix.num_events):
+                if rel.in_conflict(e, f):
+                    rest = rel.succ[e]
+                    while rest:
+                        low = rest & -rest
+                        succ = low.bit_length() - 1
+                        assert rel.in_conflict(succ, f)
+                        rest ^= low
+
+
+class TestTrichotomy:
+    def test_every_pair_classified_exactly_once(self, vme_rel):
+        """Two distinct events are causally ordered, in conflict, or
+        concurrent — exactly one of the three."""
+        prefix, rel = vme_rel
+        for e in range(prefix.num_events):
+            for f in range(prefix.num_events):
+                if e == f:
+                    continue
+                kinds = [
+                    rel.causally_ordered(e, f),
+                    rel.in_conflict(e, f),
+                    rel.concurrent(e, f),
+                ]
+                assert sum(kinds) == 1
+
+    def test_concurrency_matches_joint_configuration(self, vme_rel):
+        """e co f iff some configuration contains both (oracle check)."""
+        from repro.unfolding.configurations import is_configuration
+        from repro.utils.bitset import BitSet
+
+        prefix, rel = vme_rel
+        for e in range(prefix.num_events):
+            for f in range(e + 1, prefix.num_events):
+                joint = BitSet(
+                    prefix.events[e].history.bits | prefix.events[f].history.bits
+                )
+                joint_ok = is_configuration(prefix, joint)
+                # joint local configurations exist iff not in conflict
+                assert joint_ok == (not rel.in_conflict(e, f))
+
+
+class TestFreeMask:
+    def test_free_mask_excludes_cutoffs_and_successors(self, vme_rel):
+        prefix, rel = vme_rel
+        free = rel.free_events_mask()
+        for e in prefix.cutoff_events:
+            assert not (free >> e) & 1
+
+    def test_topological_order_respects_causality(self, vme_rel):
+        prefix, rel = vme_rel
+        order = rel.topological_order()
+        position = {e: i for i, e in enumerate(order)}
+        for e in range(prefix.num_events):
+            rest = rel.pred[e]
+            while rest:
+                low = rest & -rest
+                assert position[low.bit_length() - 1] < position[e]
+                rest ^= low

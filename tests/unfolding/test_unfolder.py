@@ -1,0 +1,176 @@
+"""Tests for the complete-prefix unfolder, including Figure 2 of the paper."""
+
+import pytest
+
+from repro.exceptions import UnfoldingError
+from repro.models import vme_bus
+from repro.petri.generators import chain, choice, cycle, fork_join
+from repro.petri.net import PetriNet
+from repro.unfolding import UnfoldingOptions, unfold
+
+
+class TestFigure2:
+    """The paper's Figure 2: the VME prefix has 12 events, the last being a
+    cut-off labelled lds+."""
+
+    def test_event_count(self, vme):
+        prefix = unfold(vme)
+        assert prefix.num_events == 12
+        assert prefix.num_cutoffs == 1
+
+    def test_cutoff_is_second_lds_plus(self, vme):
+        prefix = unfold(vme)
+        (cutoff,) = prefix.cutoff_events
+        transition = prefix.events[cutoff].transition
+        assert vme.net.transition_name(transition) == "lds+"
+
+    def test_event_labels_match_figure(self, vme):
+        prefix = unfold(vme)
+        names = [
+            vme.net.transition_name(e.transition) for e in prefix.events
+        ]
+        # one instance of every transition plus the second lds+
+        assert sorted(names) == sorted(
+            [
+                "dsr+", "lds+", "ldtack+", "d+", "dtack+", "dsr-",
+                "d-", "dtack-", "lds-", "ldtack-", "dsr+", "lds+",
+            ]
+        )
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize(
+        "net_builder",
+        [
+            lambda: chain(4),
+            lambda: cycle(5),
+            lambda: fork_join(3),
+            lambda: choice(3, 2),
+        ],
+    )
+    def test_occurrence_net_properties(self, net_builder):
+        prefix = unfold(net_builder())
+        # every condition has at most one producer (by construction) and the
+        # net is acyclic: each event's preset conditions are produced by
+        # events with strictly smaller history
+        for event in prefix.events:
+            for b in event.preset:
+                producer = prefix.conditions[b].pre_event
+                if producer is not None:
+                    assert prefix.events[producer].local_size < event.local_size
+        # homomorphism: presets/postsets map bijectively
+        net = prefix.net
+        for event in prefix.events:
+            pre_places = sorted(prefix.conditions[b].place for b in event.preset)
+            assert pre_places == sorted(net.preset(event.transition))
+            post_places = sorted(prefix.conditions[b].place for b in event.postset)
+            assert post_places == sorted(net.postset(event.transition))
+
+    def test_histories_are_configurations(self, vme):
+        from repro.unfolding.configurations import is_configuration
+
+        prefix = unfold(vme)
+        for event in prefix.events:
+            assert is_configuration(prefix, event.history)
+
+    def test_mark_of_local_configuration(self, vme):
+        from repro.unfolding.configurations import marking_of
+
+        prefix = unfold(vme)
+        for event in prefix.events:
+            assert marking_of(prefix, event.history) == event.mark
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "net_builder",
+        [
+            lambda: chain(3),
+            lambda: cycle(6),
+            lambda: fork_join(4),
+            lambda: choice(4, 2),
+            lambda: vme_bus().net,
+        ],
+    )
+    def test_prefix_represents_all_reachable_markings(self, net_builder):
+        """Every reachable marking must be Mark(C) for some configuration of
+        the prefix (and vice versa) — the definition of completeness."""
+        from repro.petri.reachability import explore
+        from repro.unfolding.configurations import is_configuration, marking_of
+        from repro.utils.bitset import BitSet
+
+        net = net_builder()
+        prefix = unfold(net)
+        assert prefix.num_events <= 40, "keep the exhaustive check tractable"
+        represented = set()
+        for bits in range(1 << prefix.num_events):
+            candidate = BitSet(bits)
+            if is_configuration(prefix, candidate):
+                represented.add(marking_of(prefix, candidate))
+        reachable = set(explore(net).markings)
+        assert represented == reachable
+
+    def test_cutoff_marking_seen_before(self, vme):
+        prefix = unfold(vme)
+        live_marks = {
+            e.mark for e in prefix.events if not e.is_cutoff
+        } | {vme.net.initial_marking}
+        for e in prefix.events:
+            if e.is_cutoff:
+                assert e.mark in live_marks
+
+
+class TestOrders:
+    def test_mcmillan_at_least_as_large(self, vme):
+        erv = unfold(vme, UnfoldingOptions(order="erv"))
+        mcm = unfold(vme, UnfoldingOptions(order="mcmillan"))
+        assert mcm.num_events >= erv.num_events
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            UnfoldingOptions(order="bogus")
+
+
+class TestGuards:
+    def test_weighted_net_rejected(self):
+        net = PetriNet()
+        net.add_place("p", tokens=2)
+        net.add_transition("t")
+        net.add_arc("p", "t", weight=2)
+        with pytest.raises(UnfoldingError):
+            unfold(net)
+
+    def test_sourceless_transition_rejected(self):
+        net = PetriNet()
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("t", "p")
+        with pytest.raises(UnfoldingError):
+            unfold(net)
+
+    def test_event_budget(self, vme):
+        with pytest.raises(UnfoldingError):
+            unfold(vme, UnfoldingOptions(max_events=3))
+
+    def test_two_bounded_net_unfolds(self):
+        # the unfolder supports bounded (not just safe) ordinary nets
+        net = cycle(4, tokens=2)
+        prefix = unfold(net)
+        assert prefix.num_events > 0
+        assert prefix.num_cutoffs > 0
+
+
+class TestPrefixAsNet:
+    def test_as_net_is_acyclic_and_safe(self, vme):
+        from repro.petri.analysis import is_safe
+
+        prefix = unfold(vme)
+        unf = prefix.as_net()
+        assert unf.num_places == prefix.num_conditions
+        assert unf.num_transitions == prefix.num_events
+        assert is_safe(unf, max_states=100_000)
+
+    def test_initial_marking_canonical(self, vme):
+        prefix = unfold(vme)
+        m_in = prefix.initial_marking()
+        assert m_in.total() == len(prefix.min_conditions)

@@ -1,0 +1,42 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.utils.tables import format_table
+
+
+def test_alignment_and_separator():
+    out = format_table(["name", "n"], [["a", 1], ["bb", 22]])
+    lines = out.splitlines()
+    assert lines[0] == "name | n"
+    assert lines[1] == "-----+---"
+    assert lines[2] == "a    |  1"
+    assert lines[3] == "bb   | 22"
+
+
+def test_floats_two_decimals():
+    out = format_table(["t"], [[1.234567]])
+    assert "1.23" in out
+    assert "1.2345" not in out
+
+
+def test_title_prepended():
+    out = format_table(["x"], [[1]], title="Table 1")
+    assert out.splitlines()[0] == "Table 1"
+
+
+def test_wide_headers_win_width():
+    out = format_table(["very-long-header"], [["x"]])
+    lines = out.splitlines()
+    assert len(lines[1]) == len(lines[0])
+
+
+def test_numeric_right_alignment_string_left():
+    out = format_table(["s", "n"], [["abc", 5], ["d", 123]])
+    rows = out.splitlines()[2:]
+    assert rows[0].startswith("abc")
+    assert rows[0].endswith("  5")
+    assert rows[1].endswith("123")
+
+
+def test_empty_rows():
+    out = format_table(["a", "b"], [])
+    assert len(out.splitlines()) == 2

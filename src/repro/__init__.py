@@ -13,6 +13,13 @@ Public entry points:
 * :mod:`repro.bench` -- the experiment harness (Table 1 etc.).
 """
 
+import logging
+
 __version__ = "1.0.0"
 
 __all__ = ["__version__"]
+
+# Library logging convention: every module logs under the "repro." namespace
+# and the package installs a NullHandler, so importing applications see no
+# output unless they (or the CLI's --verbose flag) configure handlers.
+logging.getLogger(__name__).addHandler(logging.NullHandler())

@@ -51,57 +51,105 @@ class Table1Row:
     search_nodes: int
 
 
+def _measure_row(payload) -> Table1Row:
+    """Measure one Table 1 row; also the ``table1-row`` pool runner."""
+    name, include_slow, run_baseline = payload
+    stg = TABLE1_BENCHMARKS[name]()
+    stats = stg.stats()
+
+    started = time.perf_counter()
+    prefix = unfold(stg)
+    usc = check_usc(prefix)
+    csc = check_csc(prefix)
+    ip_time = time.perf_counter() - started
+
+    baseline_time = None
+    baseline_states = None
+    if run_baseline and (include_slow or name not in SLOW_BASELINE_ROWS):
+        from repro.symbolic import symbolic_check_both
+
+        started = time.perf_counter()
+        _, csc_report = symbolic_check_both(stg)
+        baseline_time = time.perf_counter() - started
+        baseline_states = csc_report.num_states
+        assert csc_report.holds == csc.holds, f"method disagreement on {name}"
+
+    return Table1Row(
+        name=name,
+        places=stats["places"],
+        transitions=stats["transitions"],
+        signals=stats["signals"],
+        conditions=prefix.num_conditions,
+        events=prefix.num_events,
+        cutoffs=prefix.num_cutoffs,
+        usc_holds=usc.holds,
+        csc_holds=csc.holds,
+        baseline_time=baseline_time,
+        baseline_states=baseline_states,
+        ip_time=ip_time,
+        search_nodes=csc.search_stats.nodes + usc.search_stats.nodes,
+    )
+
+
+from repro.engine.pool import register_runner as _register_runner
+
+_register_runner("table1-row", _measure_row)
+
+
 def table1_rows(
     names: Optional[List[str]] = None,
     include_slow: bool = False,
     run_baseline: bool = True,
+    jobs: int = 1,
 ) -> List[Table1Row]:
-    """Measure every requested Table 1 row and return structured results."""
-    rows: List[Table1Row] = []
-    for name in names or list(TABLE1_BENCHMARKS):
-        stg = TABLE1_BENCHMARKS[name]()
-        stats = stg.stats()
+    """Measure every requested Table 1 row and return structured results.
 
-        started = time.perf_counter()
-        prefix = unfold(stg)
-        usc = check_usc(prefix)
-        csc = check_csc(prefix)
-        ip_time = time.perf_counter() - started
+    With ``jobs > 1`` the rows are measured in parallel worker processes
+    through :class:`repro.engine.pool.WorkerPool` (falling back to
+    in-process execution where ``fork`` is unavailable).  Per-row times are
+    still single-process measurements; only the wall clock of the whole
+    table shrinks.
+    """
+    names = names or list(TABLE1_BENCHMARKS)
+    if jobs and jobs > 1:
+        return _table1_rows_pooled(names, include_slow, run_baseline, jobs)
+    return [_measure_row((name, include_slow, run_baseline)) for name in names]
 
-        baseline_time = None
-        baseline_states = None
-        if run_baseline and (include_slow or name not in SLOW_BASELINE_ROWS):
-            from repro.symbolic import symbolic_check_both
 
-            started = time.perf_counter()
-            _, csc_report = symbolic_check_both(stg)
-            baseline_time = time.perf_counter() - started
-            baseline_states = csc_report.num_states
-            assert csc_report.holds == csc.holds, f"method disagreement on {name}"
+def _table1_rows_pooled(
+    names: List[str], include_slow: bool, run_baseline: bool, jobs: int
+) -> List[Table1Row]:
+    from repro.engine.pool import Task, WorkerPool
+    from repro.exceptions import ReproError
 
-        rows.append(
-            Table1Row(
-                name=name,
-                places=stats["places"],
-                transitions=stats["transitions"],
-                signals=stats["signals"],
-                conditions=prefix.num_conditions,
-                events=prefix.num_events,
-                cutoffs=prefix.num_cutoffs,
-                usc_holds=usc.holds,
-                csc_holds=csc.holds,
-                baseline_time=baseline_time,
-                baseline_states=baseline_states,
-                ip_time=ip_time,
-                search_nodes=csc.search_stats.nodes + usc.search_stats.nodes,
+    with WorkerPool(max_workers=jobs) as pool:
+        for name in names:
+            pool.submit(
+                Task(
+                    task_id=name,
+                    group=name,
+                    runner="table1-row",
+                    payload=(name, include_slow, run_baseline),
+                )
             )
-        )
+        outcomes = {outcome.task_id: outcome for outcome in pool.outcomes()}
+    rows: List[Table1Row] = []
+    for name in names:
+        outcome = outcomes.get(name)
+        if outcome is None or outcome.status != "ok":
+            detail = outcome.error if outcome is not None else "no outcome"
+            raise ReproError(f"table1 row {name} failed in the pool: {detail}")
+        rows.append(outcome.value)
     return rows
 
 
-def run_table1(include_slow: bool = False, run_baseline: bool = True) -> str:
+def run_table1(
+    include_slow: bool = False, run_baseline: bool = True, jobs: int = 1
+) -> str:
     """Render the reproduction of Table 1 as a text table."""
-    rows = table1_rows(include_slow=include_slow, run_baseline=run_baseline)
+    rows = table1_rows(
+        include_slow=include_slow, run_baseline=run_baseline, jobs=jobs
+    )
     headers = [
         "Problem", "S", "T", "Z", "B", "E", "E_c",
         "USC", "CSC", "states", "Pfy[s]", "CLP[s]",

@@ -4,20 +4,27 @@ Subcommands:
 
 * ``check FILE.g``   — verify USC / CSC / normalcy / consistency / deadlock
   with a choice of engine (``ilp`` = the paper's unfolding+IP method,
-  ``sg`` = explicit state graph, ``bdd`` = symbolic state graph);
+  ``sg`` = explicit state graph, ``bdd`` = symbolic state graph, ``sat`` =
+  the CDCL back-end) or an engine portfolio raced in parallel;
+* ``batch``          — verify many STGs × properties through the worker
+  pool, with portfolio racing and the on-disk result cache;
 * ``unfold FILE.g``  — build and describe the complete prefix;
 * ``stats FILE.g``   — print STG / prefix / state-graph size statistics;
 * ``bench``          — regenerate the paper's Table 1 (delegates to
   :mod:`repro.bench.table1`).
+
+A global ``-v/--verbose`` flag (before the subcommand) streams the
+``repro.engine`` progress events and other library logging to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, SolverLimitError
 
 
 def _load_stg(path: str):
@@ -27,76 +34,148 @@ def _load_stg(path: str):
         return parse_stg(handle.read())
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Wire the package loggers to stderr: ``-v`` = INFO, ``-vv`` = DEBUG."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logging.basicConfig(
+        level=level,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     stg = _load_stg(args.file)
     properties = args.properties or ["csc"]
     failures = 0
+    errors = 0
     for prop in properties:
         prop = prop.lower()
-        if prop == "consistency":
-            from repro.stg.consistency import is_consistent
-
-            holds = is_consistent(stg)
-            print(f"consistency: {'OK' if holds else 'VIOLATED'}")
-            failures += 0 if holds else 1
-            continue
-        if prop == "deadlock":
-            from repro.core.reachability import check_deadlock
-
-            trace = check_deadlock(stg)
-            if trace is None:
-                print("deadlock: none (live)")
-            else:
-                print(f"deadlock: reachable via [{', '.join(trace)}]")
-                failures += 1
-            continue
-        if prop == "autoconcurrency":
-            from repro.stg.implementability import check_autoconcurrency
-
-            witness = check_autoconcurrency(stg)
-            if witness is None:
-                print("autoconcurrency: none")
-            else:
-                print(
-                    f"autoconcurrency: signal {witness.signal} "
-                    f"after [{', '.join(witness.trace)}]"
-                )
-                failures += 1
-            continue
-        if prop == "persistency":
-            from repro.stg.implementability import check_output_persistency
-
-            violations = check_output_persistency(stg)
-            if not violations:
-                print("persistency: OK")
-            else:
-                first = violations[0]
-                print(
-                    f"persistency: VIOLATED ({first.disabled_edge} disabled "
-                    f"by {first.disabling_transition}; "
-                    f"{len(violations)} violation(s))"
-                )
-                failures += 1
-            continue
-        if prop == "normalcy":
-            holds = _check_normalcy(stg, args.method)
-            print(f"normalcy: {'OK' if holds else 'VIOLATED'}")
-            failures += 0 if holds else 1
-            continue
-        if prop in ("usc", "csc"):
-            holds = _check_coding(stg, prop, args.method, args.verbose)
-            print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
-            failures += 0 if holds else 1
-            continue
-        raise ReproError(f"unknown property {prop!r}")
+        try:
+            failures += 0 if _check_property(stg, prop, args) else 1
+        except SolverLimitError as exc:
+            print(f"{prop}: UNDECIDED (budget exhausted)")
+            print(
+                f"error: {prop} check on {args.file} gave up: {exc}",
+                file=sys.stderr,
+            )
+            errors += 1
+        except ReproError as exc:
+            print(f"{prop}: ERROR")
+            print(
+                f"error: {prop} check on {args.file} failed: {exc}",
+                file=sys.stderr,
+            )
+            errors += 1
+    if errors:
+        return 2
     return 1 if failures else 0
 
 
-def _check_coding(stg, prop: str, method: str, verbose: bool) -> bool:
+def _check_property(stg, prop: str, args: argparse.Namespace) -> bool:
+    """Check one property, print its verdict line, return whether it holds."""
+    if prop == "consistency":
+        from repro.stg.consistency import is_consistent
+
+        holds = is_consistent(stg)
+        print(f"consistency: {'OK' if holds else 'VIOLATED'}")
+        return holds
+    if prop == "deadlock":
+        from repro.core.reachability import check_deadlock
+
+        trace = check_deadlock(stg)
+        if trace is None:
+            print("deadlock: none (live)")
+            return True
+        print(f"deadlock: reachable via [{', '.join(trace)}]")
+        return False
+    if prop == "autoconcurrency":
+        from repro.stg.implementability import check_autoconcurrency
+
+        witness = check_autoconcurrency(stg)
+        if witness is None:
+            print("autoconcurrency: none")
+            return True
+        print(
+            f"autoconcurrency: signal {witness.signal} "
+            f"after [{', '.join(witness.trace)}]"
+        )
+        return False
+    if prop == "persistency":
+        from repro.stg.implementability import check_output_persistency
+
+        violations = check_output_persistency(stg)
+        if not violations:
+            print("persistency: OK")
+            return True
+        first = violations[0]
+        print(
+            f"persistency: VIOLATED ({first.disabled_edge} disabled "
+            f"by {first.disabling_transition}; "
+            f"{len(violations)} violation(s))"
+        )
+        return False
+    if prop == "normalcy":
+        if args.portfolio:
+            holds = _check_portfolio(stg, prop, args)
+        else:
+            holds = _check_normalcy(stg, args.method, args.node_budget)
+        print(f"normalcy: {'OK' if holds else 'VIOLATED'}")
+        return holds
+    if prop in ("usc", "csc"):
+        if args.portfolio:
+            holds = _check_portfolio(stg, prop, args)
+        else:
+            holds = _check_coding(
+                stg, prop, args.method, args.verbose, args.node_budget
+            )
+        print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
+        return holds
+    raise ReproError(f"unknown property {prop!r}")
+
+
+def _check_portfolio(stg, prop: str, args: argparse.Namespace) -> bool:
+    """Race the engines named in ``--portfolio`` via :mod:`repro.engine`."""
+    from repro.engine import VerificationJob, WorkerPool, run_jobs
+
+    engines = tuple(name.strip() for name in args.portfolio.split(",") if name.strip())
+    job = VerificationJob(
+        stg=stg,
+        property=prop,
+        engines=engines,
+        timeout=args.timeout,
+        node_budget=args.node_budget,
+    )
+    with WorkerPool(max_workers=len(engines)) as pool:
+        result = run_jobs([job], pool)[0]
+    if not result.sound:
+        message = result.error or result.verdict
+        if result.verdict in ("timeout", "limit"):
+            raise SolverLimitError(message)
+        raise ReproError(message)
+    if args.verbose:
+        print(f"  portfolio: {result.engine} won in {result.elapsed:.3f}s")
+        if result.witness:
+            print(f"  witness: {result.witness}")
+    return bool(result.holds)
+
+
+def _check_coding(
+    stg,
+    prop: str,
+    method: str,
+    verbose: bool,
+    node_budget: Optional[int] = None,
+) -> bool:
     if method == "ilp":
         from repro.core import check_csc, check_usc
 
-        report = (check_usc if prop == "usc" else check_csc)(stg)
+        report = (check_usc if prop == "usc" else check_csc)(
+            stg, node_budget=node_budget
+        )
         if verbose and report.witness is not None:
             print(f"  witness: {report.witness.describe()}")
         if verbose:
@@ -140,11 +219,11 @@ def _check_coding(stg, prop: str, method: str, verbose: bool) -> bool:
     raise ReproError(f"unknown method {method!r}")
 
 
-def _check_normalcy(stg, method: str) -> bool:
+def _check_normalcy(stg, method: str, node_budget: Optional[int] = None) -> bool:
     if method in ("ilp",):
         from repro.core import check_normalcy
 
-        return check_normalcy(stg).normal
+        return check_normalcy(stg, node_budget=node_budget).normal
     from repro.stg.normalcy import check_normalcy_state_graph
 
     return check_normalcy_state_graph(stg).normal
@@ -226,7 +305,50 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.table1 import run_table1
 
-    print(run_table1(include_slow=args.full))
+    print(run_table1(include_slow=args.full, jobs=args.jobs))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        EventLog,
+        build_jobs,
+        default_cache_dir,
+        default_targets,
+        format_batch_report,
+        run_batch,
+    )
+
+    engines = tuple(
+        name.strip() for name in args.portfolio.split(",") if name.strip()
+    )
+    if not engines:
+        raise ReproError("empty --portfolio")
+    targets = args.targets or default_targets()
+    jobs = build_jobs(
+        targets,
+        properties=args.properties or ["csc"],
+        engines=engines,
+        timeout=args.timeout,
+        node_budget=args.node_budget,
+    )
+    cache_dir = None if args.no_cache else (args.cache_dir or str(default_cache_dir()))
+    report = run_batch(
+        jobs,
+        max_workers=args.jobs,
+        max_retries=args.retries,
+        cache_dir=cache_dir,
+        events=EventLog(),
+    )
+    print(format_batch_report(report))
+    if not report.all_sound:
+        failed = [r for r in report.results if not r.sound]
+        print(
+            f"error: {len(failed)} job(s) did not reach a verdict "
+            f"(first: {failed[0].job_id}: {failed[0].error})",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -235,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-stg",
         description="STG state-coding verification via unfoldings and "
         "integer programming (DATE 2002 reproduction)",
+    )
+    parser.add_argument(
+        "--verbose",
+        "-v",
+        action="count",
+        default=0,
+        dest="verbosity",
+        help="stream library logging to stderr (-v = INFO, -vv = DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -264,8 +394,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine: unfolding+IP (default), explicit or symbolic state "
         "graph, or the SAT back-end",
     )
+    check.add_argument(
+        "--portfolio",
+        metavar="ENGINES",
+        help="race a comma-separated engine portfolio (e.g. ilp,sat) per "
+        "property instead of --method; first sound verdict wins",
+    )
+    check.add_argument(
+        "--node-budget",
+        type=int,
+        metavar="N",
+        help="give up (exit 2) if the IP search exceeds N branch-and-bound "
+        "nodes",
+    )
+    check.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="per-engine wall-clock deadline (portfolio mode only)",
+    )
     check.add_argument("--verbose", "-v", action="store_true")
     check.set_defaults(func=_cmd_check)
+
+    batch = sub.add_parser(
+        "batch",
+        help="verify many STGs through the parallel portfolio engine",
+        description="Verify TARGET... (registered model names or .g files; "
+        "default: every Table 1 benchmark) against the selected properties "
+        "using the worker pool, portfolio racing and the on-disk result "
+        "cache.  Exit status 0 means every job reached a sound verdict "
+        "(conflicts included — batch reports, it does not gate); 2 means "
+        "some job timed out or errored.",
+    )
+    batch.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help="model names or .g files (default: all Table 1 benchmarks)",
+    )
+    batch.add_argument(
+        "--property",
+        "-p",
+        dest="properties",
+        action="append",
+        choices=["usc", "csc", "normalcy"],
+        help="property to verify (repeatable; default: csc)",
+    )
+    batch.add_argument(
+        "--portfolio",
+        default="ilp",
+        metavar="ENGINES",
+        help="comma-separated engines to race per job (default: ilp)",
+    )
+    batch.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 0 = in-process)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, metavar="SECONDS", help="per-engine deadline"
+    )
+    batch.add_argument(
+        "--node-budget", type=int, metavar="N", help="IP search node budget"
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retries per task after a worker death (default: 1)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-stg)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     unfold_cmd = sub.add_parser("unfold", help="build the complete prefix")
     unfold_cmd.add_argument("file")
@@ -295,6 +506,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--full", action="store_true", help="include the slowest baseline runs"
     )
+    bench.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="measure rows in N worker processes (default: 1 = in-process)",
+    )
     bench.set_defaults(func=_cmd_bench)
     return parser
 
@@ -302,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbosity)
     try:
         return args.func(args)
     except ReproError as exc:

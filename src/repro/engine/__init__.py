@@ -1,0 +1,67 @@
+"""The verification engine: jobs, worker pool, portfolio racing, caching.
+
+This package turns the library's one-shot checkers into a verification
+*service*:
+
+* :mod:`repro.engine.jobs` — :class:`VerificationJob` specs, structured
+  :class:`JobResult` reports and the engine registry (``ilp``, ``sat``,
+  ``bdd``, ``sg``);
+* :mod:`repro.engine.pool` — a multiprocess worker pool with per-task
+  timeouts, bounded retries on worker death, and graceful degradation to
+  in-process execution where ``fork`` is unavailable;
+* :mod:`repro.engine.portfolio` — races the selected engines per job and
+  cancels the losers on the first sound verdict;
+* :mod:`repro.engine.cache` — a content-addressed on-disk result store
+  keyed by the canonical STG hash plus the property;
+* :mod:`repro.engine.events` — structured progress events and aggregate
+  :class:`EngineStats`;
+* :mod:`repro.engine.batch` — the driver behind ``repro-stg batch``.
+"""
+
+from repro.engine.jobs import (
+    ENGINES,
+    JobResult,
+    PROPERTIES,
+    SOUND_VERDICTS,
+    VerificationJob,
+    engine_names,
+    execute_engine,
+    register_engine,
+)
+from repro.engine.pool import Task, TaskOutcome, WorkerPool, register_runner
+from repro.engine.portfolio import run_jobs
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.events import EngineEvent, EngineStats, EventLog
+from repro.engine.batch import (
+    BatchReport,
+    build_jobs,
+    default_targets,
+    format_batch_report,
+    run_batch,
+)
+
+__all__ = [
+    "ENGINES",
+    "PROPERTIES",
+    "SOUND_VERDICTS",
+    "VerificationJob",
+    "JobResult",
+    "engine_names",
+    "execute_engine",
+    "register_engine",
+    "Task",
+    "TaskOutcome",
+    "WorkerPool",
+    "register_runner",
+    "run_jobs",
+    "ResultCache",
+    "default_cache_dir",
+    "EngineEvent",
+    "EngineStats",
+    "EventLog",
+    "BatchReport",
+    "build_jobs",
+    "default_targets",
+    "format_batch_report",
+    "run_batch",
+]

@@ -1,0 +1,152 @@
+"""Batch verification driver: many STGs × many properties through the pool.
+
+This is the back-end of the ``repro-stg batch`` subcommand.  Targets are
+either registered benchmark model names (``TABLE1_BENCHMARKS`` /
+``CLASSIC_MODELS``) or paths to astg ``.g`` files; every target × property
+pair becomes one :class:`~repro.engine.jobs.VerificationJob`, the jobs flow
+through the cache + portfolio pipeline of :mod:`repro.engine.portfolio`,
+and the outcome is a :class:`BatchReport` with per-job rows and the
+aggregate :class:`~repro.engine.events.EngineStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.engine import events as ev
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import JobResult, VerificationJob
+from repro.engine.pool import WorkerPool
+from repro.engine.portfolio import run_jobs
+from repro.exceptions import ReproError
+from repro.stg.stg import STG
+from repro.utils.tables import format_table
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced."""
+
+    results: List[JobResult]
+    stats: ev.EngineStats
+    elapsed: float
+
+    @property
+    def all_sound(self) -> bool:
+        return all(result.sound for result in self.results)
+
+    @property
+    def violations(self) -> List[JobResult]:
+        return [r for r in self.results if r.holds is False]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.from_cache)
+
+
+def resolve_target(target: str) -> Tuple[str, STG]:
+    """A registered model name, or a path to a ``.g`` file."""
+    from repro.models import CLASSIC_MODELS, TABLE1_BENCHMARKS
+
+    if target in TABLE1_BENCHMARKS:
+        return target, TABLE1_BENCHMARKS[target]()
+    if target in CLASSIC_MODELS:
+        return target, CLASSIC_MODELS[target]()
+    if target.endswith(".g"):
+        from repro.stg.parser import parse_stg
+
+        try:
+            with open(target) as handle:
+                stg = parse_stg(handle.read())
+        except OSError as exc:
+            raise ReproError(f"cannot read {target}: {exc}") from exc
+        return stg.name, stg
+    raise ReproError(
+        f"unknown target {target!r}: not a registered model name and not a "
+        f".g file"
+    )
+
+
+def build_jobs(
+    targets: Sequence[str],
+    properties: Sequence[str] = ("csc",),
+    engines: Sequence[str] = ("ilp",),
+    timeout: Optional[float] = None,
+    node_budget: Optional[int] = None,
+) -> List[VerificationJob]:
+    """One job per target × property, all racing the same engine portfolio."""
+    jobs: List[VerificationJob] = []
+    for target in targets:
+        name, stg = resolve_target(target)
+        for prop in properties:
+            jobs.append(
+                VerificationJob(
+                    stg=stg,
+                    property=prop,
+                    engines=tuple(engines),
+                    timeout=timeout,
+                    node_budget=node_budget,
+                    name=name,
+                )
+            )
+    return jobs
+
+
+def default_targets() -> List[str]:
+    """Every registered Table 1 benchmark model, in the paper's row order."""
+    from repro.models import TABLE1_BENCHMARKS
+
+    return list(TABLE1_BENCHMARKS)
+
+
+def run_batch(
+    jobs: Sequence[VerificationJob],
+    max_workers: Optional[int] = None,
+    max_retries: int = 1,
+    cache_dir: Optional[Union[str, "ResultCache"]] = None,
+    events: Optional[ev.EventLog] = None,
+) -> BatchReport:
+    """Run ``jobs`` through a fresh pool; returns the structured report."""
+    events = events or ev.EventLog()
+    cache: Optional[ResultCache]
+    if cache_dir is None:
+        cache = None
+    elif isinstance(cache_dir, ResultCache):
+        cache = cache_dir
+    else:
+        cache = ResultCache(cache_dir)
+    started = time.perf_counter()
+    with WorkerPool(
+        max_workers=max_workers, max_retries=max_retries, events=events
+    ) as pool:
+        results = run_jobs(jobs, pool, cache=cache, events=events)
+    return BatchReport(
+        results=results,
+        stats=events.stats,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+def format_batch_report(report: BatchReport) -> str:
+    """The batch table plus the aggregate stats footer."""
+    headers = ["job", "property", "verdict", "engine", "time[s]", "cached"]
+    body = []
+    for result in report.results:
+        body.append(
+            [
+                result.name,
+                result.property,
+                result.verdict,
+                result.engine or "-",
+                f"{result.elapsed:.3f}",
+                "hit" if result.from_cache else "-",
+            ]
+        )
+    table = format_table(headers, body, title="Batch verification")
+    footer = report.stats.report()
+    return (
+        f"{table}\n\n{footer}\n"
+        f"total wall time: {report.elapsed:.3f}s"
+    )

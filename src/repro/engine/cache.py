@@ -1,0 +1,155 @@
+"""Content-addressed on-disk cache of verification results.
+
+Results are keyed by what they *mean*, not by where they came from: the key
+is the SHA-256 of the job's canonical STG content hash
+(:func:`repro.stg.hashing.canonical_stg_hash`) plus the property name, under
+a schema version.  Consequences:
+
+* reordering places/transitions in a ``.g`` file, or rebuilding the same
+  model programmatically, still hits the cache;
+* a sound verdict cached from one engine is served to portfolios that do
+  not even include that engine (verdicts are engine-independent);
+* unsound results (timeout / limit / error) are **never** stored — a rerun
+  with a bigger budget must actually rerun;
+* bumping :data:`SCHEMA_VERSION` (or the hash scheme version) invalidates
+  every entry without touching the files.
+
+Entries are one JSON file each, written atomically (temp file + ``rename``)
+and fanned out over 256 two-hex-digit subdirectories so that even millions
+of entries keep directory listings fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.engine.jobs import JobResult, VerificationJob
+
+#: Bump to invalidate every stored result (e.g. when JobResult grows fields).
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else the XDG-style ``~/.cache/repro-stg``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-stg"
+
+
+class ResultCache:
+    """A directory of cached :class:`JobResult` objects."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, job: VerificationJob) -> str:
+        stg_hash, prop = job.cache_fields()
+        material = f"repro-result-cache:v{SCHEMA_VERSION}\n{stg_hash}\n{prop}\n"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- store/load ----------------------------------------------------------
+
+    def get(self, job: VerificationJob) -> Optional[JobResult]:
+        """The cached result for ``job``, re-badged ``from_cache=True``."""
+        path = self._path(self.key_for(job))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        try:
+            result = JobResult(
+                job_id=payload["job_id"],
+                name=payload["name"],
+                property=payload["property"],
+                verdict=payload["verdict"],
+                engine=payload.get("engine"),
+                holds=payload.get("holds"),
+                elapsed=payload.get("elapsed", 0.0),
+                from_cache=True,
+                attempts=payload.get("attempts", 1),
+                witness=payload.get("witness"),
+                stats=payload.get("stats", {}),
+                error=payload.get("error"),
+            )
+        except KeyError:
+            self.misses += 1
+            return None
+        if not result.sound:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, job: VerificationJob, result: JobResult) -> bool:
+        """Store a *sound* result; returns whether anything was written."""
+        if not result.sound:
+            return False
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "job_id": result.job_id,
+            "name": result.name,
+            "property": result.property,
+            "verdict": result.verdict,
+            "engine": result.engine,
+            "holds": result.holds,
+            "elapsed": result.elapsed,
+            "attempts": result.attempts,
+            "witness": result.witness,
+            "stats": result.stats,
+            "error": result.error,
+        }
+        path = self._path(self.key_for(job))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("??/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

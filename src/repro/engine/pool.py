@@ -1,0 +1,382 @@
+"""A multiprocess worker pool with timeouts, bounded retries and degradation.
+
+The pool executes generic :class:`Task` items: a task names a *runner* (a
+registered top-level callable) and carries a picklable payload.  Verification
+tasks register the ``"verification"`` runner (:mod:`repro.engine.jobs`);
+the Table 1 harness registers ``"table1-row"`` (:mod:`repro.bench.table1`).
+
+Robustness contract:
+
+* **per-task timeouts** — a worker that overruns its deadline is terminated
+  and reported with status ``"timeout"`` (never retried: the rerun would
+  time out again);
+* **bounded retries on worker death** — a worker that dies without
+  reporting (segfault, ``os._exit``, OOM kill) is retried up to
+  ``max_retries`` times, then reported with status ``"crashed"``;
+* **graceful degradation** — when the ``fork`` start method is unavailable
+  (or ``max_workers=0`` is requested), tasks run in-process, in submission
+  order; timeouts then become best-effort (checked after the fact, never
+  pre-empted) and worker death cannot occur.  Degradation is announced via
+  a ``pool_degraded`` event.
+
+Workers inherit the parent's runner/engine registries through ``fork``; the
+``spawn`` start method is deliberately *not* used (it would re-import the
+world and lose test-registered runners), which is exactly why the inline
+fallback exists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Iterator, Optional
+
+from repro.engine import events as ev
+from repro.exceptions import ReproError
+
+#: Runner registry: name -> callable(payload) -> picklable result.
+RUNNERS: Dict[str, Callable[[Any], Any]] = {}
+
+#: Poll interval of the parent supervision loop, seconds.
+_POLL_INTERVAL = 0.005
+
+STATUS_OK = "ok"
+STATUS_RAISED = "raised"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+
+
+def register_runner(name: str, fn: Callable[[Any], Any]) -> None:
+    """Register (or replace) a task runner under ``name``."""
+    RUNNERS[name] = fn
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work: run ``RUNNERS[runner](payload)``."""
+
+    task_id: str
+    group: str
+    runner: str
+    payload: Any
+    timeout: Optional[float] = None
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task."""
+
+    task_id: str
+    group: str
+    status: str                  # ok | raised | timeout | crashed
+    value: Any = None            # the runner's return value when ok
+    error: Optional[str] = None  # exception text when raised
+    elapsed: float = 0.0         # wall clock including process spawn
+    attempts: int = 1
+
+
+@dataclass
+class _Running:
+    task: Task
+    process: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    started: float
+    attempts: int
+    first_started: float
+
+
+def _worker_main(runner: str, payload: Any, conn) -> None:
+    """Child entry point: run the task, ship the outcome over the pipe."""
+    try:
+        fn = RUNNERS.get(runner)
+        if fn is None:
+            conn.send((STATUS_RAISED, f"unknown runner {runner!r}"))
+        else:
+            conn.send((STATUS_OK, fn(payload)))
+    except BaseException as exc:  # report *everything*; crashes are silent
+        try:
+            conn.send((STATUS_RAISED, f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class WorkerPool:
+    """Supervises up to ``max_workers`` forked workers over queued tasks.
+
+    Use :meth:`submit` to enqueue, :meth:`outcomes` to drain completions,
+    :meth:`cancel_group` to abandon a group once its verdict is known, and
+    :meth:`shutdown` (or the context manager protocol) to clean up.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        max_retries: int = 1,
+        default_timeout: Optional[float] = None,
+        events: Optional[ev.EventLog] = None,
+    ):
+        if max_workers is None:
+            max_workers = multiprocessing.cpu_count()
+        if max_workers < 0:
+            raise ReproError("max_workers must be >= 0")
+        self.max_retries = max_retries
+        self.default_timeout = default_timeout
+        self.events = events or ev.EventLog()
+        self.inline = max_workers == 0 or not fork_available()
+        if self.inline and max_workers != 0:
+            self.events.emit(
+                ev.POOL_DEGRADED, detail="fork unavailable; running in-process"
+            )
+        self.max_workers = max_workers
+        self._context = None if self.inline else multiprocessing.get_context("fork")
+        self._pending: deque = deque()
+        self._running: List[_Running] = []
+        self._cancelled_groups: set = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Drop queued tasks and terminate every running worker."""
+        self._pending.clear()
+        for running in self._running:
+            self._kill(running)
+        self._running.clear()
+
+    # -- submission & cancellation -------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        if task.runner not in RUNNERS:
+            raise ReproError(
+                f"unknown runner {task.runner!r}; registered: "
+                f"{', '.join(sorted(RUNNERS))}"
+            )
+        self._pending.append((task, 1, None))
+
+    def cancel_group(self, group: str) -> int:
+        """Abandon all queued and running tasks of ``group``.
+
+        Returns the number of tasks cancelled; they produce no outcome.
+        """
+        cancelled = 0
+        kept = deque()
+        for entry in self._pending:
+            if entry[0].group == group:
+                cancelled += 1
+                self.events.emit(ev.TASK_CANCELLED, job_id=entry[0].task_id)
+            else:
+                kept.append(entry)
+        self._pending = kept
+        survivors = []
+        for running in self._running:
+            if running.task.group == group:
+                self._kill(running)
+                cancelled += 1
+                self.events.emit(ev.TASK_CANCELLED, job_id=running.task.task_id)
+            else:
+                survivors.append(running)
+        self._running = survivors
+        self._cancelled_groups.add(group)
+        return cancelled
+
+    # -- completion ----------------------------------------------------------
+
+    def outcomes(self) -> Iterator[TaskOutcome]:
+        """Yield outcomes as tasks finish, until the pool is drained.
+
+        Cancelling a group mid-iteration is supported (and is how the
+        portfolio driver stops losers): cancelled tasks simply never yield.
+        """
+        while self._pending or self._running:
+            outcome = self._next_outcome()
+            if outcome is not None:
+                yield outcome
+
+    def _next_outcome(self) -> Optional[TaskOutcome]:
+        if self.inline:
+            return self._run_inline()
+        outcome = None
+        while outcome is None and (self._pending or self._running):
+            self._start_ready()
+            outcome = self._reap()
+            if outcome is None:
+                time.sleep(_POLL_INTERVAL)
+        return outcome
+
+    def _run_inline(self) -> Optional[TaskOutcome]:
+        if not self._pending:
+            return None
+        task, attempts, first_started = self._pending.popleft()
+        self.events.emit(ev.TASK_STARTED, job_id=task.task_id, detail="inline")
+        started = time.monotonic()
+        try:
+            value = RUNNERS[task.runner](task.payload)
+            status, error = STATUS_OK, None
+        except Exception as exc:
+            value, status = None, STATUS_RAISED
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.monotonic() - started
+        timeout = self._timeout_of(task)
+        if timeout is not None and elapsed > timeout:
+            # best-effort: inline execution cannot pre-empt, only report
+            self.events.emit(
+                ev.TASK_TIMEOUT,
+                job_id=task.task_id,
+                elapsed=elapsed,
+                detail="post-hoc (inline)",
+            )
+            return TaskOutcome(
+                task_id=task.task_id,
+                group=task.group,
+                status=STATUS_TIMEOUT,
+                elapsed=elapsed,
+                attempts=attempts,
+            )
+        return TaskOutcome(
+            task_id=task.task_id,
+            group=task.group,
+            status=status,
+            value=value,
+            error=error,
+            elapsed=elapsed,
+            attempts=attempts,
+        )
+
+    def _start_ready(self) -> None:
+        while self._pending and len(self._running) < self.max_workers:
+            task, attempts, first_started = self._pending.popleft()
+            parent_conn, child_conn = self._context.Pipe(duplex=False)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(task.runner, task.payload, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            now = time.monotonic()
+            self._running.append(
+                _Running(
+                    task=task,
+                    process=process,
+                    conn=parent_conn,
+                    started=now,
+                    attempts=attempts,
+                    first_started=first_started if first_started else now,
+                )
+            )
+            self.events.emit(
+                ev.TASK_STARTED,
+                job_id=task.task_id,
+                detail=f"attempt {attempts}",
+            )
+
+    def _reap(self) -> Optional[TaskOutcome]:
+        now = time.monotonic()
+        for index, running in enumerate(self._running):
+            task = running.task
+            if running.conn.poll():
+                del self._running[index]
+                try:
+                    status, value = running.conn.recv()
+                except (EOFError, OSError):
+                    return self._handle_death(running)
+                running.process.join()
+                running.conn.close()
+                elapsed = now - running.first_started
+                if status == STATUS_OK:
+                    return TaskOutcome(
+                        task_id=task.task_id,
+                        group=task.group,
+                        status=STATUS_OK,
+                        value=value,
+                        elapsed=elapsed,
+                        attempts=running.attempts,
+                    )
+                return TaskOutcome(
+                    task_id=task.task_id,
+                    group=task.group,
+                    status=STATUS_RAISED,
+                    error=str(value),
+                    elapsed=elapsed,
+                    attempts=running.attempts,
+                )
+            timeout = self._timeout_of(task)
+            if timeout is not None and now - running.started > timeout:
+                del self._running[index]
+                self._kill(running)
+                self.events.emit(
+                    ev.TASK_TIMEOUT,
+                    job_id=task.task_id,
+                    elapsed=now - running.started,
+                )
+                return TaskOutcome(
+                    task_id=task.task_id,
+                    group=task.group,
+                    status=STATUS_TIMEOUT,
+                    elapsed=now - running.first_started,
+                    attempts=running.attempts,
+                )
+            if not running.process.is_alive():
+                del self._running[index]
+                return self._handle_death(running)
+        return None
+
+    def _handle_death(self, running: _Running) -> Optional[TaskOutcome]:
+        """A worker died without reporting: retry (bounded) or give up."""
+        task = running.task
+        running.process.join()
+        running.conn.close()
+        exitcode = running.process.exitcode
+        if running.attempts <= self.max_retries:
+            self.events.emit(
+                ev.TASK_RETRY,
+                job_id=task.task_id,
+                detail=f"worker died (exit {exitcode}); "
+                f"attempt {running.attempts + 1}",
+            )
+            self._pending.append(
+                (task, running.attempts + 1, running.first_started)
+            )
+            return None
+        self.events.emit(
+            ev.TASK_CRASHED,
+            job_id=task.task_id,
+            detail=f"worker died (exit {exitcode}) after "
+            f"{running.attempts} attempt(s)",
+        )
+        return TaskOutcome(
+            task_id=task.task_id,
+            group=task.group,
+            status=STATUS_CRASHED,
+            error=f"worker died (exit {exitcode})",
+            elapsed=time.monotonic() - running.first_started,
+            attempts=running.attempts,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _timeout_of(self, task: Task) -> Optional[float]:
+        return task.timeout if task.timeout is not None else self.default_timeout
+
+    def _kill(self, running: _Running) -> None:
+        if running.process.is_alive():
+            running.process.terminate()
+        running.process.join()
+        try:
+            running.conn.close()
+        except OSError:
+            pass

@@ -8,6 +8,7 @@ state-graph normalcy check.
 """
 
 from repro.stg.stg import STG, SignalEdge, TAU
+from repro.stg.hashing import canonical_stg_form, canonical_stg_hash
 from repro.stg.consistency import check_consistency, ConsistencyResult
 from repro.stg.stategraph import StateGraph, build_state_graph
 from repro.stg.nextstate import enabled_signals, enabled_outputs, next_state_value
@@ -48,6 +49,8 @@ __all__ = [
     "STG",
     "SignalEdge",
     "TAU",
+    "canonical_stg_form",
+    "canonical_stg_hash",
     "check_consistency",
     "ConsistencyResult",
     "StateGraph",

@@ -1,0 +1,90 @@
+"""Canonical, order-insensitive content hashing of STGs.
+
+The hash is the cache key of :mod:`repro.engine.cache`: two STG objects that
+describe the same labelled net system — regardless of the *order* in which
+places, transitions, arcs or signals were added — must hash identically, and
+the digest must be stable across processes and Python versions (so it is
+built on :mod:`hashlib`, never on :func:`hash`).
+
+The canonical form serialises every constituent as a *sorted* sequence:
+
+* the signal declarations, as ``(kind, name)`` pairs plus the explicitly
+  pinned components of the initial code ``v0``;
+* the places, as ``(name, initial_tokens)`` pairs;
+* the transitions, as ``(name, label)`` pairs (``~tau~`` for dummies);
+* the arcs, as ``(source, target, weight)`` triples.
+
+Node *names* are deliberately part of the identity: witness traces in cached
+:class:`repro.engine.jobs.JobResult` objects name transitions, so two nets
+that are isomorphic only up to renaming must *not* share a cache entry.  The
+net's display *name* is metadata and is excluded.  Because names key every
+node, the sorted serialisation is exact (injective on STG content): unlike
+refinement-based graph hashing there are no collisions between
+non-isomorphic nets beyond SHA-256 itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stg.stg import STG
+
+#: Bump when the canonical form changes; invalidates every content hash.
+HASH_SCHEME_VERSION = 1
+
+_DUMMY_LABEL = "~tau~"
+
+
+def canonical_stg_form(stg: "STG") -> str:
+    """The canonical textual form whose SHA-256 is :func:`canonical_stg_hash`.
+
+    Exposed separately so tests (and humans debugging cache misses) can diff
+    two forms directly.
+    """
+    net = stg.net
+    lines = [f"stg-content:v{HASH_SCHEME_VERSION}"]
+
+    signals = sorted(
+        [("input", s) for s in stg.inputs]
+        + [("output", s) for s in stg.outputs]
+        + [("internal", s) for s in stg.internal]
+    )
+    lines.append("signals:" + ";".join(f"{kind},{name}" for kind, name in signals))
+    initial = sorted(stg.declared_initial_code.items())
+    lines.append("v0:" + ";".join(f"{name}={value}" for name, value in initial))
+
+    places = sorted(
+        (net.place_name(p), net.initial_marking.counts[p])
+        for p in range(net.num_places)
+    )
+    lines.append("places:" + ";".join(f"{name},{tokens}" for name, tokens in places))
+
+    transitions = sorted(
+        (
+            net.transition_name(t),
+            _DUMMY_LABEL if stg.label(t) is None else str(stg.label(t)),
+        )
+        for t in range(net.num_transitions)
+    )
+    lines.append(
+        "transitions:" + ";".join(f"{name},{label}" for name, label in transitions)
+    )
+
+    arcs = sorted(net.arcs())
+    lines.append(
+        "arcs:" + ";".join(f"{src}>{dst},{weight}" for src, dst, weight in arcs)
+    )
+    return "\n".join(lines)
+
+
+def canonical_stg_hash(stg: "STG") -> str:
+    """A 64-hex-digit SHA-256 of the canonical form of ``stg``.
+
+    Invariant under the order in which places, transitions, arcs and signals
+    were declared; sensitive to every piece of verification-relevant content
+    (structure, labelling, initial marking, signal kinds, initial code).
+    """
+    form = canonical_stg_form(stg)
+    return hashlib.sha256(form.encode("utf-8")).hexdigest()

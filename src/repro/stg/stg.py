@@ -207,6 +207,16 @@ class STG:
         clone._initial_code = dict(self._initial_code)
         return clone
 
+    def content_hash(self) -> str:
+        """Canonical, declaration-order-insensitive SHA-256 of the STG.
+
+        Delegates to :func:`repro.stg.hashing.canonical_stg_hash`; used as
+        the cache key of :mod:`repro.engine.cache`.
+        """
+        from repro.stg.hashing import canonical_stg_hash
+
+        return canonical_stg_hash(self)
+
     def stats(self) -> Dict[str, int]:
         """The ``|S|, |T|, |Z|`` triple reported in the paper's Table 1."""
         return {

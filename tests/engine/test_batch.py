@@ -1,0 +1,145 @@
+"""Tests for the batch driver, its CLI subcommand and the pooled Table 1."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine.batch import (
+    build_jobs,
+    default_targets,
+    format_batch_report,
+    resolve_target,
+    run_batch,
+)
+from repro.exceptions import ReproError
+from repro.models import vme_bus
+from repro.stg.parser import write_stg
+from tests.conftest import TABLE1_VERDICTS
+
+SMALL = ["RING", "LAZYRING", "DUP-MOD-A"]
+
+
+class TestJobBuilding:
+    def test_registered_names_and_files(self, tmp_path):
+        path = tmp_path / "vme.g"
+        path.write_text(write_stg(vme_bus()))
+        jobs = build_jobs(["RING", str(path)], properties=("usc", "csc"))
+        assert len(jobs) == 4
+        assert {job.name for job in jobs} == {"RING", "vme-read"}
+
+    def test_unknown_target(self):
+        with pytest.raises(ReproError, match="unknown target"):
+            resolve_target("NO-SUCH-MODEL")
+
+    def test_missing_file(self):
+        with pytest.raises(ReproError, match="cannot read"):
+            resolve_target("/nonexistent/x.g")
+
+    def test_default_targets_cover_table1(self):
+        targets = default_targets()
+        assert set(TABLE1_VERDICTS) <= set(targets)
+
+
+class TestRunBatch:
+    def test_agrees_with_pinned_verdicts_and_warms_the_cache(self, tmp_path):
+        jobs = build_jobs(SMALL, properties=("usc", "csc"), engines=("ilp", "sat"))
+        cold = run_batch(jobs, max_workers=2, cache_dir=tmp_path)
+        assert cold.all_sound
+        assert cold.cache_hits == 0
+        for result in cold.results:
+            assert result.holds == TABLE1_VERDICTS[result.name][result.property]
+
+        warm = run_batch(jobs, max_workers=2, cache_dir=tmp_path)
+        assert warm.all_sound
+        assert warm.cache_hits == len(jobs)
+        assert warm.stats.cache_hits == len(jobs)
+        for a, b in zip(cold.results, warm.results):
+            assert a.verdict == b.verdict
+
+    def test_no_cache_mode(self):
+        jobs = build_jobs(["RING"], properties=("csc",))
+        report = run_batch(jobs, max_workers=0, cache_dir=None)
+        assert report.all_sound
+        assert report.stats.cache_hits == 0 and report.stats.cache_misses == 0
+
+    def test_report_formatting(self, tmp_path):
+        jobs = build_jobs(["RING"], properties=("csc",))
+        report = run_batch(jobs, max_workers=0, cache_dir=tmp_path)
+        text = format_batch_report(report)
+        assert "RING" in text
+        assert "verdict" in text
+        assert "cache: 0 hits, 1 misses" in text
+        assert "total wall time" in text
+
+
+class TestBatchCLI:
+    def test_cold_then_warm(self, tmp_path, capsys):
+        argv = [
+            "batch",
+            *SMALL,
+            "--jobs",
+            "2",
+            "--portfolio",
+            "ilp,sat",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "cache: 0 hits" in cold_out
+
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert f"cache: {len(SMALL)} hits, 0 misses" in warm_out
+        assert warm_out.count(" hit") >= len(SMALL)
+
+    def test_violations_still_exit_zero(self, tmp_path, capsys):
+        # batch reports verdicts, it does not gate on them
+        assert (
+            main(["batch", "LAZYRING", "--no-cache", "--jobs", "0"]) == 0
+        )
+        assert "violated" in capsys.readouterr().out
+
+    def test_unknown_target_exits_nonzero(self, capsys):
+        assert main(["batch", "NO-SUCH-MODEL", "--no-cache"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_bad_engine_exits_nonzero(self, capsys):
+        assert main(["batch", "RING", "--portfolio", "cplex"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_properties_flag(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "RING",
+                    "-p",
+                    "usc",
+                    "-p",
+                    "csc",
+                    "--no-cache",
+                    "--jobs",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "usc" in out and "csc" in out
+
+
+class TestTable1ThroughThePool:
+    def test_pooled_rows_match_inline_rows(self):
+        from repro.bench.table1 import table1_rows
+
+        names = ["RING", "LAZYRING"]
+        inline = table1_rows(names, run_baseline=False, jobs=1)
+        pooled = table1_rows(names, run_baseline=False, jobs=2)
+        assert [r.name for r in pooled] == [r.name for r in inline]
+        for a, b in zip(inline, pooled):
+            assert (a.usc_holds, a.csc_holds) == (b.usc_holds, b.csc_holds)
+            assert (a.conditions, a.events, a.cutoffs) == (
+                b.conditions,
+                b.events,
+                b.cutoffs,
+            )

@@ -1,0 +1,114 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import json
+
+from repro.engine.cache import SCHEMA_VERSION, ResultCache
+from repro.engine.jobs import (
+    VERDICT_TIMEOUT,
+    VerificationJob,
+    execute_engine,
+    failure_result,
+)
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+
+from tests.stg.test_hashing import build as build_permutable
+
+
+def _job(prop="csc", name="RING"):
+    return VerificationJob(stg=TABLE1_BENCHMARKS[name](), property=prop)
+
+
+class TestRoundTrip:
+    def test_cold_miss_then_warm_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        assert cache.get(job) is None
+        assert cache.misses == 1
+
+        result = execute_engine(job, "ilp")
+        assert cache.put(job, result)
+        cached = cache.get(job)
+        assert cached is not None
+        assert cache.hits == 1
+        assert cached.from_cache is True
+        assert cached.verdict == result.verdict
+        assert cached.holds == result.holds
+        assert cached.engine == result.engine
+        assert cached.witness == result.witness
+        assert len(cache) == 1
+
+    def test_key_separates_properties(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_job("csc"), execute_engine(_job("csc"), "ilp"))
+        assert cache.get(_job("usc")) is None
+
+    def test_key_separates_models(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), execute_engine(_job(), "ilp"))
+        assert cache.get(_job(name="LAZYRING")) is None
+
+    def test_reordered_construction_hits_same_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        original = VerificationJob(stg=build_permutable(), property="csc")
+        cache.put(original, execute_engine(original, "sg"))
+        reordered = VerificationJob(
+            stg=build_permutable(
+                place_order=(2, 0, 3, 1), transition_order=(1, 3, 2, 0)
+            ),
+            property="csc",
+        )
+        assert cache.get(reordered) is not None
+
+    def test_verdict_served_across_engine_choices(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        single = VerificationJob(stg=vme_bus(), property="csc", engines=("sg",))
+        cache.put(single, execute_engine(single, "sg"))
+        portfolio = VerificationJob(
+            stg=vme_bus(), property="csc", engines=("ilp", "sat")
+        )
+        hit = cache.get(portfolio)
+        assert hit is not None and hit.engine == "sg"
+
+
+class TestSoundness:
+    def test_unsound_results_never_stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        timeout = failure_result(job, VERDICT_TIMEOUT, error="too slow")
+        assert cache.put(job, timeout) is False
+        assert cache.get(job) is None
+        assert len(cache) == 0
+
+    def test_schema_version_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job, execute_engine(job, "ilp"))
+        (entry,) = list(tmp_path.glob("??/*.json"))
+        payload = json.loads(entry.read_text())
+        payload["schema"] = SCHEMA_VERSION + 1
+        entry.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job, execute_engine(job, "ilp"))
+        (entry,) = list(tmp_path.glob("??/*.json"))
+        entry.write_text("{not json")
+        assert cache.get(job) is None
+
+
+class TestMaintenance:
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for prop in ("usc", "csc"):
+            cache.put(_job(prop), execute_engine(_job(prop), "ilp"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_empty_cache_dir_never_created_eagerly(self, tmp_path):
+        cache = ResultCache(tmp_path / "sub")
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert not (tmp_path / "sub").exists()

@@ -1,0 +1,123 @@
+"""Tests for job specs, structured results and the engine registry."""
+
+import pytest
+
+from repro.engine.jobs import (
+    ENGINES,
+    VERDICT_ERROR,
+    VERDICT_LIMIT,
+    VerificationJob,
+    engine_names,
+    execute_engine,
+    register_engine,
+)
+from repro.exceptions import ReproError
+from repro.models import TABLE1_BENCHMARKS, vme_bus
+from tests.conftest import TABLE1_VERDICTS
+
+
+class TestJobSpec:
+    def test_job_id_is_stable_and_content_addressed(self):
+        a = VerificationJob(stg=vme_bus(), property="csc")
+        b = VerificationJob(stg=vme_bus(), property="csc")
+        assert a.job_id == b.job_id
+        assert a.stg_hash == b.stg_hash
+        assert a.job_id.startswith("vme-read:csc@")
+
+    def test_cache_fields_exclude_engines_and_limits(self):
+        a = VerificationJob(stg=vme_bus(), property="csc", engines=("ilp",))
+        b = VerificationJob(
+            stg=vme_bus(), property="csc", engines=("sat", "sg"), node_budget=7
+        )
+        assert a.cache_fields() == b.cache_fields()
+
+    def test_unknown_property_rejected(self):
+        with pytest.raises(ReproError, match="unknown property"):
+            VerificationJob(stg=vme_bus(), property="liveness")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ReproError, match="unknown engine"):
+            VerificationJob(stg=vme_bus(), property="csc", engines=("cplex",))
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ReproError, match="at least one engine"):
+            VerificationJob(stg=vme_bus(), property="csc", engines=())
+
+
+class TestBuiltinEngines:
+    @pytest.mark.parametrize("engine", sorted(["ilp", "sat", "bdd", "sg"]))
+    @pytest.mark.parametrize("name", ["RING", "LAZYRING", "DUP-MOD-A"])
+    @pytest.mark.parametrize("prop", ["usc", "csc"])
+    def test_every_engine_matches_pinned_verdicts(self, engine, name, prop):
+        job = VerificationJob(stg=TABLE1_BENCHMARKS[name](), property=prop)
+        result = execute_engine(job, engine)
+        assert result.sound, result.error
+        assert result.holds == TABLE1_VERDICTS[name][prop]
+        assert result.engine == engine
+        assert result.elapsed >= 0
+
+    def test_violated_results_carry_a_witness(self):
+        job = VerificationJob(stg=vme_bus(), property="csc")
+        result = execute_engine(job, "ilp")
+        assert result.holds is False
+        assert result.witness and "CSC conflict" in result.witness
+
+    def test_normalcy_engines_agree(self):
+        stg = TABLE1_BENCHMARKS["RING"]()
+        job = VerificationJob(stg=stg, property="normalcy")
+        ilp = execute_engine(job, "ilp")
+        sg = execute_engine(job, "sg")
+        assert ilp.sound and sg.sound
+        assert ilp.holds == sg.holds
+
+    @pytest.mark.parametrize("engine", ["sat", "bdd"])
+    def test_normalcy_unsupported_engines_report_errors(self, engine):
+        job = VerificationJob(stg=vme_bus(), property="normalcy")
+        result = execute_engine(job, engine)
+        assert result.verdict == VERDICT_ERROR
+        assert "does not support" in result.error
+
+    def test_node_budget_exhaustion_is_a_limit_verdict(self):
+        job = VerificationJob(stg=vme_bus(), property="csc", node_budget=1)
+        result = execute_engine(job, "ilp")
+        assert result.verdict == VERDICT_LIMIT
+        assert not result.sound
+        assert "budget" in result.error
+
+    def test_unknown_engine_at_execute_time(self):
+        job = VerificationJob(stg=vme_bus(), property="csc")
+        with pytest.raises(ReproError, match="unknown engine"):
+            execute_engine(job, "nope")
+
+
+class TestRegistry:
+    def test_register_engine(self):
+        def oracle(job):
+            return True, None, {"custom": 1}
+
+        register_engine("oracle-test", oracle)
+        try:
+            job = VerificationJob(
+                stg=vme_bus(), property="csc", engines=("oracle-test",)
+            )
+            result = execute_engine(job, "oracle-test")
+            assert result.holds is True
+            assert result.stats == {"custom": 1}
+            assert "oracle-test" in engine_names()
+        finally:
+            ENGINES.pop("oracle-test", None)
+
+    def test_engine_exceptions_become_error_verdicts(self):
+        def broken(job):
+            raise ValueError("internal bug")
+
+        register_engine("broken-test", broken)
+        try:
+            job = VerificationJob(
+                stg=vme_bus(), property="csc", engines=("broken-test",)
+            )
+            result = execute_engine(job, "broken-test")
+            assert result.verdict == VERDICT_ERROR
+            assert "internal bug" in result.error
+        finally:
+            ENGINES.pop("broken-test", None)

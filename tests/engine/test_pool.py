@@ -1,0 +1,168 @@
+"""Robustness tests for the worker pool: timeouts, crashes, retries.
+
+The runners below are registered at module import so that forked workers
+(which inherit this process's memory) can resolve them by name.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import events as ev
+from repro.engine.pool import (
+    RUNNERS,
+    STATUS_CRASHED,
+    STATUS_OK,
+    STATUS_RAISED,
+    STATUS_TIMEOUT,
+    Task,
+    WorkerPool,
+    fork_available,
+    register_runner,
+)
+from repro.exceptions import ReproError
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _echo(payload):
+    return payload * 2
+
+
+def _sleepy(payload):
+    time.sleep(payload)
+    return "woke"
+
+
+def _die(payload):
+    os._exit(13)
+
+
+def _flaky(marker_path):
+    """Crash on the first attempt, succeed once the marker file exists."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("seen")
+        os._exit(1)
+    return "recovered"
+
+
+def _raiser(payload):
+    raise ValueError(f"bad payload {payload!r}")
+
+
+register_runner("test-echo", _echo)
+register_runner("test-sleepy", _sleepy)
+register_runner("test-die", _die)
+register_runner("test-flaky", _flaky)
+register_runner("test-raiser", _raiser)
+
+
+def drain(pool):
+    return list(pool.outcomes())
+
+
+class TestInlineMode:
+    def test_runs_tasks_in_order(self):
+        with WorkerPool(max_workers=0) as pool:
+            for i in range(3):
+                pool.submit(Task(f"t{i}", f"g{i}", "test-echo", i))
+            outcomes = drain(pool)
+        assert [o.value for o in outcomes] == [0, 2, 4]
+        assert all(o.status == STATUS_OK for o in outcomes)
+
+    def test_exceptions_become_raised_outcomes(self):
+        with WorkerPool(max_workers=0) as pool:
+            pool.submit(Task("t", "g", "test-raiser", "x"))
+            (outcome,) = drain(pool)
+        assert outcome.status == STATUS_RAISED
+        assert "bad payload" in outcome.error
+
+    def test_explicit_inline_is_not_degradation(self):
+        events = ev.EventLog()
+        with WorkerPool(max_workers=0, events=events):
+            pass
+        assert events.of_kind(ev.POOL_DEGRADED) == []
+
+    def test_unknown_runner_rejected_at_submit(self):
+        with WorkerPool(max_workers=0) as pool:
+            with pytest.raises(ReproError, match="unknown runner"):
+                pool.submit(Task("t", "g", "no-such-runner", None))
+
+
+@needs_fork
+class TestForkMode:
+    def test_results_cross_the_process_boundary(self):
+        with WorkerPool(max_workers=2) as pool:
+            for i in range(5):
+                pool.submit(Task(f"t{i}", f"g{i}", "test-echo", i))
+            outcomes = drain(pool)
+        assert sorted(o.value for o in outcomes) == [0, 2, 4, 6, 8]
+
+    def test_worker_timeout(self):
+        events = ev.EventLog()
+        with WorkerPool(max_workers=1, events=events) as pool:
+            pool.submit(Task("slow", "g", "test-sleepy", 30.0, timeout=0.2))
+            (outcome,) = drain(pool)
+        assert outcome.status == STATUS_TIMEOUT
+        assert outcome.attempts == 1  # timeouts are never retried
+        assert len(events.of_kind(ev.TASK_TIMEOUT)) == 1
+        assert events.stats.timeouts == 1
+
+    def test_worker_crash_exhausts_bounded_retries(self):
+        events = ev.EventLog()
+        with WorkerPool(max_workers=1, max_retries=2, events=events) as pool:
+            pool.submit(Task("boom", "g", "test-die", None))
+            (outcome,) = drain(pool)
+        assert outcome.status == STATUS_CRASHED
+        assert outcome.attempts == 3  # initial try + 2 retries
+        assert "exit 13" in outcome.error
+        assert len(events.of_kind(ev.TASK_RETRY)) == 2
+        assert len(events.of_kind(ev.TASK_CRASHED)) == 1
+
+    def test_worker_crash_then_recovery(self, tmp_path):
+        marker = str(tmp_path / "flaky.marker")
+        events = ev.EventLog()
+        with WorkerPool(max_workers=1, max_retries=1, events=events) as pool:
+            pool.submit(Task("flaky", "g", "test-flaky", marker))
+            (outcome,) = drain(pool)
+        assert outcome.status == STATUS_OK
+        assert outcome.value == "recovered"
+        assert outcome.attempts == 2
+        assert events.stats.retries == 1
+
+    def test_cancel_group_drops_queued_and_running(self):
+        events = ev.EventLog()
+        with WorkerPool(max_workers=1, events=events) as pool:
+            pool.submit(Task("slow1", "slow", "test-sleepy", 30.0))
+            pool.submit(Task("slow2", "slow", "test-sleepy", 30.0))
+            pool.submit(Task("quick", "other", "test-echo", 21))
+            # let the first slow task actually start before cancelling
+            deadline = time.monotonic() + 5.0
+            while not pool._running and time.monotonic() < deadline:
+                pool._start_ready()
+                time.sleep(0.01)
+            cancelled = pool.cancel_group("slow")
+            outcomes = drain(pool)
+        assert cancelled == 2
+        assert [o.task_id for o in outcomes] == ["quick"]
+        assert outcomes[0].value == 42
+        assert events.stats.cancelled == 2
+
+    def test_default_timeout_applies_when_task_has_none(self):
+        with WorkerPool(max_workers=1, default_timeout=0.2) as pool:
+            pool.submit(Task("slow", "g", "test-sleepy", 30.0))
+            (outcome,) = drain(pool)
+        assert outcome.status == STATUS_TIMEOUT
+
+    def test_shutdown_terminates_running_workers(self):
+        pool = WorkerPool(max_workers=1)
+        pool.submit(Task("slow", "g", "test-sleepy", 30.0))
+        pool._start_ready()
+        (running,) = pool._running
+        pool.shutdown()
+        assert not running.process.is_alive()
+        assert not pool._pending and not pool._running

@@ -1,0 +1,134 @@
+"""Tests for the canonical, order-insensitive STG content hash."""
+
+import itertools
+
+from repro.models import vme_bus
+from repro.stg.hashing import canonical_stg_form, canonical_stg_hash
+from repro.stg.stg import STG, SignalEdge
+
+#: A small consistent cyclic STG (a+ b+ a- b-)* described declaratively so
+#: it can be built with places/transitions/arcs inserted in any order.
+PLACES = [("p0", 1), ("p1", 0), ("p2", 0), ("p3", 0)]
+TRANSITIONS = [
+    ("a+", SignalEdge("a", +1)),
+    ("b+", SignalEdge("b", +1)),
+    ("a-", SignalEdge("a", -1)),
+    ("b-", SignalEdge("b", -1)),
+]
+ARCS = [
+    ("p0", "a+"),
+    ("a+", "p1"),
+    ("p1", "b+"),
+    ("b+", "p2"),
+    ("p2", "a-"),
+    ("a-", "p3"),
+    ("p3", "b-"),
+    ("b-", "p0"),
+]
+_ALL = (0, 1, 2, 3)
+
+
+def build(place_order=_ALL, transition_order=_ALL, arc_order=None, name="t"):
+    stg = STG(name, inputs=["a"], outputs=["b"])
+    for i in place_order:
+        stg.add_place(*PLACES[i])
+    for i in transition_order:
+        stg.add_transition(*TRANSITIONS[i])
+    for arc in arc_order or range(len(ARCS)):
+        stg.add_arc(*ARCS[arc])
+    return stg
+
+
+class TestOrderInsensitivity:
+    def test_place_reordering(self):
+        reference = canonical_stg_hash(build())
+        for order in itertools.permutations(range(4)):
+            assert canonical_stg_hash(build(place_order=order)) == reference
+
+    def test_transition_reordering(self):
+        reference = canonical_stg_hash(build())
+        for order in itertools.permutations(range(4)):
+            assert canonical_stg_hash(build(transition_order=order)) == reference
+
+    def test_arc_reordering(self):
+        reference = canonical_stg_hash(build())
+        assert (
+            canonical_stg_hash(build(arc_order=list(reversed(range(len(ARCS))))))
+            == reference
+        )
+
+    def test_joint_reordering(self):
+        reference = canonical_stg_hash(build())
+        shuffled = build(
+            place_order=(2, 0, 3, 1),
+            transition_order=(1, 3, 2, 0),
+            arc_order=[3, 0, 7, 5, 2, 6, 4, 1],
+        )
+        assert canonical_stg_hash(shuffled) == reference
+        assert canonical_stg_form(shuffled) == canonical_stg_form(build())
+
+    def test_net_name_is_metadata(self):
+        assert canonical_stg_hash(build(name="x")) == canonical_stg_hash(
+            build(name="y")
+        )
+
+    def test_rebuilt_model_hashes_identically(self):
+        assert vme_bus().content_hash() == vme_bus().content_hash()
+
+
+class TestContentSensitivity:
+    def test_initial_marking_matters(self):
+        other = build()
+        other.net.set_tokens("p1", 1)
+        assert canonical_stg_hash(other) != canonical_stg_hash(build())
+
+    def test_label_matters(self):
+        stg = STG("t", inputs=["a"], outputs=["b"])
+        for spec in PLACES:
+            stg.add_place(*spec)
+        stg.add_transition("a+", SignalEdge("a", +1))
+        stg.add_transition("b+", SignalEdge("b", -1))  # b- labelled "b+"
+        stg.add_transition("a-", SignalEdge("a", -1))
+        stg.add_transition("b-", SignalEdge("b", +1))  # b+ labelled "b-"
+        for arc in ARCS:
+            stg.add_arc(*arc)
+        assert canonical_stg_hash(stg) != canonical_stg_hash(build())
+
+    def test_signal_kind_matters(self):
+        moved = STG("t", inputs=["a", "b"])  # b demoted from output to input
+        for spec in PLACES:
+            moved.add_place(*spec)
+        for spec in TRANSITIONS:
+            moved.add_transition(*spec)
+        for arc in ARCS:
+            moved.add_arc(*arc)
+        assert canonical_stg_hash(moved) != canonical_stg_hash(build())
+
+    def test_pinned_initial_code_matters(self):
+        pinned = build()
+        pinned.set_initial_value("a", 1)
+        assert canonical_stg_hash(pinned) != canonical_stg_hash(build())
+
+    def test_transition_name_matters(self):
+        renamed = STG("t", inputs=["a"], outputs=["b"])
+        for spec in PLACES:
+            renamed.add_place(*spec)
+        renamed.add_transition("a+/1", SignalEdge("a", +1))
+        renamed.add_transition("b+", SignalEdge("b", +1))
+        renamed.add_transition("a-", SignalEdge("a", -1))
+        renamed.add_transition("b-", SignalEdge("b", -1))
+        for src, dst in ARCS:
+            renamed.add_arc(
+                "a+/1" if src == "a+" else src, "a+/1" if dst == "a+" else dst
+            )
+        assert canonical_stg_hash(renamed) != canonical_stg_hash(build())
+
+
+class TestDigestShape:
+    def test_hex_sha256(self):
+        digest = canonical_stg_hash(build())
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_method_delegates(self):
+        assert build().content_hash() == canonical_stg_hash(build())

@@ -66,6 +66,43 @@ class TestCheck:
         bad.write_text(".model x\n.bogus\n.end\n")
         assert main(["check", str(bad)]) == 2
 
+    def test_solver_limit_reports_instead_of_traceback(self, vme_file, capsys):
+        code = main(["check", vme_file, "--node-budget", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "csc: UNDECIDED (budget exhausted)" in captured.out
+        assert "gave up" in captured.err
+        assert "node budget" in captured.err
+
+    def test_limit_on_one_property_still_checks_the_others(
+        self, vme_file, capsys
+    ):
+        code = main(
+            ["check", vme_file, "-p", "csc", "-p", "consistency",
+             "--node-budget", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "consistency: OK" in captured.out
+        assert "csc: UNDECIDED" in captured.out
+
+    def test_generous_budget_still_decides(self, vme_file, capsys):
+        assert main(["check", vme_file, "--node-budget", "100000"]) == 1
+        assert "CSC: CONFLICT" in capsys.readouterr().out
+
+    def test_portfolio_flag(self, vme_file, capsys):
+        assert main(["check", vme_file, "--portfolio", "ilp,sat"]) == 1
+        assert "CSC: CONFLICT" in capsys.readouterr().out
+
+    def test_portfolio_unknown_engine(self, vme_file, capsys):
+        assert main(["check", vme_file, "--portfolio", "cplex"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_global_verbose_flag(self, vme_file, capsys):
+        # -v before the subcommand configures logging; verdict unchanged
+        assert main(["-v", "check", vme_file]) == 1
+        assert "CSC: CONFLICT" in capsys.readouterr().out
+
 
 class TestUnfold:
     def test_prints_sizes(self, vme_file, capsys):

@@ -1,0 +1,11 @@
+.model toggles3
+.outputs t0 t1 t2
+.graph
+t0+ t0-
+t0- t0+
+t1+ t1-
+t1- t1+
+t2+ t2-
+t2- t2+
+.marking { <t0-,t0+> <t1-,t1+> <t2-,t2+> }
+.end

@@ -1,0 +1,17 @@
+.model vme-read
+.inputs dsr ldtack
+.outputs dtack lds d
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- lds-
+lds- ldtack-
+ldtack- lds+
+d- dtack-
+dtack- dsr+
+.marking { <ldtack-,lds+> <dtack-,dsr+> }
+.end

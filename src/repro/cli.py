@@ -8,6 +8,8 @@ Subcommands:
   the CDCL back-end) or an engine portfolio raced in parallel;
 * ``batch``          — verify many STGs × properties through the worker
   pool, with portfolio racing and the on-disk result cache;
+* ``lint FILE.g``    — static diagnostics (well-formedness, STG semantics,
+  certifying conflict pre-filters) with compiler-style exit codes;
 * ``unfold FILE.g``  — build and describe the complete prefix;
 * ``stats FILE.g``   — print STG / prefix / state-graph size statistics;
 * ``bench``          — regenerate the paper's Table 1 (delegates to
@@ -31,7 +33,7 @@ def _load_stg(path: str):
     from repro.stg.parser import parse_stg
 
     with open(path) as handle:
-        return parse_stg(handle.read())
+        return parse_stg(handle.read(), filename=path)
 
 
 def _configure_logging(verbosity: int) -> None:
@@ -352,6 +354,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine.batch import resolve_target
+    from repro.lint import render_text, report_to_dict, run_lint
+
+    exit_code = 0
+    payloads = []
+    for target in args.targets:
+        _, stg = resolve_target(target)
+        report = run_lint(
+            stg,
+            rules=args.rules,
+            prefilter=not args.no_prefilter,
+            size_budget=args.size_budget,
+        )
+        if args.json:
+            payloads.append(report_to_dict(report))
+        else:
+            print(
+                render_text(
+                    report,
+                    verbose=args.verbose or args.verbosity > 0,
+                    color=sys.stdout.isatty(),
+                )
+            )
+        exit_code = max(exit_code, report.exit_code)
+    if args.json:
+        document = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(document, indent=2))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stg",
@@ -477,6 +512,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="neither read nor write the cache"
     )
     batch.set_defaults(func=_cmd_batch)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static STG diagnostics with certifying conflict pre-filters",
+        description="Run the three-tier static analysis (well-formedness, "
+        "STG semantics, conflict pre-filters) over TARGET... (registered "
+        "model names or .g files) without building any state space.  Exit "
+        "status follows the compiler convention: 0 clean, 1 warnings only, "
+        "2 errors.",
+    )
+    lint.add_argument(
+        "targets",
+        nargs="+",
+        metavar="TARGET",
+        help="model names or .g files",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured report (diagnostics, decisions, "
+        "certificates) as JSON",
+    )
+    lint.add_argument(
+        "--rules",
+        action="append",
+        metavar="PATTERN",
+        help="only run rules whose id or name matches the glob "
+        "(repeatable, e.g. --rules 'W*' --rules usc-affine-certificate)",
+    )
+    lint.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="skip the certifying conflict pre-filter tier",
+    )
+    lint.add_argument(
+        "--size-budget",
+        type=int,
+        default=160,
+        metavar="N",
+        help="max places+transitions for the polyhedral rules (default: 160)",
+    )
+    lint.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="also print fix-it hints and decided properties",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     unfold_cmd = sub.add_parser("unfold", help="build the complete prefix")
     unfold_cmd.add_argument("file")

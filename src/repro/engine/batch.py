@@ -45,6 +45,13 @@ class BatchReport:
     def cache_hits(self) -> int:
         return sum(1 for r in self.results if r.from_cache)
 
+    @property
+    def lint_decided(self) -> List[JobResult]:
+        """Jobs settled by the static lint pre-filter (no pool work at all)."""
+        from repro.engine.jobs import SOURCE_LINT
+
+        return [r for r in self.results if r.source == SOURCE_LINT]
+
 
 def resolve_target(target: str) -> Tuple[str, STG]:
     """A registered model name, or a path to a ``.g`` file."""
@@ -59,7 +66,7 @@ def resolve_target(target: str) -> Tuple[str, STG]:
 
         try:
             with open(target) as handle:
-                stg = parse_stg(handle.read())
+                stg = parse_stg(handle.read(), filename=target)
         except OSError as exc:
             raise ReproError(f"cannot read {target}: {exc}") from exc
         return stg.name, stg
@@ -131,7 +138,7 @@ def run_batch(
 
 def format_batch_report(report: BatchReport) -> str:
     """The batch table plus the aggregate stats footer."""
-    headers = ["job", "property", "verdict", "engine", "time[s]", "cached"]
+    headers = ["job", "property", "verdict", "engine", "time[s]", "source"]
     body = []
     for result in report.results:
         body.append(
@@ -141,7 +148,7 @@ def format_batch_report(report: BatchReport) -> str:
                 result.verdict,
                 result.engine or "-",
                 f"{result.elapsed:.3f}",
-                "hit" if result.from_cache else "-",
+                result.source,
             ]
         )
     table = format_table(headers, body, title="Batch verification")

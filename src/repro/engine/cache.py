@@ -28,10 +28,10 @@ import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.engine.jobs import JobResult, VerificationJob
+from repro.engine.jobs import SOURCE_CACHE, JobResult, VerificationJob
 
 #: Bump to invalidate every stored result (e.g. when JobResult grows fields).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -85,10 +85,12 @@ class ResultCache:
                 holds=payload.get("holds"),
                 elapsed=payload.get("elapsed", 0.0),
                 from_cache=True,
+                source=SOURCE_CACHE,
                 attempts=payload.get("attempts", 1),
                 witness=payload.get("witness"),
                 stats=payload.get("stats", {}),
                 error=payload.get("error"),
+                certificate=payload.get("certificate"),
             )
         except KeyError:
             self.misses += 1
@@ -116,6 +118,9 @@ class ResultCache:
             "witness": result.witness,
             "stats": result.stats,
             "error": result.error,
+            # the *producing* source ("fresh"/"lint"); get() rebadges "cache"
+            "source": result.source,
+            "certificate": result.certificate,
         }
         path = self._path(self.key_for(job))
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -21,6 +21,8 @@ JOB_FAILED = "job_failed"
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 ENGINE_WON = "engine_won"
+LINT_PASS = "lint_pass"
+LINT_DECIDED = "lint_decided"
 TASK_STARTED = "task_started"
 TASK_TIMEOUT = "task_timeout"
 TASK_RETRY = "task_retry"
@@ -36,6 +38,8 @@ EVENT_KINDS = frozenset(
         CACHE_HIT,
         CACHE_MISS,
         ENGINE_WON,
+        LINT_PASS,
+        LINT_DECIDED,
         TASK_STARTED,
         TASK_TIMEOUT,
         TASK_RETRY,
@@ -78,6 +82,8 @@ class EngineStats:
     failed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    lint_passes: int = 0
+    lint_decided: int = 0
     timeouts: int = 0
     crashes: int = 0
     retries: int = 0
@@ -96,6 +102,10 @@ class EngineStats:
             self.cache_hits += 1
         elif event.kind == CACHE_MISS:
             self.cache_misses += 1
+        elif event.kind == LINT_PASS:
+            self.lint_passes += 1
+        elif event.kind == LINT_DECIDED:
+            self.lint_decided += 1
         elif event.kind == TASK_TIMEOUT:
             self.timeouts += 1
         elif event.kind == TASK_CRASHED:
@@ -106,7 +116,7 @@ class EngineStats:
             self.cancelled += 1
         elif event.kind == POOL_DEGRADED:
             self.degraded += 1
-        if event.kind == ENGINE_WON and event.engine:
+        if event.kind in (ENGINE_WON, LINT_DECIDED) and event.engine:
             self.wins_by_engine[event.engine] = (
                 self.wins_by_engine.get(event.engine, 0) + 1
             )
@@ -120,6 +130,8 @@ class EngineStats:
         lines = [
             f"jobs: {self.jobs} queued, {self.completed} completed, "
             f"{self.failed} failed",
+            f"lint: {self.lint_passes} passes, {self.lint_decided} "
+            f"statically decided",
             f"cache: {self.cache_hits} hits, {self.cache_misses} misses",
             f"pool: {self.timeouts} timeouts, {self.crashes} crashes, "
             f"{self.retries} retries, {self.cancelled} cancelled",

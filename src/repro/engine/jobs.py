@@ -34,6 +34,12 @@ VERDICT_ERROR = "error"
 
 SOUND_VERDICTS = frozenset({VERDICT_HOLDS, VERDICT_VIOLATED})
 
+#: Where a result came from: a live engine run, the result cache, or the
+#: static lint pre-filter (stage zero — no state space was built at all).
+SOURCE_FRESH = "fresh"
+SOURCE_CACHE = "cache"
+SOURCE_LINT = "lint"
+
 # Both dataclasses have a field named ``property`` (the checked property),
 # which shadows the builtin inside their class bodies; alias it for decorators.
 _property = property
@@ -98,10 +104,15 @@ class JobResult:
     holds: Optional[bool] = None
     elapsed: float = 0.0
     from_cache: bool = False
+    #: ``fresh`` / ``cache`` / ``lint`` — how the verdict was obtained.
+    source: str = SOURCE_FRESH
     attempts: int = 1
     witness: Optional[str] = None
     stats: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: Machine-checkable evidence for lint-decided verdicts (see
+    #: :func:`repro.lint.verify_certificate`); ``None`` for engine verdicts.
+    certificate: Optional[Dict[str, Any]] = None
 
     @_property
     def sound(self) -> bool:

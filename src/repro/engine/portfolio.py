@@ -8,21 +8,33 @@ other way around.  Racing them and cancelling the losers turns that spread
 into a win: each job costs roughly the *minimum* over the portfolio instead
 of a fixed engine's worst case.
 
+Before any engine runs, every uncached job goes through the static lint
+pass (:mod:`repro.lint`): it costs no state-space construction, and when
+one of its certifying pre-filter rules decides the job's property the
+verdict is returned immediately — with the machine-checkable certificate
+attached — and the pool never sees the job.  (The cache is consulted
+first: a disk read is cheaper still than linting.)
+
 :func:`run_jobs` is also the plain driver for single-engine jobs (a
-portfolio of one); every job flows cache → pool → arbitration → result, and
-each step is reported through the :class:`~repro.engine.events.EventLog`.
+portfolio of one); every job flows cache → lint → pool → arbitration →
+result, and each step is reported through the
+:class:`~repro.engine.events.EventLog`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine import events as ev
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import (
     JobResult,
+    SOURCE_LINT,
     VERDICT_ERROR,
+    VERDICT_HOLDS,
     VERDICT_TIMEOUT,
+    VERDICT_VIOLATED,
     VerificationJob,
     execute_engine,
     failure_result,
@@ -52,18 +64,27 @@ def run_jobs(
     pool: WorkerPool,
     cache: Optional[ResultCache] = None,
     events: Optional[ev.EventLog] = None,
+    lint: bool = True,
+    lint_size_budget: int = 160,
 ) -> List[JobResult]:
-    """Run every job through cache + portfolio racing; results in job order.
+    """Run every job through cache + lint + portfolio racing; results in
+    job order.
 
-    For each job the engines in ``job.engines`` race in the pool; the first
-    *sound* verdict (holds/violated) wins, the remaining engine tasks are
-    cancelled, and the result is cached.  Unsound outcomes (timeout, budget
-    exhaustion, engine error, worker crash) only fail the job once every
-    engine of its portfolio has failed.
+    Cache hits return immediately (re-badged ``source="cache"``).  Every
+    uncached job then passes the static lint stage (once per distinct STG,
+    shared across its properties); a certifying pre-filter decision
+    short-circuits the job entirely.  Otherwise the engines in
+    ``job.engines`` race in the pool; the first *sound* verdict
+    (holds/violated) wins, the remaining engine tasks are cancelled, and the
+    result is cached.  Unsound outcomes (timeout, budget exhaustion, engine
+    error, worker crash) only fail the job once every engine of its
+    portfolio has failed.  ``lint=False`` disables stage zero;
+    ``lint_size_budget`` caps the net size for its polyhedral rules.
     """
     events = events or pool.events
     results: Dict[int, JobResult] = {}
     failures: Dict[int, List[JobResult]] = {}
+    lint_reports: Dict[str, Optional[tuple]] = {}
 
     for index, job in enumerate(jobs):
         events.emit(ev.JOB_QUEUED, job_id=job.job_id)
@@ -76,6 +97,11 @@ def run_jobs(
                 )
                 continue
             events.emit(ev.CACHE_MISS, job_id=job.job_id)
+        if lint:
+            settled = _lint_stage(job, events, lint_reports, lint_size_budget)
+            if settled is not None:
+                results[index] = settled
+                continue
         failures[index] = []
         for engine in job.engines:
             pool.submit(
@@ -122,6 +148,76 @@ def run_jobs(
             jobs[index], VERDICT_ERROR, error="pool drained without outcome"
         )
     return [results[index] for index in range(len(jobs))]
+
+
+def _lint_stage(
+    job: VerificationJob,
+    events: ev.EventLog,
+    reports: Dict[str, Optional[tuple]],
+    size_budget: int,
+) -> Optional[JobResult]:
+    """Stage zero: lint the job's STG; a JobResult if lint decided it.
+
+    The lint report is computed once per distinct STG content hash and
+    reused for the other properties of the same STG.  Lint failures are
+    reported but never fail the job — the engines still run.  Lint-decided
+    results are *not* cached: recomputing them is as cheap as reading the
+    cache, and the certificate stays tied to the exact STG.
+    """
+    if job.stg_hash not in reports:
+        from repro.lint import run_lint
+
+        started = time.perf_counter()
+        try:
+            report = run_lint(job.stg, size_budget=size_budget)
+        except Exception as exc:  # lint bug: degrade to the engines
+            events.emit(
+                ev.LINT_PASS,
+                job_id=job.job_id,
+                detail=f"lint crashed ({type(exc).__name__}: {exc})",
+            )
+            reports[job.stg_hash] = None
+            return None
+        reports[job.stg_hash] = (report, time.perf_counter() - started)
+        events.emit(
+            ev.LINT_PASS,
+            job_id=job.job_id,
+            elapsed=reports[job.stg_hash][1],
+            detail=report.summary(),
+        )
+    cached = reports[job.stg_hash]
+    if cached is None:  # earlier crash for this STG
+        return None
+    report, elapsed = cached
+    decision = report.decisions().get(job.property)
+    if decision is None:
+        return None
+    diagnostic = decision.diagnostic
+    events.emit(
+        ev.LINT_DECIDED,
+        job_id=job.job_id,
+        engine="lint",
+        elapsed=elapsed,
+        detail=f"{job.property}="
+        f"{'holds' if decision.holds else 'violated'} by {diagnostic.rule_id}",
+    )
+    events.emit(ev.JOB_DONE, job_id=job.job_id, engine="lint")
+    return JobResult(
+        job_id=job.job_id,
+        name=job.name,
+        property=job.property,
+        verdict=VERDICT_HOLDS if decision.holds else VERDICT_VIOLATED,
+        engine="lint",
+        holds=decision.holds,
+        elapsed=elapsed,
+        source=SOURCE_LINT,
+        witness=diagnostic.message,
+        stats={
+            "lint_rule": diagnostic.rule_id,
+            "diagnostics": len(report.diagnostics),
+        },
+        certificate=diagnostic.certificate,
+    )
 
 
 def _result_of(job: VerificationJob, outcome: TaskOutcome) -> JobResult:

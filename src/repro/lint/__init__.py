@@ -1,0 +1,75 @@
+"""repro.lint — static STG diagnostics with certifying conflict pre-filters.
+
+The subsystem runs three tiers of rules over a parsed STG without building
+any state space:
+
+1. *well-formedness* (``W1xx``): structural defects of the net,
+2. *stg-semantics* (``S2xx``): signal-level specification defects,
+3. *conflict-prefilter* (``C3xx``): certifying USC/CSC verdicts from the
+   state-equation relaxation — each positive verdict carries a
+   machine-checkable certificate.
+
+Entry point: :func:`run_lint`.  The verification engine runs it as stage
+zero of every portfolio job (see :mod:`repro.engine.portfolio`); the CLI
+exposes it as ``repro-stg lint``.
+"""
+
+from repro.lint.certificates import (
+    CERT_AFFINE,
+    CERT_LP,
+    build_affine_certificate,
+    build_lp_certificate,
+    state_equation_usc_safe,
+    verify_certificate,
+)
+from repro.lint.diagnostics import (
+    Decision,
+    Diagnostic,
+    LintReport,
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    TIER_PREFILTER,
+    TIER_SEMANTICS,
+    TIER_WELLFORMED,
+    TIERS,
+)
+from repro.lint.registry import (
+    LintRule,
+    RuleContext,
+    all_rules,
+    rule,
+    run_lint,
+    select_rules,
+)
+from repro.lint.render import render_json, render_text, report_to_dict
+
+__all__ = [
+    "CERT_AFFINE",
+    "CERT_LP",
+    "Decision",
+    "Diagnostic",
+    "LintReport",
+    "LintRule",
+    "RuleContext",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "TIERS",
+    "TIER_PREFILTER",
+    "TIER_SEMANTICS",
+    "TIER_WELLFORMED",
+    "all_rules",
+    "build_affine_certificate",
+    "build_lp_certificate",
+    "render_json",
+    "render_text",
+    "report_to_dict",
+    "rule",
+    "run_lint",
+    "select_rules",
+    "state_equation_usc_safe",
+    "verify_certificate",
+]

@@ -1,0 +1,167 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` is the unit of output of every lint rule: the rule id,
+a severity, a human-readable message, the net/STG element it concerns, an
+optional source span (when the STG was parsed from a ``.g`` file), an
+optional fix-it hint, and — for the certifying pre-filter rules — the
+properties the diagnostic *decides* together with a machine-checkable
+certificate (see :mod:`repro.lint.certificates`).
+
+A :class:`LintReport` aggregates the diagnostics of one run and maps them to
+the CLI exit-code convention: 0 clean, 1 warnings only, 2 errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.stg.sourcemap import SourceSpan
+
+#: Severity levels, most severe first.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Rule tiers (the three layers of the static analysis).
+TIER_WELLFORMED = "well-formedness"
+TIER_SEMANTICS = "stg-semantics"
+TIER_PREFILTER = "conflict-prefilter"
+
+TIERS = (TIER_WELLFORMED, TIER_SEMANTICS, TIER_PREFILTER)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    rule_id: str
+    severity: str
+    message: str
+    subject: str = ""
+    span: Optional[SourceSpan] = None
+    fixit: Optional[str] = None
+    #: Properties this diagnostic soundly decides (``{"usc": True, ...}``);
+    #: only the certifying pre-filter rules set it.
+    decides: Dict[str, bool] = field(default_factory=dict)
+    #: Machine-checkable evidence for ``decides``; a JSON-safe dict
+    #: understood by :func:`repro.lint.certificates.verify_certificate`.
+    certificate: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` when a span is known, else the subject name."""
+        if self.span is not None:
+            return str(self.span)
+        return self.subject or "<stg>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+        }
+        if self.span is not None:
+            payload["span"] = {
+                "file": self.span.file,
+                "line": self.span.line,
+                "column": self.span.column,
+                "length": self.span.length,
+            }
+        if self.fixit:
+            payload["fixit"] = self.fixit
+        if self.decides:
+            payload["decides"] = dict(self.decides)
+        if self.certificate is not None:
+            payload["certificate"] = self.certificate
+        return payload
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run over one STG."""
+
+    stg_name: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Rule ids that ran (including the silent ones) — lets consumers
+    #: distinguish "clean" from "not checked".
+    rules_run: List[str] = field(default_factory=list)
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def of_severity(self, severity: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    def of_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.of_severity(SEVERITY_ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.of_severity(SEVERITY_WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean, 1 warnings only, 2 any error."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def decisions(self) -> Dict[str, "Decision"]:
+        """Property verdicts decided by certifying diagnostics.
+
+        Later diagnostics never override earlier ones (rules run in
+        registration order, cheapest certificate first).
+        """
+        decided: Dict[str, Decision] = {}
+        for diagnostic in self.diagnostics:
+            for prop, holds in diagnostic.decides.items():
+                if prop not in decided:
+                    decided[prop] = Decision(prop, holds, diagnostic)
+        return decided
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        """Severity-major, then source order, for stable rendering."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                _SEVERITY_RANK[d.severity],
+                d.span.line if d.span else 1 << 30,
+                d.span.column if d.span else 0,
+                d.rule_id,
+                d.subject,
+            ),
+        )
+
+    def summary(self) -> str:
+        counts = {s: len(self.of_severity(s)) for s in SEVERITIES}
+        parts = [
+            f"{counts[s]} {s}{'s' if counts[s] != 1 else ''}"
+            for s in SEVERITIES
+            if counts[s]
+        ]
+        return ", ".join(parts) if parts else "clean"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A property verdict established by a certifying lint diagnostic."""
+
+    property: str
+    holds: bool
+    diagnostic: Diagnostic

@@ -1,0 +1,259 @@
+"""The lint rule registry and driver.
+
+Rules are plain functions decorated with :func:`rule`; each receives a
+:class:`RuleContext` (the STG plus lazily-computed linear-algebra artefacts
+shared across rules) and yields :class:`~repro.lint.diagnostics.Diagnostic`
+objects.  Registration order is execution order, which matters for the
+certifying pre-filter tier: the cheap exact-kernel certificate runs before
+the LP relaxation, and a rule can consult ``context.decided`` to skip work
+a predecessor already settled.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    SEVERITY_ERROR,
+    TIERS,
+)
+from repro.stg.sourcemap import KIND_PLACE, KIND_SIGNAL, KIND_TRANSITION, SourceSpan
+from repro.stg.stg import STG
+
+
+class RuleContext:
+    """Everything a rule may inspect, with shared lazy artefacts.
+
+    ``size_budget`` bounds the net size (places + transitions) up to which
+    the polyhedral pre-filter rules are allowed to run; rules that would
+    exceed it must stay silent rather than stall the pipeline.
+    """
+
+    def __init__(self, stg: STG, size_budget: int = 160):
+        self.stg = stg
+        self.net = stg.net
+        self.size_budget = size_budget
+        #: Property verdicts established so far ({"usc": True, ...}).
+        self.decided: Dict[str, bool] = {}
+        self._incidence: Optional[np.ndarray] = None
+        self._balance: Optional[np.ndarray] = None
+        self._tinvariants: Optional[List[np.ndarray]] = None
+        self._pinvariants: Optional[List[np.ndarray]] = None
+
+    # -- shared linear algebra -------------------------------------------------
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """The ``|S| x |T|`` incidence matrix of the underlying net."""
+        if self._incidence is None:
+            from repro.petri.incidence import incidence_matrix
+
+            self._incidence = incidence_matrix(self.net)
+        return self._incidence
+
+    @property
+    def balance(self) -> np.ndarray:
+        """The ``|Z| x |T|`` signal-balance matrix ``B``.
+
+        ``B[z, t]`` is the code delta of signal ``z`` when ``t`` fires:
+        ``+1`` for ``z+`` labels, ``-1`` for ``z-``, 0 elsewhere (dummies
+        contribute an all-zero column).
+        """
+        if self._balance is None:
+            matrix = np.zeros(
+                (len(self.stg.signals), self.net.num_transitions),
+                dtype=np.int64,
+            )
+            for t in range(self.net.num_transitions):
+                index, delta = self.stg.signal_change(t)
+                if index is not None:
+                    matrix[index, t] = delta
+            self._balance = matrix
+        return self._balance
+
+    @property
+    def tinvariants(self) -> List[np.ndarray]:
+        if self._tinvariants is None:
+            from repro.petri.analysis import transition_invariants
+
+            self._tinvariants = transition_invariants(self.net)
+        return self._tinvariants
+
+    @property
+    def pinvariants(self) -> List[np.ndarray]:
+        if self._pinvariants is None:
+            from repro.petri.analysis import place_invariants
+
+            self._pinvariants = place_invariants(self.net)
+        return self._pinvariants
+
+    def nonneg_pinvariants(self) -> List[np.ndarray]:
+        """Basis P-invariants that are sign-definite, flipped non-negative."""
+        result = []
+        for vector in self.pinvariants:
+            if (vector >= 0).all():
+                result.append(vector)
+            elif (vector <= 0).all():
+                result.append(-vector)
+        return result
+
+    # -- span helpers ----------------------------------------------------------
+
+    def place_span(self, index: int) -> Optional[SourceSpan]:
+        if self.stg.source_map is None:
+            return None
+        return self.stg.source_map.get(KIND_PLACE, self.net.place_name(index))
+
+    def transition_span(self, index: int) -> Optional[SourceSpan]:
+        if self.stg.source_map is None:
+            return None
+        return self.stg.source_map.get(
+            KIND_TRANSITION, self.net.transition_name(index)
+        )
+
+    def signal_span(self, name: str) -> Optional[SourceSpan]:
+        if self.stg.source_map is None:
+            return None
+        return self.stg.source_map.get(KIND_SIGNAL, name)
+
+
+#: A rule takes the context and yields diagnostics.
+RuleFn = Callable[[RuleContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Registered metadata of one rule."""
+
+    rule_id: str
+    name: str
+    tier: str
+    severity: str
+    doc: str
+    fn: RuleFn
+
+    def run(self, context: RuleContext) -> List[Diagnostic]:
+        return list(self.fn(context))
+
+
+#: Registry in registration (= execution) order.
+RULES: Dict[str, LintRule] = {}
+
+
+def rule(rule_id: str, name: str, tier: str, severity: str) -> Callable[[RuleFn], RuleFn]:
+    """Register a lint rule; ``severity`` is the rule's default severity."""
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}")
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            tier=tier,
+            severity=severity,
+            doc=(fn.__doc__ or "").strip().split("\n", 1)[0],
+            fn=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> List[LintRule]:
+    _load_builtin_rules()
+    return list(RULES.values())
+
+
+def select_rules(patterns: Optional[Iterable[str]] = None) -> List[LintRule]:
+    """Rules whose id or name matches any glob pattern (all when ``None``)."""
+    rules = all_rules()
+    if patterns is None:
+        return rules
+    wanted = list(patterns)
+    return [
+        r
+        for r in rules
+        if any(
+            fnmatch.fnmatch(r.rule_id, p) or fnmatch.fnmatch(r.name, p)
+            for p in wanted
+        )
+    ]
+
+
+_BUILTINS_LOADED = False
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules exactly once (registration side effect)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.lint import rules_prefilter  # noqa: F401
+    from repro.lint import rules_semantics  # noqa: F401
+    from repro.lint import rules_wellformed  # noqa: F401
+
+
+def run_lint(
+    stg: STG,
+    rules: Optional[Iterable[str]] = None,
+    prefilter: bool = True,
+    size_budget: int = 160,
+) -> LintReport:
+    """Run the (selected) rule set over ``stg`` and return the report.
+
+    ``prefilter=False`` skips the conflict pre-filter tier (useful when only
+    style diagnostics are wanted).  ``size_budget`` caps the net size for the
+    polyhedral pre-filter; larger nets simply skip it.
+
+    The certifying tier is gated on hygiene: if any *error* diagnostic or
+    any consistency-risk warning (rules S202/S203/S204) fired, pre-filter
+    rules do not run — their soundness argument presumes a consistent,
+    well-formed STG.
+    """
+    from repro.lint.diagnostics import TIER_PREFILTER
+
+    selected = select_rules(list(rules) if rules is not None else None)
+    context = RuleContext(stg, size_budget=size_budget)
+    report = LintReport(stg_name=stg.name)
+
+    staged: List[Tuple[LintRule, bool]] = [
+        (r, r.tier == TIER_PREFILTER) for r in selected
+    ]
+    for lint_rule, is_prefilter in staged:
+        if is_prefilter:
+            continue
+        report.rules_run.append(lint_rule.rule_id)
+        report.extend(lint_rule.run(context))
+
+    if prefilter and _prefilter_allowed(report):
+        for lint_rule, is_prefilter in staged:
+            if not is_prefilter:
+                continue
+            report.rules_run.append(lint_rule.rule_id)
+            diagnostics = lint_rule.run(context)
+            report.extend(diagnostics)
+            for diagnostic in diagnostics:
+                for prop, holds in diagnostic.decides.items():
+                    context.decided.setdefault(prop, holds)
+    return report
+
+
+#: Warnings that undermine the pre-filter soundness argument (consistency).
+_CONSISTENCY_RISK_RULES = frozenset({"S202", "S203", "S204"})
+
+
+def _prefilter_allowed(report: LintReport) -> bool:
+    if any(d.severity == SEVERITY_ERROR for d in report.diagnostics):
+        return False
+    return not any(
+        d.rule_id in _CONSISTENCY_RISK_RULES for d in report.diagnostics
+    )

@@ -1,0 +1,65 @@
+"""Rendering of lint reports: compiler-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.lint.diagnostics import LintReport
+
+
+def render_text(
+    report: LintReport, verbose: bool = False, color: bool = False
+) -> str:
+    """Compiler-style one-line-per-diagnostic rendering plus a summary.
+
+    ``verbose`` appends fix-it hints and decided properties; certificates
+    are never printed in text mode (use JSON for those).
+    """
+    palette = {
+        "error": "\x1b[31m",
+        "warning": "\x1b[33m",
+        "info": "\x1b[36m",
+    }
+    reset = "\x1b[0m"
+    lines: List[str] = []
+    for diagnostic in report.sorted_diagnostics():
+        severity = diagnostic.severity
+        if color:
+            severity = f"{palette[diagnostic.severity]}{severity}{reset}"
+        lines.append(
+            f"{diagnostic.location}: {severity}[{diagnostic.rule_id}] "
+            f"{diagnostic.message}"
+        )
+        if verbose and diagnostic.fixit:
+            lines.append(f"    fix: {diagnostic.fixit}")
+        if verbose and diagnostic.decides:
+            decided = ", ".join(
+                f"{prop}={'holds' if holds else 'violated'}"
+                for prop, holds in sorted(diagnostic.decides.items())
+            )
+            lines.append(f"    decides: {decided}")
+    lines.append(f"{report.stg_name}: {report.summary()}")
+    return "\n".join(lines)
+
+
+def report_to_dict(report: LintReport) -> Dict[str, Any]:
+    """JSON-safe dict with diagnostics, decisions, and exit code."""
+    return {
+        "stg": report.stg_name,
+        "summary": report.summary(),
+        "exit_code": report.exit_code,
+        "rules_run": list(report.rules_run),
+        "diagnostics": [d.to_dict() for d in report.sorted_diagnostics()],
+        "decisions": {
+            prop: {
+                "holds": decision.holds,
+                "rule": decision.diagnostic.rule_id,
+            }
+            for prop, decision in report.decisions().items()
+        },
+    }
+
+
+def render_json(report: LintReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,301 @@
+"""STG-semantics rules (tier 2): signal-level specification defects.
+
+These rules reason about the signal labelling — edge counts, balance along
+T-invariants, input/output roles — using only linear algebra over the
+incidence matrix and structural traversals; no state space is built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+import numpy as np
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    SEVERITY_WARNING,
+    TIER_SEMANTICS,
+)
+from repro.lint.registry import RuleContext, rule
+
+
+@rule("S201", "autoconcurrency-candidate", TIER_SEMANTICS, SEVERITY_WARNING)
+def autoconcurrency_candidate(context: RuleContext) -> Iterator[Diagnostic]:
+    """Two edges of the same signal that the state-equation relaxation cannot
+    keep apart may fire concurrently — auto-concurrency breaks the code
+    semantics."""
+    stg = context.stg
+    net = context.net
+    initial = net.initial_marking
+    # 1-token sign-definite P-invariants: cheap mutual-exclusion certificates
+    # tried before the LP (they are Farkas certificates of its infeasibility).
+    exclusion = [
+        y
+        for y in context.nonneg_pinvariants()
+        if int(y @ np.asarray(initial.counts, dtype=np.int64)) == 1
+    ]
+    for signal in stg.signals:
+        transitions = stg.transitions_of(signal)
+        for i, t1 in enumerate(transitions):
+            preset1 = set(net.preset(t1))
+            for t2 in transitions[i + 1:]:
+                preset2 = set(net.preset(t2))
+                if preset1 & preset2:
+                    continue  # structural conflict: firing one disables the other
+                if not preset1 or not preset2:
+                    continue  # W106 territory
+                if _invariant_separates(exclusion, preset1, preset2):
+                    continue
+                if not _coenabling_feasible(context, t1, t2):
+                    continue  # state equation refutes any co-enabling marking
+                name1 = net.transition_name(t1)
+                name2 = net.transition_name(t2)
+                yield Diagnostic(
+                    rule_id="S201",
+                    severity=SEVERITY_WARNING,
+                    message=f"edges {name1!r} and {name2!r} of signal "
+                    f"{signal!r} share no input place and no place invariant "
+                    "or state-equation bound keeps them apart; they may be "
+                    "auto-concurrent",
+                    subject=signal,
+                    span=context.transition_span(t1),
+                )
+
+
+def _invariant_separates(
+    invariants: List[np.ndarray], preset1: Set[int], preset2: Set[int]
+) -> bool:
+    """True if some 1-token invariant covers a place of each preset.
+
+    Both transitions being enabled would then require two tokens on the
+    invariant's support — impossible, so they are never co-enabled.
+    """
+    for y in invariants:
+        if any(y[p] > 0 for p in preset1) and any(y[p] > 0 for p in preset2):
+            return True
+    return False
+
+
+def _coenabling_feasible(context: RuleContext, t1: int, t2: int) -> bool:
+    """LP relaxation of "some reachable marking enables t1 and t2 at once".
+
+    Checks feasibility of ``x >= 0, M0 + I x >= pre(t1) + pre(t2)`` — the
+    state-equation over-approximation of a co-enabling marking.  Infeasible
+    means the pair provably never fires concurrently; feasible is merely
+    inconclusive, so this refines (never weakens) the warning.  Nets beyond
+    the size budget skip the LP and keep the conservative warning.
+    """
+    net = context.net
+    if net.num_places + net.num_transitions > context.size_budget:
+        return True
+    from repro.lp import LinearProgram, solve_lp
+
+    demand = dict(net.preset(t1))
+    for place, weight in net.preset(t2).items():
+        demand[place] = demand.get(place, 0) + weight
+    incidence = context.incidence
+    initial = net.initial_marking
+    constraints = []
+    for p in range(net.num_places):
+        row = [int(c) for c in incidence[p]]
+        need = demand.get(p, 0) - int(initial[p])
+        if not any(row):
+            if need > 0:
+                return False  # constant marking can never meet the demand
+            continue
+        if need > 0 or any(c < 0 for c in row):
+            constraints.append((row, ">=", need))
+    problem = LinearProgram.feasibility(net.num_transitions, constraints)
+    return solve_lp(problem).feasible
+
+
+@rule("S202", "edge-count-imbalance", TIER_SEMANTICS, SEVERITY_WARNING)
+def edge_count_imbalance(context: RuleContext) -> Iterator[Diagnostic]:
+    """Unequal numbers of rising and falling edges of a signal usually
+    indicate a missing edge.  Choice STGs legitimately unbalance the counts
+    (one falling edge can serve two rising branches), so the warning is
+    suppressed when every edge of the signal lies on some non-negative,
+    code-balanced T-invariant — i.e. each surplus edge is a choice
+    alternative on a consistent cycle, not an orphan."""
+    stg = context.stg
+    for signal in stg.signals:
+        rising = stg.edge_transitions(signal, +1)
+        falling = stg.edge_transitions(signal, -1)
+        if not rising or not falling or len(rising) == len(falling):
+            continue
+        if all(
+            _on_balanced_cycle(context, t) for t in (*rising, *falling)
+        ):
+            continue
+        yield Diagnostic(
+            rule_id="S202",
+            severity=SEVERITY_WARNING,
+            message=f"signal {signal!r} has {len(rising)} rising but "
+            f"{len(falling)} falling edge(s), and not every edge lies on a "
+            "code-balanced cycle",
+            subject=signal,
+            span=context.signal_span(signal),
+            fixit="add the missing edge or remove the surplus one",
+        )
+
+
+def _on_balanced_cycle(context: RuleContext, transition: int) -> bool:
+    """LP feasibility of a non-negative code-balanced T-invariant using ``t``.
+
+    Solves ``v >= 0, I v = 0, B v = 0, v_t >= 1``; feasibility means the
+    edge can be explained as part of a consistent cyclic behaviour (in the
+    state-equation relaxation).  Oversized nets report ``True`` — the
+    relaxed answer — so the warning never fires on a budget miss.
+    """
+    net = context.net
+    if net.num_places + net.num_transitions > context.size_budget:
+        return True
+    from repro.lp import LinearProgram, solve_lp
+
+    n = net.num_transitions
+    constraints = []
+    for matrix in (context.incidence, context.balance):
+        for row in matrix:
+            if row.any():
+                constraints.append(([int(c) for c in row], "==", 0))
+    selector = [0] * n
+    selector[transition] = 1
+    constraints.append((selector, ">=", 1))
+    problem = LinearProgram.feasibility(n, constraints)
+    return solve_lp(problem).feasible
+
+
+@rule("S203", "unbalanced-tinvariant", TIER_SEMANTICS, SEVERITY_WARNING)
+def unbalanced_tinvariant(context: RuleContext) -> Iterator[Diagnostic]:
+    """A non-negative T-invariant whose edges do not cancel per signal:
+    executing that cycle would drive some signal out of {0,1} — the STG
+    cannot be consistent if the cycle is executable."""
+    balance = context.balance
+    stg = context.stg
+    reported: Set[str] = set()
+    for vector in context.tinvariants:
+        if (vector >= 0).all():
+            cycle = vector
+        elif (vector <= 0).all():
+            cycle = -vector
+        else:
+            continue  # mixed-sign basis vector: not a realisable cycle
+        deltas = balance @ cycle
+        for index in np.nonzero(deltas)[0]:
+            signal = stg.signals[int(index)]
+            if signal in reported:
+                continue
+            reported.add(signal)
+            yield Diagnostic(
+                rule_id="S203",
+                severity=SEVERITY_WARNING,
+                message=f"signal {signal!r} changes by {int(deltas[index]):+d} "
+                "along a T-invariant cycle; executing it would break "
+                "consistency",
+                subject=signal,
+                span=context.signal_span(signal),
+            )
+
+
+@rule("S204", "single-polarity-signal", TIER_SEMANTICS, SEVERITY_WARNING)
+def single_polarity_signal(context: RuleContext) -> Iterator[Diagnostic]:
+    """A signal with only rising (or only falling) edges can switch at most
+    once; in a cyclic specification this is almost always a typo."""
+    stg = context.stg
+    for signal in stg.signals:
+        rising = len(stg.edge_transitions(signal, +1))
+        falling = len(stg.edge_transitions(signal, -1))
+        if (rising == 0) != (falling == 0):
+            polarity = "+" if rising else "-"
+            yield Diagnostic(
+                rule_id="S204",
+                severity=SEVERITY_WARNING,
+                message=f"signal {signal!r} only has {signal}{polarity} "
+                "edges; it can switch at most once",
+                subject=signal,
+                span=context.signal_span(signal),
+            )
+
+
+@rule("S205", "self-driven-input", TIER_SEMANTICS, SEVERITY_WARNING)
+def self_driven_input(context: RuleContext) -> Iterator[Diagnostic]:
+    """An input signal triggered only by its own edges: the STG specifies a
+    next-state function for an input, which synthesis cannot implement."""
+    stg = context.stg
+    net = context.net
+    for signal in stg.inputs:
+        transitions = stg.transitions_of(signal)
+        if not transitions:
+            continue
+        self_driven = True
+        for t in transitions:
+            for place in net.preset(t):
+                for producer in net.place_preset(place):
+                    label = stg.label(producer)
+                    if label is None or label.signal != signal:
+                        self_driven = False
+                        break
+                if not self_driven:
+                    break
+            if not self_driven:
+                break
+        if self_driven:
+            yield Diagnostic(
+                rule_id="S205",
+                severity=SEVERITY_WARNING,
+                message=f"input {signal!r} is driven only by its own edges — "
+                "the specification models a next-state function for an "
+                "input signal",
+                subject=signal,
+                span=context.signal_span(signal),
+                fixit="declare the signal as an output/internal or "
+                "synchronise it with the circuit",
+            )
+
+
+@rule("S206", "unobserved-pulse", TIER_SEMANTICS, SEVERITY_WARNING)
+def unobserved_pulse(context: RuleContext) -> Iterator[Diagnostic]:
+    """A signal pulse (edge immediately undone by its opposite, with no other
+    signal reading it in between) cannot appear in any next-state support
+    and leaves two distinct markings with equal codes — a USC conflict
+    whenever the pulse is executable."""
+    stg = context.stg
+    net = context.net
+    reported: Dict[str, bool] = {}
+    for t1 in range(net.num_transitions):
+        label1 = stg.label(t1)
+        if label1 is None or label1.signal in reported:
+            continue
+        postset1 = net.postset(t1)
+        if len(postset1) != 1:
+            continue
+        (place,) = postset1
+        consumers = net.place_postset(place)
+        producers = net.place_preset(place)
+        if len(consumers) != 1 or len(producers) != 1:
+            continue
+        (t2,) = consumers
+        label2 = stg.label(t2)
+        if (
+            label2 is None
+            or label2.signal != label1.signal
+            or label2.polarity == label1.polarity
+        ):
+            continue
+        # a pure two-phase loop (t2 feeds straight back into t1's preset with
+        # the same places) returns to the identical marking: no conflict
+        if dict(net.preset(t1)) == dict(net.postset(t2)):
+            continue
+        reported[label1.signal] = True
+        name1 = net.transition_name(t1)
+        name2 = net.transition_name(t2)
+        yield Diagnostic(
+            rule_id="S206",
+            severity=SEVERITY_WARNING,
+            message=f"signal {label1.signal!r} pulses ({name1!r} directly "
+            f"followed by {name2!r}) with no observer in between; the "
+            "pulse is invisible to every next-state function and induces "
+            "equal codes on distinct markings",
+            subject=label1.signal,
+            span=context.transition_span(t1),
+        )

@@ -1,0 +1,162 @@
+"""Well-formedness rules (tier 1): structural defects of the net itself.
+
+These rules need nothing but the flow relation and the initial marking; they
+catch ``.g`` files that no verification engine can handle meaningfully —
+dead or isolated nodes, non-ordinary arcs, non-1-safe initial markings,
+transitions that fire unboundedly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    TIER_WELLFORMED,
+)
+from repro.lint.registry import RuleContext, rule
+
+
+@rule("W101", "isolated-node", TIER_WELLFORMED, SEVERITY_WARNING)
+def isolated_node(context: RuleContext) -> Iterator[Diagnostic]:
+    """A place or transition with no incident arcs plays no role in the net."""
+    net = context.net
+    for p in range(net.num_places):
+        if not net.place_preset(p) and not net.place_postset(p):
+            name = net.place_name(p)
+            yield Diagnostic(
+                rule_id="W101",
+                severity=SEVERITY_WARNING,
+                message=f"place {name!r} has no arcs; it cannot affect any "
+                "behaviour",
+                subject=name,
+                span=context.place_span(p),
+                fixit="remove the place or connect it to a transition",
+            )
+    for t in range(net.num_transitions):
+        if not net.preset(t) and not net.postset(t):
+            name = net.transition_name(t)
+            yield Diagnostic(
+                rule_id="W101",
+                severity=SEVERITY_WARNING,
+                message=f"transition {name!r} has no arcs; it fires without "
+                "any effect",
+                subject=name,
+                span=context.transition_span(t),
+                fixit="remove the transition or connect it to a place",
+            )
+
+
+@rule("W102", "dead-place", TIER_WELLFORMED, SEVERITY_ERROR)
+def dead_place(context: RuleContext) -> Iterator[Diagnostic]:
+    """An unmarked place with no producers starves all of its consumers."""
+    net = context.net
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        consumers = net.place_postset(p)
+        if not consumers:
+            continue
+        if net.place_preset(p) or initial[p] > 0:
+            continue
+        name = net.place_name(p)
+        dead = ", ".join(
+            repr(net.transition_name(t)) for t in sorted(consumers)
+        )
+        yield Diagnostic(
+            rule_id="W102",
+            severity=SEVERITY_ERROR,
+            message=f"place {name!r} has no producers and no initial token; "
+            f"its consumer(s) {dead} can never fire",
+            subject=name,
+            span=context.place_span(p),
+            fixit="mark the place in .marking or add a producing arc",
+        )
+
+
+@rule("W103", "silent-transition", TIER_WELLFORMED, SEVERITY_INFO)
+def silent_transition(context: RuleContext) -> Iterator[Diagnostic]:
+    """A transition with no signal label is silent; conflict analysis loses
+    precision on nets with dummies."""
+    for t in range(context.net.num_transitions):
+        if context.stg.label(t) is None:
+            name = context.net.transition_name(t)
+            yield Diagnostic(
+                rule_id="W103",
+                severity=SEVERITY_INFO,
+                message=f"transition {name!r} carries no signal label (dummy); "
+                "coding-conflict pre-filters are disabled on nets with "
+                "silent transitions",
+                subject=name,
+                span=context.transition_span(t),
+            )
+
+
+@rule("W104", "weighted-arc", TIER_WELLFORMED, SEVERITY_ERROR)
+def weighted_arc(context: RuleContext) -> Iterator[Diagnostic]:
+    """An arc of weight > 1 (often a duplicated ``.graph`` arc) makes the net
+    non-ordinary; the unfolding engine requires ordinary nets."""
+    net = context.net
+    for t in range(net.num_transitions):
+        for p, weight in net.preset(t).items():
+            if weight > 1:
+                yield _weighted(context, net.place_name(p), net.transition_name(t), weight, t)
+        for p, weight in net.postset(t).items():
+            if weight > 1:
+                yield _weighted(context, net.transition_name(t), net.place_name(p), weight, t)
+
+
+def _weighted(
+    context: RuleContext, source: str, target: str, weight: int, transition: int
+) -> Diagnostic:
+    return Diagnostic(
+        rule_id="W104",
+        severity=SEVERITY_ERROR,
+        message=f"arc {source!r} -> {target!r} has weight {weight}; the net "
+        "is not ordinary (was the arc written twice?)",
+        subject=f"{source}->{target}",
+        span=context.transition_span(transition),
+        fixit="remove the duplicate arc",
+    )
+
+
+@rule("W105", "multi-token-place", TIER_WELLFORMED, SEVERITY_ERROR)
+def multi_token_place(context: RuleContext) -> Iterator[Diagnostic]:
+    """An initial marking with more than one token on a place is not 1-safe;
+    the unfolding engine and the binary code semantics require safe nets."""
+    net = context.net
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        if initial[p] > 1:
+            name = net.place_name(p)
+            yield Diagnostic(
+                rule_id="W105",
+                severity=SEVERITY_ERROR,
+                message=f"place {name!r} initially carries {initial[p]} tokens; "
+                "STG verification requires a 1-safe net",
+                subject=name,
+                span=context.place_span(p),
+                fixit="reduce the initial marking to at most one token",
+            )
+
+
+@rule("W106", "source-transition", TIER_WELLFORMED, SEVERITY_ERROR)
+def source_transition(context: RuleContext) -> Iterator[Diagnostic]:
+    """A transition with an empty preset is always enabled and fires
+    unboundedly, so the net cannot be safe."""
+    net = context.net
+    for t in range(net.num_transitions):
+        # fully isolated transitions are W101's finding, not an unboundedness
+        if not net.preset(t) and net.postset(t):
+            name = net.transition_name(t)
+            yield Diagnostic(
+                rule_id="W106",
+                severity=SEVERITY_ERROR,
+                message=f"transition {name!r} has no input places; it is "
+                "permanently enabled and makes the net unbounded",
+                subject=name,
+                span=context.transition_span(t),
+                fixit="give the transition at least one input place",
+            )

@@ -23,7 +23,9 @@ from repro.models.duplex import duplex_channel
 from repro.models.counterflow import counterflow_pipeline
 from repro.models.scalable import (
     muller_pipeline,
+    muller_ring,
     parallel_forks,
+    toggle_bank,
     vme_chain,
     service_ring,
 )
@@ -59,7 +61,9 @@ __all__ = [
     "duplex_channel",
     "counterflow_pipeline",
     "muller_pipeline",
+    "muller_ring",
     "parallel_forks",
+    "toggle_bank",
     "vme_chain",
     "service_ring",
     "TABLE1_BENCHMARKS",

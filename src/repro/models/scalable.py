@@ -141,6 +141,25 @@ def parallel_forks(workers: int = 3) -> STG:
     return stg
 
 
+def toggle_bank(lines: int = 3) -> STG:
+    """``lines`` independent toggle signals — the statically decidable family.
+
+    Each signal cycles ``t{i}+ t{i}-`` on its own two-place loop, so every
+    place sits between the two edges of one signal and the marking is an
+    affine function of the code.  The state space is exponential in
+    ``lines`` (all interleavings), yet ``repro.lint``'s affine-code
+    pre-filter (rule C301) certifies USC/CSC without any search — the
+    family exercises the engine's static short-circuit path.
+    """
+    if lines < 1:
+        raise ValueError("need at least 1 line")
+    stg = STG(f"toggles{lines}", outputs=[f"t{i}" for i in range(lines)])
+    for i in range(lines):
+        connect(stg, f"t{i}+", f"t{i}-")
+        connect(stg, f"t{i}-", f"t{i}+", marked=True)
+    return stg
+
+
 def vme_chain(stations: int = 2) -> STG:
     """Scalable CSC-conflict family: a ring of VME bus controllers."""
     return lazy_ring(stations)

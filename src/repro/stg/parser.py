@@ -36,10 +36,21 @@ import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import ParseError
+from repro.stg.sourcemap import (
+    KIND_PLACE,
+    KIND_SIGNAL,
+    KIND_TRANSITION,
+    SourceMap,
+    SourceSpan,
+)
 from repro.stg.stg import STG, SignalEdge
 
 _EDGE_RE = re.compile(r"^(?P<signal>[A-Za-z_][\w.\[\]]*)(?P<dir>[+-])(?:/(?P<inst>\d+))?$")
 _DUMMY_RE = re.compile(r"^(?P<name>[A-Za-z_][\w.\[\]]*)(?:/(?P<inst>\d+))?$")
+_TOKEN_RE = re.compile(r"\S+")
+
+#: The three signal declaration classes a ``.g`` header may use.
+_SIGNAL_DIRECTIVES = (".inputs", ".outputs", ".internal")
 
 
 def _classify(
@@ -56,8 +67,14 @@ def _classify(
     return "place", None
 
 
-def parse_stg(text: str) -> STG:
-    """Parse astg text into an :class:`~repro.stg.stg.STG`."""
+def parse_stg(text: str, filename: Optional[str] = None) -> STG:
+    """Parse astg text into an :class:`~repro.stg.stg.STG`.
+
+    ``filename`` (purely informational) is recorded on the resulting STG's
+    :class:`~repro.stg.sourcemap.SourceMap`, which maps every signal
+    declaration and every place/transition to the line/column of its first
+    occurrence — the anchor for ``repro-stg lint`` diagnostics.
+    """
     model_name = "stg"
     inputs: List[str] = []
     outputs: List[str] = []
@@ -68,9 +85,13 @@ def parse_stg(text: str) -> STG:
     initial_values: Dict[str, int] = {}
     mode = None
     saw_end = False
+    source = SourceMap(filename)
+    declared_signals: Dict[str, Tuple[str, int]] = {}
+    signal_lists = {".inputs": inputs, ".outputs": outputs, ".internal": internal}
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
+        content = raw.split("#", 1)[0]
+        line = content.strip()
         if not line:
             continue
         if saw_end:
@@ -80,12 +101,30 @@ def parse_stg(text: str) -> STG:
             rest = rest.strip()
             if directive in (".model", ".name"):
                 model_name = rest or model_name
-            elif directive == ".inputs":
-                inputs.extend(rest.split())
-            elif directive == ".outputs":
-                outputs.extend(rest.split())
-            elif directive == ".internal":
-                internal.extend(rest.split())
+            elif directive in _SIGNAL_DIRECTIVES:
+                for match in _TOKEN_RE.finditer(content):
+                    name = match.group()
+                    if name == directive:
+                        continue
+                    if name in declared_signals:
+                        previous_class, previous_line = declared_signals[name]
+                        where = (
+                            f"also in {previous_class} (line {previous_line})"
+                            if previous_class != directive
+                            else f"already on line {previous_line}"
+                        )
+                        raise ParseError(
+                            f"signal {name!r} declared twice: "
+                            f"{directive} here, {where}",
+                            line_no,
+                        )
+                    declared_signals[name] = (directive, line_no)
+                    signal_lists[directive].append(name)
+                    source.record(
+                        KIND_SIGNAL,
+                        name,
+                        SourceSpan(line_no, match.start() + 1, len(name)),
+                    )
             elif directive == ".dummy":
                 dummies.extend(rest.split())
             elif directive == ".graph":
@@ -109,7 +148,7 @@ def parse_stg(text: str) -> STG:
                 raise ParseError(f"unknown directive {directive!r}", line_no)
             continue
         if mode == "graph":
-            graph_lines.append((line_no, line))
+            graph_lines.append((line_no, content))
         else:
             raise ParseError(f"unexpected line {line!r}", line_no)
 
@@ -120,26 +159,31 @@ def parse_stg(text: str) -> STG:
     signals = set(stg.signals)
     dummy_set = set(dummies)
 
-    def ensure_node(token: str, line_no: int) -> Tuple[str, str]:
+    def ensure_node(token: str, span: SourceSpan) -> Tuple[str, str]:
         """Create the node for ``token`` if new; return (kind, net_name)."""
         kind, edge = _classify(token, signals, dummy_set)
         if kind == "transition":
             if not stg.net.has_transition(token):
                 stg.add_transition(token, edge)
+            source.record(KIND_TRANSITION, token, span)
             return kind, token
         if not stg.net.has_place(token):
             stg.add_place(token)
+        source.record(KIND_PLACE, token, span)
         return kind, token
 
     implicit: Dict[Tuple[str, str], str] = {}
 
-    for line_no, line in graph_lines:
-        tokens = line.split()
-        if len(tokens) < 2:
+    for line_no, content in graph_lines:
+        matches = list(_TOKEN_RE.finditer(content))
+        if len(matches) < 2:
             raise ParseError("graph line needs a source and targets", line_no)
-        src_kind, src = ensure_node(tokens[0], line_no)
-        for token in tokens[1:]:
-            dst_kind, dst = ensure_node(token, line_no)
+        spans = [
+            SourceSpan(line_no, m.start() + 1, len(m.group())) for m in matches
+        ]
+        src_kind, src = ensure_node(matches[0].group(), spans[0])
+        for match, span in zip(matches[1:], spans[1:]):
+            dst_kind, dst = ensure_node(match.group(), span)
             if src_kind == dst_kind == "transition":
                 place = f"<{src},{dst}>"
                 if (src, dst) not in implicit:
@@ -147,6 +191,7 @@ def parse_stg(text: str) -> STG:
                     implicit[(src, dst)] = place
                     stg.add_arc(src, place)
                     stg.add_arc(place, dst)
+                    source.record(KIND_PLACE, place, spans[0])
             elif src_kind == dst_kind == "place":
                 raise ParseError(
                     f"arc between two places: {src!r} -> {dst!r}", line_no
@@ -172,6 +217,7 @@ def parse_stg(text: str) -> STG:
     for signal, value in initial_values.items():
         stg.set_initial_value(signal, value)
 
+    stg.source_map = source
     return stg
 
 

@@ -1,0 +1,88 @@
+"""Source locations of ``.g`` file constituents.
+
+The ``.g`` parser records where every signal declaration and every node
+(place/transition) first appears, so downstream consumers — most notably the
+:mod:`repro.lint` diagnostics — can point at the offending input line instead
+of only naming a node.  Programmatically-built STGs have no source map; all
+consumers must treat spans as optional.
+
+Lines and columns are 1-based, matching the ``file:line:col`` convention of
+compiler diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open token span inside one line of a source file."""
+
+    line: int
+    column: int
+    length: int = 1
+    file: Optional[str] = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.file}:" if self.file else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+    def with_file(self, file: Optional[str]) -> "SourceSpan":
+        return replace(self, file=file)
+
+
+#: Span-map kinds (the namespaces of :class:`SourceMap`).
+KIND_SIGNAL = "signal"
+KIND_PLACE = "place"
+KIND_TRANSITION = "transition"
+
+
+class SourceMap:
+    """Definition spans of the constituents of one parsed STG.
+
+    Each namespace maps a name to the span of its *first* occurrence: for
+    signals the declaration token in ``.inputs``/``.outputs``/``.internal``,
+    for places and transitions the first ``.graph`` token that created the
+    node.  Implicit places (``<t,u>``) map to the span of the arc line that
+    introduced them.
+    """
+
+    def __init__(self, file: Optional[str] = None):
+        self.file = file
+        self._spans: Dict[str, Dict[str, SourceSpan]] = {
+            KIND_SIGNAL: {},
+            KIND_PLACE: {},
+            KIND_TRANSITION: {},
+        }
+
+    def record(self, kind: str, name: str, span: SourceSpan) -> None:
+        """Record the definition span of ``name`` unless already known."""
+        namespace = self._spans[kind]
+        if name not in namespace:
+            namespace[name] = span
+
+    def get(self, kind: str, name: str) -> Optional[SourceSpan]:
+        span = self._spans[kind].get(name)
+        if span is not None and span.file is None and self.file is not None:
+            return span.with_file(self.file)
+        return span
+
+    def signal(self, name: str) -> Optional[SourceSpan]:
+        return self.get(KIND_SIGNAL, name)
+
+    def place(self, name: str) -> Optional[SourceSpan]:
+        return self.get(KIND_PLACE, name)
+
+    def transition(self, name: str) -> Optional[SourceSpan]:
+        return self.get(KIND_TRANSITION, name)
+
+    def __len__(self) -> int:
+        return sum(len(ns) for ns in self._spans.values())
+
+    def copy(self) -> "SourceMap":
+        clone = SourceMap(self.file)
+        for kind, namespace in self._spans.items():
+            clone._spans[kind] = dict(namespace)
+        return clone

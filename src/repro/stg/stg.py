@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import NetStructureError
 from repro.petri.net import PetriNet
+from repro.stg.sourcemap import SourceMap
 
 #: The silent (dummy) label of the paper's ``lambda : T -> Z± ∪ {tau}``.
 TAU = None
@@ -82,6 +83,10 @@ class STG:
             raise NetStructureError(f"signals declared twice: {sorted(overlap)}")
         self._labels: List[Optional[SignalEdge]] = []
         self._initial_code: Dict[str, int] = {}
+        #: Definition spans when parsed from a ``.g`` file; ``None`` for
+        #: programmatically-built STGs.  Not part of the content identity
+        #: (excluded from :func:`~repro.stg.hashing.canonical_stg_hash`).
+        self.source_map: Optional[SourceMap] = None
 
     # -- signal sets ---------------------------------------------------------
 
@@ -205,6 +210,7 @@ class STG:
         clone.net = self.net.copy(name or self.name)
         clone._labels = list(self._labels)
         clone._initial_code = dict(self._initial_code)
+        clone.source_map = self.source_map.copy() if self.source_map else None
         return clone
 
     def content_hash(self) -> str:

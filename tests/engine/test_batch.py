@@ -90,7 +90,9 @@ class TestBatchCLI:
         assert main(argv) == 0
         warm_out = capsys.readouterr().out
         assert f"cache: {len(SMALL)} hits, 0 misses" in warm_out
-        assert warm_out.count(" hit") >= len(SMALL)
+        # the source column distinguishes cached verdicts from fresh ones
+        assert warm_out.count("| cache") >= len(SMALL)
+        assert "| fresh" not in warm_out
 
     def test_violations_still_exit_zero(self, tmp_path, capsys):
         # batch reports verdicts, it does not gate on them

@@ -1,0 +1,119 @@
+"""Tests for the diagnostic/report data model and the rule registry."""
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    TIER_PREFILTER,
+    TIER_SEMANTICS,
+    TIER_WELLFORMED,
+    all_rules,
+    select_rules,
+)
+from repro.lint.registry import RULES, rule
+from repro.stg.sourcemap import SourceSpan
+
+
+def diag(rule_id="X001", severity=SEVERITY_WARNING, **kwargs):
+    return Diagnostic(rule_id=rule_id, severity=severity, message="m", **kwargs)
+
+
+class TestDiagnostic:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            diag(severity="fatal")
+
+    def test_location_prefers_span(self):
+        span = SourceSpan(line=3, column=7, length=2, file="x.g")
+        assert diag(span=span).location == "x.g:3:7"
+        assert diag(subject="z").location == "z"
+        assert diag().location == "<stg>"
+
+    def test_to_dict_round_trip(self):
+        d = diag(
+            span=SourceSpan(line=1, column=2, length=3, file="f.g"),
+            fixit="do the thing",
+            decides={"usc": True},
+            certificate={"kind": "affine-code"},
+        )
+        payload = d.to_dict()
+        assert payload["rule"] == "X001"
+        assert payload["span"] == {
+            "file": "f.g", "line": 1, "column": 2, "length": 3,
+        }
+        assert payload["fixit"] == "do the thing"
+        assert payload["decides"] == {"usc": True}
+        assert payload["certificate"]["kind"] == "affine-code"
+        # optional keys are omitted when absent
+        assert "fixit" not in diag().to_dict()
+
+
+class TestLintReport:
+    def test_exit_codes(self):
+        report = LintReport(stg_name="x")
+        assert report.exit_code == 0 and report.summary() == "clean"
+        report.extend([diag(severity=SEVERITY_INFO)])
+        assert report.exit_code == 0
+        report.extend([diag(severity=SEVERITY_WARNING)])
+        assert report.exit_code == 1
+        report.extend([diag(severity=SEVERITY_ERROR)])
+        assert report.exit_code == 2
+        assert report.summary() == "1 error, 1 warning, 1 info"
+
+    def test_decisions_first_wins(self):
+        first = diag(rule_id="C301", severity=SEVERITY_INFO, decides={"usc": True})
+        second = diag(rule_id="C302", severity=SEVERITY_INFO, decides={"usc": False})
+        report = LintReport(stg_name="x", diagnostics=[first, second])
+        decisions = report.decisions()
+        assert decisions["usc"].holds is True
+        assert decisions["usc"].diagnostic.rule_id == "C301"
+
+    def test_sorted_by_severity_then_position(self):
+        spanned = diag(
+            severity=SEVERITY_WARNING, span=SourceSpan(line=2, column=1)
+        )
+        later = diag(severity=SEVERITY_WARNING, span=SourceSpan(line=9, column=1))
+        error = diag(severity=SEVERITY_ERROR, span=SourceSpan(line=50, column=1))
+        report = LintReport(stg_name="x", diagnostics=[later, error, spanned])
+        assert report.sorted_diagnostics() == [error, spanned, later]
+
+
+class TestRegistry:
+    def test_builtin_rule_set(self):
+        rules = all_rules()
+        ids = [r.rule_id for r in rules]
+        assert len(ids) == len(set(ids))
+        # the acceptance bar: at least 10 distinct rules across three tiers
+        assert len(ids) >= 10
+        tiers = {r.tier for r in rules}
+        assert tiers == {TIER_WELLFORMED, TIER_SEMANTICS, TIER_PREFILTER}
+        assert all(r.doc for r in rules), "every rule documents itself"
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate rule id"):
+
+            @rule("W101", "clone", TIER_WELLFORMED, SEVERITY_WARNING)
+            def clone(context):
+                return iter(())
+
+        assert RULES["W101"].name == "isolated-node"  # original untouched
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+
+            @rule("X999", "x", "style", SEVERITY_WARNING)
+            def styled(context):
+                return iter(())
+
+    def test_select_rules_globs(self):
+        wellformed = select_rules(["W*"])
+        assert wellformed and all(
+            r.rule_id.startswith("W") for r in wellformed
+        )
+        by_name = select_rules(["usc-affine-certificate"])
+        assert [r.rule_id for r in by_name] == ["C301"]
+        assert select_rules(["nope-*"]) == []

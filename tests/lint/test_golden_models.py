@@ -1,0 +1,98 @@
+"""Golden-file lint sweep over every bundled model.
+
+The golden file pins exit code, summary, fired rule ids and static
+decisions for each registered benchmark and classic model plus the
+scalable families at small sizes.  Any rule change that alters what fires
+on a bundled model must update ``golden_models.json`` deliberately:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_golden_models.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.models import (
+    CLASSIC_MODELS,
+    TABLE1_BENCHMARKS,
+    muller_pipeline,
+    muller_ring,
+    parallel_forks,
+    toggle_bank,
+    vme_bus,
+    vme_bus_csc_resolved,
+)
+
+GOLDEN_PATH = Path(__file__).with_name("golden_models.json")
+
+
+def sweep_targets():
+    targets = {}
+    for name, factory in sorted(TABLE1_BENCHMARKS.items()):
+        targets[name] = factory
+    for name, factory in sorted(CLASSIC_MODELS.items()):
+        targets[f"classic:{name}"] = factory
+    targets["vme_bus"] = vme_bus
+    targets["vme_bus_csc_resolved"] = vme_bus_csc_resolved
+    targets["muller_pipeline(3)"] = lambda: muller_pipeline(3)
+    targets["muller_ring(4)"] = lambda: muller_ring(4)
+    targets["parallel_forks(3)"] = lambda: parallel_forks(3)
+    targets["toggle_bank(3)"] = lambda: toggle_bank(3)
+    return targets
+
+
+def lint_snapshot(stg):
+    report = run_lint(stg)
+    return {
+        "exit_code": report.exit_code,
+        "summary": report.summary(),
+        "rules": sorted({d.rule_id for d in report.diagnostics}),
+        "decisions": {
+            prop: {"holds": dec.holds, "rule": dec.diagnostic.rule_id}
+            for prop, dec in sorted(report.decisions().items())
+        },
+    }
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def test_regenerate_golden_when_asked():
+    if not os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.skip("set REPRO_REGEN_GOLDEN=1 to rewrite the golden file")
+    golden = {name: lint_snapshot(factory()) for name, factory in sweep_targets().items()}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+
+
+def test_golden_covers_every_target():
+    assert sorted(load_golden()) == sorted(sweep_targets())
+
+
+@pytest.mark.parametrize("name", sorted(sweep_targets()))
+def test_model_matches_golden(name):
+    expected = load_golden()[name]
+    assert lint_snapshot(sweep_targets()[name]()) == expected
+
+
+def test_golden_has_the_interesting_rows():
+    """Sanity-check the golden file itself, not just conformance to it."""
+    golden = load_golden()
+    # the deliberately CSC-conflicted classic toggle is the one true positive
+    assert golden["classic:toggle"]["rules"] == ["S206"]
+    assert golden["classic:toggle"]["exit_code"] == 1
+    # the affine family is statically decided without touching the pool
+    bank = golden["toggle_bank(3)"]
+    assert bank["decisions"]["usc"] == {"holds": True, "rule": "C301"}
+    assert bank["decisions"]["csc"] == {"holds": True, "rule": "C301"}
+    # everything else lints clean: no false positives on real benchmarks
+    noisy = {
+        name
+        for name, snap in golden.items()
+        if snap["exit_code"] != 0 and name != "classic:toggle"
+    }
+    assert noisy == set()

@@ -1,0 +1,143 @@
+"""Tests for the conflict pre-filter tier and its certificates."""
+
+import copy
+
+from repro.lint import (
+    CERT_AFFINE,
+    CERT_LP,
+    build_affine_certificate,
+    build_lp_certificate,
+    run_lint,
+    state_equation_usc_safe,
+    verify_certificate,
+)
+from repro.models import lazy_ring, token_ring, toggle_bank
+from repro.stg.parser import parse_stg
+
+TOGGLE_G = """
+.model clean-toggle
+.outputs z
+.graph
+z+ p1
+p1 z-
+z- p0
+p0 z+
+.marking { p0 }
+.end
+"""
+
+
+class TestAffineCertificate:
+    def test_toggle_bank_is_certified(self):
+        stg = toggle_bank(3)
+        cert = build_affine_certificate(stg)
+        assert cert is not None
+        assert cert["kind"] == CERT_AFFINE
+        assert verify_certificate(stg, cert)
+
+    def test_tampered_certificate_fails(self):
+        stg = toggle_bank(2)
+        cert = build_affine_certificate(stg)
+        bad = copy.deepcopy(cert)
+        bad["matrix"][0][0] = "7/3"
+        assert not verify_certificate(stg, bad)
+
+    def test_certificate_is_bound_to_its_stg(self):
+        cert = build_affine_certificate(toggle_bank(2))
+        other = toggle_bank(3)
+        assert not verify_certificate(other, cert)
+
+    def test_unknown_kind_and_version_rejected(self):
+        stg = toggle_bank(2)
+        cert = build_affine_certificate(stg)
+        assert not verify_certificate(stg, {**cert, "kind": "magic"})
+        assert not verify_certificate(stg, {**cert, "version": 99})
+
+    def test_no_certificate_for_ring(self):
+        # token rings have concurrent tokens: markings are not an affine
+        # function of the code, and the builder must say so
+        assert build_affine_certificate(token_ring(3)) is None
+
+    def test_guards(self):
+        from repro.stg.stg import STG
+
+        assert build_affine_certificate(STG("empty")) is None
+        dummy_stg = parse_stg(
+            ".model d\n.outputs z\n.dummy t\n.graph\nz+ p\np t\nt q\n"
+            "q z-\nz- r\nr z+\n.marking { r }\n.end\n"
+        )
+        assert build_affine_certificate(dummy_stg) is None
+
+
+class TestLPCertificate:
+    def test_state_equation_certifies_simple_toggle(self):
+        assert state_equation_usc_safe(parse_stg(TOGGLE_G))
+
+    def test_state_equation_rejects_conflicted_ring(self):
+        # LAZYRING has real USC conflicts; the relaxation must not certify it
+        assert not state_equation_usc_safe(lazy_ring(2))
+
+    def test_lp_certificate_round_trip(self):
+        stg = parse_stg(TOGGLE_G)
+        cert = build_lp_certificate(stg)
+        assert cert is not None and cert["kind"] == CERT_LP
+        assert verify_certificate(stg, cert)
+        assert not verify_certificate(lazy_ring(2), cert)
+
+
+class TestPrefilterRules:
+    def test_c301_decides_usc_and_csc(self):
+        report = run_lint(toggle_bank(3))
+        decisions = report.decisions()
+        assert decisions["usc"].holds is True
+        assert decisions["csc"].holds is True
+        assert decisions["usc"].diagnostic.rule_id == "C301"
+        cert = decisions["usc"].diagnostic.certificate
+        assert verify_certificate(toggle_bank(3), cert)
+
+    def test_c302_runs_when_c301_excluded(self):
+        report = run_lint(
+            parse_stg(TOGGLE_G), rules=["W*", "S*", "usc-state-equation"]
+        )
+        assert "C302" in report.rules_run and "C301" not in report.rules_run
+        decisions = report.decisions()
+        assert decisions["usc"].diagnostic.rule_id == "C302"
+        assert decisions["usc"].diagnostic.certificate["kind"] == CERT_LP
+
+    def test_c302_skipped_once_decided(self):
+        report = run_lint(parse_stg(TOGGLE_G))
+        assert report.decisions()["usc"].diagnostic.rule_id == "C301"
+        # C302 ran but found the property already decided and stayed silent
+        assert not report.of_rule("C302")
+
+    def test_sound_on_conflicted_models(self):
+        # models with genuine conflicts must stay undecided, never "safe"
+        for stg in (token_ring(3), lazy_ring(2)):
+            decisions = run_lint(stg).decisions()
+            assert "usc" not in decisions and "csc" not in decisions
+
+    def test_dummies_gate_the_prefilters(self):
+        dummy_stg = parse_stg(
+            ".model d\n.outputs z\n.dummy t\n.graph\nz+ p\np t\nt q\n"
+            "q z-\nz- r\nr z+\n.marking { r }\n.end\n"
+        )
+        report = run_lint(dummy_stg)
+        assert not report.decisions()
+
+    def test_errors_gate_the_prefilter_tier(self):
+        broken = parse_stg(
+            ".model b\n.outputs z\n.graph\nz+ p1\np1 z-\nz- p0\np0 z+\n"
+            "q z+\n.marking { p0 }\n.end\n"
+        )
+        report = run_lint(broken)
+        assert report.errors
+        assert "C301" not in report.rules_run
+        assert "C302" not in report.rules_run
+
+    def test_size_budget_skips_c302(self):
+        report = run_lint(
+            parse_stg(TOGGLE_G),
+            rules=["usc-state-equation"],
+            size_budget=1,
+        )
+        assert not report.decisions()

@@ -1,0 +1,71 @@
+"""Tests for text and JSON rendering of lint reports."""
+
+import json
+
+from repro.lint import render_json, render_text, report_to_dict, run_lint
+from repro.models import toggle, toggle_bank
+from repro.stg.parser import parse_stg
+
+SPANNED_G = """.model spanned
+.outputs z
+.graph
+z+ p1
+p1 z-
+z- p0
+p0 z+
+q z+
+.marking { p0 }
+.end
+"""
+
+
+class TestText:
+    def test_locations_and_summary_line(self):
+        stg = parse_stg(SPANNED_G, filename="spanned.g")
+        text = render_text(run_lint(stg))
+        assert "spanned.g:8:1: error[W102]" in text
+        # the dangling place also breaks z's two-phase loop, hence S206 too
+        assert text.strip().endswith("spanned: 1 error, 1 warning")
+
+    def test_clean_report(self):
+        # prefilter off: the healthy toggle would otherwise earn a C301 info
+        report = run_lint(
+            parse_stg(SPANNED_G.replace("q z+\n", "")), prefilter=False
+        )
+        assert render_text(report).strip() == "spanned: clean"
+
+    def test_verbose_appends_fix_and_decides(self):
+        report = run_lint(toggle_bank(2))
+        text = render_text(report, verbose=True)
+        assert "decides: csc=holds, usc=holds" in text
+        quiet = render_text(report)
+        assert "decides:" not in quiet
+
+    def test_color_wraps_severities(self):
+        report = run_lint(toggle())
+        colored = render_text(report, color=True)
+        assert "\x1b[" in colored
+        assert "\x1b[" not in render_text(report)
+
+
+class TestJSON:
+    def test_report_to_dict_shape(self):
+        stg = parse_stg(SPANNED_G, filename="spanned.g")
+        payload = report_to_dict(run_lint(stg))
+        assert payload["stg"] == "spanned"
+        assert payload["exit_code"] == 2
+        assert payload["summary"] == "1 error, 1 warning"
+        assert any(r.startswith("W1") for r in payload["rules_run"])
+        diag = payload["diagnostics"][0]
+        assert diag["rule"] == "W102"
+        assert diag["span"]["line"] == 8
+
+    def test_decisions_serialised(self):
+        payload = report_to_dict(run_lint(toggle_bank(2)))
+        assert payload["decisions"]["usc"] == {"holds": True, "rule": "C301"}
+
+    def test_render_json_parses(self):
+        report = run_lint(toggle())
+        payload = json.loads(render_json(report))
+        assert payload["exit_code"] == 1
+        assert payload["diagnostics"][0]["rule"] == "S206"

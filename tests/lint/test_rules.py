@@ -1,0 +1,185 @@
+"""Per-rule positive/negative tests on small crafted STGs."""
+
+from repro.lint import run_lint
+from repro.models import duplex_channel, toggle
+from repro.stg.parser import parse_stg
+from repro.stg.stg import STG, SignalEdge
+
+TOGGLE_G = """
+.model clean-toggle
+.outputs z
+.graph
+z+ p1
+p1 z-
+z- p0
+p0 z+
+.marking { p0 }
+.end
+"""
+
+
+def toggle_stg():
+    return parse_stg(TOGGLE_G)
+
+
+class TestWellFormedness:
+    def test_clean_toggle_is_clean(self):
+        report = run_lint(toggle_stg())
+        assert report.exit_code == 0
+        assert not report.warnings and not report.errors
+
+    def test_w101_isolated_place_and_transition(self):
+        stg = toggle_stg()
+        stg.add_place("orphan")
+        stg.add_transition("z+/2", SignalEdge("z", +1))
+        report = run_lint(stg)
+        findings = report.of_rule("W101")
+        assert {d.subject for d in findings} == {"orphan", "z+/2"}
+
+    def test_w102_dead_place(self):
+        stg = parse_stg(
+            ".model dead\n.outputs z\n.graph\nz+ p1\np1 z-\nz- p0\n"
+            "p0 z+\nq z+\n.marking { p0 }\n.end\n"
+        )
+        report = run_lint(stg)
+        dead = report.of_rule("W102")
+        assert len(dead) == 1 and dead[0].subject == "q"
+        assert report.exit_code == 2
+        # an error suppresses the certifying pre-filter tier
+        assert "C301" not in report.rules_run
+
+    def test_w103_dummy_transitions(self):
+        stg = parse_stg(
+            ".model dum\n.outputs z\n.dummy t\n.graph\nz+ p\np t\nt q\n"
+            "q z-\nz- r\nr z+\n.marking { r }\n.end\n"
+        )
+        report = run_lint(stg)
+        silent = report.of_rule("W103")
+        assert len(silent) == 1 and silent[0].subject == "t"
+        assert silent[0].severity == "info"
+
+    def test_w104_weighted_arc(self):
+        stg = STG("w104", outputs=["z"])
+        stg.add_place("p0", 1)
+        stg.add_place("p1")
+        stg.add_transition("z+", SignalEdge("z", +1))
+        stg.add_transition("z-", SignalEdge("z", -1))
+        stg.add_arc("p0", "z+")
+        stg.net.add_arc("z+", "p1", weight=2)
+        stg.add_arc("p1", "z-")
+        stg.add_arc("z-", "p0")
+        report = run_lint(stg)
+        assert report.of_rule("W104")
+        assert report.exit_code == 2
+
+    def test_w105_multi_token_place(self):
+        stg = toggle_stg()
+        stg.net.set_tokens("p0", 2)
+        report = run_lint(stg)
+        heavy = report.of_rule("W105")
+        assert len(heavy) == 1 and heavy[0].subject == "p0"
+
+    def test_w106_source_transition(self):
+        stg = parse_stg(
+            ".model src\n.outputs z y\n.graph\nz+ p1\np1 z-\nz- p0\n"
+            "p0 z+\ny+ p2\np2 y-\n.marking { p0 }\n.end\n"
+        )
+        report = run_lint(stg)
+        sources = report.of_rule("W106")
+        assert {d.subject for d in sources} == {"y+"}
+        # a fully isolated transition is W101's finding, not W106's
+        stg2 = toggle_stg()
+        stg2.add_transition("z-/2", SignalEdge("z", -1))
+        report2 = run_lint(stg2)
+        assert not report2.of_rule("W106")
+        assert report2.of_rule("W101")
+
+
+class TestSemantics:
+    def test_s201_fork_to_same_signal_edges(self):
+        # a dummy fork makes x+ and x+/2 genuinely concurrent
+        stg = parse_stg(
+            ".model fork\n.outputs x\n.dummy t u\n.graph\n"
+            "t p q\n"
+            "p x+\nx+ r\nr x-\nx- m\n"
+            "q x+/2\nx+/2 r2\nr2 x-/2\nx-/2 m2\n"
+            "m u\nm2 u\nu t\n"
+            ".marking { <u,t> }\n.end\n"
+        )
+        report = run_lint(stg)
+        findings = report.of_rule("S201")
+        assert findings and findings[0].subject == "x"
+
+    def test_s201_silent_on_handshake(self):
+        stg = parse_stg(
+            ".model hs\n.outputs a b\n.graph\na+ p1\np1 b+\nb+ p2\n"
+            "p2 a-\na- p3\np3 b-\nb- p0\np0 a+\n.marking { p0 }\n.end\n"
+        )
+        assert not run_lint(stg).of_rule("S201")
+
+    def test_s202_s203_unbalanced_edges(self):
+        stg = parse_stg(
+            ".model unb\n.outputs z\n.graph\nz+ p\np z+/2\nz+/2 q\n"
+            "q z-\nz- r\nr z+\n.marking { r }\n.end\n"
+        )
+        report = run_lint(stg)
+        assert report.of_rule("S202")
+        assert report.of_rule("S203")
+        # consistency-risk warnings gate the certifying tier
+        assert "C301" not in report.rules_run
+
+    def test_s202_silent_on_consistent_choice(self):
+        # two falling alternatives for one rising edge, but every edge lies
+        # on a code-balanced cycle: a legitimate choice spec, no warning
+        report = run_lint(duplex_channel("4ph-mtr-a"))
+        assert not report.of_rule("S202")
+
+    def test_s204_single_polarity(self):
+        stg = parse_stg(
+            ".model sp\n.inputs a\n.outputs z\n.graph\na+ p\np z+\nz+ q\n"
+            "q a-\na- r\nr a+\n.marking { r }\n.end\n"
+        )
+        report = run_lint(stg)
+        single = report.of_rule("S204")
+        assert len(single) == 1 and single[0].subject == "z"
+
+    def test_s205_self_driven_input(self):
+        stg = parse_stg(
+            ".model sd\n.inputs a\n.graph\na+ p\np a-\na- q\nq a+\n"
+            ".marking { q }\n.end\n"
+        )
+        report = run_lint(stg)
+        driven = report.of_rule("S205")
+        assert len(driven) == 1 and driven[0].subject == "a"
+        assert driven[0].fixit
+
+    def test_s205_silent_when_externally_triggered(self):
+        stg = parse_stg(
+            ".model ext\n.inputs a\n.outputs z\n.graph\na+ p\np z+\nz+ q\n"
+            "q a-\na- r\nr z-\nz- s\ns a+\n.marking { s }\n.end\n"
+        )
+        assert not run_lint(stg).of_rule("S205")
+
+    def test_s206_unobserved_pulse(self):
+        report = run_lint(toggle())
+        pulses = report.of_rule("S206")
+        assert pulses and pulses[0].subject == "i"
+
+    def test_s206_silent_on_two_phase_loop(self):
+        assert not run_lint(toggle_stg()).of_rule("S206")
+
+
+class TestRunLintOptions:
+    def test_rule_selection(self):
+        stg = toggle_stg()
+        stg.add_place("orphan")
+        report = run_lint(stg, rules=["S*"])
+        assert not report.of_rule("W101")  # well-formedness not selected
+        assert all(r.startswith("S") for r in report.rules_run)
+
+    def test_prefilter_disabled(self):
+        from repro.models import toggle_bank
+
+        report = run_lint(toggle_bank(2), prefilter=False)
+        assert not report.decisions()
+        assert "C301" not in report.rules_run

@@ -144,3 +144,83 @@ class TestRoundtrip:
         text = write_stg(vme)
         assert ".marking" in text
         assert ".model vme-read" in text
+
+
+class TestSourceSpans:
+    def test_signal_transition_place_spans(self):
+        text = (
+            ".model spans\n"
+            ".inputs a\n"
+            ".outputs b\n"
+            ".graph\n"
+            "a+ p\n"
+            "p b+\n"
+            "b+ q\n"
+            "q a-\n"
+            "a- b-\n"
+            "b- a+\n"
+            ".marking { q }\n"
+            ".end\n"
+        )
+        stg = parse_stg(text, filename="spans.g")
+        spans = stg.source_map
+        assert spans is not None
+        # .inputs is line 2; the token 'a' starts at column 9
+        a = spans.signal("a")
+        assert (a.file, a.line, a.column, a.length) == ("spans.g", 2, 9, 1)
+        assert str(a) == "spans.g:2:9"
+        b = spans.signal("b")
+        assert (b.line, b.column) == (3, 10)
+        # first occurrence wins: a+ appears first on line 5, column 1
+        t = spans.transition("a+")
+        assert (t.line, t.column, t.length) == (5, 1, 2)
+        p = spans.place("p")
+        assert (p.line, p.column) == (5, 4)
+        # a comment shifts nothing: spans refer to the raw line
+        commented = parse_stg("# hi\n.model c\n.outputs z\n.graph\nz+ z-\nz- z+\n.marking { <z-,z+> }\n.end\n")
+        assert commented.source_map.signal("z").line == 3
+
+    def test_implicit_place_gets_span(self):
+        stg = parse_stg(
+            ".model i\n.outputs z\n.graph\nz+ z-\nz- z+\n"
+            ".marking { <z-,z+> }\n.end\n"
+        )
+        span = stg.source_map.place("<z-,z+>")
+        assert span is not None and span.line == 5
+
+    def test_copy_preserves_source_map(self):
+        stg = parse_stg(
+            ".model c\n.outputs z\n.graph\nz+ z-\nz- z+\n"
+            ".marking { <z-,z+> }\n.end\n"
+        )
+        clone = stg.copy()
+        assert clone.source_map is not None
+        assert clone.source_map.signal("z") == stg.source_map.signal("z")
+
+
+class TestDuplicateSignalDeclarations:
+    def test_output_and_internal_is_a_parse_error(self):
+        text = (
+            ".model dup\n"
+            ".outputs a\n"
+            ".internal a\n"
+            ".graph\n"
+            "a+ a-\n"
+            "a- a+\n"
+            ".marking { <a-,a+> }\n"
+            ".end\n"
+        )
+        with pytest.raises(ParseError) as err:
+            parse_stg(text)
+        message = str(err.value)
+        assert "declared twice" in message
+        assert ".internal" in message and ".outputs" in message
+        assert "line 3" in message  # the re-declaration site
+
+    def test_input_and_output_is_a_parse_error(self):
+        with pytest.raises(ParseError, match="declared twice"):
+            parse_stg(".model d\n.inputs a\n.outputs a\n.graph\na+ a-\n.end\n")
+
+    def test_same_class_duplicate_is_a_parse_error(self):
+        with pytest.raises(ParseError, match="declared twice"):
+            parse_stg(".model d\n.inputs a a\n.graph\na+ a-\n.end\n")

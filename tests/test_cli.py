@@ -126,3 +126,79 @@ class TestStats:
         assert "|S|=11" in out
         assert "prefix" in out
         assert "state graph: 14 states" in out
+
+
+class TestLint:
+    def test_registered_model_clean(self, capsys):
+        assert main(["lint", "RING"]) == 0
+        # the summary line uses the STG's own name, not the registry key
+        assert "ring3: clean" in capsys.readouterr().out
+
+    def test_warning_exit_code(self, capsys):
+        assert main(["lint", "toggle"]) == 1
+        out = capsys.readouterr().out
+        assert "warning[S206]" in out
+        assert "toggle: 1 warning" in out
+
+    def test_error_exit_code_with_span_location(self, tmp_path, capsys):
+        bad = tmp_path / "dead.g"
+        bad.write_text(
+            ".model dead\n.outputs z\n.graph\nz+ p1\np1 z-\nz- p0\n"
+            "p0 z+\nq z+\n.marking { p0 }\n.end\n"
+        )
+        assert main(["lint", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert f"{bad}:8:1: error[W102]" in out
+
+    def test_verbose_shows_decisions(self, vme_file, capsys):
+        # a toggle bank example file is shipped in examples/
+        from pathlib import Path
+
+        example = Path(__file__).parents[1] / "examples" / "toggle_bank.g"
+        assert main(["lint", str(example), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "info[C301]" in out
+        assert "decides: csc=holds, usc=holds" in out
+
+    def test_json_output(self, vme_file, capsys):
+        import json
+
+        assert main(["lint", vme_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stg"] == "vme-read"
+        assert payload["exit_code"] == 0
+        assert len(payload["rules_run"]) >= 10
+
+    def test_json_array_for_many_targets(self, vme_file, capsys):
+        import json
+
+        assert main(["lint", vme_file, "RING", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_exit_code_is_worst_across_targets(self, vme_file, capsys):
+        assert main(["lint", vme_file, "toggle"]) == 1
+
+    def test_rule_selection(self, capsys):
+        assert main(["lint", "toggle", "--rules", "W*"]) == 0
+        assert "toggle: clean" in capsys.readouterr().out
+
+    def test_no_prefilter(self, capsys):
+        import json
+
+        from pathlib import Path
+
+        example = Path(__file__).parents[1] / "examples" / "toggle_bank.g"
+        assert main(["lint", str(example), "--no-prefilter", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decisions"] == {}
+
+    def test_unknown_target(self, capsys):
+        assert main(["lint", "NO-SUCH-MODEL"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_parse_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.g"
+        bad.write_text(".model x\n.inputs a\n.outputs a\n.graph\n.end\n")
+        assert main(["lint", str(bad)]) == 2
+        assert "declared twice" in capsys.readouterr().err

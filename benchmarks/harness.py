@@ -1,0 +1,394 @@
+#!/usr/bin/env python
+"""The curated benchmark harness: stable timings for regression tracking.
+
+The pytest-benchmark files under ``benchmarks/`` explore the paper's
+experiments; this harness is the *performance contract* of the repo.  It
+runs a small curated suite over the scalable model families (the families
+of the paper's full-version scalable examples), measures each case with
+warmup + repeated runs, and writes the median timings together with the
+environment (python version, cpu count, git sha) to a schema-versioned
+JSON report — ``BENCH_current.json`` at the repo root by default.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py              # full suite
+    PYTHONPATH=src python benchmarks/harness.py --quick      # CI suite
+    PYTHONPATH=src python benchmarks/harness.py compare OLD [NEW]
+
+``compare`` flags every case whose median regressed by at least 20%
+(``--threshold`` to change) against the old report and exits non-zero if
+any did.  Timing goes through :meth:`repro.obs.Tracer.stopwatch`, which
+always measures; each case additionally does one *traced* run (not timed)
+to attach the phase breakdown and the counter catalogue to its record.
+
+The report schema is documented in docs/benchmarking.md and validated by
+:func:`validate_report` (also used by tests/test_obs and the CI bench job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+ROOT = Path(__file__).resolve().parent.parent
+if not (ROOT / "src").exists():  # pragma: no cover - repo layout invariant
+    raise SystemExit("harness.py must live in <repo>/benchmarks/")
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core import check_csc, check_usc  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.unfolding import unfold  # noqa: E402
+
+#: Bumped whenever the report layout changes incompatibly.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default output location (the repo-root snapshot CI uploads as artifact).
+DEFAULT_OUT = ROOT / "BENCH_current.json"
+
+#: Median regression ratio that `compare` flags (new/old - 1 >= threshold).
+DEFAULT_THRESHOLD = 0.20
+
+
+# -- the curated suite ---------------------------------------------------------
+
+class Case:
+    """One benchmark case: verify ``prop`` on ``family(size)``."""
+
+    def __init__(self, family: str, size: int, prop: str):
+        self.family = family
+        self.size = size
+        self.prop = prop
+        self.case_id = f"{family}/n={size}/{prop}"
+
+    def build(self):
+        from repro.models.counterflow import counterflow_pipeline
+        from repro.models.ring import lazy_ring, token_ring
+        from repro.models.scalable import muller_pipeline, parallel_forks
+
+        ctor = {
+            "muller-pipeline": muller_pipeline,
+            "parallel-forks": parallel_forks,
+            "token-ring": token_ring,
+            "vme-chain": lazy_ring,
+            "counterflow": counterflow_pipeline,
+        }[self.family]
+        return ctor(self.size)
+
+    def run(self, stg) -> bool:
+        """The timed region: unfold the STG and check the property."""
+        prefix = unfold(stg)
+        check = check_usc if self.prop == "usc" else check_csc
+        return check(prefix).holds
+
+
+#: The full suite: one slow-ish and one fast size per family so both the
+#: constant factors and the growth trend are covered.
+SUITE: List[Case] = [
+    Case("muller-pipeline", 4, "csc"),
+    Case("muller-pipeline", 8, "csc"),
+    Case("parallel-forks", 2, "csc"),
+    Case("parallel-forks", 3, "csc"),
+    Case("token-ring", 4, "usc"),
+    Case("token-ring", 6, "usc"),
+    Case("vme-chain", 2, "csc"),
+    Case("vme-chain", 3, "csc"),
+    Case("counterflow", 3, "csc"),
+    Case("counterflow", 4, "csc"),
+]
+
+#: The CI suite: the small size of each family only.
+QUICK_SUITE: List[Case] = [
+    Case("muller-pipeline", 4, "csc"),
+    Case("parallel-forks", 2, "csc"),
+    Case("token-ring", 4, "usc"),
+    Case("vme-chain", 2, "csc"),
+    Case("counterflow", 3, "csc"),
+]
+
+
+# -- measurement ---------------------------------------------------------------
+
+def capture_env() -> Dict[str, object]:
+    """Python/platform/git context a reader needs to judge comparability."""
+    try:
+        sha: Optional[str] = (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": sha,
+    }
+
+
+def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
+    """Warm up, measure ``repeat`` runs, and attach one traced run's data."""
+    stg = case.build()  # construction is not part of the timed region
+    tracer = obs.get_tracer()
+    for _ in range(warmup):
+        case.run(stg)
+    samples: List[float] = []
+    holds = False
+    for _ in range(repeat):
+        with tracer.stopwatch() as watch:
+            holds = case.run(stg)
+        samples.append(watch.seconds)
+
+    # one extra traced (untimed) run for the phase/counter attribution
+    probe = Tracer(enabled=True)
+    previous = obs.get_tracer()
+    obs.set_tracer(probe)
+    try:
+        case.run(stg)
+    finally:
+        obs.set_tracer(previous)
+    phases = {
+        name: seconds
+        for name, seconds in probe.phase_times().items()
+        if seconds > 0.0 or name == "total"
+    }
+
+    return {
+        "id": case.case_id,
+        "family": case.family,
+        "size": case.size,
+        "property": case.prop,
+        "holds": holds,
+        "repeats": repeat,
+        "median_s": statistics.median(samples),
+        "min_s": min(samples),
+        "max_s": max(samples),
+        "phases": phases,
+        "counters": dict(probe.counters),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    warmup: int = 1,
+    repeat: int = 5,
+    families: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Run the suite and return the full schema-versioned report dict."""
+    suite = QUICK_SUITE if quick else SUITE
+    if families:
+        suite = [case for case in suite if case.family in families]
+    results = []
+    for case in suite:
+        started = time.perf_counter()
+        record = measure_case(case, warmup=warmup, repeat=repeat)
+        results.append(record)
+        print(
+            f"  {case.case_id:<28} median {record['median_s'] * 1e3:8.2f} ms"
+            f"   ({time.perf_counter() - started:.2f}s incl. warmup/trace)",
+            file=sys.stderr,
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "config": {"warmup": warmup, "repeat": repeat},
+        "env": capture_env(),
+        "results": results,
+    }
+
+
+# -- schema validation ---------------------------------------------------------
+
+_RESULT_FIELDS = {
+    "id": str,
+    "family": str,
+    "size": int,
+    "property": str,
+    "holds": bool,
+    "repeats": int,
+    "median_s": (int, float),
+    "min_s": (int, float),
+    "max_s": (int, float),
+    "phases": dict,
+    "counters": dict,
+}
+
+
+def validate_report(data: object) -> None:
+    """Raise :class:`ValueError` unless ``data`` is a valid bench report."""
+    if not isinstance(data, dict):
+        raise ValueError("bench report must be a JSON object")
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unknown bench schema {data.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA!r})"
+        )
+    for key in ("generated", "config", "env", "results"):
+        if key not in data:
+            raise ValueError(f"bench report missing key {key!r}")
+    env = data["env"]
+    if not isinstance(env, dict) or "python" not in env or "cpu_count" not in env:
+        raise ValueError("bench report env must carry python and cpu_count")
+    results = data["results"]
+    if not isinstance(results, list) or not results:
+        raise ValueError("bench report must carry a non-empty results list")
+    seen = set()
+    for record in results:
+        if not isinstance(record, dict):
+            raise ValueError("bench result must be an object")
+        for field, types in _RESULT_FIELDS.items():
+            if field not in record:
+                raise ValueError(f"bench result missing field {field!r}")
+            if not isinstance(record[field], types) or isinstance(
+                record[field], bool
+            ) != (types is bool):
+                raise ValueError(
+                    f"bench result field {field!r} has wrong type "
+                    f"{type(record[field]).__name__}"
+                )
+        if record["median_s"] < 0 or record["min_s"] > record["max_s"]:
+            raise ValueError(f"bench result {record['id']!r} timings inconsistent")
+        if record["id"] in seen:
+            raise ValueError(f"duplicate bench result id {record['id']!r}")
+        seen.add(record["id"])
+
+
+# -- compare -------------------------------------------------------------------
+
+def compare_reports(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Dict[str, object]]:
+    """Cases whose median regressed by >= ``threshold`` (e.g. 0.20 = +20%)."""
+    validate_report(old)
+    validate_report(new)
+    old_by_id = {r["id"]: r for r in old["results"]}  # type: ignore[index]
+    regressions = []
+    for record in new["results"]:  # type: ignore[index]
+        before = old_by_id.get(record["id"])
+        if before is None:
+            continue
+        base = float(before["median_s"])
+        now = float(record["median_s"])
+        if base <= 0.0:
+            continue
+        ratio = now / base
+        if ratio - 1.0 >= threshold:
+            regressions.append(
+                {
+                    "id": record["id"],
+                    "old_median_s": base,
+                    "new_median_s": now,
+                    "ratio": ratio,
+                }
+            )
+    return regressions
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(
+        f"bench: {'quick' if args.quick else 'full'} suite, "
+        f"warmup={args.warmup} repeat={args.repeat}",
+        file=sys.stderr,
+    )
+    report = run_suite(
+        quick=args.quick,
+        warmup=args.warmup,
+        repeat=args.repeat,
+        families=args.families,
+    )
+    validate_report(report)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    print(f"bench: wrote {len(report['results'])} results to {out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    with open(args.old) as handle:
+        old = json.load(handle)
+    with open(args.new) as handle:
+        new = json.load(handle)
+    regressions = compare_reports(old, new, threshold=args.threshold)
+    if not regressions:
+        print(
+            f"bench compare: no regression >= {args.threshold:.0%} "
+            f"({len(new['results'])} cases checked)"
+        )
+        return 0
+    print(f"bench compare: {len(regressions)} regression(s):")
+    for entry in regressions:
+        print(
+            f"  {entry['id']:<28} {entry['old_median_s'] * 1e3:8.2f} ms -> "
+            f"{entry['new_median_s'] * 1e3:8.2f} ms  ({entry['ratio']:.2f}x)"
+        )
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="harness.py", description=__doc__.split("\n", 1)[0]
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run the suite (the default)")
+    compare = sub.add_parser(
+        "compare", help="diff two bench reports and flag regressions"
+    )
+    for p in (parser, run):
+        p.add_argument(
+            "--quick", action="store_true", help="small CI suite (one size/family)"
+        )
+        p.add_argument("--warmup", type=int, default=1, metavar="N")
+        p.add_argument("--repeat", type=int, default=5, metavar="N")
+        p.add_argument(
+            "--families",
+            nargs="*",
+            metavar="FAMILY",
+            help="restrict to these model families",
+        )
+        p.add_argument(
+            "--out", default=str(DEFAULT_OUT), metavar="FILE.json",
+            help=f"report path (default {DEFAULT_OUT.name} at the repo root)",
+        )
+        p.set_defaults(func=_cmd_run)
+
+    compare.add_argument("old", help="baseline BENCH_*.json")
+    compare.add_argument("new", help="candidate BENCH_*.json")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="RATIO",
+        help="regression ratio to flag (default 0.20 = +20%%)",
+    )
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

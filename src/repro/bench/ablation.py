@@ -17,10 +17,10 @@ Reported metric: search nodes and wall time to settle the USC question.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.core.context import SolverContext
 from repro.core.ilp_encoding import check_usc_ilp
 from repro.core.search import MODE_EQUAL, PairSearch
@@ -83,10 +83,9 @@ def ablation_rows(
 
         for variant, runner in variants.items():
             try:
-                started = time.perf_counter()
-                nodes, found = runner()
-                elapsed = time.perf_counter() - started
-                rows.append(AblationRow(name, variant, nodes, elapsed, found))
+                with obs.get_tracer().stopwatch("bench.ablation") as watch:
+                    nodes, found = runner()
+                rows.append(AblationRow(name, variant, nodes, watch.seconds, found))
             except SolverLimitError:
                 rows.append(AblationRow(name, variant, None, None, None))
     return rows

@@ -18,11 +18,9 @@ in the concurrency degree), the third with the prefix (linear here).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from repro.core import check_csc
 from repro.core.context import SolverContext
 from repro.models.scalable import muller_pipeline, parallel_forks
 from repro.stg.stategraph import build_state_graph

@@ -9,10 +9,10 @@ memory argument).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core import check_csc, check_usc
 from repro.models.counterflow import counterflow_pipeline
 from repro.models.ring import lazy_ring, token_ring
@@ -53,16 +53,17 @@ def scalable_rows(
         ctor, prop, sizes = FAMILIES[family]
         for size in sizes:
             stg = ctor(size)
-            started = time.perf_counter()
-            graph = build_state_graph(stg, max_states=max_states)
-            holds_sg = graph.has_usc() if prop == "usc" else graph.has_csc()
-            sg_time = time.perf_counter() - started
+            tracer = obs.get_tracer()
+            with tracer.stopwatch("bench.scalable.sg") as sg_watch:
+                graph = build_state_graph(stg, max_states=max_states)
+                holds_sg = graph.has_usc() if prop == "usc" else graph.has_csc()
+            sg_time = sg_watch.seconds
 
-            started = time.perf_counter()
-            prefix = unfold(stg)
-            check = check_usc if prop == "usc" else check_csc
-            report = check(prefix)
-            ip_time = time.perf_counter() - started
+            with tracer.stopwatch("bench.scalable.ip") as ip_watch:
+                prefix = unfold(stg)
+                check = check_usc if prop == "usc" else check_csc
+                report = check(prefix)
+            ip_time = ip_watch.seconds
             assert report.holds == holds_sg, f"method disagreement on {family}({size})"
 
             rows.append(

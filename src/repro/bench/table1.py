@@ -20,10 +20,10 @@ concurrent conflict-free CF rows, where Petrify also struggled).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro import obs
 from repro.core import check_csc, check_usc
 from repro.models import TABLE1_BENCHMARKS
 from repro.unfolding import unfold
@@ -57,20 +57,21 @@ def _measure_row(payload) -> Table1Row:
     stg = TABLE1_BENCHMARKS[name]()
     stats = stg.stats()
 
-    started = time.perf_counter()
-    prefix = unfold(stg)
-    usc = check_usc(prefix)
-    csc = check_csc(prefix)
-    ip_time = time.perf_counter() - started
+    tracer = obs.get_tracer()
+    with tracer.stopwatch("bench.table1.ip") as ip_watch:
+        prefix = unfold(stg)
+        usc = check_usc(prefix)
+        csc = check_csc(prefix)
+    ip_time = ip_watch.seconds
 
     baseline_time = None
     baseline_states = None
     if run_baseline and (include_slow or name not in SLOW_BASELINE_ROWS):
         from repro.symbolic import symbolic_check_both
 
-        started = time.perf_counter()
-        _, csc_report = symbolic_check_both(stg)
-        baseline_time = time.perf_counter() - started
+        with tracer.stopwatch("bench.table1.baseline") as base_watch:
+            _, csc_report = symbolic_check_both(stg)
+        baseline_time = base_watch.seconds
         baseline_states = csc_report.num_states
         assert csc_report.holds == csc.holds, f"method disagreement on {name}"
 

@@ -10,10 +10,17 @@ Subcommands:
   pool, with portfolio racing and the on-disk result cache;
 * ``lint FILE.g``    — static diagnostics (well-formedness, STG semantics,
   certifying conflict pre-filters) with compiler-style exit codes;
+* ``profile FILE.g`` — run the verification under the :mod:`repro.obs`
+  tracer and print the per-phase wall-time breakdown (parse / unfold /
+  closure / solver / total) plus the counter catalogue, as text or
+  ``--json``;
 * ``unfold FILE.g``  — build and describe the complete prefix;
 * ``stats FILE.g``   — print STG / prefix / state-graph size statistics;
 * ``bench``          — regenerate the paper's Table 1 (delegates to
   :mod:`repro.bench.table1`).
+
+``check`` and ``batch`` additionally accept ``--trace-out FILE.jsonl`` to
+record the whole run as a JSON-Lines trace (docs/observability.md).
 
 A global ``-v/--verbose`` flag (before the subcommand) streams the
 ``repro.engine`` progress events and other library logging to stderr.
@@ -49,7 +56,31 @@ def _configure_logging(verbosity: int) -> None:
     logging.getLogger("repro").setLevel(level)
 
 
+def _with_trace_out(args: argparse.Namespace, fn):
+    """Run ``fn`` under the tracer and dump a JSONL trace if requested."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return fn()
+    from repro import obs
+
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    tracer.reset()
+    try:
+        return fn()
+    finally:
+        records = obs.write_jsonl(tracer, trace_out)
+        print(f"trace: {records} records written to {trace_out}", file=sys.stderr)
+        if not was_enabled:
+            tracer.disable()
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
+    return _with_trace_out(args, lambda: _run_check(args))
+
+
+def _run_check(args: argparse.Namespace) -> int:
     stg = _load_stg(args.file)
     properties = args.properties or ["csc"]
     failures = 0
@@ -231,6 +262,91 @@ def _check_normalcy(stg, method: str, node_budget: Optional[int] = None) -> bool
     return check_normalcy_state_graph(stg).normal
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Verify under the tracer and print the phase-time breakdown."""
+    import json
+
+    from repro import obs
+    from repro.engine.batch import resolve_target
+    from repro.utils.tables import format_table
+
+    tracer = obs.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    tracer.reset()
+    try:
+        with tracer.span("parse.target"):
+            name, stg = resolve_target(args.file)
+        properties = args.properties or ["usc", "csc"]
+        verdicts = {}
+        for prop in properties:
+            with tracer.span(f"profile.{prop}"):
+                verdicts[prop] = _profile_property(stg, prop, args)
+        phases = tracer.phase_times()
+        snapshot = tracer.snapshot()
+        if args.trace_out:
+            records = obs.write_jsonl(tracer, args.trace_out)
+            print(
+                f"trace: {records} records written to {args.trace_out}",
+                file=sys.stderr,
+            )
+    finally:
+        if not was_enabled:
+            tracer.disable()
+
+    if args.json:
+        document = {
+            "schema": "repro-profile/1",
+            "target": name,
+            "method": args.method,
+            "properties": {
+                prop: ("holds" if holds else "violated")
+                for prop, holds in verdicts.items()
+            },
+            "phases": phases,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "timers": snapshot["timers"],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+
+    total = phases.get("total") or 0.0
+    body = []
+    for phase in ("parse", "unfold", "closure", "solver", "lint"):
+        seconds = phases.get(phase, 0.0)
+        share = f"{100.0 * seconds / total:.1f}%" if total > 0 else "-"
+        body.append([phase, f"{seconds * 1000:.3f}", share])
+    body.append(["total", f"{total * 1000:.3f}", "100.0%" if total > 0 else "-"])
+    print(
+        format_table(
+            ["phase", "ms", "share"],
+            body,
+            title=f"Phase breakdown: {name} ({', '.join(properties)}, "
+            f"method={args.method})",
+        )
+    )
+    for prop, holds in verdicts.items():
+        print(f"{prop}: {'holds' if holds else 'violated'}")
+    counters = snapshot["counters"]
+    if counters:
+        print("\ncounters:")
+        for counter, value in sorted(counters.items()):  # type: ignore[union-attr]
+            print(f"  {counter} = {value}")
+    gauges = snapshot["gauges"]
+    if gauges:
+        print("gauges:")
+        for gauge, value in sorted(gauges.items()):  # type: ignore[union-attr]
+            print(f"  {gauge} = {value:g}")
+    return 0
+
+
+def _profile_property(stg, prop: str, args: argparse.Namespace) -> bool:
+    if prop == "normalcy":
+        return _check_normalcy(stg, args.method, args.node_budget)
+    return _check_coding(stg, prop, args.method, False, args.node_budget)
+
+
 def _cmd_unfold(args: argparse.Namespace) -> int:
     from repro.unfolding import unfold
 
@@ -312,6 +428,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    return _with_trace_out(args, lambda: _run_batch_cmd(args))
+
+
+def _run_batch_cmd(args: argparse.Namespace) -> int:
     from repro.engine import (
         EventLog,
         build_jobs,
@@ -448,8 +568,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-engine wall-clock deadline (portfolio mode only)",
     )
+    check.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        help="record the run as a JSON-Lines trace (enables tracing)",
+    )
     check.add_argument("--verbose", "-v", action="store_true")
     check.set_defaults(func=_cmd_check)
+
+    profile = sub.add_parser(
+        "profile",
+        help="phase-time breakdown of a verification run",
+        description="Verify TARGET (a registered model name or a .g file) "
+        "with the repro.obs tracer enabled and print where the time went: "
+        "parse, unfold, closure, solver (and lint when it ran), plus the "
+        "counter catalogue (events, cut-offs, search nodes, solver "
+        "decisions).  See docs/observability.md for the span taxonomy.",
+    )
+    profile.add_argument("file", help="registered model name or astg .g file")
+    profile.add_argument(
+        "--property",
+        "-p",
+        dest="properties",
+        action="append",
+        choices=["usc", "csc", "normalcy"],
+        help="property to profile (repeatable; default: usc and csc)",
+    )
+    profile.add_argument(
+        "--method",
+        "-m",
+        default="ilp",
+        choices=["ilp", "sg", "bdd", "sat"],
+        help="engine to profile (default: ilp, the paper's method)",
+    )
+    profile.add_argument(
+        "--node-budget", type=int, metavar="N", help="IP search node budget"
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+    profile.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        help="also write the full trace as JSON Lines",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     batch = sub.add_parser(
         "batch",
@@ -510,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    batch.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        help="record the run as a JSON-Lines trace (enables tracing; traces "
+        "in-process work — use --jobs 0 for full engine coverage)",
     )
     batch.set_defaults(func=_cmd_batch)
 

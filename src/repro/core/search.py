@@ -22,6 +22,19 @@ uses the same engine with the relaxed per-signal constraint
 For STGs free of dynamic conflicts the search can be restricted to
 set-ordered pairs ``C' ⊆ C''`` (Proposition 1), which prunes one of the four
 branches at every level.
+
+Paper mapping: the enumeration implements Section 4's branch-and-bound over
+the constraint system (2)-(3) of Section 3; the implicit-compatibility
+branching rule is Theorem 1, the cut-off variable elimination is constraint
+(3), the ``nested_only`` restriction is Proposition 1, and :data:`MODE_LEQ`
+is the relaxed system (5) of Section 6 (normalcy).
+
+Observability: the search keeps its own :class:`SearchStats` (node, leaf,
+prune and solution counts — the ablation benchmarks read these directly);
+the high-level checkers in :mod:`repro.core.verifier` wrap each run in a
+``search.pairs`` / ``search.window`` span and mirror the stats into the
+``search.*`` counters of :mod:`repro.obs`, so the per-node hot path itself
+carries no instrumentation at all.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.core.context import SolverContext
 from repro.core.search import MODE_EQUAL, MODE_LEQ, PairSearch, SearchStats
 from repro.petri.marking import Marking
@@ -102,7 +103,20 @@ def _prepare(
     source: Union[STG, Prefix], unfolding_options: Optional[UnfoldingOptions]
 ) -> SolverContext:
     prefix = source if isinstance(source, Prefix) else unfold(source, unfolding_options)
-    return SolverContext(prefix)
+    with obs.trace("unfold.context"):
+        return SolverContext(prefix)
+
+
+def _flush_search_stats(stats: SearchStats) -> None:
+    """Mirror one search run's counters into :mod:`repro.obs` (traced only)."""
+    tracer = obs.get_tracer()
+    if not tracer.enabled:
+        return
+    tracer.incr("search.nodes", stats.nodes)
+    tracer.incr("search.leaves", stats.leaves)
+    tracer.incr("search.pruned_balance", stats.pruned_balance)
+    tracer.incr("search.pruned_structure", stats.pruned_structure)
+    tracer.incr("search.solutions", stats.solutions)
 
 
 def _should_nest(context: SolverContext, nested: Optional[bool]) -> bool:
@@ -151,7 +165,9 @@ def check_usc(
         from repro.core.prescreen import kernel_prescreen, lp_prescreen
 
         screen = {"kernel": kernel_prescreen, "lp": lp_prescreen}[prescreen]
-        if screen(context) is False:
+        with obs.trace("search.prescreen"):
+            verdict = screen(context)
+        if verdict is False:
             return CodingReport(
                 property_name="USC",
                 holds=True,
@@ -166,19 +182,20 @@ def check_usc(
         from repro.core.window import WindowSearch
 
         search = WindowSearch(context, node_budget=node_budget)
-        for closure_mask, window_mask in search.solutions():
-            mask_b = closure_mask
-            mask_a = closure_mask & ~window_mask
-            witness = _witness(
-                "usc",
-                context,
-                mask_a,
-                mask_b,
-                context.marking_of(mask_a),
-                context.marking_of(mask_b),
-            )
-            if first_only:
-                break
+        with obs.trace("search.window"):
+            for closure_mask, window_mask in search.solutions():
+                mask_b = closure_mask
+                mask_a = closure_mask & ~window_mask
+                witness = _witness(
+                    "usc",
+                    context,
+                    mask_a,
+                    mask_b,
+                    context.marking_of(mask_a),
+                    context.marking_of(mask_b),
+                )
+                if first_only:
+                    break
         stats = search.stats
     else:
         search = PairSearch(
@@ -187,16 +204,18 @@ def check_usc(
             nested_only=nest,
             node_budget=node_budget,
         )
-        for mask_a, mask_b in search.solutions():
-            mark_a = context.marking_of(mask_a)
-            mark_b = context.marking_of(mask_b)
-            if mark_a == mark_b:
-                continue  # separating constraint M' != M''
-            witness = _witness("usc", context, mask_a, mask_b, mark_a, mark_b)
-            if first_only:
-                break
+        with obs.trace("search.pairs"):
+            for mask_a, mask_b in search.solutions():
+                mark_a = context.marking_of(mask_a)
+                mark_b = context.marking_of(mask_b)
+                if mark_a == mark_b:
+                    continue  # separating constraint M' != M''
+                witness = _witness("usc", context, mask_a, mask_b, mark_a, mark_b)
+                if first_only:
+                    break
         stats = search.stats
 
+    _flush_search_stats(stats)
     return CodingReport(
         property_name="USC",
         holds=witness is None,
@@ -241,25 +260,27 @@ def check_csc(
 
         window_search = WindowSearch(context, node_budget=node_budget)
         saw_window = False
-        for closure_mask, window_mask in window_search.solutions():
-            saw_window = True
-            mask_b = closure_mask
-            mask_a = closure_mask & ~window_mask
-            mark_a = context.marking_of(mask_a)
-            mark_b = context.marking_of(mask_b)
-            out_a = context.out_of(mark_a)
-            out_b = context.out_of(mark_b)
-            if out_a == out_b:
-                usc_only += 1
-                continue
-            witness = _witness(
-                "csc", context, mask_a, mask_b, mark_a, mark_b, out_a, out_b
-            )
-            if first_only:
-                break
+        with obs.trace("search.window"):
+            for closure_mask, window_mask in window_search.solutions():
+                saw_window = True
+                mask_b = closure_mask
+                mask_a = closure_mask & ~window_mask
+                mark_a = context.marking_of(mask_a)
+                mark_b = context.marking_of(mask_b)
+                out_a = context.out_of(mark_a)
+                out_b = context.out_of(mark_b)
+                if out_a == out_b:
+                    usc_only += 1
+                    continue
+                witness = _witness(
+                    "csc", context, mask_a, mask_b, mark_a, mark_b, out_a, out_b
+                )
+                if first_only:
+                    break
         stats = window_search.stats
         if witness is None and not saw_window:
             # no USC conflict at all: CSC holds, no fallback needed
+            _flush_search_stats(stats)
             return CodingReport(
                 property_name="CSC",
                 holds=True,
@@ -277,23 +298,25 @@ def check_csc(
             nested_only=nest,
             node_budget=node_budget,
         )
-        for mask_a, mask_b in search.solutions():
-            mark_a = context.marking_of(mask_a)
-            mark_b = context.marking_of(mask_b)
-            if mark_a == mark_b:
-                continue
-            out_a = context.out_of(mark_a)
-            out_b = context.out_of(mark_b)
-            if out_a == out_b:
-                usc_only += 1
-                continue  # a USC conflict that is not a CSC conflict
-            witness = _witness(
-                "csc", context, mask_a, mask_b, mark_a, mark_b, out_a, out_b
-            )
-            if first_only:
-                break
+        with obs.trace("search.pairs"):
+            for mask_a, mask_b in search.solutions():
+                mark_a = context.marking_of(mask_a)
+                mark_b = context.marking_of(mask_b)
+                if mark_a == mark_b:
+                    continue
+                out_a = context.out_of(mark_a)
+                out_b = context.out_of(mark_b)
+                if out_a == out_b:
+                    usc_only += 1
+                    continue  # a USC conflict that is not a CSC conflict
+                witness = _witness(
+                    "csc", context, mask_a, mask_b, mark_a, mark_b, out_a, out_b
+                )
+                if first_only:
+                    break
         stats = search.stats if stats is None else _merge_stats(stats, search.stats)
 
+    _flush_search_stats(stats)
     return CodingReport(
         property_name="CSC",
         holds=witness is None,
@@ -343,31 +366,33 @@ def check_normalcy(
         node_budget=node_budget,
     )
     unresolved = set(targets)
-    for mask_a, mask_b in search.solutions():
-        mark_a = context.marking_of(mask_a)
-        mark_b = context.marking_of(mask_b)
-        if mark_a == mark_b:
-            continue
-        change_a = context.code_change_of(mask_a)
-        change_b = context.code_change_of(mask_b)
-        for z in list(unresolved):
-            verdict = verdicts[z]
-            nxt_a = context.nxt_of(mark_a, _code(context, change_a), z)
-            nxt_b = context.nxt_of(mark_b, _code(context, change_b), z)
-            if nxt_a > nxt_b and verdict.p_normal:
-                verdict.p_normal = False
-                verdict.p_witness = _witness(
-                    "normalcy-p", context, mask_a, mask_b, mark_a, mark_b
-                )
-            elif nxt_a < nxt_b and verdict.n_normal:
-                verdict.n_normal = False
-                verdict.n_witness = _witness(
-                    "normalcy-n", context, mask_a, mask_b, mark_a, mark_b
-                )
-            if not verdict.p_normal and not verdict.n_normal:
-                unresolved.discard(z)
-        if not unresolved:
-            break  # every signal already fails both directions
+    with obs.trace("search.pairs"):
+        for mask_a, mask_b in search.solutions():
+            mark_a = context.marking_of(mask_a)
+            mark_b = context.marking_of(mask_b)
+            if mark_a == mark_b:
+                continue
+            change_a = context.code_change_of(mask_a)
+            change_b = context.code_change_of(mask_b)
+            for z in list(unresolved):
+                verdict = verdicts[z]
+                nxt_a = context.nxt_of(mark_a, _code(context, change_a), z)
+                nxt_b = context.nxt_of(mark_b, _code(context, change_b), z)
+                if nxt_a > nxt_b and verdict.p_normal:
+                    verdict.p_normal = False
+                    verdict.p_witness = _witness(
+                        "normalcy-p", context, mask_a, mask_b, mark_a, mark_b
+                    )
+                elif nxt_a < nxt_b and verdict.n_normal:
+                    verdict.n_normal = False
+                    verdict.n_witness = _witness(
+                        "normalcy-n", context, mask_a, mask_b, mark_a, mark_b
+                    )
+                if not verdict.p_normal and not verdict.n_normal:
+                    unresolved.discard(z)
+            if not unresolved:
+                break  # every signal already fails both directions
+    _flush_search_stats(search.stats)
     return NormalcyIPReport(
         per_signal=verdicts,
         prefix_stats=context.prefix.stats(),

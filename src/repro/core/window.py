@@ -29,9 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from time import perf_counter
+
 from repro.core.context import SolverContext
 from repro.core.search import SearchStats
 from repro.exceptions import SolverLimitError
+from repro.obs import get_tracer
 
 
 class WindowSearch:
@@ -166,10 +169,18 @@ class WindowSearch:
         return lo > 0 or hi < 0
 
     def _closure(self, chosen: int) -> int:
+        # MCC(D) in position space (Definition 1; existence by Theorem 2
+        # since windows are conflict-free by construction)
+        tracer = get_tracer()
+        started = perf_counter() if tracer.enabled else 0.0
         closure = chosen
         rest = chosen
         while rest:
             low = rest & -rest
             closure |= self.context.pred_pos[low.bit_length() - 1]
             rest ^= low
+        if tracer.enabled:
+            tracer.add_time("closure.window", perf_counter() - started)
+            tracer.incr("closure.mcc_calls")
+            tracer.incr("closure.mcc_hits")
         return closure

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.engine import events as ev
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import JobResult, VerificationJob
@@ -129,6 +130,11 @@ def run_batch(
         max_workers=max_workers, max_retries=max_retries, events=events
     ) as pool:
         results = run_jobs(jobs, pool, cache=cache, events=events)
+    tracer = obs.get_tracer()
+    if tracer.enabled:
+        # per-phase wall time of the run (in-process work only: engines that
+        # ran inside forked workers traced into their own process's registry)
+        events.stats.record_phases(tracer.phase_times())
     return BatchReport(
         results=results,
         stats=events.stats,

@@ -6,6 +6,12 @@ is appended to an in-memory list (so tests and tools can assert on exact
 sequences), forwarded to stdlib :mod:`logging` under the ``repro.engine``
 logger (so ``repro-stg -v`` streams progress), and folded into an
 :class:`EngineStats` aggregate (so batch reports can summarise a run).
+
+When tracing is enabled (:mod:`repro.obs`), every event additionally leaves
+a zero-duration ``engine.<kind>`` point span in the trace — so a JSONL
+trace interleaves the engine's lifecycle markers with the spans of the
+checkers they triggered — and :meth:`EngineStats.report` appends the
+aggregated per-phase wall-time breakdown of the run.
 """
 
 from __future__ import annotations
@@ -13,6 +19,8 @@ from __future__ import annotations
 import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro import obs
 
 #: Event kinds emitted by the engine subsystem.
 JOB_QUEUED = "job_queued"
@@ -90,6 +98,9 @@ class EngineStats:
     cancelled: int = 0
     degraded: int = 0
     wins_by_engine: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase wall-time breakdown (seconds) folded in from a traced run;
+    #: empty when tracing was off (see :meth:`record_phases`).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def record(self, event: EngineEvent) -> None:
         if event.kind == JOB_QUEUED:
@@ -121,6 +132,18 @@ class EngineStats:
                 self.wins_by_engine.get(event.engine, 0) + 1
             )
 
+    def record_phases(self, phases: Dict[str, float]) -> None:
+        """Fold a tracer's phase-time aggregation into the stats.
+
+        Called by the batch driver after a traced run; only phases with
+        measurable time are kept so :meth:`report` stays quiet otherwise.
+        """
+        for phase, seconds in phases.items():
+            if seconds > 0.0:
+                self.phase_seconds[phase] = (
+                    self.phase_seconds.get(phase, 0.0) + seconds
+                )
+
     def report(self) -> str:
         """A one-paragraph human-readable summary."""
         wins = ", ".join(
@@ -138,6 +161,12 @@ class EngineStats:
         ]
         if wins:
             lines.append(f"wins: {wins}")
+        if self.phase_seconds:
+            breakdown = " ".join(
+                f"{phase}={seconds:.3f}s"
+                for phase, seconds in sorted(self.phase_seconds.items())
+            )
+            lines.append(f"phases: {breakdown}")
         if self.degraded:
             lines.append("pool degraded to in-process execution")
         return "\n".join(lines)
@@ -166,6 +195,7 @@ class EventLog:
         )
         self.events.append(event)
         self.stats.record(event)
+        obs.event(f"engine.{kind}")
         level = (
             logging.WARNING
             if kind in (TASK_CRASHED, TASK_TIMEOUT, JOB_FAILED, POOL_DEGRADED)

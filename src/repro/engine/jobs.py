@@ -18,6 +18,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import obs
 from repro.exceptions import ReproError, SolverLimitError
 from repro.stg.stg import STG
 
@@ -156,7 +157,8 @@ def execute_engine(job: VerificationJob, engine: str) -> JobResult:
         )
     started = time.perf_counter()
     try:
-        holds, witness, stats = ENGINES[engine](job)
+        with obs.trace(f"engine.{engine}"):
+            holds, witness, stats = ENGINES[engine](job)
     except SolverLimitError as exc:
         return JobResult(
             job_id=job.job_id,

@@ -11,10 +11,12 @@ relative to the Section 4 algorithm.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverLimitError
 from repro.ilp.model import Constraint, Problem
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -72,7 +74,30 @@ class BranchAndBoundSolver:
         return None
 
     def solutions(self) -> Iterator[List[int]]:
-        """All feasible assignments, lazily."""
+        """All feasible assignments, lazily.
+
+        When tracing is enabled, the total wall time from the first pull to
+        generator exit is recorded under the ``ilp.search`` timer (this
+        includes any caller work between pulls) and the run's node/solution/
+        prune deltas under the ``ilp.*`` counters.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            yield from self._solutions()
+            return
+        started = perf_counter()
+        nodes0 = self.stats.nodes
+        solutions0 = self.stats.solutions
+        pruned0 = self.stats.pruned
+        try:
+            yield from self._solutions()
+        finally:
+            tracer.add_time("ilp.search", perf_counter() - started)
+            tracer.incr("ilp.nodes", self.stats.nodes - nodes0)
+            tracer.incr("ilp.solutions", self.stats.solutions - solutions0)
+            tracer.incr("ilp.pruned", self.stats.pruned - pruned0)
+
+    def _solutions(self) -> Iterator[List[int]]:
         n = self.problem.num_vars
         values = [c.expr.const for c in self.problem.constraints]
         assignment = [0] * n

@@ -219,32 +219,34 @@ def run_lint(
     rules do not run — their soundness argument presumes a consistent,
     well-formed STG.
     """
+    from repro import obs
     from repro.lint.diagnostics import TIER_PREFILTER
 
-    selected = select_rules(list(rules) if rules is not None else None)
-    context = RuleContext(stg, size_budget=size_budget)
-    report = LintReport(stg_name=stg.name)
+    with obs.trace("lint.run"):
+        selected = select_rules(list(rules) if rules is not None else None)
+        context = RuleContext(stg, size_budget=size_budget)
+        report = LintReport(stg_name=stg.name)
 
-    staged: List[Tuple[LintRule, bool]] = [
-        (r, r.tier == TIER_PREFILTER) for r in selected
-    ]
-    for lint_rule, is_prefilter in staged:
-        if is_prefilter:
-            continue
-        report.rules_run.append(lint_rule.rule_id)
-        report.extend(lint_rule.run(context))
-
-    if prefilter and _prefilter_allowed(report):
+        staged: List[Tuple[LintRule, bool]] = [
+            (r, r.tier == TIER_PREFILTER) for r in selected
+        ]
         for lint_rule, is_prefilter in staged:
-            if not is_prefilter:
+            if is_prefilter:
                 continue
             report.rules_run.append(lint_rule.rule_id)
-            diagnostics = lint_rule.run(context)
-            report.extend(diagnostics)
-            for diagnostic in diagnostics:
-                for prop, holds in diagnostic.decides.items():
-                    context.decided.setdefault(prop, holds)
-    return report
+            report.extend(lint_rule.run(context))
+
+        if prefilter and _prefilter_allowed(report):
+            for lint_rule, is_prefilter in staged:
+                if not is_prefilter:
+                    continue
+                report.rules_run.append(lint_rule.rule_id)
+                diagnostics = lint_rule.run(context)
+                report.extend(diagnostics)
+                for diagnostic in diagnostics:
+                    for prop, holds in diagnostic.decides.items():
+                        context.decided.setdefault(prop, holds)
+        return report
 
 
 #: Warnings that undermine the pre-filter soundness argument (consistency).

@@ -1,0 +1,122 @@
+"""JSON / JSONL exporters for :class:`repro.obs.Tracer` registries.
+
+Two interchange formats, both documented in docs/observability.md:
+
+* **JSON** — :func:`to_json` dumps one ``repro-trace/1`` document (the
+  :meth:`~repro.obs.tracer.Tracer.snapshot` dictionary) — handy for tests
+  and for embedding a trace into a larger report;
+* **JSONL** — :func:`write_jsonl` streams one record per line: a ``meta``
+  header first, then every span/counter/gauge/timer.  Line-oriented so a
+  partial file (crashed run) is still parseable up to the crash point, and
+  so traces from long batch runs can be processed without loading them
+  whole.  :func:`read_jsonl` round-trips the file back into a snapshot-
+  shaped dictionary.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from repro.obs.tracer import Tracer
+
+#: Schema tag stamped on every exported trace (bump on breaking change).
+TRACE_SCHEMA = "repro-trace/1"
+
+
+def to_json(tracer: Tracer, indent: int = 2) -> str:
+    """The whole registry as one JSON document."""
+    return json.dumps(tracer.snapshot(), indent=indent)
+
+
+def iter_jsonl_records(tracer: Tracer) -> List[Dict[str, object]]:
+    """The flat record list of the JSONL export (header first)."""
+    snapshot = tracer.snapshot()
+    records: List[Dict[str, object]] = [
+        {
+            "kind": "meta",
+            "schema": TRACE_SCHEMA,
+            "spans": len(snapshot["spans"]),          # type: ignore[arg-type]
+            "counters": len(snapshot["counters"]),    # type: ignore[arg-type]
+        }
+    ]
+    records.extend(snapshot["spans"])  # type: ignore[arg-type]
+    for name, value in sorted(snapshot["counters"].items()):  # type: ignore[union-attr]
+        records.append({"kind": "counter", "name": name, "value": value})
+    for name, value in sorted(snapshot["gauges"].items()):  # type: ignore[union-attr]
+        records.append({"kind": "gauge", "name": name, "value": value})
+    for name, payload in sorted(snapshot["timers"].items()):  # type: ignore[union-attr]
+        records.append(
+            {
+                "kind": "timer",
+                "name": name,
+                "calls": payload["calls"],
+                "seconds": payload["seconds"],
+            }
+        )
+    return records
+
+
+def write_jsonl(tracer: Tracer, destination: Union[str, IO[str]]) -> int:
+    """Write the registry as JSON Lines; returns the number of records."""
+    records = iter_jsonl_records(tracer)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+    else:
+        for record in records:
+            destination.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> Dict[str, object]:
+    """Parse a JSONL trace back into a snapshot-shaped dictionary.
+
+    Raises :class:`ValueError` on a malformed line, a missing/foreign
+    header, or an unknown record kind.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    records = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {number} is not JSON: {exc}") from exc
+    if not records or records[0].get("kind") != "meta":
+        raise ValueError("trace file has no meta header line")
+    if records[0].get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"unsupported trace schema {records[0].get('schema')!r} "
+            f"(expected {TRACE_SCHEMA})"
+        )
+    snapshot: Dict[str, object] = {
+        "schema": TRACE_SCHEMA,
+        "spans": [],
+        "counters": {},
+        "gauges": {},
+        "timers": {},
+    }
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind == "span":
+            snapshot["spans"].append(record)  # type: ignore[union-attr]
+        elif kind == "counter":
+            snapshot["counters"][record["name"]] = record["value"]  # type: ignore[index]
+        elif kind == "gauge":
+            snapshot["gauges"][record["name"]] = record["value"]  # type: ignore[index]
+        elif kind == "timer":
+            snapshot["timers"][record["name"]] = {  # type: ignore[index]
+                "calls": record["calls"],
+                "seconds": record["seconds"],
+            }
+        else:
+            raise ValueError(f"unknown trace record kind {kind!r}")
+    return snapshot

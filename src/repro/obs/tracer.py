@@ -1,0 +1,373 @@
+"""The tracer: nested spans, counters, gauges and accumulating timers.
+
+Four instrument kinds, all named ``subsystem.operation`` (the taxonomy is
+catalogued in docs/observability.md):
+
+* **spans** — wall-clock intervals with nesting (``with tracer.span("x")``),
+  recorded on the monotonic :func:`time.perf_counter` clock; a span that
+  never ends (exception, crash) is still closed by ``__exit__``;
+* **counters** — monotonically increasing integers (events added, search
+  nodes, cut-offs);
+* **gauges** — last-written / high-water-mark floats (queue sizes);
+* **timers** — ``(calls, total seconds)`` accumulators for operations far
+  too frequent and too short to record a span each (MCC closure calls,
+  SAT solver invocations).
+
+Everything funnels into one thread-safe in-memory registry per
+:class:`Tracer`.  The module keeps a process-wide default instance which is
+**disabled** unless ``REPRO_TRACE`` is set in the environment or a caller
+(the ``repro-stg profile`` command, ``--trace-out``, the benchmark harness)
+enables it explicitly.
+
+Overhead contract: while disabled, every public entry point returns after a
+single attribute test — no locks, no allocation, no clock reads.  Hot inner
+loops additionally guard their call sites on ``tracer.enabled`` so that the
+disabled cost is one boolean check (see docs/observability.md for the
+measured numbers).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "PHASE_PREFIXES",
+    "phase_times_from",
+]
+
+#: Canonical phase -> span/timer name prefixes folded into it.  The profile
+#: table and ``EngineStats.report()`` aggregate over these; names outside
+#: every phase (``engine.*``, ``profile.*``, point events) count toward no
+#: phase but still appear in traces.
+PHASE_PREFIXES: Dict[str, Tuple[str, ...]] = {
+    "parse": ("parse.",),
+    "unfold": ("unfold.",),
+    "closure": ("closure.",),
+    "solver": ("search.", "ilp.", "sat.", "lp."),
+    "lint": ("lint.",),
+}
+
+
+@dataclass
+class Span:
+    """One completed (or point) wall-clock interval."""
+
+    span_id: int
+    name: str
+    start: float                 # perf_counter seconds
+    end: float                   # == start for point events
+    parent_id: Optional[int]     # enclosing span on the same thread
+    thread: int                  # threading.get_ident()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "dur": self.duration,
+            "parent": self.parent_id,
+            "thread": self.thread,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span; closes itself on ``__exit__`` even under exceptions."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self.name = name
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = tracer._next_id()
+        stack.append(self.span_id)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        tracer._record_span(
+            Span(
+                span_id=self.span_id,
+                name=self.name,
+                start=self.start,
+                end=end,
+                parent_id=self.parent_id,
+                thread=threading.get_ident(),
+            )
+        )
+        return False
+
+
+class Stopwatch:
+    """A plain perf_counter stopwatch (the benchmark-harness timing primitive).
+
+    Unlike spans, a stopwatch always measures — it is how the bench modules
+    time method runs whether or not tracing is enabled.  When the owning
+    tracer *is* enabled and a ``name`` was given, the reading is also folded
+    into that tracer's timer registry so traced bench runs carry their
+    phase attribution.
+    """
+
+    __slots__ = ("_tracer", "name", "start", "seconds")
+
+    def __init__(self, tracer: Optional["Tracer"] = None, name: Optional[str] = None):
+        self._tracer = tracer
+        self.name = name
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.seconds = time.perf_counter() - self.start
+        if self._tracer is not None and self.name and self._tracer.enabled:
+            self._tracer.add_time(self.name, self.seconds)
+        return False
+
+
+class Tracer:
+    """A thread-safe registry of spans, counters, gauges and timers."""
+
+    def __init__(self, enabled: Optional[bool] = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._id = 0
+        self.spans: List[Span] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        #: name -> (calls, total seconds)
+        self.timers: Dict[str, Tuple[int, float]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded data (the enabled flag is left alone)."""
+        with self._lock:
+            self.spans = []
+            self.counters = {}
+            self.gauges = {}
+            self.timers = {}
+            self._id = 0
+        self._local = threading.local()
+
+    # -- span plumbing --------------------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id += 1
+            return self._id
+
+    def _record_span(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # -- public instruments ---------------------------------------------------
+
+    def span(self, name: str):
+        """``with tracer.span("unfold.run"): ...`` — no-op while disabled."""
+        if not self.enabled:
+            return _NOOP
+        return _LiveSpan(self, name)
+
+    def event(self, name: str) -> None:
+        """Record a zero-duration point span (engine telemetry markers)."""
+        if not self.enabled:
+            return
+        stack = self._stack()
+        now = time.perf_counter()
+        self._record_span(
+            Span(
+                span_id=self._next_id(),
+                name=name,
+                start=now,
+                end=now,
+                parent_id=stack[-1] if stack else None,
+                thread=threading.get_ident(),
+            )
+        )
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Last-value-wins gauge."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """High-water-mark gauge."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = value
+
+    def add_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold ``seconds`` into the accumulating timer ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            count, total = self.timers.get(name, (0, 0.0))
+            self.timers[name] = (count + calls, total + seconds)
+
+    def timed(self, name: str):
+        """Context manager accumulating its duration into timer ``name``."""
+        if not self.enabled:
+            return _NOOP
+        return _TimedBlock(self, name)
+
+    def stopwatch(self, name: Optional[str] = None) -> Stopwatch:
+        """An always-measuring stopwatch (see :class:`Stopwatch`)."""
+        return Stopwatch(self, name)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "schema": "repro-trace/1",
+                "spans": [span.to_dict() for span in self.spans],
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "timers": {
+                    name: {"calls": calls, "seconds": seconds}
+                    for name, (calls, seconds) in self.timers.items()
+                },
+            }
+
+    def phase_times(self) -> Dict[str, float]:
+        """Aggregate span durations + timer totals into the canonical phases.
+
+        Every phase of :data:`PHASE_PREFIXES` is always present (0.0 when
+        nothing was recorded), plus ``total`` — the summed duration of root
+        spans (spans with no parent), which is the end-to-end wall time when
+        the instrumented run sat under one or more top-level spans.
+        """
+        with self._lock:
+            spans = list(self.spans)
+            timers = dict(self.timers)
+        return phase_times_from(spans, timers)
+
+
+class _TimedBlock:
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: Tracer, name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_TimedBlock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.add_time(self._name, time.perf_counter() - self._start)
+        return False
+
+
+def phase_times_from(
+    spans: List[Span], timers: Dict[str, Tuple[int, float]]
+) -> Dict[str, float]:
+    """The phase aggregation used by :meth:`Tracer.phase_times`.
+
+    Spans and timers are folded by name prefix; nested spans whose names map
+    to *different* phases never double-count inside one phase, and the
+    ``total`` row is computed from root spans only, so it is not inflated by
+    nesting either.
+    """
+    phases: Dict[str, float] = {phase: 0.0 for phase in PHASE_PREFIXES}
+    phases["total"] = 0.0
+
+    def phase_of(name: str) -> Optional[str]:
+        for phase, prefixes in PHASE_PREFIXES.items():
+            if name.startswith(prefixes):
+                return phase
+        return None
+
+    # span time counts toward a phase only at the outermost span *of that
+    # phase* (an unfold.* span nested inside another unfold.* span would
+    # otherwise be counted twice)
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        phase = phase_of(span.name)
+        if phase is None:
+            continue
+        parent = span.parent_id
+        shadowed = False
+        while parent is not None:
+            ancestor = by_id.get(parent)
+            if ancestor is None:
+                break
+            if phase_of(ancestor.name) == phase:
+                shadowed = True
+                break
+            parent = ancestor.parent_id
+        if not shadowed:
+            phases[phase] += span.duration
+    for name, (_calls, seconds) in timers.items():
+        phase = phase_of(name)
+        if phase is not None:
+            phases[phase] += seconds
+    phases["total"] = sum(
+        span.duration for span in spans if span.parent_id is None
+    )
+    return phases

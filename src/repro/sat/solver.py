@@ -20,9 +20,11 @@ implements the standard modern loop:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.exceptions import SolverLimitError
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -232,7 +234,33 @@ class CDCLSolver:
         assumptions: Sequence[int] = (),
         conflict_budget: Optional[int] = None,
     ) -> SatResult:
-        """Solve under the given assumption literals."""
+        """Solve under the given assumption literals.
+
+        With tracing enabled, each call's wall time accumulates into the
+        ``sat.solve`` timer and its decision/conflict/propagation deltas
+        into the ``sat.*`` counters (model enumeration calls many times —
+        the timer's ``calls`` field counts the invocations).
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve(assumptions, conflict_budget)
+        started = perf_counter()
+        decisions0 = self.decisions
+        conflicts0 = self.conflicts
+        propagations0 = self.propagations
+        try:
+            return self._solve(assumptions, conflict_budget)
+        finally:
+            tracer.add_time("sat.solve", perf_counter() - started)
+            tracer.incr("sat.decisions", self.decisions - decisions0)
+            tracer.incr("sat.conflicts", self.conflicts - conflicts0)
+            tracer.incr("sat.propagations", self.propagations - propagations0)
+
+    def _solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> SatResult:
         if self._unsat:
             return SatResult(False, None, self.conflicts, self.decisions, 0)
         self._cancel_until(0)

@@ -17,6 +17,19 @@ extensions loop:
 Two adequate orders are provided: McMillan's ``|C|`` and the ERV refinement
 ``(|C|, Parikh-lex)``; the latter produces smaller prefixes and is the
 default.  The concurrency relation is maintained incrementally as bitmasks.
+
+Paper mapping: this module implements Section 2.3 (finite and complete
+prefixes; the cut-off criterion under an adequate order) — the prefix it
+produces is the carrier of the whole method: Theorems 1-2 and the
+constraint system (2)-(3) of Sections 3-4 are all stated over its events.
+Completeness requires keeping the postset conditions of cut-off events
+(configurations must be able to reach one event beyond a cut-off), which is
+why cut-offs get *dead* postsets rather than none.
+
+Observability: a run is wrapped in the ``unfold.run`` span and reports the
+``unfold.events`` / ``unfold.cutoffs`` / ``unfold.conditions`` /
+``unfold.extensions_enqueued`` counters and the ``unfold.queue_peak`` gauge
+through :mod:`repro.obs` (all no-ops unless tracing is enabled).
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.exceptions import UnfoldingError
 from repro.petri.marking import Marking
 from repro.petri.net import PetriNet
@@ -70,7 +84,8 @@ def unfold(
                 "its unfolding would be infinite in every prefix"
             )
     builder = _Builder(net, stg, options)
-    return builder.run()
+    with obs.trace("unfold.run"):
+        return builder.run()
 
 
 class _Builder:
@@ -85,6 +100,7 @@ class _Builder:
         self.enqueued: Set[Tuple[int, Tuple[int, ...]]] = set()
         # minimal adequate-order key seen for each final marking
         self.mark_table: Dict[Marking, Tuple] = {}
+        self.queue_peak = 0
 
     # -- adequate order ------------------------------------------------------
 
@@ -103,6 +119,8 @@ class _Builder:
             self._generate_extensions(b)
 
         while self.queue:
+            if len(self.queue) > self.queue_peak:
+                self.queue_peak = len(self.queue)
             key, _tiebreak, transition, preset = heapq.heappop(self.queue)
             self._insert_event(key, transition, preset)
             if self.prefix.num_events > self.options.max_events:
@@ -110,7 +128,19 @@ class _Builder:
                     f"event budget {self.options.max_events} exhausted; "
                     "the input net may be unbounded"
                 )
+        self._flush_metrics()
         return self.prefix
+
+    def _flush_metrics(self) -> None:
+        """Report the run's counters through :mod:`repro.obs` (traced only)."""
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            return
+        tracer.incr("unfold.events", self.prefix.num_events)
+        tracer.incr("unfold.cutoffs", self.prefix.num_cutoffs)
+        tracer.incr("unfold.conditions", len(self.prefix.conditions))
+        tracer.incr("unfold.extensions_enqueued", len(self.enqueued))
+        tracer.gauge_max("unfold.queue_peak", self.queue_peak)
 
     # -- initialisation ------------------------------------------------------
 

@@ -1,0 +1,103 @@
+"""JSON / JSONL export round-trips and error handling."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    iter_jsonl_records,
+    read_jsonl,
+    to_json,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def populated():
+    tracer = Tracer(enabled=True)
+    with tracer.span("unfold.run"):
+        with tracer.span("unfold.context"):
+            pass
+    tracer.incr("search.nodes", 42)
+    tracer.gauge_max("unfold.queue_peak", 3)
+    tracer.add_time("closure.mcc", 0.125, calls=5)
+    return tracer
+
+
+class TestJson:
+    def test_to_json_is_snapshot(self, populated):
+        document = json.loads(to_json(populated))
+        assert document["schema"] == TRACE_SCHEMA
+        assert document["counters"] == {"search.nodes": 42}
+        assert document["timers"]["closure.mcc"] == {"calls": 5, "seconds": 0.125}
+        assert len(document["spans"]) == 2
+
+
+class TestJsonl:
+    def test_meta_header_first(self, populated):
+        records = iter_jsonl_records(populated)
+        assert records[0] == {
+            "kind": "meta",
+            "schema": TRACE_SCHEMA,
+            "spans": 2,
+            "counters": 1,
+        }
+        kinds = [record["kind"] for record in records[1:]]
+        assert kinds == ["span", "span", "counter", "gauge", "timer"]
+
+    def test_round_trip_via_file(self, populated, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_jsonl(populated, path)
+        assert count == 6
+        snapshot = read_jsonl(path)
+        assert snapshot["counters"] == {"search.nodes": 42}
+        assert snapshot["gauges"] == {"unfold.queue_peak": 3}
+        assert snapshot["timers"]["closure.mcc"]["calls"] == 5
+        names = [span["name"] for span in snapshot["spans"]]
+        assert names == ["unfold.context", "unfold.run"]
+        # nesting survives the round trip
+        by_name = {span["name"]: span for span in snapshot["spans"]}
+        assert by_name["unfold.context"]["parent"] == by_name["unfold.run"]["id"]
+
+    def test_round_trip_via_stream(self, populated):
+        buffer = io.StringIO()
+        write_jsonl(populated, buffer)
+        buffer.seek(0)
+        snapshot = read_jsonl(buffer)
+        assert snapshot["schema"] == TRACE_SCHEMA
+
+    def test_blank_lines_tolerated(self, populated):
+        buffer = io.StringIO()
+        write_jsonl(populated, buffer)
+        content = "\n" + buffer.getvalue() + "\n\n"
+        assert read_jsonl(io.StringIO(content))["counters"]
+
+
+class TestJsonlErrors:
+    def test_malformed_line(self):
+        with pytest.raises(ValueError, match="line 1 is not JSON"):
+            read_jsonl(io.StringIO("not json\n"))
+
+    def test_missing_header(self):
+        line = json.dumps({"kind": "counter", "name": "x", "value": 1})
+        with pytest.raises(ValueError, match="no meta header"):
+            read_jsonl(io.StringIO(line + "\n"))
+
+    def test_empty_file(self):
+        with pytest.raises(ValueError, match="no meta header"):
+            read_jsonl(io.StringIO(""))
+
+    def test_wrong_schema(self):
+        header = json.dumps({"kind": "meta", "schema": "repro-trace/99"})
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_jsonl(io.StringIO(header + "\n"))
+
+    def test_unknown_record_kind(self, populated):
+        buffer = io.StringIO()
+        write_jsonl(populated, buffer)
+        content = buffer.getvalue() + json.dumps({"kind": "mystery"}) + "\n"
+        with pytest.raises(ValueError, match="unknown trace record kind"):
+            read_jsonl(io.StringIO(content))

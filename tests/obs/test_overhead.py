@@ -1,0 +1,47 @@
+"""The overhead contract: instrumentation is inert while tracing is off.
+
+Wall-clock assertions are flaky in CI, so the 5%-overhead guarantee is
+tested structurally instead: with the default tracer disabled, a full
+verification run must leave the registry completely untouched (proving
+every guarded call site short-circuited), and the no-op fast path must
+not allocate fresh context managers.
+"""
+
+from repro import obs
+from repro.core import check_csc, check_usc
+from repro.models import vme_bus
+from repro.obs.tracer import Tracer, _NOOP
+from repro.unfolding import unfold
+
+
+class TestDisabledFastPath:
+    def test_full_check_leaves_registry_untouched(self):
+        tracer = obs.get_tracer()
+        assert not tracer.enabled
+        prefix = unfold(vme_bus())
+        assert not check_usc(prefix).holds
+        assert not check_csc(prefix).holds
+        assert tracer.spans == []
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+        assert tracer.timers == {}
+
+    def test_noop_span_is_not_allocated_per_call(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a.b") is tracer.span("c.d") is _NOOP
+
+    def test_same_run_traced_does_record(self):
+        probe = Tracer(enabled=True)
+        previous = obs.set_tracer(probe)
+        try:
+            prefix = unfold(vme_bus())
+            check_csc(prefix)
+        finally:
+            obs.set_tracer(previous)
+        assert probe.counters["unfold.events"] == 12
+        assert probe.counters["unfold.cutoffs"] == 1
+        assert probe.counters["search.nodes"] > 0
+        names = {span.name for span in probe.spans}
+        assert "unfold.run" in names
+        phases = probe.phase_times()
+        assert phases["unfold"] > 0.0 and phases["total"] > 0.0

@@ -1,0 +1,221 @@
+"""Tracer unit tests: spans, counters, gauges, timers, phase aggregation."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import PHASE_PREFIXES, Span, Tracer, phase_times_from
+from repro.obs.tracer import _NOOP
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+class TestSpans:
+    def test_records_interval(self, tracer):
+        with tracer.span("unfold.run"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "unfold.run"
+        assert span.end >= span.start
+        assert span.parent_id is None
+
+    def test_nesting_sets_parent(self, tracer):
+        with tracer.span("search.window") as outer:
+            with tracer.span("closure.window") as inner:
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["closure.window"].parent_id == outer.span_id
+        assert by_name["search.window"].parent_id is None
+        assert inner.span_id != outer.span_id
+
+    def test_exception_still_closes(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("unfold.run"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.end >= span.start
+        # the parent stack must be unwound, not corrupted
+        with tracer.span("search.pairs"):
+            pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_exception_not_swallowed_when_nested(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("a.x"):
+                with tracer.span("b.y"):
+                    raise ValueError
+        assert len(tracer.spans) == 2
+
+    def test_point_event(self, tracer):
+        tracer.event("engine.job_done")
+        (span,) = tracer.spans
+        assert span.duration == 0.0
+
+
+class TestDisabledNoop:
+    def test_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("unfold.run") is _NOOP
+        assert tracer.timed("closure.mcc") is _NOOP
+
+    def test_nothing_recorded(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("unfold.run"):
+            pass
+        tracer.event("engine.job_done")
+        tracer.incr("search.nodes", 5)
+        tracer.gauge("x.y", 1.0)
+        tracer.gauge_max("x.z", 2.0)
+        tracer.add_time("closure.mcc", 0.5)
+        with tracer.timed("closure.mcc"):
+            pass
+        assert tracer.spans == []
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+        assert tracer.timers == {}
+
+    def test_stopwatch_measures_even_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.stopwatch("bench.case") as watch:
+            pass
+        assert watch.seconds >= 0.0
+        assert tracer.timers == {}  # but nothing is registered
+
+    def test_stopwatch_registers_when_enabled(self):
+        tracer = Tracer(enabled=True)
+        with tracer.stopwatch("bench.case"):
+            pass
+        calls, seconds = tracer.timers["bench.case"]
+        assert calls == 1 and seconds >= 0.0
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Tracer().enabled
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not Tracer().enabled
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not Tracer().enabled
+
+
+class TestCountersGaugesTimers:
+    def test_incr_accumulates(self, tracer):
+        tracer.incr("search.nodes")
+        tracer.incr("search.nodes", 41)
+        assert tracer.counters["search.nodes"] == 42
+
+    def test_gauge_last_vs_max(self, tracer):
+        tracer.gauge("q.size", 5)
+        tracer.gauge("q.size", 3)
+        assert tracer.gauges["q.size"] == 3
+        tracer.gauge_max("q.peak", 5)
+        tracer.gauge_max("q.peak", 3)
+        assert tracer.gauges["q.peak"] == 5
+
+    def test_timer_accumulates_calls(self, tracer):
+        tracer.add_time("closure.mcc", 0.25)
+        tracer.add_time("closure.mcc", 0.25, calls=3)
+        assert tracer.timers["closure.mcc"] == (4, 0.5)
+
+    def test_counter_thread_safety(self, tracer):
+        def hammer():
+            for _ in range(2000):
+                tracer.incr("search.nodes")
+                tracer.add_time("closure.mcc", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.counters["search.nodes"] == 16000
+        calls, seconds = tracer.timers["closure.mcc"]
+        assert calls == 16000
+        assert seconds == pytest.approx(16.0, rel=1e-6)
+
+    def test_span_thread_isolation(self, tracer):
+        """Parent stacks are thread-local: parallel spans stay roots."""
+        def worker():
+            with tracer.span("unfold.run"):
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        with tracer.span("search.pairs"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        workers = [s for s in tracer.spans if s.name == "unfold.run"]
+        assert len(workers) == 4
+        assert all(s.parent_id is None for s in workers)
+
+    def test_reset(self, tracer):
+        with tracer.span("unfold.run"):
+            tracer.incr("search.nodes")
+        tracer.reset()
+        assert tracer.spans == [] and tracer.counters == {}
+        assert tracer.enabled  # reset keeps the flag
+
+
+class TestPhaseTimes:
+    def test_all_phases_present(self, tracer):
+        phases = tracer.phase_times()
+        assert set(phases) == set(PHASE_PREFIXES) | {"total"}
+        assert all(value == 0.0 for value in phases.values())
+
+    def test_timers_and_spans_fold_in(self, tracer):
+        with tracer.span("unfold.run"):
+            pass
+        tracer.add_time("sat.solve", 0.5)
+        phases = tracer.phase_times()
+        assert phases["unfold"] > 0.0
+        assert phases["solver"] == pytest.approx(0.5)
+
+    def test_same_phase_nesting_not_double_counted(self):
+        spans = [
+            Span(1, "unfold.run", 0.0, 10.0, None, 0),
+            Span(2, "unfold.context", 2.0, 6.0, 1, 0),
+        ]
+        phases = phase_times_from(spans, {})
+        assert phases["unfold"] == pytest.approx(10.0)
+        assert phases["total"] == pytest.approx(10.0)
+
+    def test_cross_phase_nesting_counted_in_both(self):
+        spans = [
+            Span(1, "search.pairs", 0.0, 10.0, None, 0),
+            Span(2, "closure.mcc_span", 1.0, 3.0, 1, 0),
+        ]
+        phases = phase_times_from(spans, {})
+        assert phases["solver"] == pytest.approx(10.0)
+        assert phases["closure"] == pytest.approx(2.0)
+
+    def test_total_from_roots_only(self):
+        spans = [
+            Span(1, "profile.usc", 0.0, 4.0, None, 0),
+            Span(2, "search.pairs", 1.0, 3.0, 1, 0),
+            Span(3, "profile.csc", 4.0, 6.0, None, 0),
+        ]
+        phases = phase_times_from(spans, {})
+        assert phases["total"] == pytest.approx(6.0)
+        assert phases["solver"] == pytest.approx(2.0)
+
+
+class TestModuleLevelApi:
+    def test_default_tracer_swap_and_helpers(self):
+        from repro import obs
+
+        probe = Tracer(enabled=True)
+        previous = obs.set_tracer(probe)
+        try:
+            assert obs.get_tracer() is probe
+            assert obs.enabled()
+            with obs.trace("unfold.run"):
+                obs.incr("search.nodes")
+            obs.gauge_max("unfold.queue_peak", 7)
+            assert probe.counters["search.nodes"] == 1
+            assert obs.snapshot()["counters"] == {"search.nodes": 1}
+            assert obs.phase_times()["unfold"] > 0.0
+        finally:
+            obs.set_tracer(previous)

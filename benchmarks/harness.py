@@ -61,13 +61,23 @@ DEFAULT_THRESHOLD = 0.20
 # -- the curated suite ---------------------------------------------------------
 
 class Case:
-    """One benchmark case: verify ``prop`` on ``family(size)``."""
+    """One benchmark case: verify ``prop`` on ``family(size)``.
 
-    def __init__(self, family: str, size: int, prop: str):
+    ``workers > 0`` runs the frontier-split parallel search of
+    :mod:`repro.core.parallel` and suffixes the case id with ``/w=N`` so
+    sequential and parallel timings coexist in one report.
+    """
+
+    def __init__(self, family: str, size: int, prop: str, workers: int = 0):
         self.family = family
         self.size = size
         self.prop = prop
-        self.case_id = f"{family}/n={size}/{prop}"
+        self.workers = workers
+        suffix = f"/w={workers}" if workers > 0 else ""
+        self.case_id = f"{family}/n={size}/{prop}{suffix}"
+
+    def with_workers(self, workers: int) -> "Case":
+        return Case(self.family, self.size, self.prop, workers)
 
     def build(self):
         from repro.models.counterflow import counterflow_pipeline
@@ -87,7 +97,7 @@ class Case:
         """The timed region: unfold the STG and check the property."""
         prefix = unfold(stg)
         check = check_usc if self.prop == "usc" else check_csc
-        return check(prefix).holds
+        return check(prefix, workers=self.workers).holds
 
 
 #: The full suite: one slow-ish and one fast size per family so both the
@@ -95,6 +105,7 @@ class Case:
 SUITE: List[Case] = [
     Case("muller-pipeline", 4, "csc"),
     Case("muller-pipeline", 8, "csc"),
+    Case("muller-pipeline", 12, "csc"),
     Case("parallel-forks", 2, "csc"),
     Case("parallel-forks", 3, "csc"),
     Case("token-ring", 4, "usc"),
@@ -173,6 +184,7 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
         "family": case.family,
         "size": case.size,
         "property": case.prop,
+        "workers": case.workers,
         "holds": holds,
         "repeats": repeat,
         "median_s": statistics.median(samples),
@@ -188,11 +200,18 @@ def run_suite(
     warmup: int = 1,
     repeat: int = 5,
     families: Optional[Sequence[str]] = None,
+    workers: Sequence[int] = (0,),
 ) -> Dict[str, object]:
-    """Run the suite and return the full schema-versioned report dict."""
+    """Run the suite and return the full schema-versioned report dict.
+
+    ``workers`` is the worker-count axis: each case is measured once per
+    entry (0 = sequential), so e.g. ``(0, 2)`` records the speedup pair.
+    """
     suite = QUICK_SUITE if quick else SUITE
     if families:
         suite = [case for case in suite if case.family in families]
+    axis = list(dict.fromkeys(workers)) or [0]
+    suite = [case.with_workers(w) for case in suite for w in axis]
     results = []
     for case in suite:
         started = time.perf_counter()
@@ -221,6 +240,8 @@ _RESULT_FIELDS = {
     "size": int,
     "property": str,
     "holds": bool,
+    # "workers" is optional (reports predating the axis omit it) and
+    # checked separately below.
     "repeats": int,
     "median_s": (int, float),
     "min_s": (int, float),
@@ -262,6 +283,14 @@ def validate_report(data: object) -> None:
                     f"bench result field {field!r} has wrong type "
                     f"{type(record[field]).__name__}"
                 )
+        if "workers" in record and (
+            not isinstance(record["workers"], int)
+            or isinstance(record["workers"], bool)
+            or record["workers"] < 0
+        ):
+            raise ValueError(
+                f"bench result {record['id']!r} has invalid workers field"
+            )
         if record["median_s"] < 0 or record["min_s"] > record["max_s"]:
             raise ValueError(f"bench result {record['id']!r} timings inconsistent")
         if record["id"] in seen:
@@ -315,6 +344,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         repeat=args.repeat,
         families=args.families,
+        workers=args.workers or [0],
     )
     validate_report(report)
     out = Path(args.out)
@@ -365,6 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
             nargs="*",
             metavar="FAMILY",
             help="restrict to these model families",
+        )
+        p.add_argument(
+            "--workers",
+            nargs="*",
+            type=int,
+            metavar="N",
+            help="worker-count axis: measure each case once per value "
+            "(default: 0 = sequential only; e.g. --workers 0 2)",
         )
         p.add_argument(
             "--out", default=str(DEFAULT_OUT), metavar="FILE.json",

@@ -155,7 +155,9 @@ def _check_property(stg, prop: str, args: argparse.Namespace) -> bool:
         if args.portfolio:
             holds = _check_portfolio(stg, prop, args)
         else:
-            holds = _check_normalcy(stg, args.method, args.node_budget)
+            holds = _check_normalcy(
+                stg, args.method, args.node_budget, args.workers
+            )
         print(f"normalcy: {'OK' if holds else 'VIOLATED'}")
         return holds
     if prop in ("usc", "csc"):
@@ -163,7 +165,8 @@ def _check_property(stg, prop: str, args: argparse.Namespace) -> bool:
             holds = _check_portfolio(stg, prop, args)
         else:
             holds = _check_coding(
-                stg, prop, args.method, args.verbose, args.node_budget
+                stg, prop, args.method, args.verbose, args.node_budget,
+                args.workers,
             )
         print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
         return holds
@@ -181,6 +184,7 @@ def _check_portfolio(stg, prop: str, args: argparse.Namespace) -> bool:
         engines=engines,
         timeout=args.timeout,
         node_budget=args.node_budget,
+        workers=getattr(args, "workers", 0),
     )
     with WorkerPool(max_workers=len(engines)) as pool:
         result = run_jobs([job], pool)[0]
@@ -202,12 +206,13 @@ def _check_coding(
     method: str,
     verbose: bool,
     node_budget: Optional[int] = None,
+    workers: int = 0,
 ) -> bool:
     if method == "ilp":
         from repro.core import check_csc, check_usc
 
         report = (check_usc if prop == "usc" else check_csc)(
-            stg, node_budget=node_budget
+            stg, node_budget=node_budget, workers=workers
         )
         if verbose and report.witness is not None:
             print(f"  witness: {report.witness.describe()}")
@@ -252,11 +257,15 @@ def _check_coding(
     raise ReproError(f"unknown method {method!r}")
 
 
-def _check_normalcy(stg, method: str, node_budget: Optional[int] = None) -> bool:
+def _check_normalcy(
+    stg, method: str, node_budget: Optional[int] = None, workers: int = 0
+) -> bool:
     if method in ("ilp",):
         from repro.core import check_normalcy
 
-        return check_normalcy(stg, node_budget=node_budget).normal
+        return check_normalcy(
+            stg, node_budget=node_budget, workers=workers
+        ).normal
     from repro.stg.normalcy import check_normalcy_state_graph
 
     return check_normalcy_state_graph(stg).normal
@@ -342,9 +351,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _profile_property(stg, prop: str, args: argparse.Namespace) -> bool:
+    workers = getattr(args, "workers", 0)
     if prop == "normalcy":
-        return _check_normalcy(stg, args.method, args.node_budget)
-    return _check_coding(stg, prop, args.method, False, args.node_budget)
+        return _check_normalcy(stg, args.method, args.node_budget, workers)
+    return _check_coding(
+        stg, prop, args.method, False, args.node_budget, workers
+    )
 
 
 def _cmd_unfold(args: argparse.Namespace) -> int:
@@ -453,6 +465,7 @@ def _run_batch_cmd(args: argparse.Namespace) -> int:
         engines=engines,
         timeout=args.timeout,
         node_budget=args.node_budget,
+        workers=args.workers,
     )
     cache_dir = None if args.no_cache else (args.cache_dir or str(default_cache_dir()))
     report = run_batch(
@@ -563,6 +576,14 @@ def build_parser() -> argparse.ArgumentParser:
         "nodes",
     )
     check.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="split the IP search tree over N worker processes "
+        "(default: 0 = sequential; ilp method only)",
+    )
+    check.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -603,6 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument(
         "--node-budget", type=int, metavar="N", help="IP search node budget"
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="intra-check search workers (default: 0 = sequential)",
     )
     profile.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON"
@@ -657,6 +685,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--node-budget", type=int, metavar="N", help="IP search node budget"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="intra-check search workers per ilp job (default: 0 = "
+        "sequential; multiplies with --jobs)",
     )
     batch.add_argument(
         "--retries",

@@ -88,6 +88,52 @@ class SolverContext:
             self.suffix_minus[i] = minus
 
         self._non_input_set = frozenset(self.stg.non_input_signals)
+        self._window_flows: Optional[List[Tuple[Tuple[int, int], ...]]] = None
+        self._succ_pos: Optional[List[int]] = None
+
+    @property
+    def num_places(self) -> int:
+        """Places of the *original* net (the marking-equation dimension)."""
+        return self.prefix.net.num_places
+
+    @property
+    def window_flows(self) -> List[Tuple[Tuple[int, int], ...]]:
+        """Original-net token flow of each position's transition, sparse —
+        the marking-equation rows the window search folds incrementally."""
+        if self._window_flows is None:
+            net = self.prefix.net
+            flows: List[Tuple[Tuple[int, int], ...]] = []
+            for position in range(self.num_vars):
+                transition = self.prefix.events[
+                    self.order[position]
+                ].transition
+                delta: Dict[int, int] = {}
+                for p, w in net.preset(transition).items():
+                    delta[p] = delta.get(p, 0) - w
+                for p, w in net.postset(transition).items():
+                    delta[p] = delta.get(p, 0) + w
+                flows.append(tuple((p, d) for p, d in delta.items() if d))
+            self._window_flows = flows
+        return self._window_flows
+
+    @property
+    def succ_pos(self) -> List[int]:
+        """Causal-successor masks in position space (transpose of
+        :attr:`pred_pos`; the window search's convexity check)."""
+        if self._succ_pos is None:
+            succ = [0] * self.num_vars
+            for i in range(self.num_vars):
+                rest = self.pred_pos[i]
+                while rest:
+                    low = rest & -rest
+                    succ[low.bit_length() - 1] |= 1 << i
+                    rest ^= low
+            self._succ_pos = succ
+        return self._succ_pos
+
+    def snapshot(self) -> "SolverSnapshot":
+        """The picklable slice of this context (see :class:`SolverSnapshot`)."""
+        return SolverSnapshot(self)
 
     def _remap(self, event_mask: int) -> int:
         """Project an event-index mask onto the free-position index space."""
@@ -190,3 +236,45 @@ class SolverContext:
             self.prefix.net.transition_name(t)
             for t in linearise(self.prefix, events)
         ]
+
+
+class SolverSnapshot:
+    """A picklable slice of a :class:`SolverContext`.
+
+    Carries exactly the precomputed tables the iterative search cores touch
+    — position masks, signal contributions, suffix bounds, window flow rows
+    — and none of the prefix machinery, so a :class:`SearchShard` plus a
+    snapshot is a complete, cheap-to-pickle work unit for a worker process.
+    Workers run the *linear* part of the system only; candidate evaluation
+    (markings, ``Out`` sets, traces) stays with the parent, which holds the
+    real context.
+    """
+
+    __slots__ = (
+        "num_vars",
+        "num_signals",
+        "num_places",
+        "pred_pos",
+        "conf_pos",
+        "signal_of",
+        "delta_of",
+        "suffix_count",
+        "suffix_plus",
+        "suffix_minus",
+        "window_flows",
+        "succ_pos",
+    )
+
+    def __init__(self, context: SolverContext):
+        self.num_vars = context.num_vars
+        self.num_signals = context.num_signals
+        self.num_places = context.num_places
+        self.pred_pos = list(context.pred_pos)
+        self.conf_pos = list(context.conf_pos)
+        self.signal_of = list(context.signal_of)
+        self.delta_of = list(context.delta_of)
+        self.suffix_count = [list(row) for row in context.suffix_count]
+        self.suffix_plus = [list(row) for row in context.suffix_plus]
+        self.suffix_minus = [list(row) for row in context.suffix_minus]
+        self.window_flows = list(context.window_flows)
+        self.succ_pos = list(context.succ_pos)

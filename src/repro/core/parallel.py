@@ -1,0 +1,335 @@
+"""Frontier-split intra-check parallelism for the branch-and-bound searches.
+
+One hard USC/CSC/normalcy check is a single walk of one search tree — the
+portfolio engine of :mod:`repro.engine` can race *different* checks but
+cannot make one check faster.  This module splits the tree itself:
+
+1. **Frontier enumeration** (parent process): descend the first ``d``
+   positions with the normal search machinery — order propagation and
+   balance pruning included, so dead prefixes are never shipped — and
+   collect the surviving partial assignments as picklable shards
+   (:class:`repro.core.search.SearchShard` /
+   :class:`repro.core.window.WindowShard`).  The frontier depth is grown
+   level by level until there are enough shards to feed the workers.
+2. **Fan-out**: each shard plus a :class:`repro.core.context.SolverSnapshot`
+   is a self-contained work unit, dispatched over the existing
+   :class:`repro.engine.pool.WorkerPool` runner registry (runner name
+   :data:`RUNNER_NAME`).  Workers run only the *linear* part of the system
+   — enumerate candidate masks in their subtree — and return them with
+   their :class:`SearchStats`; the non-linear separating constraints
+   (markings, ``Out`` sets, ``Nxt``) are evaluated by the caller, which
+   holds the full context.
+3. **Deterministic merge**: results are consumed strictly in shard order
+   (out-of-order completions are buffered), and shards are enumerated in
+   descent order, so the concatenated candidate stream — and therefore any
+   witness derived from it — is byte-identical with the sequential search.
+   Early exit (the caller stops consuming after a witness) cancels every
+   unfinished shard via :meth:`WorkerPool.shutdown`.
+
+Degradation contract: with ``workers <= 1`` no processes are forked — the
+shards (if any were requested) run inline, in order, through the same merge
+path, and with no shard request at all the driver is a plain delegate to the
+sequential search.  On platforms without ``fork`` the pool itself degrades
+inline with the same semantics.
+
+Stats contract: frontier nodes are counted once by the parent during
+splitting and shard nodes once by whichever worker owns the subtree
+(frontier emission points are never double-counted — see
+:meth:`PairSearch.frontier_from`), so the merged :attr:`ParallelSearch.stats`
+of a fully consumed enumeration equals the sequential totals exactly.
+``node_budget`` applies per walk — to the frontier split and to each shard
+independently; a worker that exhausts it ships the limit back and the
+driver re-raises :class:`SolverLimitError` at the shard's merge point.
+
+Observability (all disabled-by-default, parent side only): counters
+``search.shards`` (shipped), ``search.shards_pruned`` (dead prefixes killed
+during frontier enumeration), ``search.cancelled`` (shards abandoned after
+early exit); a ``search.shard`` span around each in-order wait-and-merge
+(nested inside the checker's ``search.*`` span, so phase accounting never
+double-counts it); and a ``pool.shard_time`` timer accumulating the
+workers' own wall clock (deliberately outside the ``solver`` phase — it
+overlaps the parent's span when runs are truly parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.core.context import SolverContext, SolverSnapshot
+from repro.core.search import (
+    MODE_EQUAL,
+    PairSearch,
+    SearchShard,
+    SearchStats,
+)
+from repro.core.window import WindowSearch, WindowShard
+from repro.engine.pool import Task, WorkerPool, register_runner
+from repro.exceptions import SolverError, SolverLimitError
+
+#: Search tree being split: the pair enumeration or the window enumeration.
+KIND_PAIRS = "pairs"
+KIND_WINDOW = "window"
+
+#: Registered :mod:`repro.engine.pool` runner executing one shard.
+RUNNER_NAME = "search-shard"
+
+#: Default shard oversubscription: shards per worker, so an unlucky split
+#: (one heavy subtree) still keeps the other workers busy.
+SHARDS_PER_WORKER = 4
+
+AnyShard = Union[SearchShard, WindowShard]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable work unit: one shard of one search, plus the tables."""
+
+    snapshot: SolverSnapshot
+    kind: str
+    mode: str
+    nested_only: bool
+    require_marking_change: bool
+    node_budget: Optional[int]
+    index: int
+    shard: AnyShard
+
+
+@dataclass
+class ShardResult:
+    """What one shard produced: its candidate masks, stats, and whether the
+    walk died on the node budget (``limit`` carries the message)."""
+
+    index: int
+    solutions: List[Tuple[int, int]]
+    stats: SearchStats
+    limit: Optional[str] = None
+
+
+def _build_search(
+    context: Union[SolverContext, SolverSnapshot],
+    kind: str,
+    mode: str,
+    nested_only: bool,
+    require_marking_change: bool,
+    node_budget: Optional[int],
+) -> Union[PairSearch, WindowSearch]:
+    if kind == KIND_WINDOW:
+        return WindowSearch(
+            context,
+            require_marking_change=require_marking_change,
+            node_budget=node_budget,
+        )
+    if kind == KIND_PAIRS:
+        return PairSearch(
+            context,
+            mode=mode,
+            nested_only=nested_only,
+            node_budget=node_budget,
+        )
+    raise SolverError(f"unknown search kind {kind!r}")
+
+
+def _run_search_shard(payload: ShardTask) -> ShardResult:
+    """Pool runner: exhaust one shard's subtree, return raw candidates."""
+    search = _build_search(
+        payload.snapshot,
+        payload.kind,
+        payload.mode,
+        payload.nested_only,
+        payload.require_marking_change,
+        payload.node_budget,
+    )
+    solutions: List[Tuple[int, int]] = []
+    limit: Optional[str] = None
+    try:
+        for solution in search.solutions_from(payload.shard):  # type: ignore[arg-type]
+            solutions.append(solution)
+    except SolverLimitError as exc:
+        limit = str(exc)
+    return ShardResult(
+        index=payload.index,
+        solutions=solutions,
+        stats=search.stats,
+        limit=limit,
+    )
+
+
+register_runner(RUNNER_NAME, _run_search_shard)
+
+
+class ParallelSearch:
+    """Drop-in parallel front end for :class:`PairSearch` / :class:`WindowSearch`.
+
+    Exposes the same ``solutions()`` / ``stats`` surface as the sequential
+    searches, so the checkers in :mod:`repro.core.verifier` can swap it in
+    without touching their candidate-filtering loops.
+
+    ``workers``
+        Worker processes to fork; ``<= 1`` never forks (inline execution).
+    ``shards``
+        Target frontier size; default ``workers * SHARDS_PER_WORKER`` (or 1
+        when not parallel, which collapses to the plain sequential walk).
+    """
+
+    def __init__(
+        self,
+        context: SolverContext,
+        kind: str = KIND_PAIRS,
+        mode: str = MODE_EQUAL,
+        nested_only: bool = False,
+        require_marking_change: bool = True,
+        node_budget: Optional[int] = None,
+        workers: int = 0,
+        shards: Optional[int] = None,
+    ):
+        if not isinstance(context, SolverContext):
+            raise SolverError(
+                "ParallelSearch needs the full SolverContext (it snapshots "
+                "the tables for the workers itself)"
+            )
+        self.context = context
+        self.kind = kind
+        self.mode = mode
+        self.nested_only = nested_only
+        self.require_marking_change = require_marking_change
+        self.node_budget = node_budget
+        self.workers = max(0, workers)
+        if shards is not None and shards < 1:
+            raise SolverError("shards must be >= 1")
+        self.target_shards = (
+            shards
+            if shards is not None
+            else (self.workers * SHARDS_PER_WORKER if self.workers > 1 else 1)
+        )
+        self.stats = SearchStats()
+        self._local = _build_search(
+            context,
+            kind,
+            mode,
+            nested_only,
+            require_marking_change,
+            node_budget,
+        )
+        # the frontier walk and the inline path flush into the merged stats
+        self._local.stats = self.stats
+
+    # -- public API -------------------------------------------------------------
+
+    def solutions(self) -> Iterator[Tuple[int, int]]:
+        """Candidate masks in the sequential search's order (see module doc)."""
+        if self.target_shards <= 1:
+            return self._local.solutions()
+        return self._solutions_split()
+
+    # -- frontier splitting ------------------------------------------------------
+
+    def _split_frontier(self) -> List[AnyShard]:
+        """Grow the frontier level by level until it can feed the workers.
+
+        Each level re-splits every shard one position deeper, which walks
+        only the new internal nodes (already-deep shards pass through
+        untouched), so the total node count stays identical to one
+        sequential descent over the same region.
+        """
+        search = self._local
+        num_vars = self.context.num_vars
+        frontier: List[AnyShard] = [search.root_shard()]
+        depth = 0
+        while depth < num_vars and len(frontier) < self.target_shards:
+            depth += 1
+            level: List[AnyShard] = []
+            for shard in frontier:
+                level.extend(search.frontier_from(shard, depth))  # type: ignore[arg-type]
+            if not level:
+                return []  # the whole tree was pruned during splitting
+            frontier = level
+        return frontier
+
+    def _solutions_split(self) -> Iterator[Tuple[int, int]]:
+        tracer = obs.get_tracer()
+        pruned_before = self.stats.pruned_balance
+        frontier = self._split_frontier()
+        if tracer.enabled:
+            tracer.incr("search.shards", len(frontier))
+            tracer.incr(
+                "search.shards_pruned",
+                self.stats.pruned_balance - pruned_before,
+            )
+        if not frontier:
+            return
+        snapshot = self.context.snapshot()
+        pool = WorkerPool(
+            max_workers=self.workers if self.workers > 1 else 0
+        )
+        buffered: Dict[int, ShardResult] = {}
+        total = len(frontier)
+        next_index = 0
+        try:
+            for index, shard in enumerate(frontier):
+                pool.submit(
+                    Task(
+                        task_id=f"shard-{index}",
+                        group="intra-check",
+                        runner=RUNNER_NAME,
+                        payload=ShardTask(
+                            snapshot=snapshot,
+                            kind=self.kind,
+                            mode=self.mode,
+                            nested_only=self.nested_only,
+                            require_marking_change=self.require_marking_change,
+                            node_budget=self.node_budget,
+                            index=index,
+                            shard=shard,
+                        ),
+                    )
+                )
+            outcomes = pool.outcomes()
+            while next_index < total:
+                # the span covers waiting for (and merging) the next in-order
+                # shard — the pipeline stall the merge discipline costs; the
+                # workers' own wall clock lands in the pool.shard_time timer
+                if tracer.enabled:
+                    with tracer.span("search.shard"):
+                        result = self._await(next_index, buffered, outcomes)
+                        self.stats.merge(result.stats)
+                else:
+                    result = self._await(next_index, buffered, outcomes)
+                    self.stats.merge(result.stats)
+                if result.limit is not None:
+                    raise SolverLimitError(result.limit)
+                for solution in result.solutions:
+                    yield solution
+                next_index += 1
+        finally:
+            remaining = total - next_index
+            if remaining > 0 and tracer.enabled:
+                tracer.incr("search.cancelled", remaining)
+            pool.shutdown()
+
+    @staticmethod
+    def _await(
+        index: int,
+        buffered: Dict[int, ShardResult],
+        outcomes: Iterator,
+    ) -> ShardResult:
+        """Block until shard ``index`` has reported, buffering later shards."""
+        result = buffered.pop(index, None)
+        while result is None:
+            outcome = next(outcomes, None)
+            if outcome is None:
+                raise SolverError(
+                    f"worker pool drained with shard {index} unreported"
+                )
+            if outcome.status != "ok":
+                raise SolverError(
+                    f"search shard {outcome.task_id} failed "
+                    f"({outcome.status}): {outcome.error or 'no detail'}"
+                )
+            obs.add_time("pool.shard_time", outcome.elapsed)
+            if outcome.value.index == index:
+                result = outcome.value
+            else:
+                buffered[outcome.value.index] = outcome.value
+        return result

@@ -29,6 +29,16 @@ branching rule is Theorem 1, the cut-off variable elimination is constraint
 (3), the ``nested_only`` restriction is Proposition 1, and :data:`MODE_LEQ`
 is the relaxed system (5) of Section 6 (normalcy).
 
+Implementation: the descent is an *iterative* explicit-stack loop — one
+preallocated frame per depth, no recursion, no generator chain — driven by
+precomputed per-position branch tables (the legal ``(a, b)`` successor
+options with the signal delta and the balance-pruning interval folded in).
+Any subtree can be packaged as a picklable :class:`SearchShard` (the resume
+index plus the partial assignment state) and resumed later, in another
+process, via :meth:`PairSearch.solutions_from`; :meth:`PairSearch.frontier_from`
+splits a shard into the consistent partial assignments at a deeper index,
+which is how :mod:`repro.core.parallel` fans one check out over workers.
+
 Observability: the search keeps its own :class:`SearchStats` (node, leaf,
 prune and solution counts — the ablation benchmarks read these directly);
 the high-level checkers in :mod:`repro.core.verifier` wrap each run in a
@@ -39,15 +49,22 @@ carries no instrumentation at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
 
-from repro.exceptions import SolverLimitError
-from repro.core.context import SolverContext
+from repro.exceptions import SolverError, SolverLimitError
+from repro.core.context import SolverContext, SolverSnapshot
 
 #: Constraint placed on the per-signal code difference ``Code(x')-Code(x'')``.
 MODE_EQUAL = "equal"   # USC / CSC: difference must vanish
 MODE_LEQ = "leq"       # normalcy: Code(x') <= Code(x'') componentwise
+
+#: Either the full prefix view or its picklable slice — the searches only
+#: touch the shared table attributes, so both work interchangeably.
+ContextLike = Union[SolverContext, SolverSnapshot]
+
+#: Sentinel bound for disabled interval pruning (never exceeded).
+_NO_BOUND = 1 << 62
 
 
 @dataclass
@@ -59,6 +76,32 @@ class SearchStats:
     pruned_balance: int = 0
     pruned_structure: int = 0
     solutions: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters (shard merging)."""
+        self.nodes += other.nodes
+        self.leaves += other.leaves
+        self.pruned_balance += other.pruned_balance
+        self.pruned_structure += other.pruned_structure
+        self.solutions += other.solutions
+
+
+@dataclass(frozen=True)
+class SearchShard:
+    """A picklable resume point of the pair search: the subtree rooted at the
+    partial assignment ``(ones_a, ones_b)`` of positions ``< resume_index``.
+
+    ``diff`` is the per-signal code difference of the partial assignment and
+    ``differed`` whether the two vectors already differ (the symmetry-breaking
+    state) — exactly the state the descent threads through its frames, so a
+    shard resumes bit-for-bit where the frontier enumeration stopped.
+    """
+
+    resume_index: int
+    ones_a: int
+    ones_b: int
+    diff: Tuple[int, ...]
+    differed: bool
 
 
 class PairSearch:
@@ -82,7 +125,7 @@ class PairSearch:
 
     def __init__(
         self,
-        context: SolverContext,
+        context: ContextLike,
         mode: str = MODE_EQUAL,
         nested_only: bool = False,
         use_balance_pruning: bool = True,
@@ -98,8 +141,19 @@ class PairSearch:
         self.use_order_propagation = use_order_propagation
         self.node_budget = node_budget
         self.stats = SearchStats()
+        self._build_branch_tables()
 
     # -- public API -------------------------------------------------------------
+
+    def root_shard(self) -> SearchShard:
+        """The shard covering the whole search tree."""
+        return SearchShard(
+            resume_index=0,
+            ones_a=0,
+            ones_b=0,
+            diff=(0,) * self.context.num_signals,
+            differed=False,
+        )
 
     def solutions(self) -> Iterator[Tuple[int, int]]:
         """Yield all pairs of position masks satisfying the code constraint
@@ -110,121 +164,246 @@ class PairSearch:
         CSC, ``Nxt`` comparisons for normalcy — to each candidate, which is
         exactly the paper's strategy of checking those directly on the STG.
         """
-        diff = [0] * self.context.num_signals
-        yield from self._descend(0, 0, 0, diff, False)
+        return self.solutions_from(self.root_shard())
 
-    # -- internals -------------------------------------------------------------
+    def solutions_from(self, shard: SearchShard) -> Iterator[Tuple[int, int]]:
+        """Resume the enumeration inside ``shard`` (its subtree only)."""
+        return self._walk(shard, None)  # type: ignore[return-value]
 
-    def _descend(
-        self,
-        index: int,
-        ones_a: int,
-        ones_b: int,
-        diff,
-        differed: bool,
-    ) -> Iterator[Tuple[int, int]]:
+    def frontier_from(self, shard: SearchShard, depth: int) -> List[SearchShard]:
+        """Split ``shard`` into the consistent partial assignments at position
+        ``depth`` (clamped to ``num_vars``), in descent order.
+
+        Dead prefixes — partial assignments killed by order propagation or
+        balance pruning — are never emitted, and the internal nodes walked
+        here are counted into :attr:`stats` exactly once, so frontier stats
+        plus per-shard stats add up to the sequential totals.
+        """
+        stop = min(depth, self.context.num_vars)
+        if shard.resume_index >= stop:
+            return [shard]
+        return list(self._walk(shard, stop))  # type: ignore[arg-type]
+
+    # -- the iterative hot loop --------------------------------------------------
+
+    def _build_branch_tables(self) -> None:
+        """Per-position successor options with pruning data folded in.
+
+        Each entry is ``(abit, bbit, sig, dd, lim_pos, lim_neg)``: the mask
+        bits the option sets, the signal index and code-difference delta it
+        contributes (``dd == 0`` when the vectors agree or the event is a
+        dummy), and the inclusive interval ``[lim_neg, lim_pos]`` the new
+        difference must stay in (the balance pruning of constraint (2),
+        using the tighter one-sided bounds in nested mode).
+
+        ``_branch_sym`` additionally drops the ``(1, 0)`` option — used while
+        the pair has not differed yet in :data:`MODE_EQUAL` (the unordered
+        pair is enumerated once, first difference forced to ``(0, 1)``).
+        """
         context = self.context
-        self.stats.nodes += 1
-        if self.node_budget is not None and self.stats.nodes > self.node_budget:
-            raise SolverLimitError(
-                f"pair search exceeded node budget {self.node_budget}"
-            )
-        if index == context.num_vars:
-            self.stats.leaves += 1
-            if self._leaf_ok(ones_a, ones_b, diff, differed):
-                self.stats.solutions += 1
-                yield ones_a, ones_b
-            return
-
-        bit = 1 << index
-        pred = context.pred_pos[index]
-        conf = context.conf_pos[index]
-        signal = context.signal_of[index]
-        delta = context.delta_of[index]
-
-        can_a = self._assignable(pred, conf, ones_a)
-        can_b = self._assignable(pred, conf, ones_b)
-
-        for a, b in ((1, 1), (0, 1), (1, 0), (0, 0)):
-            if a and not can_a:
-                continue
-            if b and not can_b:
-                continue
-            if a == 1 and b == 0:
+        equal = self.mode == MODE_EQUAL
+        prune = self.use_balance_pruning
+        plain: List[Tuple[Tuple[int, int, int, int, int, int], ...]] = []
+        sym: List[Tuple[Tuple[int, int, int, int, int, int], ...]] = []
+        for index in range(context.num_vars):
+            bit = 1 << index
+            signal = context.signal_of[index]
+            delta = context.delta_of[index]
+            if signal is not None and prune:
+                nxt = index + 1
                 if self.nested_only:
-                    continue  # Proposition 1: C' ⊆ C''
-                if self.mode == MODE_EQUAL and not differed:
-                    # symmetry breaking: the pair is unordered for USC/CSC,
-                    # so force the first difference to be (0, 1); normalcy
-                    # pairs are ordered (Code(x') <= Code(x'')) — keep both
-                    continue
-            now_differed = differed or a != b
-            if signal is not None and a != b:
-                diff[signal] += delta * (a - b)
-                if self._balance_violated(diff, signal, index + 1):
-                    self.stats.pruned_balance += 1
-                    diff[signal] -= delta * (a - b)
-                    continue
-                yield from self._descend(
-                    index + 1,
-                    ones_a | (bit if a else 0),
-                    ones_b | (bit if b else 0),
-                    diff,
-                    now_differed,
-                )
-                diff[signal] -= delta * (a - b)
+                    lim_pos = context.suffix_plus[nxt][signal]
+                    lim_neg = (
+                        -context.suffix_minus[nxt][signal] if equal else -_NO_BOUND
+                    )
+                else:
+                    count = context.suffix_count[nxt][signal]
+                    lim_pos = count
+                    lim_neg = -count if equal else -_NO_BOUND
             else:
-                yield from self._descend(
-                    index + 1,
-                    ones_a | (bit if a else 0),
-                    ones_b | (bit if b else 0),
-                    diff,
-                    now_differed,
+                lim_pos, lim_neg = _NO_BOUND, -_NO_BOUND
+            entries = []
+            for a, b in ((1, 1), (0, 1), (1, 0), (0, 0)):
+                if a == 1 and b == 0 and self.nested_only:
+                    continue  # Proposition 1: C' ⊆ C''
+                dd = delta * (a - b) if signal is not None else 0
+                entries.append(
+                    (
+                        bit if a else 0,
+                        bit if b else 0,
+                        signal if signal is not None else 0,
+                        dd,
+                        lim_pos,
+                        lim_neg,
+                    )
                 )
+            plain.append(tuple(entries))
+            sym.append(tuple(e for e in entries if not (e[0] and not e[1])))
+        self._branch_plain = plain
+        self._branch_sym = sym
 
-    def _assignable(self, pred: int, conf: int, ones: int) -> bool:
-        if not self.use_order_propagation:
-            return True
-        return pred & ~ones == 0 and conf & ones == 0
+    def _walk(
+        self, shard: SearchShard, stop: Optional[int]
+    ) -> Iterator[Union[Tuple[int, int], SearchShard]]:
+        """The iterative descent over ``shard``'s subtree.
 
-    def _balance_violated(self, diff, signal: int, next_index: int) -> bool:
-        if not self.use_balance_pruning:
-            return False
-        value = diff[signal]
-        if self.nested_only:
-            # only (0, 1) assignments remain possible, so a future s+ event
-            # can only lower diff and a future s- event can only raise it
-            lo = value - self.context.suffix_plus[next_index][signal]
-            hi = value + self.context.suffix_minus[next_index][signal]
-            if self.mode == MODE_EQUAL:
-                return lo > 0 or hi < 0
-            return lo > 0  # MODE_LEQ: must be able to come down to <= 0
-        remaining = self.context.suffix_count[next_index][signal]
-        if self.mode == MODE_EQUAL:
-            return abs(value) > remaining
-        return value > remaining  # MODE_LEQ: must be able to come down to <= 0
+        With ``stop is None`` runs to the leaves and yields solution pairs;
+        with ``stop = k`` yields uncounted :class:`SearchShard` resume points
+        at position ``k`` instead (frontier splitting).
+        """
+        context = self.context
+        num_vars = context.num_vars
+        start = shard.resume_index
+        depth_cap = num_vars - start + 1
+        mode_equal = self.mode == MODE_EQUAL
+        propagate = self.use_order_propagation
+        budget = self.node_budget if self.node_budget is not None else _NO_BOUND
+        branch_plain = self._branch_plain
+        branch_sym = self._branch_sym
+        pred_pos = context.pred_pos
+        conf_pos = context.conf_pos
 
-    def _leaf_ok(self, ones_a: int, ones_b: int, diff, differed: bool) -> bool:
-        if self.mode == MODE_EQUAL:
-            if not differed:
+        diff = list(shard.diff)
+        # one preallocated frame per depth (the descent advances the index by
+        # exactly one, so depth identifies the position being decided)
+        ones_a = [0] * depth_cap
+        ones_b = [0] * depth_cap
+        differed = [False] * depth_cap
+        cursor = [0] * depth_cap
+        options: List[Tuple[Tuple[int, int, int, int, int, int], ...]] = [
+            ()
+        ] * depth_cap
+        can_a = [False] * depth_cap
+        can_b = [False] * depth_cap
+        undo_sig = [0] * depth_cap
+        undo_dd = [0] * depth_cap
+        ones_a[0], ones_b[0] = shard.ones_a, shard.ones_b
+        differed[0] = shard.differed
+
+        nodes = leaves = pruned = found = 0
+        depth = 0
+        fresh = True
+        try:
+            while depth >= 0:
+                if fresh:
+                    index = start + depth
+                    if stop is not None and index == stop:
+                        # emit a resume point; the node itself is counted by
+                        # whoever descends into the shard, not here
+                        yield SearchShard(
+                            resume_index=index,
+                            ones_a=ones_a[depth],
+                            ones_b=ones_b[depth],
+                            diff=tuple(diff),
+                            differed=differed[depth],
+                        )
+                        dd = undo_dd[depth]
+                        if dd:
+                            diff[undo_sig[depth]] -= dd
+                        depth -= 1
+                        fresh = False
+                        continue
+                    nodes += 1
+                    if nodes > budget:
+                        raise SolverLimitError(
+                            f"pair search exceeded node budget {self.node_budget}"
+                        )
+                    if index == num_vars:
+                        leaves += 1
+                        oa, ob = ones_a[depth], ones_b[depth]
+                        if mode_equal:
+                            ok = differed[depth] and not any(diff)
+                        else:
+                            ok = not any(d > 0 for d in diff)
+                        if ok and not propagate:
+                            ok = self._structure_ok(oa, ob)
+                        if ok:
+                            found += 1
+                            yield oa, ob
+                        dd = undo_dd[depth]
+                        if dd:
+                            diff[undo_sig[depth]] -= dd
+                        depth -= 1
+                        fresh = False
+                        continue
+                    oa, ob = ones_a[depth], ones_b[depth]
+                    if propagate:
+                        pred = pred_pos[index]
+                        conf = conf_pos[index]
+                        can_a[depth] = pred & ~oa == 0 and conf & oa == 0
+                        can_b[depth] = pred & ~ob == 0 and conf & ob == 0
+                    else:
+                        can_a[depth] = can_b[depth] = True
+                    options[depth] = (
+                        branch_sym[index]
+                        if mode_equal and not differed[depth]
+                        else branch_plain[index]
+                    )
+                    cursor[depth] = 0
+                    fresh = False
+
+                row = options[depth]
+                cur = cursor[depth]
+                oa, ob = ones_a[depth], ones_b[depth]
+                ca, cb = can_a[depth], can_b[depth]
+                pushed = False
+                while cur < len(row):
+                    abit, bbit, sig, dd, lim_pos, lim_neg = row[cur]
+                    cur += 1
+                    if abit and not ca:
+                        continue
+                    if bbit and not cb:
+                        continue
+                    child = depth + 1
+                    if dd:
+                        value = diff[sig] + dd
+                        if value > lim_pos or value < lim_neg:
+                            pruned += 1
+                            continue
+                        diff[sig] = value
+                        undo_sig[child] = sig
+                        undo_dd[child] = dd
+                    else:
+                        undo_dd[child] = 0
+                    cursor[depth] = cur
+                    ones_a[child] = oa | abit
+                    ones_b[child] = ob | bbit
+                    differed[child] = differed[depth] or abit != bbit
+                    depth = child
+                    fresh = True
+                    pushed = True
+                    break
+                if pushed:
+                    continue
+                # options exhausted: undo the edge that led here and pop
+                dd = undo_dd[depth]
+                if dd:
+                    diff[undo_sig[depth]] -= dd
+                depth -= 1
+        finally:
+            stats = self.stats
+            stats.nodes += nodes
+            stats.leaves += leaves
+            stats.pruned_balance += pruned
+            stats.solutions += found
+
+    # -- leaf validation (ablation path only) -------------------------------------
+
+    def _structure_ok(self, ones_a: int, ones_b: int) -> bool:
+        """Validate compatibility at a leaf when order propagation is off."""
+        from repro.core.closure import is_compatible
+
+        context = self.context
+        if not isinstance(context, SolverContext):
+            raise SolverError(
+                "leaf compatibility validation needs the full SolverContext "
+                "(snapshots carry no relations); keep order propagation on"
+            )
+        for mask in (ones_a, ones_b):
+            events = 0
+            for e in context.positions_to_events(mask):
+                events |= 1 << e
+            if not is_compatible(context.relations, events):
+                self.stats.pruned_structure += 1
                 return False
-            if any(diff):
-                return False
-        else:
-            if any(d > 0 for d in diff):
-                return False
-        if not self.use_order_propagation:
-            # compatibility was not enforced during the descent; validate now
-            from repro.core.closure import is_compatible
-
-            remap = self.context.positions_to_events
-            from repro.utils.bitset import BitSet
-
-            for mask in (ones_a, ones_b):
-                events = 0
-                for e in remap(mask):
-                    events |= 1 << e
-                if not is_compatible(self.context.relations, events):
-                    self.stats.pruned_structure += 1
-                    return False
         return True

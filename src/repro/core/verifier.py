@@ -119,6 +119,40 @@ def _flush_search_stats(stats: SearchStats) -> None:
     tracer.incr("search.solutions", stats.solutions)
 
 
+def _make_search(
+    context: SolverContext,
+    kind: str,
+    mode: str = MODE_EQUAL,
+    nested_only: bool = False,
+    node_budget: Optional[int] = None,
+    workers: int = 0,
+    shards: Optional[int] = None,
+):
+    """Build the sequential search, or its frontier-split parallel front end
+    when the caller asked for workers or an explicit shard split (both have
+    the same ``solutions()`` / ``stats`` surface — docs/parallelism.md)."""
+    if workers > 0 or (shards is not None and shards > 1):
+        from repro.core.parallel import KIND_PAIRS, KIND_WINDOW, ParallelSearch
+
+        assert kind in (KIND_PAIRS, KIND_WINDOW)
+        return ParallelSearch(
+            context,
+            kind=kind,
+            mode=mode,
+            nested_only=nested_only,
+            node_budget=node_budget,
+            workers=workers,
+            shards=shards,
+        )
+    if kind == "window":
+        from repro.core.window import WindowSearch
+
+        return WindowSearch(context, node_budget=node_budget)
+    return PairSearch(
+        context, mode=mode, nested_only=nested_only, node_budget=node_budget
+    )
+
+
 def _should_nest(context: SolverContext, nested: Optional[bool]) -> bool:
     """Resolve the Proposition 1 switch.
 
@@ -142,6 +176,8 @@ def check_usc(
     use_window_search: bool = True,
     prescreen: Optional[str] = "kernel",
     node_budget: Optional[int] = None,
+    workers: int = 0,
+    shards: Optional[int] = None,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Unique State Coding property on the unfolding prefix.
@@ -155,6 +191,10 @@ def check_usc(
     ``"kernel"`` (default; sub-millisecond exact linear algebra), ``"lp"``
     (the rational-simplex relaxation — stronger but much costlier), or
     ``None``.  A conclusive prescreen skips the search entirely.
+
+    ``workers`` / ``shards`` enable the frontier-split parallel search of
+    :mod:`repro.core.parallel` (0/None: sequential; verdicts and witnesses
+    are identical either way — docs/parallelism.md).
     """
     started = time.perf_counter()
     context = _prepare(source, unfolding_options)
@@ -179,9 +219,13 @@ def check_usc(
             )
 
     if nest and use_window_search:
-        from repro.core.window import WindowSearch
-
-        search = WindowSearch(context, node_budget=node_budget)
+        search = _make_search(
+            context,
+            "window",
+            node_budget=node_budget,
+            workers=workers,
+            shards=shards,
+        )
         with obs.trace("search.window"):
             for closure_mask, window_mask in search.solutions():
                 mask_b = closure_mask
@@ -198,11 +242,14 @@ def check_usc(
                     break
         stats = search.stats
     else:
-        search = PairSearch(
+        search = _make_search(
             context,
+            "pairs",
             mode=MODE_EQUAL,
             nested_only=nest,
             node_budget=node_budget,
+            workers=workers,
+            shards=shards,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():
@@ -233,6 +280,8 @@ def check_csc(
     nested: Optional[bool] = None,
     use_window_search: bool = True,
     node_budget: Optional[int] = None,
+    workers: int = 0,
+    shards: Optional[int] = None,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Complete State Coding property on the unfolding prefix.
@@ -256,9 +305,13 @@ def check_csc(
     stats = None
 
     if nest and use_window_search:
-        from repro.core.window import WindowSearch
-
-        window_search = WindowSearch(context, node_budget=node_budget)
+        window_search = _make_search(
+            context,
+            "window",
+            node_budget=node_budget,
+            workers=workers,
+            shards=shards,
+        )
         saw_window = False
         with obs.trace("search.window"):
             for closure_mask, window_mask in window_search.solutions():
@@ -292,11 +345,14 @@ def check_csc(
             )
 
     if witness is None:
-        search = PairSearch(
+        search = _make_search(
             context,
+            "pairs",
             mode=MODE_EQUAL,
             nested_only=nest,
             node_budget=node_budget,
+            workers=workers,
+            shards=shards,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():
@@ -342,6 +398,8 @@ def check_normalcy(
     source: Union[STG, Prefix],
     signals: Optional[List[str]] = None,
     node_budget: Optional[int] = None,
+    workers: int = 0,
+    shards: Optional[int] = None,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> NormalcyIPReport:
     """Check normalcy of the given (default: all non-input) signals.
@@ -359,11 +417,14 @@ def check_normalcy(
     verdicts = {
         z: SignalVerdict(signal=z, p_normal=True, n_normal=True) for z in targets
     }
-    search = PairSearch(
+    search = _make_search(
         context,
+        "pairs",
         mode=MODE_LEQ,
         nested_only=False,
         node_budget=node_budget,
+        workers=workers,
+        shards=shards,
     )
     unresolved = set(targets)
     with obs.trace("search.pairs"):

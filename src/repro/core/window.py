@@ -22,19 +22,52 @@ nodes on the conflict-free benchmarks, where the pair search must enumerate
 every configuration pair.  Because the branching order is topological,
 convexity reduces to one incremental mask check per inclusion: none of the
 new event's causal predecessors may be an excluded successor of the window.
+
+Like :class:`repro.core.search.PairSearch`, the descent is an iterative
+explicit-stack loop (one preallocated frame per depth, a small stage machine
+for the include/exclude branches) and any subtree can be packaged as a
+picklable :class:`WindowShard` and resumed elsewhere — the frontier-split
+parallel driver of :mod:`repro.core.parallel` uses both searches through
+the same shard/frontier interface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 from time import perf_counter
 
-from repro.core.context import SolverContext
+from repro.core.context import SolverContext, SolverSnapshot
 from repro.core.search import SearchStats
 from repro.exceptions import SolverLimitError
 from repro.obs import get_tracer
+
+ContextLike = Union[SolverContext, SolverSnapshot]
+
+_NO_BOUND = 1 << 62
+
+#: Frame stages of the iterative descent.
+_FRESH = 0          # node not expanded yet
+_TRY_EXCLUDE = 1    # include branch done (skipped or pruned), exclude next
+_IN_INCLUDE = 2     # include child running; undo its deltas on return
+_IN_EXCLUDE = 3     # exclude child running; pop on return
+
+
+@dataclass(frozen=True)
+class WindowShard:
+    """A picklable resume point of the window search: the subtree rooted at
+    the partial window ``chosen`` over positions ``< resume_index``, with the
+    incremental state (convexity successor mask, per-signal code difference,
+    marking-equation deltas) the descent threads through its frames.
+    """
+
+    resume_index: int
+    chosen: int
+    succ_mask: int
+    diff: Tuple[int, ...]
+    place_delta: Tuple[int, ...]
+    nonzero_places: int
 
 
 class WindowSearch:
@@ -49,7 +82,7 @@ class WindowSearch:
 
     def __init__(
         self,
-        context: SolverContext,
+        context: ContextLike,
         require_marking_change: bool = True,
         node_budget: Optional[int] = None,
     ):
@@ -57,116 +90,183 @@ class WindowSearch:
         self.require_marking_change = require_marking_change
         self.node_budget = node_budget
         self.stats = SearchStats()
-        # original-net token flow of each position's transition, sparse
-        net = context.prefix.net
-        self.flows: List[Tuple[Tuple[int, int], ...]] = []
-        for position in range(context.num_vars):
-            transition = context.prefix.events[context.order[position]].transition
-            delta = {}
-            for p, w in net.preset(transition).items():
-                delta[p] = delta.get(p, 0) - w
-            for p, w in net.postset(transition).items():
-                delta[p] = delta.get(p, 0) + w
-            self.flows.append(tuple((p, d) for p, d in delta.items() if d))
-        # successor masks in position space (for the convexity check)
-        self.succ_pos: List[int] = [0] * context.num_vars
-        for i in range(context.num_vars):
-            rest = context.pred_pos[i]
-            while rest:
-                low = rest & -rest
-                self.succ_pos[low.bit_length() - 1] |= 1 << i
-                rest ^= low
-
-    def solutions(self) -> Iterator[Tuple[int, int]]:
-        context = self.context
-        diff = [0] * context.num_signals
-        place_delta = [0] * context.prefix.net.num_places
-        yield from self._descend(0, 0, 0, diff, place_delta, 0)
-
-    def _descend(
-        self,
-        index: int,
-        chosen: int,
-        succ_mask: int,
-        diff: List[int],
-        place_delta: List[int],
-        nonzero_places: int,
-    ) -> Iterator[Tuple[int, int]]:
-        context = self.context
-        self.stats.nodes += 1
-        if self.node_budget is not None and self.stats.nodes > self.node_budget:
-            raise SolverLimitError(
-                f"window search exceeded node budget {self.node_budget}"
-            )
-        if index == context.num_vars:
-            self.stats.leaves += 1
-            if chosen == 0:
-                return
-            if any(diff):
-                return
-            if self.require_marking_change and nonzero_places == 0:
-                return
-            closure = self._closure(chosen)
-            self.stats.solutions += 1
-            yield closure, chosen
-            return
-
-        signal = context.signal_of[index]
-        delta = context.delta_of[index]
-
-        # include the event: must be conflict-free with the window and must
-        # not create a gap (a causal predecessor outside the window that is
-        # itself above a window event would break convexity)
-        if (
-            context.conf_pos[index] & chosen == 0
-            and context.pred_pos[index] & succ_mask & ~chosen == 0
-        ):
-            ok = True
+        self.flows: List[Tuple[Tuple[int, int], ...]] = context.window_flows
+        self.succ_pos: List[int] = context.succ_pos
+        # balance interval per position, for its own signal: the undecided
+        # suffix can only raise the difference via s- events (exclusion side
+        # of a nested pair) and lower it via s+ events
+        self._lim_pos: List[int] = [_NO_BOUND] * context.num_vars
+        self._lim_neg: List[int] = [-_NO_BOUND] * context.num_vars
+        for index in range(context.num_vars):
+            signal = context.signal_of[index]
             if signal is not None:
-                diff[signal] += delta
-                if self._balance_violated(diff, signal, index + 1):
-                    self.stats.pruned_balance += 1
-                    ok = False
-            if ok:
-                added = []
-                nz = nonzero_places
-                for place, d in self.flows[index]:
-                    before = place_delta[place]
-                    after = before + d
-                    place_delta[place] = after
-                    if before == 0 and after != 0:
-                        nz += 1
-                    elif before != 0 and after == 0:
-                        nz -= 1
-                    added.append((place, d))
-                yield from self._descend(
-                    index + 1,
-                    chosen | (1 << index),
-                    succ_mask | self.succ_pos[index],
-                    diff,
-                    place_delta,
-                    nz,
-                )
-                for place, d in added:
-                    place_delta[place] -= d
-            if signal is not None:
-                diff[signal] -= delta
+                self._lim_pos[index] = context.suffix_minus[index + 1][signal]
+                self._lim_neg[index] = -context.suffix_plus[index + 1][signal]
 
-        # exclude the event
-        if signal is not None and self._balance_violated(diff, signal, index + 1):
-            self.stats.pruned_balance += 1
-            return
-        yield from self._descend(
-            index + 1, chosen, succ_mask, diff, place_delta, nonzero_places
+    # -- public API -------------------------------------------------------------
+
+    def root_shard(self) -> WindowShard:
+        """The shard covering the whole search tree."""
+        return WindowShard(
+            resume_index=0,
+            chosen=0,
+            succ_mask=0,
+            diff=(0,) * self.context.num_signals,
+            place_delta=(0,) * self.context.num_places,
+            nonzero_places=0,
         )
 
-    def _balance_violated(self, diff: List[int], signal: int, next_index: int) -> bool:
-        value = diff[signal]
-        lo = value  # future s+ events can only raise, s- only lower
-        hi = value
-        hi += self.context.suffix_plus[next_index][signal]
-        lo -= self.context.suffix_minus[next_index][signal]
-        return lo > 0 or hi < 0
+    def solutions(self) -> Iterator[Tuple[int, int]]:
+        return self.solutions_from(self.root_shard())
+
+    def solutions_from(self, shard: WindowShard) -> Iterator[Tuple[int, int]]:
+        """Resume the enumeration inside ``shard`` (its subtree only)."""
+        return self._walk(shard, None)  # type: ignore[return-value]
+
+    def frontier_from(self, shard: WindowShard, depth: int) -> List[WindowShard]:
+        """Split ``shard`` into the surviving partial windows at position
+        ``depth`` (clamped), in descent order; see
+        :meth:`repro.core.search.PairSearch.frontier_from` for the stats
+        contract (frontier + shard totals equal the sequential run).
+        """
+        stop = min(depth, self.context.num_vars)
+        if shard.resume_index >= stop:
+            return [shard]
+        return list(self._walk(shard, stop))  # type: ignore[arg-type]
+
+    # -- the iterative hot loop --------------------------------------------------
+
+    def _walk(
+        self, shard: WindowShard, stop: Optional[int]
+    ) -> Iterator[Union[Tuple[int, int], WindowShard]]:
+        context = self.context
+        num_vars = context.num_vars
+        start = shard.resume_index
+        depth_cap = num_vars - start + 1
+        budget = self.node_budget if self.node_budget is not None else _NO_BOUND
+        require_change = self.require_marking_change
+        pred_pos = context.pred_pos
+        conf_pos = context.conf_pos
+        signal_of = context.signal_of
+        delta_of = context.delta_of
+        flows = self.flows
+        succ_pos = self.succ_pos
+        lim_pos = self._lim_pos
+        lim_neg = self._lim_neg
+
+        diff = list(shard.diff)
+        place_delta = list(shard.place_delta)
+        chosen = [0] * depth_cap
+        succ = [0] * depth_cap
+        nonzero = [0] * depth_cap
+        stage = [_FRESH] * depth_cap
+        chosen[0], succ[0] = shard.chosen, shard.succ_mask
+        nonzero[0] = shard.nonzero_places
+
+        nodes = leaves = pruned = found = 0
+        depth = 0
+        try:
+            while depth >= 0:
+                index = start + depth
+                st = stage[depth]
+                if st == _FRESH:
+                    if stop is not None and index == stop:
+                        # emit a resume point; the node itself is counted by
+                        # whoever descends into the shard, not here
+                        yield WindowShard(
+                            resume_index=index,
+                            chosen=chosen[depth],
+                            succ_mask=succ[depth],
+                            diff=tuple(diff),
+                            place_delta=tuple(place_delta),
+                            nonzero_places=nonzero[depth],
+                        )
+                        depth -= 1
+                        continue
+                    nodes += 1
+                    if nodes > budget:
+                        raise SolverLimitError(
+                            f"window search exceeded node budget "
+                            f"{self.node_budget}"
+                        )
+                    if index == num_vars:
+                        leaves += 1
+                        window = chosen[depth]
+                        if (
+                            window != 0
+                            and not any(diff)
+                            and (nonzero[depth] != 0 or not require_change)
+                        ):
+                            found += 1
+                            yield self._closure(window), window
+                        depth -= 1
+                        continue
+                    # include the event: must be conflict-free with the
+                    # window and must not create a gap (a causal predecessor
+                    # outside the window that is itself above a window event
+                    # would break convexity)
+                    window = chosen[depth]
+                    stage[depth] = _TRY_EXCLUDE
+                    if (
+                        conf_pos[index] & window == 0
+                        and pred_pos[index] & succ[depth] & ~window == 0
+                    ):
+                        signal = signal_of[index]
+                        if signal is not None:
+                            value = diff[signal] + delta_of[index]
+                            if value > lim_pos[index] or value < lim_neg[index]:
+                                pruned += 1
+                                continue
+                            diff[signal] = value
+                        nz = nonzero[depth]
+                        for place, d in flows[index]:
+                            before = place_delta[place]
+                            after = before + d
+                            place_delta[place] = after
+                            if after == 0:
+                                nz -= 1
+                            elif before == 0:
+                                nz += 1
+                        stage[depth] = _IN_INCLUDE
+                        child = depth + 1
+                        chosen[child] = window | (1 << index)
+                        succ[child] = succ[depth] | succ_pos[index]
+                        nonzero[child] = nz
+                        stage[child] = _FRESH
+                        depth = child
+                    continue
+                if st == _IN_INCLUDE:
+                    # include child finished: undo its contributions
+                    signal = signal_of[index]
+                    if signal is not None:
+                        diff[signal] -= delta_of[index]
+                    for place, d in flows[index]:
+                        place_delta[place] -= d
+                    st = _TRY_EXCLUDE
+                if st == _TRY_EXCLUDE:
+                    stage[depth] = _IN_EXCLUDE
+                    signal = signal_of[index]
+                    if signal is not None:
+                        value = diff[signal]
+                        if value > lim_pos[index] or value < lim_neg[index]:
+                            pruned += 1
+                            depth -= 1
+                            continue
+                    child = depth + 1
+                    chosen[child] = chosen[depth]
+                    succ[child] = succ[depth]
+                    nonzero[child] = nonzero[depth]
+                    stage[child] = _FRESH
+                    depth = child
+                    continue
+                # _IN_EXCLUDE: both branches done
+                depth -= 1
+        finally:
+            stats = self.stats
+            stats.nodes += nodes
+            stats.leaves += leaves
+            stats.pruned_balance += pruned
+            stats.solutions += found
 
     def _closure(self, chosen: int) -> int:
         # MCC(D) in position space (Definition 1; existence by Theorem 2

@@ -83,6 +83,7 @@ def build_jobs(
     engines: Sequence[str] = ("ilp",),
     timeout: Optional[float] = None,
     node_budget: Optional[int] = None,
+    workers: int = 0,
 ) -> List[VerificationJob]:
     """One job per target × property, all racing the same engine portfolio."""
     jobs: List[VerificationJob] = []
@@ -96,6 +97,7 @@ def build_jobs(
                     engines=tuple(engines),
                     timeout=timeout,
                     node_budget=node_budget,
+                    workers=workers,
                     name=name,
                 )
             )

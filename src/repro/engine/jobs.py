@@ -55,6 +55,10 @@ class VerificationJob:
     engines: Tuple[str, ...] = ("ilp",)
     timeout: Optional[float] = None
     node_budget: Optional[int] = None
+    #: Intra-check workers for the ilp engine's frontier-split search
+    #: (0 = sequential); excluded from the cache identity like the other
+    #: resource knobs — it cannot change the verdict.
+    workers: int = 0
     name: str = ""
     stg_hash: str = ""
 
@@ -237,7 +241,9 @@ def _run_ilp(job: VerificationJob):
     from repro.core import check_csc, check_normalcy, check_usc
 
     if job.property == "normalcy":
-        report = check_normalcy(job.stg, node_budget=job.node_budget)
+        report = check_normalcy(
+            job.stg, node_budget=job.node_budget, workers=job.workers
+        )
         violating = report.violating_signals()
         witness = (
             f"abnormal signals: {', '.join(violating)}" if violating else None
@@ -251,7 +257,7 @@ def _run_ilp(job: VerificationJob):
             },
         )
     check = check_usc if job.property == "usc" else check_csc
-    report = check(job.stg, node_budget=job.node_budget)
+    report = check(job.stg, node_budget=job.node_budget, workers=job.workers)
     return (
         report.holds,
         report.witness.describe() if report.witness is not None else None,

@@ -36,6 +36,7 @@ class PrefixRelations:
         self.conf: List[int] = [0] * q
         self.cutoff_mask = 0
         self.all_mask = (1 << q) - 1
+        self._free_mask: int = -1
         self._compute()
 
     def _compute(self) -> None:
@@ -52,26 +53,37 @@ class PrefixRelations:
             if event.is_cutoff:
                 self.cutoff_mask |= bit
 
-        # conflicts: every pair of distinct consumers of a condition starts a
-        # pair of conflicting cones (the consumer and all its successors)
-        cones = [
-            (1 << e) | self.succ[e] for e in range(prefix.num_events)
-        ]
+        # conflicts: every pair of distinct consumers of a condition is in
+        # *direct* conflict, and conflict is inherited by causal successors
+        # on both sides.  Collect the direct-conflict mask per event first
+        # (deduplicating pairs that share several conditions), then propagate
+        # the conflict cones once, in topological order: an event inherits
+        # the full conflict mask of each immediate predecessor and adds the
+        # cones of its own direct adversaries — each cone is OR-ed in exactly
+        # once instead of being re-distributed per condition pair.
+        direct = [0] * prefix.num_events
         for condition in prefix.conditions:
             consumers = condition.post_events
             for i, c1 in enumerate(consumers):
                 for c2 in consumers[i + 1:]:
-                    m1, m2 = cones[c1], cones[c2]
-                    rest = m1
-                    while rest:
-                        low = rest & -rest
-                        self.conf[low.bit_length() - 1] |= m2
-                        rest ^= low
-                    rest = m2
-                    while rest:
-                        low = rest & -rest
-                        self.conf[low.bit_length() - 1] |= m1
-                        rest ^= low
+                    direct[c1] |= 1 << c2
+                    direct[c2] |= 1 << c1
+        cones = [
+            (1 << e) | self.succ[e] for e in range(prefix.num_events)
+        ]
+        conditions = prefix.conditions
+        for e in self.topological_order():
+            acc = 0
+            rest = direct[e]
+            while rest:
+                low = rest & -rest
+                acc |= cones[low.bit_length() - 1]
+                rest ^= low
+            for b in prefix.events[e].preset:
+                producer = conditions[b].pre_event
+                if producer is not None:
+                    acc |= self.conf[producer]
+            self.conf[e] = acc
 
     # -- queries -------------------------------------------------------------
 
@@ -100,11 +112,14 @@ class PrefixRelations:
     def free_events_mask(self) -> int:
         """Events allowed in configurations: everything but cut-offs and
         their successors (a successor of a cut-off is unusable anyway since
-        its history would contain the cut-off)."""
-        blocked = self.cutoff_mask
-        rest = self.cutoff_mask
-        while rest:
-            low = rest & -rest
-            blocked |= self.succ[low.bit_length() - 1]
-            rest ^= low
-        return self.all_mask & ~blocked
+        its history would contain the cut-off).  Memoised — callers hit this
+        once per context but diagnostics query it repeatedly."""
+        if self._free_mask < 0:
+            blocked = self.cutoff_mask
+            rest = self.cutoff_mask
+            while rest:
+                low = rest & -rest
+                blocked |= self.succ[low.bit_length() - 1]
+                rest ^= low
+            self._free_mask = self.all_mask & ~blocked
+        return self._free_mask

@@ -1,0 +1,273 @@
+"""Parallel/sequential equivalence of the frontier-split search driver.
+
+The determinism contract of docs/parallelism.md: for any model, property and
+worker count, the parallel path must report the same verdict and the *same*
+witness as the sequential search, and a fully consumed enumeration must
+merge per-shard stats to exactly the sequential totals.  ``REPRO_TEST_WORKERS``
+sets the worker count exercised here (default 2; CI runs the matrix with it
+set explicitly).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import check_csc, check_normalcy, check_usc
+from repro.core.context import SolverContext, SolverSnapshot
+from repro.core.parallel import (
+    KIND_PAIRS,
+    KIND_WINDOW,
+    ParallelSearch,
+    ShardTask,
+    _run_search_shard,
+)
+from repro.core.search import MODE_EQUAL, MODE_LEQ, PairSearch
+from repro.core.window import WindowSearch
+from repro.exceptions import SolverError, SolverLimitError
+from repro.models import TABLE1_BENCHMARKS
+from repro.models.scalable import muller_pipeline
+from repro.unfolding import unfold
+
+WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+NORMALCY_MODELS = ["LAZYRING", "RING", "DUP-MOD-A"]
+
+
+def _witness_key(report):
+    witness = report.witness
+    if witness is None:
+        return None
+    return (
+        witness.kind,
+        witness.code_a,
+        witness.code_b,
+        tuple(witness.trace_a),
+        tuple(witness.trace_b),
+    )
+
+
+def _stats_key(stats):
+    return (
+        stats.nodes,
+        stats.leaves,
+        stats.pruned_balance,
+        stats.pruned_structure,
+        stats.solutions,
+    )
+
+
+class TestCheckerEquivalence:
+    """Golden models × properties: identical verdicts and witnesses."""
+
+    @pytest.mark.parametrize("prop", ["usc", "csc"])
+    def test_coding_matches_sequential(self, table1_stg, prop):
+        check = check_usc if prop == "usc" else check_csc
+        sequential = check(table1_stg)
+        parallel = check(table1_stg, workers=WORKERS)
+        assert parallel.holds == sequential.holds
+        assert _witness_key(parallel) == _witness_key(sequential)
+        assert (
+            parallel.usc_only_candidates == sequential.usc_only_candidates
+        )
+
+    @pytest.mark.parametrize("prop", ["usc", "csc"])
+    def test_coding_matches_inline_shards(self, table1_stg, prop):
+        # shard splitting alone (no forking) must also be equivalent
+        check = check_usc if prop == "usc" else check_csc
+        sequential = check(table1_stg)
+        sharded = check(table1_stg, workers=0, shards=6)
+        assert sharded.holds == sequential.holds
+        assert _witness_key(sharded) == _witness_key(sequential)
+
+    @pytest.mark.parametrize("name", NORMALCY_MODELS)
+    def test_normalcy_matches_sequential(self, name):
+        stg = TABLE1_BENCHMARKS[name]()
+        sequential = check_normalcy(stg)
+        parallel = check_normalcy(stg, workers=WORKERS)
+        assert parallel.normal == sequential.normal
+        for signal, verdict in sequential.per_signal.items():
+            other = parallel.per_signal[signal]
+            assert (other.p_normal, other.n_normal) == (
+                verdict.p_normal,
+                verdict.n_normal,
+            )
+            for a, b in (
+                (other.p_witness, verdict.p_witness),
+                (other.n_witness, verdict.n_witness),
+            ):
+                assert (a is None) == (b is None)
+                if a is not None:
+                    assert (a.trace_a, a.trace_b) == (b.trace_a, b.trace_b)
+
+
+class TestStatsParity:
+    """Merged shard stats equal the sequential counters exactly."""
+
+    @pytest.fixture(scope="class")
+    def muller_ctx(self):
+        return SolverContext(unfold(muller_pipeline(5)))
+
+    def test_shards_one_equals_sequential(self, muller_ctx):
+        sequential = PairSearch(muller_ctx, mode=MODE_EQUAL, nested_only=True)
+        list(sequential.solutions())
+        parallel = ParallelSearch(
+            muller_ctx,
+            kind=KIND_PAIRS,
+            mode=MODE_EQUAL,
+            nested_only=True,
+            shards=1,
+        )
+        list(parallel.solutions())
+        assert _stats_key(parallel.stats) == _stats_key(sequential.stats)
+
+    @pytest.mark.parametrize("shards", [3, 8])
+    @pytest.mark.parametrize(
+        "kind,mode",
+        [
+            (KIND_PAIRS, MODE_EQUAL),
+            (KIND_PAIRS, MODE_LEQ),
+            (KIND_WINDOW, MODE_EQUAL),
+        ],
+    )
+    def test_split_enumeration_parity(self, muller_ctx, kind, mode, shards):
+        nested = kind == KIND_WINDOW or mode == MODE_EQUAL
+        if kind == KIND_WINDOW:
+            sequential = WindowSearch(muller_ctx)
+        else:
+            sequential = PairSearch(
+                muller_ctx, mode=mode, nested_only=nested and mode == MODE_EQUAL
+            )
+        expected = list(sequential.solutions())
+        parallel = ParallelSearch(
+            muller_ctx,
+            kind=kind,
+            mode=mode,
+            nested_only=nested and mode == MODE_EQUAL,
+            workers=0,
+            shards=shards,
+        )
+        assert list(parallel.solutions()) == expected
+        assert _stats_key(parallel.stats) == _stats_key(sequential.stats)
+
+    def test_forked_enumeration_parity(self, muller_ctx):
+        sequential = WindowSearch(muller_ctx)
+        expected = list(sequential.solutions())
+        parallel = ParallelSearch(
+            muller_ctx, kind=KIND_WINDOW, workers=WORKERS
+        )
+        assert list(parallel.solutions()) == expected
+        assert _stats_key(parallel.stats) == _stats_key(sequential.stats)
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return SolverContext(unfold(muller_pipeline(4)))
+
+    def test_frontier_is_deterministic(self, ctx):
+        first = PairSearch(ctx, mode=MODE_EQUAL, nested_only=True)
+        second = PairSearch(ctx, mode=MODE_EQUAL, nested_only=True)
+        depth = min(4, ctx.num_vars)
+        assert first.frontier_from(first.root_shard(), depth) == (
+            second.frontier_from(second.root_shard(), depth)
+        )
+
+    def test_frontier_covers_tree(self, ctx):
+        # resuming every shard reproduces the sequential enumeration exactly
+        search = PairSearch(ctx, mode=MODE_LEQ)
+        expected = list(PairSearch(ctx, mode=MODE_LEQ).solutions())
+        collected = []
+        for shard in search.frontier_from(search.root_shard(), 3):
+            collected.extend(search.solutions_from(shard))
+        assert collected == expected
+
+    def test_shallow_shard_passes_through(self, ctx):
+        search = PairSearch(ctx, mode=MODE_EQUAL, nested_only=True)
+        root = search.root_shard()
+        assert search.frontier_from(root, 0) == [root]
+
+    def test_snapshot_pickle_roundtrip(self, ctx):
+        snapshot = ctx.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert isinstance(clone, SolverSnapshot)
+        for attr in SolverSnapshot.__slots__:
+            assert getattr(clone, attr) == getattr(snapshot, attr)
+
+    def test_shard_runner_roundtrip(self, ctx):
+        # the registered pool runner, driven directly, matches a local walk
+        search = WindowSearch(ctx)
+        shard = search.frontier_from(search.root_shard(), 2)[0]
+        task = ShardTask(
+            snapshot=ctx.snapshot(),
+            kind=KIND_WINDOW,
+            mode=MODE_EQUAL,
+            nested_only=False,
+            require_marking_change=True,
+            node_budget=None,
+            index=0,
+            shard=pickle.loads(pickle.dumps(shard)),
+        )
+        result = _run_search_shard(pickle.loads(pickle.dumps(task)))
+        local = WindowSearch(ctx)
+        assert result.solutions == list(local.solutions_from(shard))
+        assert result.limit is None
+
+
+class TestDriverBehaviour:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return SolverContext(unfold(muller_pipeline(5)))
+
+    def test_no_split_requested_is_sequential_walk(self, ctx):
+        parallel = ParallelSearch(ctx, kind=KIND_PAIRS, mode=MODE_LEQ, workers=0)
+        assert parallel.target_shards == 1
+        sequential = PairSearch(ctx, mode=MODE_LEQ)
+        assert list(parallel.solutions()) == list(sequential.solutions())
+
+    def test_budget_propagates_to_workers(self, ctx):
+        parallel = ParallelSearch(
+            ctx,
+            kind=KIND_PAIRS,
+            mode=MODE_LEQ,
+            workers=WORKERS,
+            node_budget=40,
+        )
+        with pytest.raises(SolverLimitError):
+            list(parallel.solutions())
+
+    def test_early_exit_cancels_cleanly(self, ctx):
+        parallel = ParallelSearch(
+            ctx, kind=KIND_PAIRS, mode=MODE_LEQ, workers=WORKERS
+        )
+        generator = parallel.solutions()
+        assert next(generator) is not None
+        generator.close()  # must terminate the pool without hanging
+
+    def test_rejects_snapshot_context(self, ctx):
+        with pytest.raises(SolverError):
+            ParallelSearch(ctx.snapshot(), kind=KIND_PAIRS)
+
+    def test_rejects_bad_shard_count(self, ctx):
+        with pytest.raises(SolverError):
+            ParallelSearch(ctx, kind=KIND_PAIRS, shards=0)
+
+    def test_obs_counters(self, ctx):
+        from repro import obs
+
+        tracer = obs.get_tracer()
+        was_enabled = tracer.enabled
+        tracer.enable()
+        tracer.reset()
+        try:
+            parallel = ParallelSearch(
+                ctx, kind=KIND_PAIRS, mode=MODE_LEQ, workers=0, shards=4
+            )
+            list(parallel.solutions())
+            counters = tracer.snapshot()["counters"]
+            assert counters.get("search.shards", 0) >= 4
+            assert "search.cancelled" not in counters
+        finally:
+            tracer.reset()
+            if not was_enabled:
+                tracer.disable()

@@ -195,25 +195,125 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
     }
 
 
+def measure_serve_case(
+    case: Case, clients: int, requests_per_client: int = 3
+) -> Dict[str, object]:
+    """Drive the ``repro.serve`` HTTP service with concurrent clients.
+
+    An in-process server on an ephemeral loopback port (inline pool, lint
+    and cache off, so the measurement is serving overhead + engine work,
+    comparable with the direct cases) is hammered by ``clients`` threads
+    submitting the case's STG and polling to the verdict.  Each request
+    carries a distinct ``node_budget`` so in-flight dedup cannot collapse
+    the load.  Records end-to-end latency quantiles and requests/sec.
+    """
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import make_server
+    from repro.stg.parser import write_stg
+
+    source = write_stg(case.build())
+    total_requests = clients * requests_per_client
+    httpd = make_server(
+        workers=0,
+        lint=False,
+        queue_limit=total_requests + 1,
+        batch_limit=8,
+    )
+    server_thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    server_thread.start()
+    latencies: List[float] = []
+    errors: List[str] = []
+    holds_seen: List[bool] = []
+    lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        client = ServeClient(httpd.url, timeout=300.0)
+        for request_no in range(requests_per_client):
+            # huge, distinct budgets: never binding, never dedup-equal
+            budget = 10_000_000 + index * 1_000 + request_no
+            begun = time.perf_counter()
+            try:
+                job = client.check(
+                    source=source,
+                    properties=[case.prop],
+                    node_budget=budget,
+                    wait=True,
+                    wait_timeout=300.0,
+                )
+            except Exception as exc:  # noqa: BLE001 - recorded, fails the case
+                with lock:
+                    errors.append(f"client {index}: {exc!r}")
+                return
+            elapsed = time.perf_counter() - begun
+            with lock:
+                latencies.append(elapsed)
+                holds_seen.append(bool(job["results"][0]["holds"]))
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,))
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    httpd.shutdown()
+    httpd.server_close()
+    httpd.service.close(timeout=10.0, cancel=True)
+    if errors:
+        raise RuntimeError(f"serve bench failed: {errors[0]}")
+    latencies.sort()
+
+    def quantile(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "id": f"serve/{case.family}/n={case.size}/{case.prop}/c={clients}",
+        "family": case.family,
+        "size": case.size,
+        "property": case.prop,
+        "workers": 0,
+        "clients": clients,
+        "holds": all(holds_seen),
+        "repeats": total_requests,
+        "median_s": statistics.median(latencies),
+        "min_s": latencies[0],
+        "max_s": latencies[-1],
+        "p50_s": quantile(0.50),
+        "p95_s": quantile(0.95),
+        "rps": total_requests / wall if wall > 0 else 0.0,
+        "phases": {},
+        "counters": {},
+    }
+
+
 def run_suite(
     quick: bool = False,
     warmup: int = 1,
     repeat: int = 5,
     families: Optional[Sequence[str]] = None,
     workers: Sequence[int] = (0,),
+    serve_clients: Sequence[int] = (),
 ) -> Dict[str, object]:
     """Run the suite and return the full schema-versioned report dict.
 
     ``workers`` is the worker-count axis: each case is measured once per
     entry (0 = sequential), so e.g. ``(0, 2)`` records the speedup pair.
+    ``serve_clients`` is the concurrency axis of the HTTP serving scenario:
+    each quick-suite case is additionally pushed through a live
+    ``repro.serve`` instance once per client count (e.g. ``(1, 4, 16)``).
     """
     suite = QUICK_SUITE if quick else SUITE
     if families:
         suite = [case for case in suite if case.family in families]
     axis = list(dict.fromkeys(workers)) or [0]
-    suite = [case.with_workers(w) for case in suite for w in axis]
+    timed = [case.with_workers(w) for case in suite for w in axis]
     results = []
-    for case in suite:
+    for case in timed:
         started = time.perf_counter()
         record = measure_case(case, warmup=warmup, repeat=repeat)
         results.append(record)
@@ -222,6 +322,20 @@ def run_suite(
             f"   ({time.perf_counter() - started:.2f}s incl. warmup/trace)",
             file=sys.stderr,
         )
+    if serve_clients:
+        serve_suite = QUICK_SUITE
+        if families:
+            serve_suite = [c for c in serve_suite if c.family in families]
+        for case in serve_suite:
+            for clients in dict.fromkeys(serve_clients):
+                record = measure_serve_case(case, clients=clients)
+                results.append(record)
+                print(
+                    f"  {record['id']:<28} p50 {record['p50_s'] * 1e3:8.2f} ms"
+                    f"  p95 {record['p95_s'] * 1e3:8.2f} ms"
+                    f"  {record['rps']:6.1f} req/s",
+                    file=sys.stderr,
+                )
     return {
         "schema": BENCH_SCHEMA,
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -291,6 +405,25 @@ def validate_report(data: object) -> None:
             raise ValueError(
                 f"bench result {record['id']!r} has invalid workers field"
             )
+        # serving-scenario records carry a concurrency axis and throughput
+        if "clients" in record and (
+            not isinstance(record["clients"], int)
+            or isinstance(record["clients"], bool)
+            or record["clients"] < 1
+        ):
+            raise ValueError(
+                f"bench result {record['id']!r} has invalid clients field"
+            )
+        for optional in ("rps", "p50_s", "p95_s"):
+            if optional in record and (
+                not isinstance(record[optional], (int, float))
+                or isinstance(record[optional], bool)
+                or record[optional] < 0
+            ):
+                raise ValueError(
+                    f"bench result {record['id']!r} has invalid "
+                    f"{optional!r} field"
+                )
         if record["median_s"] < 0 or record["min_s"] > record["max_s"]:
             raise ValueError(f"bench result {record['id']!r} timings inconsistent")
         if record["id"] in seen:
@@ -345,6 +478,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         families=args.families,
         workers=args.workers or [0],
+        serve_clients=args.serve_clients or [],
     )
     validate_report(report)
     out = Path(args.out)
@@ -403,6 +537,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker-count axis: measure each case once per value "
             "(default: 0 = sequential only; e.g. --workers 0 2)",
+        )
+        p.add_argument(
+            "--serve-clients",
+            nargs="*",
+            type=int,
+            metavar="N",
+            help="also run the HTTP serving scenario over the quick-suite "
+            "cases, once per concurrent-client count (e.g. "
+            "--serve-clients 1 4 16; default: skipped)",
         )
         p.add_argument(
             "--out", default=str(DEFAULT_OUT), metavar="FILE.json",

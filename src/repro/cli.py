@@ -14,6 +14,11 @@ Subcommands:
   tracer and print the per-phase wall-time breakdown (parse / unfold /
   closure / solver / total) plus the counter catalogue, as text or
   ``--json``;
+* ``serve``          — run the long-lived HTTP/JSON verification service
+  (:mod:`repro.serve`): bounded admission queue, in-flight dedup, the
+  shared result cache and live metrics (docs/serving.md);
+* ``cache``          — inspect (``stats``) and bound (``prune``) the
+  on-disk result store shared by batch, portfolios and serve;
 * ``unfold FILE.g``  — build and describe the complete prefix;
 * ``stats FILE.g``   — print STG / prefix / state-graph size statistics;
 * ``bench``          — regenerate the paper's Table 1 (delegates to
@@ -446,7 +451,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _run_batch_cmd(args: argparse.Namespace) -> int:
     from repro.engine import (
         EventLog,
-        build_jobs,
+        build_jobs_reporting,
         default_cache_dir,
         default_targets,
         format_batch_report,
@@ -459,7 +464,7 @@ def _run_batch_cmd(args: argparse.Namespace) -> int:
     if not engines:
         raise ReproError("empty --portfolio")
     targets = args.targets or default_targets()
-    jobs = build_jobs(
+    jobs, target_errors = build_jobs_reporting(
         targets,
         properties=args.properties or ["csc"],
         engines=engines,
@@ -475,6 +480,8 @@ def _run_batch_cmd(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         events=EventLog(),
     )
+    # bad targets become structured error rows instead of aborting the batch
+    report.results = target_errors + report.results
     print(format_batch_report(report))
     if not report.all_sound:
         failed = [r for r in report.results if not r.sound]
@@ -485,6 +492,92 @@ def _run_batch_cmd(args: argparse.Namespace) -> int:
         )
         return 2
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        deadline=args.deadline,
+        cache_dir=None if args.no_cache else (args.cache_dir or _cache_dir_default()),
+        batch_limit=args.batch_limit,
+        lint=not args.no_lint,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+def _cache_dir_default() -> str:
+    from repro.engine import default_cache_dir
+
+    return str(default_cache_dir())
+
+
+def parse_age(text: str) -> float:
+    """``30d`` / ``12h`` / ``45m`` / ``90s`` / plain seconds -> seconds."""
+    text = text.strip().lower()
+    if not text:
+        raise ReproError("empty age")
+    multiplier = 1.0
+    if text[-1] in "smhdw":
+        multiplier = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ReproError(
+            f"cannot parse age {text!r}: use e.g. 30d, 12h, 45m or seconds"
+        ) from None
+    if value < 0:
+        raise ReproError("age must be non-negative")
+    return value * multiplier
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import ResultCache
+
+    cache = ResultCache(args.cache_dir or _cache_dir_default())
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"cache: {stats['root']} (schema v{stats['schema_version']})")
+        print(
+            f"  {stats['entries']} entries, {stats['total_bytes']} bytes"
+            + (f", {stats['unreadable']} unreadable" if stats["unreadable"] else "")
+        )
+        for title, key in (("property", "by_property"), ("verdict", "by_verdict"),
+                           ("schema", "by_schema")):
+            breakdown = stats[key]
+            if breakdown:
+                body = ", ".join(
+                    f"{name}={count}" for name, count in sorted(breakdown.items())
+                )
+                print(f"  by {title}: {body}")
+        if stats["oldest_mtime"] is not None:
+            import time as _time
+
+            age = _time.time() - stats["oldest_mtime"]
+            print(f"  oldest entry: {age / 86400:.1f} day(s) old")
+        return 0
+    if args.cache_command == "prune":
+        seconds = parse_age(args.older_than)
+        removed = cache.prune(seconds)
+        if args.json:
+            print(json.dumps({"removed": removed, "older_than_s": seconds}))
+        else:
+            print(
+                f"cache prune: removed {removed} entr"
+                f"{'y' if removed == 1 else 'ies'} older than {args.older_than}"
+            )
+        return 0
+    raise ReproError(f"unknown cache command {args.cache_command!r}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -765,6 +858,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print fix-it hints and decided properties",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON verification service",
+        description="Serve POST /v1/check requests (astg source, canonical "
+        "JSON STGs or registered model names) from a long-lived engine "
+        "worker pool with a bounded admission queue (HTTP 429 + Retry-After "
+        "under load), in-flight deduplication by content hash, the shared "
+        "on-disk result cache, and live /v1/metrics.  SIGTERM drains "
+        "gracefully: admission stops, accepted jobs finish.  See "
+        "docs/serving.md for the API reference.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        metavar="N",
+        help="TCP port (default 8421; 0 = ephemeral, announced on stdout)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="engine worker processes (default: CPU count; 0 = in-process)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued jobs before requests get 429 (default 64)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock deadline (requests may override)",
+    )
+    serve.add_argument(
+        "--batch-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max jobs dispatched to the pool per cycle (default 8)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-stg)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="serve without the result cache"
+    )
+    serve.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the static lint pre-filter stage",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="max time to wait for in-flight jobs on SIGTERM (default: wait)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and bound the on-disk result cache",
+        description="Operate on the content-addressed result store shared "
+        "by batch, check --portfolio and serve: 'stats' summarises entry "
+        "counts, sizes and breakdowns; 'prune --older-than AGE' deletes "
+        "entries (and orphaned temp files) last written before the cutoff.",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="summarise the store")
+    cache_prune = cache_sub.add_parser("prune", help="delete old entries")
+    cache_prune.add_argument(
+        "--older-than",
+        required=True,
+        metavar="AGE",
+        help="age cutoff: 30d, 12h, 45m or plain seconds",
+    )
+    for cache_cmd in (cache_stats, cache_prune):
+        cache_cmd.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-stg)",
+        )
+        cache_cmd.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        cache_cmd.set_defaults(func=_cmd_cache)
 
     unfold_cmd = sub.add_parser("unfold", help="build the complete prefix")
     unfold_cmd.add_argument("file")

@@ -35,8 +35,10 @@ from repro.engine.events import EngineEvent, EngineStats, EventLog
 from repro.engine.batch import (
     BatchReport,
     build_jobs,
+    build_jobs_reporting,
     default_targets,
     format_batch_report,
+    resolve_target,
     run_batch,
 )
 
@@ -61,7 +63,9 @@ __all__ = [
     "EventLog",
     "BatchReport",
     "build_jobs",
+    "build_jobs_reporting",
     "default_targets",
     "format_batch_report",
+    "resolve_target",
     "run_batch",
 ]

@@ -55,7 +55,13 @@ class BatchReport:
 
 
 def resolve_target(target: str) -> Tuple[str, STG]:
-    """A registered model name, or a path to a ``.g`` file."""
+    """A registered model name, or a path to a ``.g`` file.
+
+    Every way a target can be bad — unknown name, unreadable file,
+    undecodable bytes, unparsable astg text — raises :class:`ReproError`
+    naming the target, so callers can turn it into a structured per-target
+    error (see :func:`build_jobs_reporting`) instead of crashing.
+    """
     from repro.models import CLASSIC_MODELS, TABLE1_BENCHMARKS
 
     if target in TABLE1_BENCHMARKS:
@@ -66,10 +72,18 @@ def resolve_target(target: str) -> Tuple[str, STG]:
         from repro.stg.parser import parse_stg
 
         try:
-            with open(target) as handle:
-                stg = parse_stg(handle.read(), filename=target)
+            with open(target, encoding="utf-8") as handle:
+                text = handle.read()
         except OSError as exc:
             raise ReproError(f"cannot read {target}: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise ReproError(
+                f"cannot decode {target}: not UTF-8 text ({exc})"
+            ) from exc
+        try:
+            stg = parse_stg(text, filename=target)
+        except ReproError as exc:
+            raise ReproError(f"cannot parse {target}: {exc}") from exc
         return stg.name, stg
     raise ReproError(
         f"unknown target {target!r}: not a registered model name and not a "
@@ -102,6 +116,68 @@ def build_jobs(
                 )
             )
     return jobs
+
+
+def build_jobs_reporting(
+    targets: Sequence[str],
+    properties: Sequence[str] = ("csc",),
+    engines: Sequence[str] = ("ilp",),
+    timeout: Optional[float] = None,
+    node_budget: Optional[int] = None,
+    workers: int = 0,
+) -> Tuple[List[VerificationJob], List[JobResult]]:
+    """Like :func:`build_jobs`, but bad targets become structured errors.
+
+    A target that cannot be resolved (unreadable, undecodable or unparsable
+    ``.g`` file, unknown model name) yields one ``error``-verdict
+    :class:`JobResult` per requested property instead of aborting the whole
+    batch; the good targets still become jobs.  The CLI prepends the error
+    rows to the batch report (making it exit 2 via ``all_sound``), and the
+    service maps the same failures to HTTP 400 payloads.
+    """
+    from repro.engine.jobs import VERDICT_ERROR
+
+    jobs: List[VerificationJob] = []
+    errors: List[JobResult] = []
+    for target in targets:
+        try:
+            name, stg = resolve_target(target)
+        except ReproError as exc:
+            for prop in properties:
+                errors.append(
+                    JobResult(
+                        job_id=f"{target}:{prop}@invalid",
+                        name=target,
+                        property=prop,
+                        verdict=VERDICT_ERROR,
+                        error=str(exc),
+                    )
+                )
+            continue
+        for prop in properties:
+            try:
+                jobs.append(
+                    VerificationJob(
+                        stg=stg,
+                        property=prop,
+                        engines=tuple(engines),
+                        timeout=timeout,
+                        node_budget=node_budget,
+                        workers=workers,
+                        name=name,
+                    )
+                )
+            except ReproError as exc:  # unknown property/engine names
+                errors.append(
+                    JobResult(
+                        job_id=f"{name}:{prop}@invalid",
+                        name=name,
+                        property=prop,
+                        verdict=VERDICT_ERROR,
+                        error=str(exc),
+                    )
+                )
+    return jobs, errors
 
 
 def default_targets() -> List[str]:

@@ -25,8 +25,9 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.engine.jobs import SOURCE_CACHE, JobResult, VerificationJob
 
@@ -141,17 +142,102 @@ class ResultCache:
 
     # -- maintenance ---------------------------------------------------------
 
-    def __len__(self) -> int:
+    def _entries(self):
+        """Every finished entry file (in-flight ``.tmp-*`` files excluded —
+        ``pathlib.glob`` matches dotfiles, unlike shell globs)."""
         if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+            return
+        for path in self.root.glob("??/*.json"):
+            if not path.name.startswith(".tmp-"):
+                yield path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def stats(self) -> Dict[str, object]:
+        """Inspect the on-disk store: entry counts, bytes, breakdowns.
+
+        Reads every entry's JSON (cheap: one small file each), so operators
+        can see what the store actually holds — entries by property, by
+        verdict, by schema version (stale-schema entries are dead weight
+        that :meth:`prune` with ``older_than=0`` will not remove but a
+        schema bump made unreachable), plus age bounds for sizing a prune.
+        """
+        entries = 0
+        total_bytes = 0
+        by_property: Dict[str, int] = {}
+        by_verdict: Dict[str, int] = {}
+        by_schema: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        unreadable = 0
+        if self.root.exists():
+            for path in self._entries():
+                try:
+                    stat = path.stat()
+                    payload = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    unreadable += 1
+                    continue
+                entries += 1
+                total_bytes += stat.st_size
+                oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+                newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+                prop = str(payload.get("property", "?"))
+                by_property[prop] = by_property.get(prop, 0) + 1
+                verdict = str(payload.get("verdict", "?"))
+                by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
+                schema = str(payload.get("schema", "?"))
+                by_schema[schema] = by_schema.get(schema, 0) + 1
+        return {
+            "root": str(self.root),
+            "schema_version": SCHEMA_VERSION,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "unreadable": unreadable,
+            "by_property": by_property,
+            "by_verdict": by_verdict,
+            "by_schema": by_schema,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(
+        self, older_than: float, now: Optional[float] = None
+    ) -> int:
+        """Delete entries last written more than ``older_than`` seconds ago.
+
+        Also sweeps orphaned ``.tmp-*`` files of the same age (leftovers of
+        writers killed between ``mkstemp`` and ``rename``).  Returns the
+        number of cache entries removed; concurrent writers are safe — an
+        entry rewritten after the cutoff check simply survives the next
+        prune, and unlink races are tolerated.
+        """
+        if older_than < 0:
+            raise ValueError("older_than must be >= 0 seconds")
+        cutoff = (now if now is not None else time.time()) - older_than
+        removed = 0
+        if not self.root.exists():
+            return removed
+        candidates = [(path, True) for path in self._entries()]
+        candidates += [
+            (path, False) for path in self.root.glob("??/.tmp-*")
+        ]
+        for path, is_entry in candidates:
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # concurrent prune/rewrite; nothing to do
+            if is_entry:
+                removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        if not self.root.exists():
-            return removed
-        for entry in self.root.glob("??/*.json"):
+        for entry in self._entries():
             try:
                 entry.unlink()
                 removed += 1

@@ -1,0 +1,62 @@
+"""``repro.serve`` — the HTTP/JSON verification service.
+
+A dependency-free (stdlib ``http.server`` + ``threading``) service that
+keeps one engine :class:`~repro.engine.pool.WorkerPool` alive across
+requests and puts admission control in front of it:
+
+* :mod:`repro.serve.protocol` — the versioned ``repro-serve/1`` wire
+  schemas, including the canonical JSON STG form;
+* :mod:`repro.serve.queue` — the bounded FIFO admission queue with
+  backpressure (HTTP 429 + ``Retry-After``) and drain semantics;
+* :mod:`repro.serve.dedup` — in-flight request deduplication by canonical
+  STG content hash;
+* :mod:`repro.serve.server` — the :class:`VerificationService` core, the
+  HTTP layer and the SIGTERM drain path;
+* :mod:`repro.serve.client` — a tiny stdlib client used by tests, CI and
+  the benchmark harness.
+
+Entry point: ``repro-stg serve --port 8421`` (see docs/serving.md).
+"""
+
+from repro.serve.client import ClientError, Rejected, ServeClient
+from repro.serve.dedup import DedupIndex
+from repro.serve.protocol import (
+    SCHEMA,
+    CheckRequest,
+    ProtocolError,
+    exit_code_for,
+    parse_check_request,
+    stg_from_json,
+    stg_to_json,
+)
+from repro.serve.queue import AdmissionQueue, QueueClosed
+from repro.serve.server import (
+    ServeHTTPServer,
+    ServeJob,
+    ServiceSaturated,
+    VerificationService,
+    make_server,
+    run_server,
+)
+
+__all__ = [
+    "SCHEMA",
+    "AdmissionQueue",
+    "CheckRequest",
+    "ClientError",
+    "DedupIndex",
+    "ProtocolError",
+    "QueueClosed",
+    "Rejected",
+    "ServeClient",
+    "ServeHTTPServer",
+    "ServeJob",
+    "ServiceSaturated",
+    "VerificationService",
+    "exit_code_for",
+    "make_server",
+    "parse_check_request",
+    "run_server",
+    "stg_from_json",
+    "stg_to_json",
+]

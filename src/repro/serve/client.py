@@ -1,0 +1,177 @@
+"""A tiny stdlib client for the ``repro-serve/1`` HTTP API.
+
+Used by the test suite, the CI smoke job and the benchmark harness's
+``serve`` scenario; also convenient interactively::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8421")
+    job = client.check(source=open("vme.g").read(), properties=["csc"])
+    job = client.wait_for(job["id"])
+    print(job["results"][0]["verdict"], "exit", job["exit_code"])
+
+Error mapping: HTTP 429 raises :class:`Rejected` (carrying the server's
+``Retry-After`` hint), every other non-2xx raises :class:`ClientError` with
+the decoded JSON error payload attached.  Both derive from
+:class:`~repro.exceptions.ReproError`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.serve import protocol
+
+
+class ClientError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        message = payload.get("error") or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class Rejected(ClientError):
+    """The service refused admission (HTTP 429); retry after ``retry_after``."""
+
+    def __init__(self, payload: Dict[str, Any], retry_after: int):
+        super().__init__(429, payload)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talks to one ``repro-stg serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.headers.items()},
+                    json.loads(body.decode("utf-8")) if body else {},
+                )
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                document = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, ValueError):
+                document = {"error": body.decode("utf-8", "replace")}
+            return (
+                exc.code,
+                {k.lower(): v for k, v in exc.headers.items()},
+                document,
+            )
+
+    def _raise_for(self, status: int, headers: Dict[str, str], payload: Dict) -> None:
+        if 200 <= status < 300:
+            return
+        if status == 429:
+            retry_after = int(
+                headers.get("retry-after", payload.get("retry_after", 1))
+            )
+            raise Rejected(payload, retry_after)
+        raise ClientError(status, payload)
+
+    # -- API -------------------------------------------------------------------
+
+    def check(
+        self,
+        source: Optional[str] = None,
+        model: Optional[str] = None,
+        stg: Optional[Dict[str, Any]] = None,
+        properties: Optional[List[str]] = None,
+        engines: Optional[List[str]] = None,
+        node_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+        wait: bool = False,
+        wait_timeout: float = 60.0,
+    ) -> Dict[str, Any]:
+        """Submit a check; returns the job document (terminal if ``wait``)."""
+        payload: Dict[str, Any] = {"schema": protocol.SCHEMA}
+        if source is not None:
+            payload["source"] = source
+        if model is not None:
+            payload["model"] = model
+        if stg is not None:
+            payload["stg"] = stg
+        if properties is not None:
+            payload["properties"] = properties
+        if engines is not None:
+            payload["engines"] = engines
+        if node_budget is not None:
+            payload["node_budget"] = node_budget
+        if deadline is not None:
+            payload["deadline"] = deadline
+        status, headers, document = self._request("POST", "/v1/check", payload)
+        self._raise_for(status, headers, document)
+        job = document["job"]
+        if wait:
+            return self.wait_for(job["id"], timeout=wait_timeout)
+        return job
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        status, headers, document = self._request("GET", f"/v1/jobs/{job_id}")
+        self._raise_for(status, headers, document)
+        return document["job"]
+
+    def wait_for(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in protocol.TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {job['state']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def healthz(self) -> bool:
+        status, _, _ = self._request("GET", "/v1/healthz")
+        return status == 200
+
+    def readyz(self) -> bool:
+        status, _, _ = self._request("GET", "/v1/readyz")
+        return status == 200
+
+    def metrics(self) -> Dict[str, Any]:
+        status, headers, document = self._request("GET", "/v1/metrics")
+        self._raise_for(status, headers, document)
+        return document
+
+    @staticmethod
+    def exit_code(job: Dict[str, Any]) -> int:
+        """The ``repro-stg check`` exit code equivalent of a terminal job."""
+        if "exit_code" in job:
+            return int(job["exit_code"])
+        return protocol.exit_code_for(job.get("results", []))

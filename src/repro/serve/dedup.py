@@ -1,0 +1,102 @@
+"""In-flight request deduplication by canonical STG content hash.
+
+The on-disk :class:`~repro.engine.cache.ResultCache` already collapses
+*sequential* duplicates — the second identical request is a cache hit.  What
+it cannot collapse is *concurrent* duplicates: two clients posting the same
+STG while the first verification is still queued or running would both miss
+the cache and both occupy pool workers.  The :class:`DedupIndex` closes that
+window: the first request of a given identity becomes the **primary**, every
+identical request that arrives before the primary publishes becomes a
+**follower** that never touches the admission queue — it is resolved with a
+copy of the primary's results the moment they land.
+
+The identity is :meth:`repro.serve.protocol.CheckRequest.dedup_key` — the
+canonical STG content hash plus the property set, engine portfolio and
+resource limits, i.e. everything that could change the reported outcome.
+
+Thread-safety: ``acquire`` runs on HTTP handler threads, ``complete`` on the
+dispatcher; one lock serialises the index.  The race where a primary
+publishes *while* a duplicate is being admitted is closed by holding the
+lock across the whole acquire (the dispatcher cannot complete the key in
+between), so a follower is never attached to an already-resolved primary.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+class DedupIndex:
+    """Tracks in-flight request identities and their follower job ids."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._primaries: Dict[Hashable, str] = {}
+        self._followers: Dict[Hashable, List[str]] = {}
+        self.hits = 0
+
+    def acquire(self, key: Hashable, job_id: str) -> Optional[str]:
+        """Register ``job_id`` under ``key``.
+
+        Returns ``None`` when ``job_id`` became the primary (the caller must
+        enqueue it and later call :meth:`complete`), or the primary's job id
+        when ``job_id`` was attached as a follower (the caller must *not*
+        enqueue it).
+        """
+        with self._lock:
+            primary = self._primaries.get(key)
+            if primary is None:
+                self._primaries[key] = job_id
+                self._followers[key] = []
+                return None
+            self._followers[key].append(job_id)
+            self.hits += 1
+            return primary
+
+    def complete(self, key: Hashable) -> List[str]:
+        """Resolve ``key``: returns the follower ids and frees the slot.
+
+        Idempotent — completing an unknown key returns no followers (the
+        primary may have been rejected by the queue before registration was
+        rolled back; see :meth:`release`).
+        """
+        with self._lock:
+            self._primaries.pop(key, None)
+            return self._followers.pop(key, [])
+
+    def release(self, key: Hashable, job_id: str) -> List[str]:
+        """Roll back a failed admission of primary ``job_id``.
+
+        Used when the primary was refused by the admission queue *after*
+        registering: the slot is freed so the next identical request can
+        become a fresh primary.  Any followers that raced in between are
+        returned so the caller can fail them alongside the primary.
+        """
+        with self._lock:
+            if self._primaries.get(key) == job_id:
+                self._primaries.pop(key, None)
+                return self._followers.pop(key, [])
+            return []
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._primaries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "in_flight": len(self._primaries),
+                "hits": self.hits,
+                "followers_waiting": sum(
+                    len(ids) for ids in self._followers.values()
+                ),
+            }
+
+    def snapshot(self) -> Tuple[Dict[Hashable, str], Dict[Hashable, List[str]]]:
+        """A consistent copy of the index (tests/debugging)."""
+        with self._lock:
+            return dict(self._primaries), {
+                key: list(ids) for key, ids in self._followers.items()
+            }

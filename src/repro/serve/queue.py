@@ -1,0 +1,171 @@
+"""Bounded FIFO admission queue with backpressure for the serve subsystem.
+
+The queue is the service's only admission point: ``offer`` either accepts a
+job (FIFO order, bounded depth) or refuses it immediately — it never blocks
+the HTTP handler.  A refusal means the caller should answer HTTP 429 with
+the ``Retry-After`` estimate from :meth:`AdmissionQueue.retry_after`, which
+is derived from the current depth and an exponentially-weighted moving
+average of recent job service times (so the hint tracks the actual drain
+rate instead of a constant).
+
+Draining: :meth:`close` flips the queue into drain mode — every further
+``offer`` raises :class:`QueueClosed` (HTTP 503) while ``take`` keeps
+serving the already-accepted backlog until it is empty.  Accepted work is
+therefore never dropped by the queue itself; only :meth:`clear` (the
+hard-cancel path) removes entries, and it returns them so the caller can
+mark the jobs cancelled rather than lose them silently.
+
+All methods are thread-safe; ``offer`` is called from HTTP handler threads,
+``take`` from the dispatcher.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.exceptions import ReproError
+
+#: Fallback Retry-After (seconds) before any service time was observed.
+_DEFAULT_RETRY_AFTER = 1.0
+
+#: EWMA smoothing factor for the per-job service-time estimate.
+_EWMA_ALPHA = 0.3
+
+
+class QueueClosed(ReproError):
+    """``offer`` was called on a draining queue (HTTP 503)."""
+
+
+class AdmissionQueue:
+    """A bounded, closable FIFO of pending service jobs."""
+
+    def __init__(self, limit: int = 64):
+        if limit < 1:
+            raise ReproError("queue limit must be >= 1")
+        self.limit = limit
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+        # admission accounting (exported by /v1/metrics)
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.high_water = 0
+        self._service_time_ewma: Optional[float] = None
+
+    # -- admission -------------------------------------------------------------
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue ``item``; ``False`` when full, :class:`QueueClosed` when
+        draining."""
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("service is draining; not admitting new work")
+            self.offered += 1
+            if len(self._items) >= self.limit:
+                self.rejected += 1
+                return False
+            self._items.append(item)
+            self.accepted += 1
+            self.high_water = max(self.high_water, len(self._items))
+            self._available.notify()
+            return True
+
+    # -- consumption -----------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Block up to ``timeout`` seconds for the next item; ``None`` when
+        nothing arrived (or the queue is closed and empty)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+            return self._items.popleft()
+
+    def drain_batch(self, max_items: int) -> List[Any]:
+        """Immediately take up to ``max_items`` more entries (no blocking)."""
+        taken: List[Any] = []
+        with self._lock:
+            while self._items and len(taken) < max_items:
+                taken.append(self._items.popleft())
+        return taken
+
+    def clear(self) -> List[Any]:
+        """Remove and return every queued entry (the hard-cancel path)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._available.notify_all()
+            return items
+
+    # -- drain -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; ``take`` keeps draining the accepted backlog."""
+        with self._lock:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def note_service_time(self, seconds: float) -> None:
+        """Feed one completed job's wall time into the drain-rate estimate."""
+        if seconds < 0:
+            return
+        with self._lock:
+            if self._service_time_ewma is None:
+                self._service_time_ewma = seconds
+            else:
+                self._service_time_ewma = (
+                    _EWMA_ALPHA * seconds
+                    + (1.0 - _EWMA_ALPHA) * self._service_time_ewma
+                )
+
+    def retry_after(self) -> int:
+        """A whole-seconds ``Retry-After`` hint for rejected clients.
+
+        Estimates when a queue slot frees up: the time to drain one entry
+        (the EWMA of recent service times) — clients re-attempting after it
+        land when roughly one slot has opened, staggering the retry storm.
+        """
+        with self._lock:
+            per_job = self._service_time_ewma
+        if per_job is None or per_job <= 0:
+            return int(_DEFAULT_RETRY_AFTER)
+        return max(1, int(math.ceil(per_job)))
+
+    def stats(self) -> dict:
+        """The queue's metrics snapshot (exported by ``/v1/metrics``)."""
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "limit": self.limit,
+                "high_water": self.high_water,
+                "offered": self.offered,
+                "accepted": self.accepted,
+                "rejected": self.rejected,
+                "closed": self._closed,
+                "service_time_ewma_s": self._service_time_ewma,
+            }

@@ -145,3 +145,94 @@ class TestTable1ThroughThePool:
                 b.events,
                 b.cutoffs,
             )
+
+
+class TestBuildJobsReporting:
+    """Bad targets become structured error rows, not batch aborts."""
+
+    def _errors_for(self, targets, **kwargs):
+        from repro.engine.batch import build_jobs_reporting
+
+        return build_jobs_reporting(targets, **kwargs)
+
+    def test_good_targets_are_unchanged(self):
+        jobs, errors = self._errors_for(SMALL, properties=("usc", "csc"))
+        assert errors == []
+        assert [job.job_id for job in jobs] == [
+            job.job_id for job in build_jobs(SMALL, properties=("usc", "csc"))
+        ]
+
+    def test_missing_file_yields_one_error_per_property(self):
+        jobs, errors = self._errors_for(
+            ["/nonexistent/x.g"], properties=("usc", "csc")
+        )
+        assert jobs == []
+        assert [e.property for e in errors] == ["usc", "csc"]
+        for row in errors:
+            assert row.verdict == "error"
+            assert row.sound is False
+            assert row.name == "/nonexistent/x.g"
+            assert "cannot read" in row.error
+            assert row.job_id.endswith("@invalid")
+
+    def test_undecodable_file(self, tmp_path):
+        path = tmp_path / "binary.g"
+        path.write_bytes(b"\xff\xfe\x00garbage\x00")
+        jobs, errors = self._errors_for([str(path)])
+        assert jobs == []
+        assert len(errors) == 1
+        assert "cannot decode" in errors[0].error or "cannot read" in errors[0].error
+
+    def test_unparsable_file(self, tmp_path):
+        path = tmp_path / "broken.g"
+        path.write_text("this is not an stg\n")
+        jobs, errors = self._errors_for([str(path)])
+        assert jobs == []
+        assert "cannot parse" in errors[0].error
+        assert str(path) in errors[0].error
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "truncated.g"
+        path.write_text(write_stg(vme_bus()).rsplit(".end", 1)[0])
+        jobs, errors = self._errors_for([str(path)])
+        assert jobs == []
+        assert "missing .end" in errors[0].error
+
+    def test_unknown_model_name(self):
+        jobs, errors = self._errors_for(["NO-SUCH-MODEL"])
+        assert jobs == []
+        assert "unknown target" in errors[0].error
+
+    def test_mixed_batch_keeps_the_good_targets(self, tmp_path):
+        broken = tmp_path / "broken.g"
+        broken.write_text("garbage\n")
+        jobs, errors = self._errors_for(["RING", str(broken), "LAZYRING"])
+        assert [job.name for job in jobs] == ["RING", "LAZYRING"]
+        assert len(errors) == 1
+
+    def test_bad_engine_on_good_target_is_an_error_row(self):
+        jobs, errors = self._errors_for(["RING"], engines=("cplex",))
+        assert jobs == []
+        assert "unknown engine" in errors[0].error
+        assert errors[0].name == "RING"
+
+
+class TestBatchCLIPartialFailure:
+    def test_bad_target_reported_but_batch_completes(self, tmp_path, capsys):
+        broken = tmp_path / "broken.g"
+        broken.write_text("garbage\n")
+        rc = main(
+            ["batch", str(broken), "RING", "--no-cache", "--jobs", "0"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2  # an unsound row makes the batch exit 2...
+        assert "holds" in captured.out  # ...but RING was still verified
+        assert "error" in captured.out
+        assert "did not reach a verdict" in captured.err
+        assert f"{broken}:csc@invalid" in captured.err
+
+    def test_all_targets_bad_still_structured(self, capsys):
+        rc = main(["batch", "NO-SUCH-A", "NO-SUCH-B", "--no-cache"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "NO-SUCH-A" in captured.out and "NO-SUCH-B" in captured.out

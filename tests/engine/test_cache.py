@@ -112,3 +112,163 @@ class TestMaintenance:
         assert len(cache) == 0
         assert cache.clear() == 0
         assert not (tmp_path / "sub").exists()
+
+
+class TestStats:
+    def test_empty_store(self, tmp_path):
+        stats = ResultCache(tmp_path / "nope").stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+    def test_breakdowns(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for prop in ("usc", "csc"):
+            cache.put(_job(prop), execute_engine(_job(prop), "ilp"))
+        cache.put(
+            _job("csc", "LAZYRING"),
+            execute_engine(_job("csc", "LAZYRING"), "ilp"),
+        )
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["by_property"] == {"usc": 1, "csc": 2}
+        # RING holds CSC but violates USC; LAZYRING violates CSC
+        assert stats["by_verdict"] == {"holds": 1, "violated": 2}
+        assert stats["by_schema"] == {str(SCHEMA_VERSION): 3}
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+        assert stats["unreadable"] == 0
+
+    def test_unreadable_entries_counted_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), execute_engine(_job(), "ilp"))
+        (entry,) = list(tmp_path.glob("??/*.json"))
+        entry.write_text("{broken")
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["unreadable"] == 1
+
+
+class TestPrune:
+    def test_prunes_only_old_entries(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.put(_job("usc"), execute_engine(_job("usc"), "ilp"))
+        cache.put(_job("csc"), execute_engine(_job("csc"), "ilp"))
+        old = cache._path(cache.key_for(_job("usc")))
+        week_ago = time.time() - 7 * 86400
+        os.utime(old, (week_ago, week_ago))
+        assert cache.prune(older_than=86400) == 1
+        assert not old.exists()
+        assert cache.get(_job("csc")) is not None
+        # nothing left over the cutoff: pruning again removes nothing
+        assert cache.prune(older_than=86400) == 0
+
+    def test_prune_zero_removes_everything_old_keeps_now(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), execute_engine(_job(), "ilp"))
+        (entry,) = list(tmp_path.glob("??/*.json"))
+        os.utime(entry, (1.0, 1.0))
+        assert cache.prune(older_than=0) == 1
+
+    def test_prune_sweeps_orphaned_tmp_files(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        cache.put(_job(), execute_engine(_job(), "ilp"))
+        orphan = tmp_path / "ab" / ".tmp-dead.json"
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_text("{}")
+        os.utime(orphan, (1.0, 1.0))
+        # tmp files do not count as removed entries, but they are gone
+        assert cache.prune(older_than=3600) == 0
+        assert not orphan.exists()
+
+    def test_negative_age_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).prune(older_than=-1)
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        assert ResultCache(tmp_path / "nope").prune(older_than=0) == 0
+
+
+class TestConcurrentWriters:
+    """The atomic temp-file + rename contract under real thread races."""
+
+    def test_same_key_concurrent_puts_never_tear(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        job = _job()
+        result = execute_engine(job, "ilp")
+        writers = 8
+        rounds = 25
+        barrier = threading.Barrier(writers + 1)
+        failures = []
+
+        def writer():
+            barrier.wait()
+            for _ in range(rounds):
+                if not cache.put(job, result):
+                    failures.append("put returned False")
+
+        def reader():
+            barrier.wait()
+            read_cache = ResultCache(tmp_path)  # separate counters
+            seen = 0
+            while seen < rounds:
+                got = read_cache.get(job)
+                if got is None:
+                    continue  # not yet written at all: fine, retry
+                seen += 1
+                # a torn write would produce invalid JSON -> a miss, or a
+                # mangled payload; both would break these invariants
+                if got.verdict != result.verdict or got.holds != result.holds:
+                    failures.append(f"torn read: {got}")
+
+        threads = [threading.Thread(target=writer) for _ in range(writers)]
+        threads.append(threading.Thread(target=reader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert failures == []
+        assert len(cache) == 1  # all writers converged on one entry
+        final = cache.get(job)
+        assert final is not None and final.verdict == result.verdict
+        # no temp-file litter survived the rename dance
+        assert list(tmp_path.glob("??/.tmp-*")) == []
+
+    def test_interleaved_distinct_keys(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        jobs = {prop: _job(prop) for prop in ("usc", "csc")}
+        results = {
+            prop: execute_engine(job, "ilp") for prop, job in jobs.items()
+        }
+        barrier = threading.Barrier(2)
+
+        def hammer(prop):
+            barrier.wait()
+            for _ in range(50):
+                cache.put(jobs[prop], results[prop])
+                got = cache.get(jobs[prop])
+                assert got is not None
+                assert got.property == prop
+                assert got.holds == results[prop].holds
+
+        threads = [
+            threading.Thread(target=hammer, args=(prop,)) for prop in jobs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(cache) == 2

@@ -1,0 +1,96 @@
+"""Tests for in-flight request deduplication."""
+
+import threading
+
+from repro.serve.dedup import DedupIndex
+
+
+class TestAcquireComplete:
+    def test_first_acquire_is_primary(self):
+        index = DedupIndex()
+        assert index.acquire(("k",), "j1") is None
+        assert index.in_flight == 1
+
+    def test_second_acquire_piggybacks(self):
+        index = DedupIndex()
+        index.acquire(("k",), "j1")
+        assert index.acquire(("k",), "j2") == "j1"
+        assert index.acquire(("k",), "j3") == "j1"
+        assert index.stats()["hits"] == 2
+        assert index.in_flight == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        index = DedupIndex()
+        assert index.acquire(("a",), "j1") is None
+        assert index.acquire(("b",), "j2") is None
+        assert index.in_flight == 2
+
+    def test_complete_returns_followers_and_frees_key(self):
+        index = DedupIndex()
+        index.acquire(("k",), "j1")
+        index.acquire(("k",), "j2")
+        index.acquire(("k",), "j3")
+        assert index.complete(("k",)) == ["j2", "j3"]
+        assert index.in_flight == 0
+        # the key is free again: a new request becomes a fresh primary
+        assert index.acquire(("k",), "j4") is None
+
+    def test_complete_is_idempotent(self):
+        index = DedupIndex()
+        index.acquire(("k",), "j1")
+        assert index.complete(("k",)) == []
+        assert index.complete(("k",)) == []
+
+
+class TestRelease:
+    def test_release_rolls_back_failed_admission(self):
+        index = DedupIndex()
+        index.acquire(("k",), "j1")
+        follower_raced_in = index.acquire(("k",), "j2")
+        assert follower_raced_in == "j1"
+        # the primary was refused admission: release returns the orphans
+        assert index.release(("k",), "j1") == ["j2"]
+        assert index.in_flight == 0
+        assert index.acquire(("k",), "j3") is None
+
+    def test_release_of_unknown_key_is_noop(self):
+        index = DedupIndex()
+        assert index.release(("nope",), "jx") == []
+
+    def test_release_by_non_primary_is_noop(self):
+        index = DedupIndex()
+        index.acquire(("k",), "j1")
+        index.acquire(("k",), "j2")
+        assert index.release(("k",), "j2") == []
+        assert index.in_flight == 1
+
+
+class TestConcurrency:
+    def test_exactly_one_primary_per_key_under_contention(self):
+        index = DedupIndex()
+        outcomes = {}
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def contender(job_id):
+            barrier.wait()
+            primary = index.acquire(("hot",), job_id)
+            with lock:
+                outcomes[job_id] = primary
+
+        threads = [
+            threading.Thread(target=contender, args=(f"j{n}",)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        primaries = [job for job, prim in outcomes.items() if prim is None]
+        assert len(primaries) == 1
+        winner = primaries[0]
+        assert all(
+            prim == winner for job, prim in outcomes.items() if job != winner
+        )
+        followers = index.complete(("hot",))
+        assert sorted(followers) == sorted(job for job in outcomes if job != winner)
+        assert index.in_flight == 0

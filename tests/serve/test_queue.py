@@ -1,0 +1,160 @@
+"""Tests for the bounded admission queue: backpressure, draining, EWMA."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue, QueueClosed
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(limit=4)
+        for item in "abcd":
+            assert queue.offer(item) is True
+        assert [queue.take(timeout=0.1) for _ in range(4)] == list("abcd")
+
+    def test_offer_refused_when_full(self):
+        queue = AdmissionQueue(limit=2)
+        assert queue.offer(1) and queue.offer(2)
+        assert queue.offer(3) is False
+        stats = queue.stats()
+        assert stats["rejected"] == 1
+        assert stats["accepted"] == 2
+        assert stats["depth"] == 2
+        # taking one makes room again
+        assert queue.take(timeout=0.1) == 1
+        assert queue.offer(3) is True
+
+    def test_high_water_mark(self):
+        queue = AdmissionQueue(limit=8)
+        for item in range(5):
+            queue.offer(item)
+        for _ in range(5):
+            queue.take(timeout=0.1)
+        queue.offer("x")
+        assert queue.stats()["high_water"] == 5
+
+    def test_take_timeout_returns_none(self):
+        queue = AdmissionQueue(limit=1)
+        assert queue.take(timeout=0.05) is None
+
+    def test_take_wakes_on_offer(self):
+        queue = AdmissionQueue(limit=1)
+        got = []
+
+        def consumer():
+            got.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.offer("wake")
+        thread.join(timeout=5.0)
+        assert got == ["wake"]
+
+    def test_drain_batch_is_non_blocking(self):
+        queue = AdmissionQueue(limit=8)
+        for item in range(5):
+            queue.offer(item)
+        assert queue.drain_batch(3) == [0, 1, 2]
+        assert queue.drain_batch(10) == [3, 4]
+        assert queue.drain_batch(10) == []
+
+
+class TestClose:
+    def test_offer_after_close_raises(self):
+        queue = AdmissionQueue(limit=2)
+        queue.close()
+        assert queue.closed
+        with pytest.raises(QueueClosed):
+            queue.offer("late")
+
+    def test_close_drains_backlog_then_returns_none(self):
+        queue = AdmissionQueue(limit=4)
+        queue.offer("a")
+        queue.offer("b")
+        queue.close()
+        # backlog is still served after close — drain semantics
+        assert queue.take(timeout=0.1) == "a"
+        assert queue.take(timeout=0.1) == "b"
+        assert queue.take(timeout=0.1) is None
+
+    def test_close_wakes_blocked_taker(self):
+        queue = AdmissionQueue(limit=1)
+        got = []
+
+        def consumer():
+            got.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert got == [None]
+
+    def test_clear_returns_pending(self):
+        queue = AdmissionQueue(limit=4)
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.clear() == ["a", "b"]
+        assert queue.depth == 0
+
+
+class TestRetryAfter:
+    def test_default_hint_is_one_second(self):
+        assert AdmissionQueue(limit=1).retry_after() == 1
+
+    def test_hint_tracks_service_time_ewma(self):
+        queue = AdmissionQueue(limit=1)
+        for _ in range(20):
+            queue.note_service_time(4.0)
+        assert queue.retry_after() == 4
+        # hint is ceil()ed and never below 1
+        fast = AdmissionQueue(limit=1)
+        fast.note_service_time(0.01)
+        assert fast.retry_after() == 1
+
+    def test_ewma_converges_toward_recent_samples(self):
+        queue = AdmissionQueue(limit=1)
+        queue.note_service_time(10.0)
+        for _ in range(30):
+            queue.note_service_time(1.0)
+        assert queue.retry_after() <= 2
+
+
+class TestConcurrency:
+    def test_many_producers_one_consumer_no_loss_past_capacity(self):
+        queue = AdmissionQueue(limit=16)
+        accepted = []
+        lock = threading.Lock()
+
+        def producer(base):
+            for i in range(50):
+                item = base * 1000 + i
+                if queue.offer(item):
+                    with lock:
+                        accepted.append(item)
+
+        threads = [threading.Thread(target=producer, args=(n,)) for n in range(4)]
+        consumed = []
+
+        def consumer():
+            while True:
+                item = queue.take(timeout=0.5)
+                if item is None:
+                    break
+                consumed.append(item)
+
+        eater = threading.Thread(target=consumer)
+        eater.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+        eater.join(timeout=10.0)
+        # every accepted offer is consumed exactly once, in spite of races
+        assert sorted(consumed) == sorted(accepted)
+        stats = queue.stats()
+        assert stats["accepted"] == len(accepted)
+        assert stats["offered"] == 200

@@ -1,0 +1,170 @@
+"""End-to-end smoke test: the real ``repro-stg serve`` process over HTTP.
+
+This is the acceptance test of the serving tentpole, run exactly the way CI
+runs it: spawn the CLI on an ephemeral port, discover the address from the
+``serving on ...`` announcement, drive it with the stdlib client, and check
+
+* verdicts, witnesses and exit codes match ``repro-stg check`` for golden
+  models (one of them CSC-violating),
+* a tiny admission queue yields 429 + ``Retry-After`` under a burst while
+  ``/v1/healthz`` stays green,
+* SIGTERM drains gracefully: accepted work completes, the process exits 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.client import Rejected, ServeClient
+from repro.stg.parser import write_stg
+
+SERVE_ENV = dict(
+    os.environ,
+    PYTHONPATH="src",
+    PYTHONUNBUFFERED="1",
+)
+
+
+def start_server(*extra_args):
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "0",
+            "--no-cache",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=SERVE_ENV,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    line = process.stdout.readline()
+    if not line.startswith("serving on "):
+        process.kill()
+        stderr = process.stderr.read()
+        raise AssertionError(f"no announce line, got {line!r}; stderr: {stderr}")
+    url = line.split()[-1]
+    return process, ServeClient(url, timeout=30.0)
+
+
+def stop_server(process, timeout=30.0):
+    """SIGTERM, wait, return (returncode, stderr)."""
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10.0)
+        raise
+    return process.returncode, process.stderr.read()
+
+
+def cli_check_exit(tmp_path, model, prop):
+    """Exit code of ``repro-stg check`` on ``model`` the official way."""
+    from repro.models import TABLE1_BENCHMARKS
+
+    path = tmp_path / f"{model}.g"
+    path.write_text(write_stg(TABLE1_BENCHMARKS[model]()))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check", str(path), "-p", prop],
+        env=SERVE_ENV,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        capture_output=True,
+    ).returncode
+
+
+class TestServeSmoke:
+    def test_golden_verdicts_and_graceful_drain(self, tmp_path):
+        process, client = start_server()
+        try:
+            assert client.healthz() and client.readyz()
+
+            # RING satisfies CSC: service exit 0, same as the CLI
+            ring = client.check(model="RING", properties=["csc"], wait=True)
+            assert ring["state"] == "done"
+            assert ring["results"][0]["verdict"] == "holds"
+            assert ring["exit_code"] == cli_check_exit(tmp_path, "RING", "csc") == 0
+
+            # LAZYRING violates CSC: witness reported, exit 1, same as CLI
+            lazy = client.check(model="LAZYRING", properties=["csc"], wait=True)
+            assert lazy["results"][0]["verdict"] == "violated"
+            assert lazy["results"][0]["witness"]
+            assert (
+                lazy["exit_code"]
+                == cli_check_exit(tmp_path, "LAZYRING", "csc")
+                == 1
+            )
+
+            # a job accepted just before SIGTERM is drained, not dropped:
+            # exit 0 + the farewell line prove the graceful path ran
+            client.check(model="DUP-MOD-A", properties=["csc"])
+            returncode, stderr = stop_server(process)
+            assert returncode == 0
+            assert "serve: drained, bye" in stderr
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
+    def test_429_burst_then_drain_completes_accepted_work(self):
+        from repro.models.scalable import muller_pipeline
+
+        heavy_source = write_stg(muller_pipeline(12))
+        process, client = start_server(
+            "--queue-limit", "1", "--batch-limit", "1"
+        )
+        try:
+            # occupy the dispatcher with a multi-second job
+            heavy = client.check(source=heavy_source, properties=["csc"])
+            deadline = time.monotonic() + 30.0
+            while client.job(heavy["id"])["state"] != "running":
+                assert time.monotonic() < deadline, "heavy job never started"
+                time.sleep(0.02)
+
+            # one more fits the queue; the burst after it bounces with 429
+            queued = client.check(model="RING", properties=["csc"])
+            rejected = None
+            for prop in ("usc", "normalcy"):  # distinct dedup keys
+                try:
+                    client.check(model="RING", properties=[prop])
+                except Rejected as exc:
+                    rejected = exc
+                    break
+            assert rejected is not None, "burst was never refused"
+            assert rejected.retry_after >= 1
+            assert client.healthz() is True  # saturated, not sick
+
+            # SIGTERM: admission stops, but both accepted jobs finish.
+            # The server answers GETs while draining and only exits once
+            # the backlog is empty, so polls race benignly with shutdown:
+            # a dropped connection means the drain already completed.
+            process.send_signal(signal.SIGTERM)
+            observed = {}
+            for job in (heavy, queued):
+                try:
+                    observed[job["id"]] = client.wait_for(
+                        job["id"], timeout=60.0
+                    )
+                except OSError:
+                    break
+            for job_id, document in observed.items():
+                assert document["state"] == "done", job_id
+            process.wait(timeout=60.0)
+            # exit 0 is only reached after drain(): every accepted job ran
+            assert process.returncode == 0
+            assert "serve: drained, bye" in process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)

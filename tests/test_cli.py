@@ -202,3 +202,151 @@ class TestLint:
         bad.write_text(".model x\n.inputs a\n.outputs a\n.graph\n.end\n")
         assert main(["lint", str(bad)]) == 2
         assert "declared twice" in capsys.readouterr().err
+
+
+class TestParseAge:
+    def test_suffixes(self):
+        from repro.cli import parse_age
+
+        assert parse_age("30") == 30.0
+        assert parse_age("45s") == 45.0
+        assert parse_age("10m") == 600.0
+        assert parse_age("2h") == 7200.0
+        assert parse_age("1d") == 86400.0
+        assert parse_age("2w") == 1209600.0
+        assert parse_age("1.5h") == 5400.0
+
+    def test_rejects_garbage(self):
+        from repro.cli import parse_age
+        from repro.exceptions import ReproError
+
+        for bad in ("", "h", "-1d", "3y", "so on", "soon"):
+            with pytest.raises(ReproError):
+                parse_age(bad)
+
+
+class TestCacheCLI:
+    def _warm(self, tmp_path):
+        """Verify RING once so the cache dir holds exactly one entry."""
+        assert (
+            main(
+                [
+                    "batch",
+                    "RING",
+                    "--jobs",
+                    "0",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+
+    def test_stats_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert str(tmp_path) in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        self._warm(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["by_property"] == {"csc": 1}
+        assert payload["total_bytes"] > 0
+
+    def test_prune_respects_age(self, tmp_path, capsys):
+        import json
+        import os
+        import time
+
+        self._warm(tmp_path)
+        capsys.readouterr()
+        # young entry survives a 1-day cutoff
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--older-than",
+                    "1d",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "0 entr" in capsys.readouterr().out
+        # age it past the cutoff and prune again
+        (entry,) = list(tmp_path.glob("??/*.json"))
+        week_ago = time.time() - 7 * 86400
+        os.utime(entry, (week_ago, week_ago))
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--older-than",
+                    "1d",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 1
+        assert not entry.exists()
+
+    def test_prune_bad_age(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "cache",
+                    "prune",
+                    "--older-than",
+                    "nonsense",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "age" in capsys.readouterr().err.lower()
+
+
+class TestServeCLIParsing:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--queue-limit",
+                "7",
+                "--deadline",
+                "30",
+                "--no-cache",
+                "--drain-timeout",
+                "5",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.queue_limit == 7
+        assert args.deadline == 30.0
+        assert args.no_cache is True
+        assert args.drain_timeout == 5.0

@@ -93,9 +93,13 @@ class ServeClient:
         if 200 <= status < 300:
             return
         if status == 429:
-            retry_after = int(
-                headers.get("retry-after", payload.get("retry_after", 1))
-            )
+            # Retry-After may be a non-integer through proxies (HTTP allows
+            # HTTP-dates); never let a parse failure mask the Rejected.
+            raw = headers.get("retry-after", payload.get("retry_after"))
+            try:
+                retry_after = int(raw)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                retry_after = 1
             raise Rejected(payload, retry_after)
         raise ClientError(status, payload)
 

@@ -15,10 +15,12 @@ canonical STG content hash plus the property set, engine portfolio and
 resource limits, i.e. everything that could change the reported outcome.
 
 Thread-safety: ``acquire`` runs on HTTP handler threads, ``complete`` on the
-dispatcher; one lock serialises the index.  The race where a primary
-publishes *while* a duplicate is being admitted is closed by holding the
-lock across the whole acquire (the dispatcher cannot complete the key in
-between), so a follower is never attached to an already-resolved primary.
+dispatcher; one lock serialises the index.  The lock is held only *inside*
+each call — the moment ``acquire`` returns, the dispatcher may ``complete``
+the key and resolve the follower ids it recorded.  Callers must therefore
+make a follower's job id resolvable (register it in their job table)
+*before* calling ``acquire``; ids that ``complete``/``release`` return but
+the caller cannot resolve are silently lost.
 """
 
 from __future__ import annotations

@@ -143,7 +143,7 @@ def stg_from_json(payload: Any) -> STG:
         )
         for entry in payload.get("places", []):
             if (
-                not isinstance(entry, Sequence)
+                not isinstance(entry, (list, tuple))
                 or len(entry) != 2
                 or not isinstance(entry[0], str)
                 or not isinstance(entry[1], int)
@@ -155,7 +155,7 @@ def stg_from_json(payload: Any) -> STG:
             stg.add_place(entry[0], tokens=entry[1])
         for entry in payload.get("transitions", []):
             if (
-                not isinstance(entry, Sequence)
+                not isinstance(entry, (list, tuple))
                 or len(entry) != 2
                 or not isinstance(entry[0], str)
                 or not (entry[1] is None or isinstance(entry[1], str))
@@ -167,7 +167,7 @@ def stg_from_json(payload: Any) -> STG:
             stg.add_transition(entry[0], label)
         for entry in payload.get("arcs", []):
             if (
-                not isinstance(entry, Sequence)
+                not isinstance(entry, (list, tuple))
                 or len(entry) not in (2, 3)
                 or not isinstance(entry[0], str)
                 or not isinstance(entry[1], str)

@@ -18,12 +18,20 @@ Every verdict therefore flows through the existing result cache and lint
 pre-filter; concurrent identical requests additionally collapse through the
 :class:`~repro.serve.dedup.DedupIndex` before ever reaching the queue.
 
-Lifecycle: ``healthz`` is true from construction until shutdown (liveness);
-``readyz`` is true only while admitting (readiness).  :meth:`drain` — the
-SIGTERM path — stops admission, lets the dispatcher finish every accepted
-job (each bounded by its deadline), then shuts the pool down; accepted work
-is only ever dropped by :meth:`close` with ``cancel=True``, and then the
-affected jobs are reported ``cancelled``, never silently lost.
+Lifecycle: ``healthz`` is true from construction until shutdown — or until
+the dispatcher dies abnormally, which turns health red and fails every
+non-terminal job so orchestrators restart instead of routing to a service
+that can never run its queue (liveness); ``readyz`` is true only while
+admitting (readiness).  :meth:`drain` — the SIGTERM path — stops admission,
+lets the dispatcher finish every accepted job (each bounded by its
+deadline), then shuts the pool down; accepted work is only ever dropped by
+:meth:`close` with ``cancel=True``, and then the affected jobs are reported
+``cancelled``, never silently lost.
+
+Memory: finished job documents are retained for a bounded window
+(``terminal_cap`` newest, each for at most ``terminal_ttl`` seconds) so the
+job table cannot grow with total requests served; polling an evicted id
+answers 404.
 """
 
 from __future__ import annotations
@@ -33,9 +41,10 @@ import json
 import logging
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.engine import events as ev
 from repro.engine.cache import ResultCache, default_cache_dir
@@ -141,6 +150,9 @@ class ServeJob:
     error: Optional[str] = None
     #: Primary job id when this request was deduplicated in flight.
     deduped_of: Optional[str] = None
+    #: Set once the job entered the service's terminal-retention window
+    #: (guards against double-appending to the eviction order).
+    noted_terminal: bool = field(default=False, repr=False)
 
     def to_dict(self) -> Dict[str, Any]:
         document: Dict[str, Any] = {
@@ -183,12 +195,23 @@ class VerificationService:
         cache_dir: Optional[str] = None,
         lint: bool = True,
         batch_limit: int = 8,
+        terminal_cap: int = 1024,
+        terminal_ttl: Optional[float] = 900.0,
     ):
         if batch_limit < 1:
             raise ReproError("batch_limit must be >= 1")
+        if terminal_cap < 0:
+            raise ReproError("terminal_cap must be >= 0")
         self.deadline = deadline
         self.lint = lint
         self.batch_limit = batch_limit
+        #: Retention bounds for terminal job documents: at most
+        #: ``terminal_cap`` are kept, each for at most ``terminal_ttl``
+        #: seconds after finishing — without them a long-lived service would
+        #: retain every job (request STG included) forever.  Evicted jobs
+        #: answer 404 on ``GET /v1/jobs/{id}``.
+        self.terminal_cap = terminal_cap
+        self.terminal_ttl = terminal_ttl
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
@@ -199,10 +222,13 @@ class VerificationService:
         self._jobs: Dict[str, ServeJob] = {}
         self._jobs_lock = threading.Lock()
         self._published = threading.Condition(self._jobs_lock)
+        self._terminal_order: Deque[str] = deque()
+        self.jobs_evicted = 0
         self._ids = itertools.count(1)
         self._started_at = time.time()
         self._draining = False
         self._closed = False
+        self._crashed = False
         self._drained = threading.Event()
         self.latency = Histogram()        # submit -> finished
         self.queue_wait = Histogram()     # submit -> started
@@ -227,34 +253,40 @@ class VerificationService:
         :class:`ServiceSaturated` (429) or
         :class:`~repro.serve.queue.QueueClosed` (503).
         """
-        if self._draining:
+        if self._draining or self._crashed:
             raise QueueClosed("service is draining; not admitting new work")
         request = protocol.parse_check_request(payload)
         job = ServeJob(id=self._new_id(request), request=request)
         key = request.dedup_key()
+        # Register the job *before* touching the dedup index: the dispatcher's
+        # dedup.complete() (and the release() rollback below) resolve follower
+        # ids through self._jobs, and either may run the instant acquire()
+        # returns — the dedup lock is only held *inside* acquire().  A
+        # follower registered afterwards would be silently dropped and poll
+        # as 'queued' forever.
+        with self._jobs_lock:
+            self._evict_terminal_locked(time.time())
+            self._jobs[job.id] = job
         primary = self.dedup.acquire(key, job.id)
         if primary is not None:
             job.deduped_of = primary
-            with self._jobs_lock:
-                # the primary may have been resolved while we registered —
-                # acquire holds the dedup lock, so it cannot; record and go.
-                self._jobs[job.id] = job
             logger.info("job %s deduplicated onto %s", job.id, primary)
             return job
         try:
             admitted = self.queue.offer((key, job))
         except QueueClosed:
-            self.dedup.release(key, job.id)
+            orphans = self.dedup.release(key, job.id)
+            self._forget(job.id)
+            self._fail_orphans(orphans, "primary request was refused admission")
             raise
         if not admitted:
             orphans = self.dedup.release(key, job.id)
+            self._forget(job.id)
             self._fail_orphans(orphans, "primary request was refused admission")
             raise ServiceSaturated(
                 f"admission queue full ({self.queue.limit} pending)",
                 retry_after=self.queue.retry_after(),
             )
-        with self._jobs_lock:
-            self._jobs[job.id] = job
         logger.info(
             "job %s admitted: %s %s (depth %d)",
             job.id,
@@ -267,16 +299,52 @@ class VerificationService:
     def _new_id(self, request: CheckRequest) -> str:
         return f"j{next(self._ids):06d}-{request.stg_hash[:8]}"
 
+    def _forget(self, job_id: str) -> None:
+        """Unregister a job whose admission failed (the client never saw it)."""
+        with self._jobs_lock:
+            self._jobs.pop(job_id, None)
+
     def _fail_orphans(self, job_ids: List[str], reason: str) -> None:
+        now = time.time()
         with self._jobs_lock:
             for job_id in job_ids:
                 job = self._jobs.get(job_id)
                 if job is not None and job.state not in protocol.TERMINAL_STATES:
                     job.state = protocol.STATE_FAILED
                     job.error = reason
-                    job.finished = time.time()
+                    job.finished = now
+                    self._note_terminal_locked(job, now)
             if job_ids:
                 self._published.notify_all()
+
+    # -- terminal-job retention (all methods require _jobs_lock held) ----------
+
+    def _note_terminal_locked(self, job: ServeJob, now: float) -> None:
+        """Enter ``job`` into the bounded retention window of finished jobs."""
+        if job.noted_terminal:
+            return
+        job.noted_terminal = True
+        self._terminal_order.append(job.id)
+        self._evict_terminal_locked(now)
+
+    def _evict_terminal_locked(self, now: float) -> None:
+        """Drop finished jobs beyond :attr:`terminal_cap` / ``terminal_ttl``."""
+        while self._terminal_order:
+            job = self._jobs.get(self._terminal_order[0])
+            if job is None:
+                self._terminal_order.popleft()
+                continue
+            over_cap = len(self._terminal_order) > self.terminal_cap
+            expired = (
+                self.terminal_ttl is not None
+                and job.finished is not None
+                and now - job.finished >= self.terminal_ttl
+            )
+            if not over_cap and not expired:
+                break
+            self._terminal_order.popleft()
+            del self._jobs[job.id]
+            self.jobs_evicted += 1
 
     # -- queries ---------------------------------------------------------------
 
@@ -299,8 +367,14 @@ class VerificationService:
 
     @property
     def healthy(self) -> bool:
-        """Liveness: the process is up and the dispatcher has not crashed."""
-        return not self._closed and (
+        """Liveness: the process is up and the dispatcher has not crashed.
+
+        A crashed dispatcher sets :attr:`_drained` too (so :meth:`drain`
+        cannot hang), but that is *not* a clean drain — the ``_crashed``
+        flag keeps health red so orchestrators restart the process instead
+        of routing to a service that can never run its queue.
+        """
+        return not self._closed and not self._crashed and (
             self._dispatcher.is_alive() or self._drained.is_set()
         )
 
@@ -315,6 +389,8 @@ class VerificationService:
             states: Dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
+            retained = len(self._jobs)
+            evicted = self.jobs_evicted
         stats = self.events.stats
         cache_hits = self.cache.hits if self.cache else 0
         cache_misses = self.cache.misses if self.cache else 0
@@ -324,6 +400,8 @@ class VerificationService:
             ready=self.ready,
             draining=self._draining,
             jobs=states,
+            jobs_retained=retained,
+            jobs_evicted=evicted,
             queue=self.queue.stats(),
             dedup=self.dedup.stats(),
             cache={
@@ -364,9 +442,24 @@ class VerificationService:
                     continue
                 batch = [entry] + self.queue.drain_batch(self.batch_limit - 1)
                 self._run_batch(batch)
-        except Exception:  # pragma: no cover - dispatcher must never die silently
+        except Exception:
             logger.exception("dispatcher crashed")
-            raise
+            self._crashed = True
+            self.queue.close()  # stop admitting: nobody will run new work
+            with self._jobs_lock:
+                # fail everything non-terminal so pollers learn the truth
+                # now instead of spinning until their own timeouts
+                now = time.time()
+                for job in list(self._jobs.values()):
+                    if job.state not in protocol.TERMINAL_STATES:
+                        job.state = protocol.STATE_FAILED
+                        job.error = "dispatcher crashed"
+                        job.finished = now
+                        self._note_terminal_locked(job, now)
+                self._published.notify_all()
+            # swallow after recording: the crash lives on in _crashed (health
+            # red), the log, and the failed jobs — re-raising into the thread
+            # runtime adds nothing but an unhandled-exception hook firing
         finally:
             self._drained.set()
 
@@ -424,6 +517,7 @@ class VerificationService:
                 target.state = (
                     protocol.STATE_FAILED if error else protocol.STATE_DONE
                 )
+                self._note_terminal_locked(target, finished)
             self._published.notify_all()
         service_time = finished - job.submitted
         self.queue.note_service_time(service_time)
@@ -474,11 +568,13 @@ class VerificationService:
             dropped = self.queue.clear()
             ids = [job.id for _, job in dropped]
             with self._jobs_lock:
-                for job in self._jobs.values():
+                now = time.time()
+                for job in list(self._jobs.values()):
                     if job.state not in protocol.TERMINAL_STATES:
                         job.state = protocol.STATE_CANCELLED
                         job.error = job.error or "service shut down"
-                        job.finished = time.time()
+                        job.finished = now
+                        self._note_terminal_locked(job, now)
                 self._published.notify_all()
             self.pool.shutdown()
             self._drained.wait(timeout)

@@ -173,6 +173,24 @@ class TestBackpressureOverHttp:
         assert excinfo.value.status == 503
 
 
+class TestClientErrorMapping:
+    def test_unparseable_retry_after_still_raises_rejected(self):
+        # HTTP allows Retry-After to be an HTTP-date; a proxy rewriting the
+        # header must not turn backpressure into a ValueError
+        client = ServeClient("http://unused")
+        with pytest.raises(Rejected) as excinfo:
+            client._raise_for(
+                429, {"retry-after": "Fri, 08 Aug 2026 01:02:03 GMT"}, {}
+            )
+        assert excinfo.value.retry_after == 1
+
+    def test_retry_after_falls_back_to_payload_hint(self):
+        client = ServeClient("http://unused")
+        with pytest.raises(Rejected) as excinfo:
+            client._raise_for(429, {}, {"retry_after": 7})
+        assert excinfo.value.retry_after == 7
+
+
 class TestDedupOverHttp:
     def test_follower_carries_deduped_of(self, client, server, sleepy):
         primary = client.check(model="RING", engines=["sleepy"])

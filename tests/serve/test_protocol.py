@@ -60,6 +60,11 @@ class TestJsonStg:
             ({"places": [["p", -1]]}, "tokens"),
             ({"places": [["p", "x"]]}, "tokens"),
             ({"transitions": [["t"]]}, "transitions"),
+            # bare strings are sequences too; they must be rejected by the
+            # shape check, not by a downstream builder error
+            ({"places": ["p0"]}, "places must be"),
+            ({"transitions": ["ab"]}, "transitions must be"),
+            ({"arcs": ["ab"]}, "arcs must be"),
             ({"arcs": [["a", "b", 0]]}, "weight"),
             ({"initial": {"a": 2}}, "0 or 1"),
             ({"initial": {"zz": 1}}, "invalid stg payload"),

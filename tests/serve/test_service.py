@@ -206,6 +206,42 @@ class TestDedup:
             sleepy.set()
             service.close(timeout=10.0, cancel=True)
 
+    def test_follower_resolved_even_if_primary_completes_during_submit(
+        self, sleepy
+    ):
+        """Regression: a primary publishing the instant dedup.acquire()
+        returns must still resolve the follower — the follower has to be in
+        the job table *before* it attaches to the primary."""
+        service = make_service(queue_limit=4, batch_limit=1)
+        try:
+            payload = {"model": "RING", "engines": ["sleepy"]}
+            primary = service.submit(payload)
+            wait_until(
+                lambda: service.get(primary.id).state == protocol.STATE_RUNNING,
+                what="primary running",
+            )
+            real_acquire = service.dedup.acquire
+
+            def racing_acquire(key, job_id):
+                attached_to = real_acquire(key, job_id)
+                if attached_to is not None:
+                    # worst-case interleaving: the primary publishes (and
+                    # runs dedup.complete) before submit() gets any further
+                    sleepy.set()
+                    done = service.wait(primary.id, timeout=30.0)
+                    assert done.state == protocol.STATE_DONE
+                return attached_to
+
+            service.dedup.acquire = racing_acquire
+            follower = service.submit(payload)
+            assert follower.deduped_of == primary.id
+            done_follower = service.wait(follower.id, timeout=5.0)
+            assert done_follower.state == protocol.STATE_DONE
+            assert done_follower.results == service.get(primary.id).results
+        finally:
+            sleepy.set()
+            service.close(timeout=10.0, cancel=True)
+
     def test_sequential_identical_requests_do_not_dedup(self, service):
         payload = {"model": "RING"}
         first = submit_and_wait(service, payload)
@@ -275,6 +311,89 @@ class TestDrain:
         assert service.get(queued.id).state == protocol.STATE_CANCELLED
         assert service.get(queued.id).to_dict()["exit_code"] == 2
         sleepy.set()  # unblock the parked dispatcher thread
+
+
+class TestDispatcherCrash:
+    def test_crash_turns_health_red_and_fails_queued_jobs(self, sleepy):
+        service = make_service(queue_limit=4, batch_limit=1)
+        try:
+            blocker = service.submit({"model": "RING", "engines": ["sleepy"]})
+            wait_until(
+                lambda: service.get(blocker.id).state == protocol.STATE_RUNNING,
+                what="blocker running",
+            )
+            queued = service.submit({"model": "LAZYRING", "engines": ["sleepy"]})
+
+            def boom(timeout=None):
+                raise RuntimeError("boom")
+
+            service.queue.take = boom  # next dispatcher iteration dies
+            sleepy.set()
+            done_blocker = service.wait(blocker.id, timeout=30.0)
+            assert done_blocker.state == protocol.STATE_DONE
+            wait_until(lambda: not service.healthy, what="health to go red")
+            assert not service.ready
+            # the job nobody will ever run is failed, not queued forever
+            done_queued = service.wait(queued.id, timeout=5.0)
+            assert done_queued.state == protocol.STATE_FAILED
+            assert "crashed" in done_queued.error
+            # and new work is refused instead of silently accepted
+            with pytest.raises(QueueClosed):
+                service.submit({"model": "DUP-MOD-A"})
+        finally:
+            sleepy.set()
+            service.close(timeout=5.0, cancel=True)
+
+
+class TestTerminalRetention:
+    def test_terminal_jobs_evicted_beyond_cap(self):
+        service = make_service(terminal_cap=2, terminal_ttl=None)
+        try:
+            ids = [
+                submit_and_wait(service, {"model": model}).id
+                for model in ("RING", "LAZYRING", "DUP-MOD-A")
+            ]
+            assert service.get(ids[0]) is None  # oldest evicted
+            assert service.get(ids[1]) is not None
+            assert service.get(ids[2]) is not None
+            metrics = service.metrics()
+            assert metrics["jobs_evicted"] == 1
+            assert metrics["jobs_retained"] == 2
+        finally:
+            service.close(timeout=10.0, cancel=True)
+
+    def test_terminal_jobs_expire_after_ttl(self):
+        service = make_service(terminal_ttl=0.05)
+        try:
+            done = submit_and_wait(service, {"model": "RING"})
+            time.sleep(0.1)
+            # any later admission sweeps out expired terminal documents
+            submit_and_wait(service, {"model": "LAZYRING"})
+            assert service.get(done.id) is None
+            assert service.metrics()["jobs_evicted"] >= 1
+        finally:
+            service.close(timeout=10.0, cancel=True)
+
+    def test_in_flight_jobs_are_never_evicted(self, sleepy):
+        service = make_service(
+            queue_limit=4, batch_limit=1, terminal_cap=0, terminal_ttl=None
+        )
+        try:
+            blocker = service.submit({"model": "RING", "engines": ["sleepy"]})
+            wait_until(
+                lambda: service.get(blocker.id).state == protocol.STATE_RUNNING,
+                what="blocker running",
+            )
+            assert service.get(blocker.id) is not None
+            sleepy.set()
+            # with cap 0 the document goes away as soon as it is terminal
+            wait_until(
+                lambda: service.get(blocker.id) is None, what="eviction"
+            )
+            assert service.metrics()["jobs_evicted"] == 1
+        finally:
+            sleepy.set()
+            service.close(timeout=10.0, cancel=True)
 
 
 class TestMetrics:

@@ -65,19 +65,34 @@ class Case:
 
     ``workers > 0`` runs the frontier-split parallel search of
     :mod:`repro.core.parallel` and suffixes the case id with ``/w=N`` so
-    sequential and parallel timings coexist in one report.
+    sequential and parallel timings coexist in one report.  ``facts=True``
+    turns on the :mod:`repro.analysis` assistance (``use_facts=``,
+    suffix ``/f=1``) — verdicts are identical by contract, so the axis
+    isolates the facts engine's overhead/payoff.
     """
 
-    def __init__(self, family: str, size: int, prop: str, workers: int = 0):
+    def __init__(
+        self,
+        family: str,
+        size: int,
+        prop: str,
+        workers: int = 0,
+        facts: bool = False,
+    ):
         self.family = family
         self.size = size
         self.prop = prop
         self.workers = workers
+        self.facts = facts
         suffix = f"/w={workers}" if workers > 0 else ""
+        suffix += "/f=1" if facts else ""
         self.case_id = f"{family}/n={size}/{prop}{suffix}"
 
     def with_workers(self, workers: int) -> "Case":
-        return Case(self.family, self.size, self.prop, workers)
+        return Case(self.family, self.size, self.prop, workers, self.facts)
+
+    def with_facts(self, facts: bool) -> "Case":
+        return Case(self.family, self.size, self.prop, self.workers, facts)
 
     def build(self):
         from repro.models.counterflow import counterflow_pipeline
@@ -97,7 +112,7 @@ class Case:
         """The timed region: unfold the STG and check the property."""
         prefix = unfold(stg)
         check = check_usc if self.prop == "usc" else check_csc
-        return check(prefix, workers=self.workers).holds
+        return check(prefix, workers=self.workers, use_facts=self.facts).holds
 
 
 #: The full suite: one slow-ish and one fast size per family so both the
@@ -155,12 +170,24 @@ def capture_env() -> Dict[str, object]:
 def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
     """Warm up, measure ``repeat`` runs, and attach one traced run's data."""
     stg = case.build()  # construction is not part of the timed region
+
+    def reset_facts() -> None:
+        # the FactBase is memoized per content hash; drop it so every
+        # sample pays (and the /f=1 axis therefore shows) the full
+        # analysis cost, not a warm-cache read
+        if case.facts:
+            from repro.analysis import clear_memo
+
+            clear_memo()
+
     tracer = obs.get_tracer()
     for _ in range(warmup):
+        reset_facts()
         case.run(stg)
     samples: List[float] = []
     holds = False
     for _ in range(repeat):
+        reset_facts()
         with tracer.stopwatch() as watch:
             holds = case.run(stg)
         samples.append(watch.seconds)
@@ -170,6 +197,7 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
     previous = obs.get_tracer()
     obs.set_tracer(probe)
     try:
+        reset_facts()
         case.run(stg)
     finally:
         obs.set_tracer(previous)
@@ -185,6 +213,7 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
         "size": case.size,
         "property": case.prop,
         "workers": case.workers,
+        "facts": case.facts,
         "holds": holds,
         "repeats": repeat,
         "median_s": statistics.median(samples),
@@ -298,6 +327,7 @@ def run_suite(
     families: Optional[Sequence[str]] = None,
     workers: Sequence[int] = (0,),
     serve_clients: Sequence[int] = (),
+    facts: Sequence[int] = (0,),
 ) -> Dict[str, object]:
     """Run the suite and return the full schema-versioned report dict.
 
@@ -306,12 +336,20 @@ def run_suite(
     ``serve_clients`` is the concurrency axis of the HTTP serving scenario:
     each quick-suite case is additionally pushed through a live
     ``repro.serve`` instance once per client count (e.g. ``(1, 4, 16)``).
+    ``facts`` is the :mod:`repro.analysis` axis: ``(0, 1)`` measures every
+    case both without and with ``use_facts`` assistance.
     """
     suite = QUICK_SUITE if quick else SUITE
     if families:
         suite = [case for case in suite if case.family in families]
     axis = list(dict.fromkeys(workers)) or [0]
-    timed = [case.with_workers(w) for case in suite for w in axis]
+    facts_axis = list(dict.fromkeys(facts)) or [0]
+    timed = [
+        case.with_workers(w).with_facts(bool(f))
+        for case in suite
+        for w in axis
+        for f in facts_axis
+    ]
     results = []
     for case in timed:
         started = time.perf_counter()
@@ -405,6 +443,11 @@ def validate_report(data: object) -> None:
             raise ValueError(
                 f"bench result {record['id']!r} has invalid workers field"
             )
+        # "facts" is optional (reports predating the axis omit it)
+        if "facts" in record and not isinstance(record["facts"], bool):
+            raise ValueError(
+                f"bench result {record['id']!r} has invalid facts field"
+            )
         # serving-scenario records carry a concurrency axis and throughput
         if "clients" in record and (
             not isinstance(record["clients"], int)
@@ -479,6 +522,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         families=args.families,
         workers=args.workers or [0],
         serve_clients=args.serve_clients or [],
+        facts=args.facts or [0],
     )
     validate_report(report)
     out = Path(args.out)
@@ -546,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="also run the HTTP serving scenario over the quick-suite "
             "cases, once per concurrent-client count (e.g. "
             "--serve-clients 1 4 16; default: skipped)",
+        )
+        p.add_argument(
+            "--facts",
+            nargs="*",
+            type=int,
+            choices=(0, 1),
+            metavar="0|1",
+            help="analysis-facts axis: measure each case once per value "
+            "(--facts 0 1 records the with/without pair; default: 0)",
         )
         p.add_argument(
             "--out", default=str(DEFAULT_OUT), metavar="FILE.json",

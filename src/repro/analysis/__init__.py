@@ -1,0 +1,73 @@
+"""repro.analysis — the structural facts engine (docs/analysis.md).
+
+Computes, once per canonical STG hash, a :class:`FactBase` of whole-net
+structural facts: concurrency/conflict/causality relation
+over-approximations refined by place invariants and trap/siphon arguments,
+minimal traps and siphons, signal trigger/lock structure, and conflict-core
+extraction for verifier witnesses.  Every fact carries a machine-checkable
+justification replayed by the independent :func:`verify_fact` — the same
+no-trust contract as :mod:`repro.lint.certificates`.
+
+Consumers: the ``A4xx`` lint tier (:mod:`repro.lint.rules_analysis`), the
+``use_facts=`` search path of :mod:`repro.core.verifier`, and the
+``repro-stg analyze`` CLI subcommand.
+"""
+
+from repro.analysis.cliques import conflict_clique_capacities
+from repro.analysis.cores import ConflictCore, extract_core
+from repro.analysis.engine import (
+    AnalysisOptions,
+    FactBase,
+    analyze,
+    clear_memo,
+)
+from repro.analysis.facts import (
+    FACT_CONFLICT_CORE,
+    FACT_DEAD_TRANSITION,
+    FACT_KINDS,
+    FACT_LOCK,
+    FACT_NEVER_COENABLED,
+    FACT_SIPHON,
+    FACT_STRUCTURAL_CONFLICT,
+    FACT_TRAP,
+    FACT_TRIGGER,
+    FACT_VERSION,
+    Fact,
+    verify_fact,
+)
+from repro.analysis.structure import (
+    is_siphon,
+    is_trap,
+    maximal_siphon,
+    maximal_trap,
+    minimal_siphons,
+    minimal_traps,
+)
+
+__all__ = [
+    "AnalysisOptions",
+    "ConflictCore",
+    "FACT_CONFLICT_CORE",
+    "FACT_DEAD_TRANSITION",
+    "FACT_KINDS",
+    "FACT_LOCK",
+    "FACT_NEVER_COENABLED",
+    "FACT_SIPHON",
+    "FACT_STRUCTURAL_CONFLICT",
+    "FACT_TRAP",
+    "FACT_TRIGGER",
+    "FACT_VERSION",
+    "Fact",
+    "FactBase",
+    "analyze",
+    "clear_memo",
+    "conflict_clique_capacities",
+    "extract_core",
+    "is_siphon",
+    "is_trap",
+    "maximal_siphon",
+    "maximal_trap",
+    "minimal_siphons",
+    "minimal_traps",
+    "verify_fact",
+]

@@ -1,0 +1,159 @@
+"""Conflict-core extraction: shrink a USC/CSC witness to the guilty few.
+
+A verifier witness is a pair of configurations; on the paper's nested form
+(``C' ⊆ C''``) the interesting part is the difference window ``D`` — a
+code-balanced event set whose firing changes the marking (and for CSC the
+output excitation).  Diagnostics want the *minimal* such story: which
+events, hence which signals, are actually responsible.
+
+The extractor replays the witness on the original net and greedily drops
+whole per-signal event groups from the window (a balanced window stays
+balanced when all edges of one signal leave together), keeping a group out
+only when the rest still (a) fires from the base marking and (b) violates
+the separating constraint.  The result rides in a ``conflict-core`` fact
+whose justification is *self-contained and replayable* — the independent
+checker re-fires base and window and re-evaluates the constraint, so a core
+is itself a verified conflict witness.
+
+Non-nested witnesses (the general pair search with ``C' ⊄ C''``) have no
+window; for those the extractor falls back to reporting the unshrunk
+difference signals and emits no fact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.facts import FACT_CONFLICT_CORE, Fact, _justification
+from repro.exceptions import ReproError
+from repro.petri.marking import Marking
+from repro.stg.stg import STG
+
+
+@dataclass(frozen=True)
+class ConflictCore:
+    """A shrunk witness: fire ``base``, then ``window`` — still a conflict."""
+
+    property_name: str              # "usc" or "csc"
+    base: Tuple[str, ...]           # transition names reaching C'
+    window: Tuple[str, ...]         # the minimal difference window D
+    signals: Tuple[str, ...]        # signals with an edge in the window
+    fact: Optional[Fact]            # replayable justification (None: fallback)
+
+    def describe(self) -> str:
+        culprits = ", ".join(self.signals) if self.signals else "(dummies only)"
+        return (
+            f"{self.property_name.upper()} core: {len(self.window)} events "
+            f"over signals {{{culprits}}} after [{', '.join(self.base)}]"
+        )
+
+
+def extract_core(stg: STG, witness) -> Optional[ConflictCore]:
+    """Shrink ``witness`` (a :class:`~repro.core.verifier.ConflictWitness`).
+
+    Returns ``None`` when the witness kind is not usc/csc or the traces are
+    not replayable as base ⊆ extension (non-nested pair witnesses).
+    """
+    prop = witness.kind
+    if prop not in ("usc", "csc"):
+        return None
+    base = list(witness.trace_a)
+    extension = list(witness.trace_b)
+    window = _difference_window(base, extension)
+    if window is None or not window:
+        return None
+    if _replay(stg, base, window, prop) is None:
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for signal in sorted({_signal_of(stg, name) for name in window} - {None}):
+            group = [n for n in window if _signal_of(stg, n) == signal]
+            candidate = [n for n in window if _signal_of(stg, n) != signal]
+            if not group or not candidate:
+                continue
+            if _replay(stg, base, candidate, prop) is not None:
+                window = candidate
+                changed = True
+                break
+
+    signals = sorted({s for s in (_signal_of(stg, n) for n in window) if s is not None})
+    fact = Fact(
+        kind=FACT_CONFLICT_CORE,
+        subjects=tuple(signals) if signals else tuple(window),
+        claim=(
+            f"minimal {prop.upper()} conflict core: window of "
+            f"{len(window)} events over {{{', '.join(signals)}}}"
+        ),
+        justification=_justification(
+            FACT_CONFLICT_CORE,
+            property=prop,
+            base=list(base),
+            window=list(window),
+        ),
+    )
+    return ConflictCore(
+        property_name=prop,
+        base=tuple(base),
+        window=tuple(window),
+        signals=tuple(signals),
+        fact=fact,
+    )
+
+
+def _difference_window(base: List[str], extension: List[str]) -> Optional[List[str]]:
+    """``extension``'s events not in ``base`` (by name multiset), in
+    ``extension`` order; None when ``base ⊄ extension``."""
+    surplus = Counter(extension) - Counter(base)
+    if sum(surplus.values()) != len(extension) - len(base):
+        return None  # base is not a sub-multiset of extension
+    remaining = dict(surplus)
+    window: List[str] = []
+    for name in reversed(extension):
+        if remaining.get(name, 0) > 0:
+            remaining[name] -= 1
+            window.append(name)
+    window.reverse()
+    return window
+
+
+def _signal_of(stg: STG, transition_name: str) -> Optional[str]:
+    label = stg.label(stg.net.transition_index(transition_name))
+    return label.signal if label is not None else None
+
+
+def _replay(
+    stg: STG, base: List[str], window: List[str], prop: str
+) -> Optional[Tuple[Marking, Marking]]:
+    """Fire base then window; the end-marking pair if it is still a
+    ``prop`` conflict (balanced window, markings differ, Out differ for
+    csc), else None."""
+    net = stg.net
+    try:
+        marking = net.initial_marking
+        for name in base:
+            marking = net.fire_by_name(marking, name)
+        mark_a = marking
+        for name in window:
+            marking = net.fire_by_name(marking, name)
+    except ReproError:
+        return None
+    mark_b = marking
+    balance = [0] * len(stg.signals)
+    for name in window:
+        signal, delta = stg.signal_change(net.transition_index(name))
+        if signal is not None:
+            balance[signal] += delta
+    if any(balance) or mark_a == mark_b:
+        return None
+    if prop == "csc":
+        from repro.stg.nextstate import enabled_outputs
+
+        if enabled_outputs(stg, mark_a, weak=True) == enabled_outputs(
+            stg, mark_b, weak=True
+        ):
+            return None
+    return mark_a, mark_b

@@ -1,0 +1,265 @@
+"""Transition-level relation facts: conflicts, exclusions, causality.
+
+Builds the negative knowledge that refines the concurrency / conflict
+over-approximations of the :class:`~repro.analysis.engine.FactBase`:
+
+* ``structural-conflict`` facts: every pair of distinct transitions sharing
+  an input place (enumerated exhaustively — the DCF proof needs coverage);
+* ``never-coenabled`` facts: pairs excluded by a non-negative P-invariant
+  ``y`` (``y^T I = 0``) whose budget ``y · M0`` cannot pay for the joint
+  preset ``y · max(pre(t1), pre(t2))`` — the invariant-exclusion argument,
+  which subsumes the classic "safe shared place" case;
+* ``dead-transition`` facts from initially unmarked siphons (the trap/siphon
+  refinement: a dead transition kills every conflict pair it appears in);
+* the *may-follow* causal reach relation (transitive closure of the
+  transition graph ``t1 → p → t2``), a derived over-approximation used by
+  the trigger analysis and diagnostics — kept as a relation, not as facts,
+  because only refutations carry justifications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.facts import (
+    FACT_DEAD_TRANSITION,
+    FACT_NEVER_COENABLED,
+    FACT_STRUCTURAL_CONFLICT,
+    Fact,
+    _justification,
+)
+from repro.petri.net import PetriNet
+from repro.stg.stg import STG
+
+
+def structural_conflict_facts(net: PetriNet) -> List[Fact]:
+    """All distinct consumer pairs of every multi-consumer place."""
+    facts: List[Fact] = []
+    seen: Set[Tuple[int, int]] = set()
+    for p in range(net.num_places):
+        consumers = sorted(net.place_postset(p))
+        for i, t1 in enumerate(consumers):
+            for t2 in consumers[i + 1:]:
+                if (t1, t2) in seen:
+                    continue
+                seen.add((t1, t2))
+                n1, n2 = net.transition_name(t1), net.transition_name(t2)
+                place = net.place_name(p)
+                facts.append(
+                    Fact(
+                        kind=FACT_STRUCTURAL_CONFLICT,
+                        subjects=(n1, n2),
+                        claim=f"{n1} and {n2} compete for place {place}",
+                        justification=_justification(
+                            FACT_STRUCTURAL_CONFLICT,
+                            transitions=[n1, n2],
+                            place=place,
+                        ),
+                    )
+                )
+    return facts
+
+
+def _nonneg_invariants(net: PetriNet) -> List[np.ndarray]:
+    """Sign-definite basis P-invariants, flipped non-negative."""
+    from repro.petri.analysis import place_invariants
+
+    result = []
+    for vector in place_invariants(net):
+        if (vector >= 0).all():
+            result.append(vector)
+        elif (vector <= 0).all():
+            result.append(-vector)
+    return result
+
+
+def never_coenabled_facts(
+    net: PetriNet, pairs: List[Tuple[int, int]]
+) -> List[Fact]:
+    """Invariant exclusions for the given transition pairs.
+
+    For each pair the first (basis order) non-negative P-invariant whose
+    initial budget cannot cover the joint preset yields a fact.  Pairs the
+    basis cannot separate get a second chance: an exact-rational LP searches
+    the full invariant cone for a separating ``y`` (see
+    :func:`_lp_exclusion_invariant`), scaled back to integers so the
+    resulting fact still verifies by pure integer arithmetic.  Pairs with no
+    separating invariant at all are skipped — they may still be dynamically
+    exclusive; the relation is an over-approximation either way.
+    """
+    invariants = _nonneg_invariants(net)
+    initial = net.initial_marking
+    budgets = [
+        sum(int(y[p]) * int(initial[p]) for p in range(net.num_places))
+        for y in invariants
+    ]
+    facts: List[Fact] = []
+    for t1, t2 in pairs:
+        joint: Dict[int, int] = dict(net.preset(t1))
+        for p, w in net.preset(t2).items():
+            joint[p] = max(joint.get(p, 0), w)
+        witness: Optional[List[int]] = None
+        for y, budget in zip(invariants, budgets):
+            needed = sum(int(y[p]) * w for p, w in joint.items())
+            if needed > budget:
+                witness = [int(v) for v in y]
+                break
+        if witness is None:
+            witness = _lp_exclusion_invariant(net, joint)
+        if witness is None:
+            continue
+        budget = sum(
+            witness[p] * int(initial[p]) for p in range(net.num_places)
+        )
+        needed = sum(witness[p] * w for p, w in joint.items())
+        n1, n2 = net.transition_name(t1), net.transition_name(t2)
+        facts.append(
+            Fact(
+                kind=FACT_NEVER_COENABLED,
+                subjects=(n1, n2),
+                claim=(
+                    f"{n1} and {n2} are never co-enabled "
+                    f"(P-invariant budget {budget} < joint preset "
+                    f"cost {needed})"
+                ),
+                justification=_justification(
+                    FACT_NEVER_COENABLED,
+                    transitions=[n1, n2],
+                    places=list(net.places),
+                    invariant=witness,
+                ),
+            )
+        )
+    return facts
+
+
+def _lp_exclusion_invariant(
+    net: PetriNet, joint: Dict[int, int]
+) -> Optional[List[int]]:
+    """A separating invariant from the full cone, as integers.
+
+    Feasibility of ``y >= 0, y^T I = 0, y·joint >= y·M0 + 1`` over the
+    rationals yields an invariant whose budget is strictly below the joint
+    preset cost; scaling by the common denominator keeps the strict
+    inequality, so the returned integer vector passes the independent
+    :func:`repro.analysis.facts.verify_fact` replay.  ``None`` when the cone
+    holds no separator (or the solution fails the exact recheck).
+    """
+    from math import gcd
+
+    from repro.lp import LinearProgram, solve_lp
+
+    num_places = net.num_places
+    from repro.petri.incidence import incidence_matrix
+
+    incidence = incidence_matrix(net)
+    constraints = []
+    for t in range(net.num_transitions):
+        column = [int(incidence[p, t]) for p in range(num_places)]
+        if any(column):
+            constraints.append((column, "==", 0))
+    initial = net.initial_marking
+    gap = [joint.get(p, 0) - int(initial[p]) for p in range(num_places)]
+    if not any(gap):
+        return None
+    constraints.append((gap, ">=", 1))
+    result = solve_lp(LinearProgram.feasibility(num_places, constraints))
+    if not result.feasible or result.solution is None:
+        return None
+    scale = 1
+    for value in result.solution:
+        scale = scale * value.denominator // gcd(scale, value.denominator)
+    witness = [int(value * scale) for value in result.solution]
+    # exact integer recheck (defence against any simplex slip)
+    if any(v < 0 for v in witness):
+        return None
+    for t in range(net.num_transitions):
+        if sum(witness[p] * int(incidence[p, t]) for p in range(num_places)):
+            return None
+    needed = sum(witness[p] * w for p, w in joint.items())
+    budget = sum(witness[p] * int(initial[p]) for p in range(num_places))
+    if needed <= budget:
+        return None
+    return witness
+
+
+def dead_transition_facts(
+    net: PetriNet, unmarked_siphons: List[FrozenSet[int]]
+) -> List[Fact]:
+    """Transitions fed by an initially unmarked siphon never fire."""
+    facts: List[Fact] = []
+    claimed: Set[int] = set()
+    for siphon in sorted(unmarked_siphons, key=lambda s: (len(s), sorted(s))):
+        names = sorted(net.place_name(p) for p in siphon)
+        for t in range(net.num_transitions):
+            if t in claimed:
+                continue
+            if any(p in siphon for p in net.preset(t)):
+                claimed.add(t)
+                name = net.transition_name(t)
+                facts.append(
+                    Fact(
+                        kind=FACT_DEAD_TRANSITION,
+                        subjects=(name,),
+                        claim=(
+                            f"{name} is dead: its preset meets the "
+                            f"unmarked siphon {{{', '.join(names)}}}"
+                        ),
+                        justification=_justification(
+                            FACT_DEAD_TRANSITION,
+                            transition=name,
+                            siphon=names,
+                        ),
+                    )
+                )
+    return facts
+
+
+def may_follow_relation(net: PetriNet) -> List[Set[int]]:
+    """Transitive closure of the transition graph ``t1 → p → t2``.
+
+    ``result[t1]`` is the set of transitions reachable from ``t1`` through
+    the net's flow arcs — a sound over-approximation of "some firing of
+    ``t2`` is causally after some firing of ``t1``".
+    """
+    direct: List[Set[int]] = [set() for _ in range(net.num_transitions)]
+    for t in range(net.num_transitions):
+        for p in net.postset(t):
+            direct[t].update(net.place_postset(p))
+    # iterative closure (nets are small; |T|^2 bitsets would be overkill)
+    reach = [set(s) for s in direct]
+    changed = True
+    while changed:
+        changed = False
+        for t in range(net.num_transitions):
+            extension: Set[int] = set()
+            for u in reach[t]:
+                extension |= reach[u]
+            if not extension <= reach[t]:
+                reach[t] |= extension
+                changed = True
+    return reach
+
+
+def structural_conflict_pairs(net: PetriNet) -> List[Tuple[int, int]]:
+    """Index pairs (sorted, deduplicated) sharing an input place."""
+    pairs: Set[Tuple[int, int]] = set()
+    for p in range(net.num_places):
+        consumers = sorted(net.place_postset(p))
+        for i, t1 in enumerate(consumers):
+            for t2 in consumers[i + 1:]:
+                pairs.add((t1, t2))
+    return sorted(pairs)
+
+
+def same_signal_pairs(stg: STG) -> List[Tuple[int, int]]:
+    """Distinct transition pairs labelled by the same signal (either edge)."""
+    pairs: List[Tuple[int, int]] = []
+    for signal in stg.signals:
+        transitions = sorted(stg.transitions_of(signal))
+        for i, t1 in enumerate(transitions):
+            for t2 in transitions[i + 1:]:
+                pairs.append((t1, t2))
+    return pairs

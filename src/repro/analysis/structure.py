@@ -1,0 +1,122 @@
+"""Traps and siphons via the standard iterated-pruning fixpoint.
+
+A *trap* is a place set ``S`` with ``S• ⊆ •S``: every transition consuming
+from ``S`` also produces into it, so a marked trap can never be emptied.  A
+*siphon* is the dual (``•S ⊆ S•``): every producer also consumes, so an
+unmarked siphon stays empty forever — which kills every transition fed by
+it.  Both closure operators are computed by the classical fixpoint: start
+from a candidate set and repeatedly discard places that violate the
+condition; what survives is the *maximal* trap (siphon) inside the seed.
+
+Minimal traps/siphons are found by greedy shrinking: for each place ``p``
+still contained in the maximal fixpoint, repeatedly re-run the fixpoint on
+the set minus one other place while ``p`` survives.  The result is
+inclusion-minimal among traps (siphons) containing ``p``.  Everything is
+iterated in index order, so the output is deterministic; ``max_size`` /
+``max_count`` budgets bound the enumeration on large nets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from repro.petri.net import PetriNet
+
+
+def maximal_trap(net: PetriNet, seed: Set[int]) -> Set[int]:
+    """The largest trap contained in ``seed`` (possibly empty)."""
+    current = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for p in sorted(current):
+            ok = True
+            for t in net.place_postset(p):  # consumers of p
+                if not any(q in current for q in net.postset(t)):
+                    ok = False
+                    break
+            if not ok:
+                current.discard(p)
+                changed = True
+    return current
+
+
+def maximal_siphon(net: PetriNet, seed: Set[int]) -> Set[int]:
+    """The largest siphon contained in ``seed`` (possibly empty)."""
+    current = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for p in sorted(current):
+            ok = True
+            for t in net.place_preset(p):  # producers of p
+                if not any(q in current for q in net.preset(t)):
+                    ok = False
+                    break
+            if not ok:
+                current.discard(p)
+                changed = True
+    return current
+
+
+def is_trap(net: PetriNet, places: Set[int]) -> bool:
+    return bool(places) and maximal_trap(net, places) == places
+
+
+def is_siphon(net: PetriNet, places: Set[int]) -> bool:
+    return bool(places) and maximal_siphon(net, places) == places
+
+
+def _minimal_containing(net: PetriNet, fixpoint, keep: int, start: Set[int]) -> Set[int]:
+    """Shrink ``start`` to an inclusion-minimal trap/siphon containing
+    ``keep`` by retrying the fixpoint with one place removed at a time."""
+    current = set(start)
+    progress = True
+    while progress:
+        progress = False
+        for q in sorted(current):
+            if q == keep:
+                continue
+            smaller = fixpoint(net, current - {q})
+            if keep in smaller and smaller:
+                current = smaller
+                progress = True
+                break
+    return current
+
+
+def _minimal_sets(
+    net: PetriNet, fixpoint, max_size: int, max_count: int
+) -> List[FrozenSet[int]]:
+    base = fixpoint(net, set(range(net.num_places)))
+    found: List[FrozenSet[int]] = []
+    seen: Set[FrozenSet[int]] = set()
+    for p in sorted(base):
+        candidate = frozenset(_minimal_containing(net, fixpoint, p, base))
+        if candidate in seen or len(candidate) > max_size:
+            continue
+        seen.add(candidate)
+        found.append(candidate)
+        if len(found) >= max_count:
+            break
+    return found
+
+
+def minimal_traps(
+    net: PetriNet, max_size: int = 16, max_count: int = 32
+) -> List[FrozenSet[int]]:
+    """Inclusion-minimal traps containing each place, deduplicated, capped."""
+    return _minimal_sets(net, maximal_trap, max_size, max_count)
+
+
+def minimal_siphons(
+    net: PetriNet, max_size: int = 16, max_count: int = 32
+) -> List[FrozenSet[int]]:
+    """Inclusion-minimal siphons containing each place, deduplicated, capped."""
+    return _minimal_sets(net, maximal_siphon, max_size, max_count)
+
+
+def unmarked_siphons(net: PetriNet, siphons: List[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """The initially token-free ones (these stay empty forever)."""
+    initial = net.initial_marking
+    return [s for s in siphons if all(int(initial[p]) == 0 for p in s)]

@@ -1,0 +1,87 @@
+"""Signal-edge trigger/lock relations — the raw material of CSC reasoning.
+
+An edge ``e1`` *triggers* ``e2`` when some transition labelled ``e1``
+produces into an input place of some transition labelled ``e2``: firing
+``e1`` can (help) enable ``e2``.  Two edges are *locked* when transitions
+carrying them compete for a common input place: firing one can disable the
+other.  Both relations are purely structural (no reachability), one fact
+per edge pair with the first witnessing transition pair and place attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.facts import FACT_LOCK, FACT_TRIGGER, Fact, _justification
+from repro.stg.stg import STG
+
+
+def _edge_transitions(stg: STG) -> List[Tuple[str, int]]:
+    """``(edge token, transition index)`` for every labelled transition."""
+    result = []
+    for t in range(stg.net.num_transitions):
+        label = stg.label(t)
+        if label is not None:
+            result.append((str(label), t))
+    return result
+
+
+def trigger_facts(stg: STG) -> List[Fact]:
+    """One fact per (edge1, edge2) pair where edge1 can enable edge2."""
+    net = stg.net
+    labelled = _edge_transitions(stg)
+    witnesses: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+    for e1, t1 in labelled:
+        post = set(net.postset(t1))
+        for e2, t2 in labelled:
+            key = (e1, e2)
+            if key in witnesses:
+                continue
+            shared = sorted(post & set(net.preset(t2)))
+            if shared:
+                witnesses[key] = (t1, t2, shared[0])
+    return [
+        _edge_pair_fact(stg, FACT_TRIGGER, e1, e2, t1, t2, p, "can trigger")
+        for (e1, e2), (t1, t2, p) in sorted(witnesses.items())
+    ]
+
+
+def lock_facts(stg: STG) -> List[Fact]:
+    """One fact per unordered edge pair competing for an input place."""
+    net = stg.net
+    labelled = _edge_transitions(stg)
+    witnesses: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+    for i, (e1, t1) in enumerate(labelled):
+        pre = set(net.preset(t1))
+        for e2, t2 in labelled[i + 1:]:
+            if t1 == t2:
+                continue
+            key = (e1, e2) if e1 <= e2 else (e2, e1)
+            if key in witnesses:
+                continue
+            shared = sorted(pre & set(net.preset(t2)))
+            if shared:
+                if e1 <= e2:
+                    witnesses[key] = (t1, t2, shared[0])
+                else:
+                    witnesses[key] = (t2, t1, shared[0])
+    return [
+        _edge_pair_fact(stg, FACT_LOCK, e1, e2, t1, t2, p, "is locked with")
+        for (e1, e2), (t1, t2, p) in sorted(witnesses.items())
+    ]
+
+
+def _edge_pair_fact(
+    stg: STG, kind: str, e1: str, e2: str, t1: int, t2: int, p: int, verb: str
+) -> Fact:
+    net = stg.net
+    n1, n2 = net.transition_name(t1), net.transition_name(t2)
+    place = net.place_name(p)
+    return Fact(
+        kind=kind,
+        subjects=(e1, e2),
+        claim=f"{e1} {verb} {e2} (via {n1}/{n2} at place {place})",
+        justification=_justification(
+            kind, transitions=[n1, n2], place=place, edges=[e1, e2]
+        ),
+    )

@@ -171,7 +171,7 @@ def _check_property(stg, prop: str, args: argparse.Namespace) -> bool:
         else:
             holds = _check_coding(
                 stg, prop, args.method, args.verbose, args.node_budget,
-                args.workers,
+                args.workers, use_facts=getattr(args, "facts", False),
             )
         print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
         return holds
@@ -190,6 +190,7 @@ def _check_portfolio(stg, prop: str, args: argparse.Namespace) -> bool:
         timeout=args.timeout,
         node_budget=args.node_budget,
         workers=getattr(args, "workers", 0),
+        use_facts=getattr(args, "facts", False),
     )
     with WorkerPool(max_workers=len(engines)) as pool:
         result = run_jobs([job], pool)[0]
@@ -212,12 +213,13 @@ def _check_coding(
     verbose: bool,
     node_budget: Optional[int] = None,
     workers: int = 0,
+    use_facts: bool = False,
 ) -> bool:
     if method == "ilp":
         from repro.core import check_csc, check_usc
 
         report = (check_usc if prop == "usc" else check_csc)(
-            stg, node_budget=node_budget, workers=workers
+            stg, node_budget=node_budget, workers=workers, use_facts=use_facts
         )
         if verbose and report.witness is not None:
             print(f"  witness: {report.witness.describe()}")
@@ -327,7 +329,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     total = phases.get("total") or 0.0
     body = []
-    for phase in ("parse", "unfold", "closure", "solver", "lint"):
+    for phase in ("parse", "unfold", "closure", "solver", "lint", "analysis"):
         seconds = phases.get(phase, 0.0)
         share = f"{100.0 * seconds / total:.1f}%" if total > 0 else "-"
         body.append([phase, f"{seconds * 1000:.3f}", share])
@@ -360,7 +362,8 @@ def _profile_property(stg, prop: str, args: argparse.Namespace) -> bool:
     if prop == "normalcy":
         return _check_normalcy(stg, args.method, args.node_budget, workers)
     return _check_coding(
-        stg, prop, args.method, False, args.node_budget, workers
+        stg, prop, args.method, False, args.node_budget, workers,
+        use_facts=getattr(args, "facts", False),
     )
 
 
@@ -613,6 +616,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import AnalysisOptions, analyze
+    from repro.engine.batch import resolve_target
+
+    options = AnalysisOptions(
+        trap_max_size=args.set_size,
+        trap_max_count=args.set_count,
+        siphon_max_size=args.set_size,
+        siphon_max_count=args.set_count,
+    )
+    exit_code = 0
+    payloads = []
+    for target in args.targets:
+        _, stg = resolve_target(target)
+        facts = analyze(stg, options=options)
+        bad = facts.verify_all(stg) if args.verify else []
+        if bad:
+            exit_code = 2
+        if args.json:
+            document = facts.to_dict()
+            if args.verify:
+                document["verified"] = not bad
+                document["failed_facts"] = [f.to_dict() for f in bad]
+            payloads.append(document)
+            continue
+        counts = facts.counts()
+        summary = (
+            ", ".join(f"{kind}={n}" for kind, n in sorted(counts.items()))
+            or "no facts"
+        )
+        print(f"{stg.name}: {len(facts.facts)} facts ({summary})")
+        if facts.proves_dynamic_conflict_freeness():
+            print(
+                "  dynamic conflict-freeness: proven (every structural "
+                "conflict pair is never co-enabled)"
+            )
+        if args.verbose or args.verbosity > 0:
+            for fact in facts.facts:
+                print(f"  [{fact.kind}] {fact.claim}")
+        if args.verify:
+            if bad:
+                print(f"  VERIFICATION FAILED for {len(bad)} fact(s):")
+                for fact in bad:
+                    print(f"    [{fact.kind}] {fact.claim}")
+            else:
+                print(f"  verified: all {len(facts.facts)} facts check out")
+    if args.json:
+        document = payloads[0] if len(payloads) == 1 else payloads
+        print(json.dumps(document, indent=2))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-stg",
@@ -677,6 +734,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0 = sequential; ilp method only)",
     )
     check.add_argument(
+        "--facts",
+        action="store_true",
+        help="let the IP search consume the structural facts engine "
+        "(repro.analysis): facts-licensed prescreens and clique-capacity "
+        "pruning; verdicts and witnesses are byte-identical either way",
+    )
+    check.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -724,6 +788,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="N",
         help="intra-check search workers (default: 0 = sequential)",
+    )
+    profile.add_argument(
+        "--facts",
+        action="store_true",
+        help="enable the structural-facts search path (ilp method only)",
     )
     profile.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON"
@@ -858,6 +927,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print fix-it hints and decided properties",
     )
     lint.set_defaults(func=_cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="compute and print the structural facts of an STG",
+        description="Run the repro.analysis facts engine over TARGET... "
+        "(registered model names or .g files): structural conflicts, "
+        "invariant-backed never-co-enabled exclusions, minimal traps and "
+        "siphons, dead transitions, signal trigger/lock structure.  Every "
+        "fact carries a machine-checkable justification; --verify replays "
+        "them all.  See docs/analysis.md.",
+    )
+    analyze.add_argument(
+        "targets",
+        nargs="+",
+        metavar="TARGET",
+        help="model names or .g files",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the serialized FactBase as JSON",
+    )
+    analyze.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay every fact's justification; exit 2 if any fails",
+    )
+    analyze.add_argument(
+        "--set-size",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max places per enumerated trap/siphon (default 16)",
+    )
+    analyze.add_argument(
+        "--set-count",
+        type=int,
+        default=32,
+        metavar="N",
+        help="max minimal traps/siphons to enumerate (default 32)",
+    )
+    analyze.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="print every fact, not just the per-kind counts",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     serve = sub.add_parser(
         "serve",

@@ -31,29 +31,25 @@ import numpy as np
 
 from repro.core.context import SolverContext
 from repro.petri.analysis import _integer_kernel
+from repro.petri.incidence import balance_matrix_from_changes, transition_flow_matrix
 
 
 def _balance_matrix(context: SolverContext) -> np.ndarray:
     """Rows: one per signal; columns: free positions; entries: edge deltas."""
-    matrix = np.zeros((context.num_signals, context.num_vars), dtype=np.int64)
-    for i in range(context.num_vars):
-        signal = context.signal_of[i]
-        if signal is not None:
-            matrix[signal, i] = context.delta_of[i]
-    return matrix
+    changes = [
+        (context.signal_of[i], context.delta_of[i])
+        for i in range(context.num_vars)
+    ]
+    return balance_matrix_from_changes(changes, context.num_signals)
 
 
 def _flow_matrix(context: SolverContext) -> np.ndarray:
     """Rows: original places; columns: free positions; entries: token flow."""
-    net = context.prefix.net
-    matrix = np.zeros((net.num_places, context.num_vars), dtype=np.int64)
-    for i in range(context.num_vars):
-        transition = context.prefix.events[context.order[i]].transition
-        for p, w in net.preset(transition).items():
-            matrix[p, i] -= w
-        for p, w in net.postset(transition).items():
-            matrix[p, i] += w
-    return matrix
+    transitions = [
+        context.prefix.events[context.order[i]].transition
+        for i in range(context.num_vars)
+    ]
+    return transition_flow_matrix(context.prefix.net, transitions)
 
 
 def kernel_prescreen(context: SolverContext) -> Optional[bool]:

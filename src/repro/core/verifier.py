@@ -127,6 +127,7 @@ def _make_search(
     node_budget: Optional[int] = None,
     workers: int = 0,
     shards: Optional[int] = None,
+    capacities=None,
 ):
     """Build the sequential search, or its frontier-split parallel front end
     when the caller asked for workers or an explicit shard split (both have
@@ -147,10 +148,47 @@ def _make_search(
     if kind == "window":
         from repro.core.window import WindowSearch
 
-        return WindowSearch(context, node_budget=node_budget)
+        return WindowSearch(
+            context, node_budget=node_budget, capacities=capacities
+        )
     return PairSearch(
-        context, mode=mode, nested_only=nested_only, node_budget=node_budget
+        context,
+        mode=mode,
+        nested_only=nested_only,
+        node_budget=node_budget,
+        capacities=capacities,
     )
+
+
+def _facts_dcf(context: SolverContext) -> bool:
+    """Does the fact engine prove dynamic conflict-freeness (Proposition 1)?
+
+    Used by the ``use_facts=`` path to license the nested-formulation
+    prescreens when :func:`_should_nest`'s purely structural test fails.
+    The proof is the invariant-exclusion coverage of every structural
+    conflict pair (docs/analysis.md), computed once per STG content hash.
+    """
+    from repro.analysis import analyze
+
+    return analyze(context.stg).proves_dynamic_conflict_freeness()
+
+
+def _clique_capacities(
+    context: SolverContext, use_facts: bool, workers: int, shards: Optional[int]
+):
+    """Capacity tables for the sequential searches (``use_facts=`` only).
+
+    The parallel driver ships :class:`SolverSnapshot` slices that do not
+    carry the tables, so the facts-tightened bounds apply to the sequential
+    path only — verdicts and witnesses are identical either way, the
+    parallel run just prunes later.
+    """
+    if not use_facts or workers > 0 or (shards is not None and shards > 1):
+        return None
+    from repro.analysis import conflict_clique_capacities
+
+    with obs.trace("analysis.cliques"):
+        return conflict_clique_capacities(context)
 
 
 def _should_nest(context: SolverContext, nested: Optional[bool]) -> bool:
@@ -178,6 +216,7 @@ def check_usc(
     node_budget: Optional[int] = None,
     workers: int = 0,
     shards: Optional[int] = None,
+    use_facts: bool = False,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Unique State Coding property on the unfolding prefix.
@@ -195,13 +234,25 @@ def check_usc(
     ``workers`` / ``shards`` enable the frontier-split parallel search of
     :mod:`repro.core.parallel` (0/None: sequential; verdicts and witnesses
     are identical either way — docs/parallelism.md).
+
+    ``use_facts`` consults the :mod:`repro.analysis` fact engine: a proof of
+    dynamic conflict-freeness licenses the nested-formulation prescreen even
+    when the structural test of :func:`_should_nest` fails, and conflict-
+    clique capacity tables tighten the balance-pruning intervals of the
+    sequential searches.  Both only prune — verdicts and witnesses are
+    byte-identical to the ``use_facts=False`` path (pinned by
+    ``tests/analysis``).
     """
     started = time.perf_counter()
     context = _prepare(source, unfolding_options)
     nest = _should_nest(context, nested)
     witness = None
 
-    if nest and prescreen is not None:
+    prescreen_licensed = nest
+    if use_facts and not nest and prescreen is not None:
+        prescreen_licensed = _facts_dcf(context)
+
+    if prescreen_licensed and prescreen is not None:
         from repro.core.prescreen import kernel_prescreen, lp_prescreen
 
         screen = {"kernel": kernel_prescreen, "lp": lp_prescreen}[prescreen]
@@ -218,6 +269,7 @@ def check_usc(
                 elapsed=time.perf_counter() - started,
             )
 
+    capacities = _clique_capacities(context, use_facts, workers, shards)
     if nest and use_window_search:
         search = _make_search(
             context,
@@ -225,6 +277,7 @@ def check_usc(
             node_budget=node_budget,
             workers=workers,
             shards=shards,
+            capacities=capacities,
         )
         with obs.trace("search.window"):
             for closure_mask, window_mask in search.solutions():
@@ -250,6 +303,7 @@ def check_usc(
             node_budget=node_budget,
             workers=workers,
             shards=shards,
+            capacities=capacities,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():
@@ -282,6 +336,7 @@ def check_csc(
     node_budget: Optional[int] = None,
     workers: int = 0,
     shards: Optional[int] = None,
+    use_facts: bool = False,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Complete State Coding property on the unfolding prefix.
@@ -296,6 +351,12 @@ def check_csc(
     CSC witness.  Only when every window is USC-but-not-CSC in its minimal
     embedding does the checker fall back to the general pair search (other
     embeddings of the same window reach different marking pairs).
+
+    ``use_facts`` adds the fact-engine refinements of :func:`check_usc`:
+    under a (structural or facts-proven) dynamic conflict-freeness licence
+    a conclusive kernel prescreen settles CSC outright — no USC conflict
+    means no CSC conflict — and clique capacity tables tighten the
+    sequential searches.  Verdicts and witnesses stay byte-identical.
     """
     started = time.perf_counter()
     context = _prepare(source, unfolding_options)
@@ -304,6 +365,23 @@ def check_csc(
     usc_only = 0
     stats = None
 
+    if use_facts and (nest or _facts_dcf(context)):
+        from repro.core.prescreen import kernel_prescreen
+
+        with obs.trace("search.prescreen"):
+            verdict = kernel_prescreen(context)
+        if verdict is False:
+            return CodingReport(
+                property_name="CSC",
+                holds=True,
+                witness=None,
+                usc_only_candidates=0,
+                prefix_stats=context.prefix.stats(),
+                search_stats=SearchStats(),
+                elapsed=time.perf_counter() - started,
+            )
+
+    capacities = _clique_capacities(context, use_facts, workers, shards)
     if nest and use_window_search:
         window_search = _make_search(
             context,
@@ -311,6 +389,7 @@ def check_csc(
             node_budget=node_budget,
             workers=workers,
             shards=shards,
+            capacities=capacities,
         )
         saw_window = False
         with obs.trace("search.window"):
@@ -353,6 +432,7 @@ def check_csc(
             node_budget=node_budget,
             workers=workers,
             shards=shards,
+            capacities=capacities,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():

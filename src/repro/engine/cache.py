@@ -32,7 +32,8 @@ from typing import Dict, Optional, Union
 from repro.engine.jobs import SOURCE_CACHE, JobResult, VerificationJob
 
 #: Bump to invalidate every stored result (e.g. when JobResult grows fields).
-SCHEMA_VERSION = 2
+#: v3: analysis FactBase entries share the store (``get_facts``/``put_facts``).
+SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -124,6 +125,59 @@ class ResultCache:
             "certificate": result.certificate,
         }
         path = self._path(self.key_for(job))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- analysis facts ------------------------------------------------------
+
+    def facts_key_for(self, stg_hash: str) -> str:
+        """Key of the serialized :class:`repro.analysis.FactBase` of one STG.
+
+        Same store and schema version as results (a schema bump invalidates
+        facts too), but a distinct key domain so a facts entry can never
+        shadow a verdict.
+        """
+        material = f"repro-facts-cache:v{SCHEMA_VERSION}\n{stg_hash}\n"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def get_facts(self, stg_hash: str) -> Optional[Dict[str, object]]:
+        """The cached ``FactBase.to_dict()`` payload, or ``None``."""
+        path = self._path(self.facts_key_for(stg_hash))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("schema") != SCHEMA_VERSION or "facts" not in payload:
+            self.misses += 1
+            return None
+        self.hits += 1
+        body = payload.get("body")
+        return body if isinstance(body, dict) else None
+
+    def put_facts(self, stg_hash: str, body: Dict[str, object]) -> bool:
+        """Store a ``FactBase.to_dict()`` payload atomically."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "facts": True,
+            "property": "analysis-facts",
+            "verdict": "facts",
+            "body": body,
+        }
+        path = self._path(self.facts_key_for(stg_hash))
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".json"

@@ -59,6 +59,11 @@ class VerificationJob:
     #: (0 = sequential); excluded from the cache identity like the other
     #: resource knobs — it cannot change the verdict.
     workers: int = 0
+    #: Let the ilp engine consume the structural FactBase (facts-licensed
+    #: prescreen, clique-capacity pruning).  Verdicts and witnesses are
+    #: byte-identical either way, so — like ``workers`` — the flag is
+    #: excluded from the cache identity.
+    use_facts: bool = False
     name: str = ""
     stg_hash: str = ""
 
@@ -257,7 +262,12 @@ def _run_ilp(job: VerificationJob):
             },
         )
     check = check_usc if job.property == "usc" else check_csc
-    report = check(job.stg, node_budget=job.node_budget, workers=job.workers)
+    report = check(
+        job.stg,
+        node_budget=job.node_budget,
+        workers=job.workers,
+        use_facts=job.use_facts,
+    )
     return (
         report.holds,
         report.witness.describe() if report.witness is not None else None,

@@ -1,13 +1,16 @@
 """repro.lint — static STG diagnostics with certifying conflict pre-filters.
 
-The subsystem runs three tiers of rules over a parsed STG without building
+The subsystem runs four tiers of rules over a parsed STG without building
 any state space:
 
 1. *well-formedness* (``W1xx``): structural defects of the net,
 2. *stg-semantics* (``S2xx``): signal-level specification defects,
 3. *conflict-prefilter* (``C3xx``): certifying USC/CSC verdicts from the
    state-equation relaxation — each positive verdict carries a
-   machine-checkable certificate.
+   machine-checkable certificate,
+4. *analysis-facts* (``A4xx``): findings backed by the structural facts
+   engine (:mod:`repro.analysis`) — autoconcurrency left unrefuted, dead
+   transitions from unmarked siphons, siphons without marked traps.
 
 Entry point: :func:`run_lint`.  The verification engine runs it as stage
 zero of every portfolio job (see :mod:`repro.engine.portfolio`); the CLI
@@ -30,6 +33,7 @@ from repro.lint.diagnostics import (
     SEVERITY_ERROR,
     SEVERITY_INFO,
     SEVERITY_WARNING,
+    TIER_ANALYSIS,
     TIER_PREFILTER,
     TIER_SEMANTICS,
     TIER_WELLFORMED,
@@ -58,6 +62,7 @@ __all__ = [
     "SEVERITY_INFO",
     "SEVERITY_WARNING",
     "TIERS",
+    "TIER_ANALYSIS",
     "TIER_PREFILTER",
     "TIER_SEMANTICS",
     "TIER_WELLFORMED",

@@ -81,14 +81,10 @@ def solve_exact(
 
 def balance_matrix(stg: STG) -> np.ndarray:
     """The ``|Z| x |T|`` signal-balance matrix (see RuleContext.balance)."""
-    matrix = np.zeros(
-        (len(stg.signals), stg.net.num_transitions), dtype=np.int64
-    )
-    for t in range(stg.net.num_transitions):
-        index, delta = stg.signal_change(t)
-        if index is not None:
-            matrix[index, t] = delta
-    return matrix
+    from repro.petri.incidence import balance_matrix_from_changes
+
+    changes = [stg.signal_change(t) for t in range(stg.net.num_transitions)]
+    return balance_matrix_from_changes(changes, len(stg.signals))
 
 
 # -- affine-code certificates --------------------------------------------------

@@ -27,12 +27,13 @@ SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
 
 _SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 
-#: Rule tiers (the three layers of the static analysis).
+#: Rule tiers (the four layers of the static analysis).
 TIER_WELLFORMED = "well-formedness"
 TIER_SEMANTICS = "stg-semantics"
 TIER_PREFILTER = "conflict-prefilter"
+TIER_ANALYSIS = "analysis-facts"
 
-TIERS = (TIER_WELLFORMED, TIER_SEMANTICS, TIER_PREFILTER)
+TIERS = (TIER_WELLFORMED, TIER_SEMANTICS, TIER_PREFILTER, TIER_ANALYSIS)
 
 
 @dataclass(frozen=True)

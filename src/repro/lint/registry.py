@@ -13,7 +13,16 @@ from __future__ import annotations
 
 import fnmatch
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -25,6 +34,9 @@ from repro.lint.diagnostics import (
 )
 from repro.stg.sourcemap import KIND_PLACE, KIND_SIGNAL, KIND_TRANSITION, SourceSpan
 from repro.stg.stg import STG
+
+if TYPE_CHECKING:
+    from repro.analysis import FactBase
 
 
 class RuleContext:
@@ -45,6 +57,7 @@ class RuleContext:
         self._balance: Optional[np.ndarray] = None
         self._tinvariants: Optional[List[np.ndarray]] = None
         self._pinvariants: Optional[List[np.ndarray]] = None
+        self._facts: Optional["FactBase"] = None
 
     # -- shared linear algebra -------------------------------------------------
 
@@ -66,15 +79,15 @@ class RuleContext:
         contribute an all-zero column).
         """
         if self._balance is None:
-            matrix = np.zeros(
-                (len(self.stg.signals), self.net.num_transitions),
-                dtype=np.int64,
+            from repro.petri.incidence import balance_matrix_from_changes
+
+            changes = [
+                self.stg.signal_change(t)
+                for t in range(self.net.num_transitions)
+            ]
+            self._balance = balance_matrix_from_changes(
+                changes, len(self.stg.signals)
             )
-            for t in range(self.net.num_transitions):
-                index, delta = self.stg.signal_change(t)
-                if index is not None:
-                    matrix[index, t] = delta
-            self._balance = matrix
         return self._balance
 
     @property
@@ -92,6 +105,20 @@ class RuleContext:
 
             self._pinvariants = place_invariants(self.net)
         return self._pinvariants
+
+    @property
+    def facts(self) -> "FactBase":
+        """The structural :class:`~repro.analysis.FactBase` of the STG.
+
+        Memoized per content hash inside :func:`repro.analysis.analyze`, so
+        the A4xx rules, the verifier's ``use_facts`` path and the CLI all
+        share one computation.
+        """
+        if self._facts is None:
+            from repro.analysis import analyze
+
+            self._facts = analyze(self.stg)
+        return self._facts
 
     def nonneg_pinvariants(self) -> List[np.ndarray]:
         """Basis P-invariants that are sign-definite, flipped non-negative."""
@@ -197,6 +224,7 @@ def _load_builtin_rules() -> None:
     if _BUILTINS_LOADED:
         return
     _BUILTINS_LOADED = True
+    from repro.lint import rules_analysis  # noqa: F401
     from repro.lint import rules_prefilter  # noqa: F401
     from repro.lint import rules_semantics  # noqa: F401
     from repro.lint import rules_wellformed  # noqa: F401
@@ -217,28 +245,27 @@ def run_lint(
     The certifying tier is gated on hygiene: if any *error* diagnostic or
     any consistency-risk warning (rules S202/S203/S204) fired, pre-filter
     rules do not run — their soundness argument presumes a consistent,
-    well-formed STG.
+    well-formed STG.  The analysis-facts tier (``A4xx``) is likewise skipped
+    when errors fired: the facts engine presumes a well-formed net.
     """
     from repro import obs
-    from repro.lint.diagnostics import TIER_PREFILTER
+    from repro.lint.diagnostics import TIER_ANALYSIS, TIER_PREFILTER
 
     with obs.trace("lint.run"):
         selected = select_rules(list(rules) if rules is not None else None)
         context = RuleContext(stg, size_budget=size_budget)
         report = LintReport(stg_name=stg.name)
 
-        staged: List[Tuple[LintRule, bool]] = [
-            (r, r.tier == TIER_PREFILTER) for r in selected
-        ]
-        for lint_rule, is_prefilter in staged:
-            if is_prefilter:
+        staged: List[Tuple[LintRule, str]] = [(r, r.tier) for r in selected]
+        for lint_rule, tier in staged:
+            if tier in (TIER_PREFILTER, TIER_ANALYSIS):
                 continue
             report.rules_run.append(lint_rule.rule_id)
             report.extend(lint_rule.run(context))
 
         if prefilter and _prefilter_allowed(report):
-            for lint_rule, is_prefilter in staged:
-                if not is_prefilter:
+            for lint_rule, tier in staged:
+                if tier != TIER_PREFILTER:
                     continue
                 report.rules_run.append(lint_rule.rule_id)
                 diagnostics = lint_rule.run(context)
@@ -246,6 +273,13 @@ def run_lint(
                 for diagnostic in diagnostics:
                     for prop, holds in diagnostic.decides.items():
                         context.decided.setdefault(prop, holds)
+
+        if not report.errors:
+            for lint_rule, tier in staged:
+                if tier != TIER_ANALYSIS:
+                    continue
+                report.rules_run.append(lint_rule.rule_id)
+                report.extend(lint_rule.run(context))
         return report
 
 

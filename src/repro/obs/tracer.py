@@ -51,6 +51,7 @@ PHASE_PREFIXES: Dict[str, Tuple[str, ...]] = {
     "closure": ("closure.",),
     "solver": ("search.", "ilp.", "sat.", "lp."),
     "lint": ("lint.",),
+    "analysis": ("analysis.",),
 }
 
 

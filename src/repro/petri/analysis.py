@@ -127,6 +127,11 @@ def _integer_kernel(matrix: np.ndarray) -> List[np.ndarray]:
     Fraction-exact Gaussian elimination; each basis vector is scaled to
     integers with content 1.  Returns the (possibly empty) list of basis
     vectors of the rational kernel, cleared to integers.
+
+    The basis is deterministic: each vector is sign-normalised so its first
+    nonzero entry is positive, and the list is sorted lexicographically by
+    entries.  Downstream consumers (invariant-derived analysis facts, lint
+    messages) rely on this for stable output across runs and platforms.
     """
     rows, cols = matrix.shape
     work = [[Fraction(int(v)) for v in row] for row in matrix]
@@ -158,7 +163,12 @@ def _integer_kernel(matrix: np.ndarray) -> List[np.ndarray]:
         scale = np.lcm.reduce(np.array(denominators, dtype=np.int64))
         integers = np.array([int(v * int(scale)) for v in vector], dtype=np.int64)
         gcd = np.gcd.reduce(np.abs(integers[integers != 0])) if integers.any() else 1
-        basis.append(integers // max(gcd, 1))
+        integers = integers // max(gcd, 1)
+        nonzero = np.flatnonzero(integers)
+        if nonzero.size and integers[nonzero[0]] < 0:
+            integers = -integers
+        basis.append(integers)
+    basis.sort(key=lambda vector: vector.tolist())
     return basis
 
 

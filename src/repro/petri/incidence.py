@@ -11,7 +11,7 @@ characterisation on acyclic nets such as unfolding prefixes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,43 @@ def incidence_matrix(net: PetriNet) -> np.ndarray:
             matrix[p, t] -= w
         for p, w in net.postset(t).items():
             matrix[p, t] += w
+    return matrix
+
+
+def balance_matrix_from_changes(
+    changes: Sequence[Tuple[Optional[int], int]], num_signals: int
+) -> np.ndarray:
+    """The signal-balance matrix of a column sequence (dtype int64).
+
+    ``changes[j]`` is the ``(signal_index, delta)`` effect of column ``j``
+    (``signal_index is None`` for dummies, contributing an all-zero column).
+    Rows are signals.  This is the one shared builder behind the lint
+    ``RuleContext.balance``, the certificate layer, the solver prescreens
+    and the analysis engine — the columns just mean different things
+    (net transitions vs prefix positions) at each call site.
+    """
+    matrix = np.zeros((num_signals, len(changes)), dtype=np.int64)
+    for j, (signal, delta) in enumerate(changes):
+        if signal is not None:
+            matrix[signal, j] = delta
+    return matrix
+
+
+def transition_flow_matrix(
+    net: PetriNet, transitions: Sequence[int]
+) -> np.ndarray:
+    """Token-flow matrix over an explicit column list (dtype int64).
+
+    Column ``j`` is the incidence column of ``transitions[j]``; repeats are
+    allowed (unfolding prefixes instantiate a transition many times), which
+    is why this is not just a column slice of :func:`incidence_matrix`.
+    """
+    matrix = np.zeros((net.num_places, len(transitions)), dtype=np.int64)
+    for j, transition in enumerate(transitions):
+        for p, w in net.preset(transition).items():
+            matrix[p, j] -= w
+        for p, w in net.postset(transition).items():
+            matrix[p, j] += w
     return matrix
 
 

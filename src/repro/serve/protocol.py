@@ -16,8 +16,10 @@ A check request names its STG in exactly one of three ways:
   ``CLASSIC_MODELS``), resolved server-side.
 
 Request options mirror the ``repro-stg check`` flags: ``properties`` (a list
-over usc/csc/normalcy), ``engines`` (the portfolio to race), ``node_budget``
-and ``deadline`` (per-job wall-clock seconds).  Validation failures raise
+over usc/csc/normalcy), ``engines`` (the portfolio to race), ``node_budget``,
+``deadline`` (per-job wall-clock seconds) and ``use_facts`` (let the ilp
+engine consume the structural facts of :mod:`repro.analysis`; verdicts are
+byte-identical either way).  Validation failures raise
 :class:`ProtocolError`, which the HTTP layer maps to a 400 with a JSON error
 payload; nothing in this module raises anything else at a client's fault.
 
@@ -210,6 +212,7 @@ class CheckRequest:
         engines: Tuple[str, ...] = ("ilp",),
         node_budget: Optional[int] = None,
         deadline: Optional[float] = None,
+        use_facts: bool = False,
     ):
         self.stg = stg
         self.name = name
@@ -217,6 +220,7 @@ class CheckRequest:
         self.engines = engines
         self.node_budget = node_budget
         self.deadline = deadline
+        self.use_facts = use_facts
         self.stg_hash = stg.content_hash()
 
     def jobs(self, default_deadline: Optional[float] = None) -> List[VerificationJob]:
@@ -230,6 +234,7 @@ class CheckRequest:
                     engines=self.engines,
                     timeout=deadline,
                     node_budget=self.node_budget,
+                    use_facts=self.use_facts,
                     name=self.name,
                     stg_hash=self.stg_hash,
                 )
@@ -252,6 +257,7 @@ class CheckRequest:
             self.engines,
             self.node_budget,
             self.deadline,
+            self.use_facts,
         )
 
 
@@ -332,6 +338,10 @@ def parse_check_request(payload: Any) -> CheckRequest:
             raise ProtocolError("'deadline' must be a positive number of seconds")
         deadline = float(deadline)
 
+    use_facts = payload.get("use_facts", False)
+    if not isinstance(use_facts, bool):
+        raise ProtocolError("'use_facts' must be a boolean")
+
     request = CheckRequest(
         stg=stg,
         name=str(payload.get("name", name)),
@@ -339,6 +349,7 @@ def parse_check_request(payload: Any) -> CheckRequest:
         engines=tuple(dict.fromkeys(engines)),
         node_budget=node_budget,
         deadline=deadline,
+        use_facts=use_facts,
     )
     # Fail fast on unknown engine names: building the jobs validates them.
     request.jobs()

@@ -1,0 +1,50 @@
+"""Clique-capacity tables: soundness relative to plain suffix counts."""
+
+from repro.analysis.cliques import conflict_clique_capacities
+from repro.core.context import SolverContext
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding.unfolder import unfold
+
+
+def context_for(name: str) -> SolverContext:
+    stg = TABLE1_BENCHMARKS[name]()
+    return SolverContext(unfold(stg))
+
+
+class TestCapacities:
+    def test_never_exceed_suffix_counts(self):
+        for name in ("RING", "LAZYRING", "DUP-4PH-A"):
+            context = context_for(name)
+            plus_cap, minus_cap = conflict_clique_capacities(context)
+            for i in range(context.num_vars + 1):
+                for s in range(context.num_signals):
+                    assert 0 <= plus_cap[i][s] <= context.suffix_plus[i][s]
+                    assert 0 <= minus_cap[i][s] <= context.suffix_minus[i][s]
+
+    def test_monotone_in_position(self):
+        context = context_for("LAZYRING")
+        plus_cap, minus_cap = conflict_clique_capacities(context)
+        for table in (plus_cap, minus_cap):
+            for i in range(context.num_vars):
+                for s in range(context.num_signals):
+                    assert table[i][s] >= table[i + 1][s]
+
+    def test_last_row_is_zero(self):
+        context = context_for("RING")
+        plus_cap, minus_cap = conflict_clique_capacities(context)
+        assert all(v == 0 for v in plus_cap[context.num_vars])
+        assert all(v == 0 for v in minus_cap[context.num_vars])
+
+    def test_conflict_free_prefix_equals_counts(self):
+        # RING is a marked graph: every clique is a singleton, so the
+        # capacities are exactly the plain suffix counts
+        context = context_for("RING")
+        plus_cap, minus_cap = conflict_clique_capacities(context)
+        assert plus_cap == [list(row) for row in context.suffix_plus]
+        assert minus_cap == [list(row) for row in context.suffix_minus]
+
+    def test_deterministic(self):
+        context = context_for("LAZYRING")
+        assert conflict_clique_capacities(context) == conflict_clique_capacities(
+            context
+        )

@@ -1,0 +1,72 @@
+"""Conflict-core extraction from real verifier witnesses."""
+
+import pytest
+
+from repro.analysis import clear_memo, verify_fact
+from repro.analysis.cores import extract_core
+from repro.core.verifier import check_csc, check_usc
+from repro.models import TABLE1_BENCHMARKS
+
+
+def setup_function(_):
+    clear_memo()
+
+
+@pytest.fixture(scope="module")
+def lazyring_usc():
+    stg = TABLE1_BENCHMARKS["LAZYRING"]()
+    result = check_usc(stg)
+    assert not result.holds and result.witness is not None
+    return stg, result.witness
+
+
+class TestExtractCore:
+    def test_core_from_usc_witness(self, lazyring_usc):
+        stg, witness = lazyring_usc
+        core = extract_core(stg, witness)
+        if core is None:
+            pytest.skip("witness is non-nested: no window to shrink")
+        assert core.property_name == "usc"
+        assert core.window
+        assert core.signals
+        # the shrunk window only mentions signals of the STG
+        for signal in core.signals:
+            assert signal in stg.signals
+
+    def test_core_fact_is_replayable(self, lazyring_usc):
+        stg, witness = lazyring_usc
+        core = extract_core(stg, witness)
+        if core is None or core.fact is None:
+            pytest.skip("no replayable fact for this witness shape")
+        assert verify_fact(stg, core.fact), core.fact.claim
+
+    def test_describe_mentions_property_and_signals(self, lazyring_usc):
+        stg, witness = lazyring_usc
+        core = extract_core(stg, witness)
+        if core is None:
+            pytest.skip("witness is non-nested")
+        text = core.describe()
+        assert "USC core" in text
+        for signal in core.signals:
+            assert signal in text
+
+    def test_csc_witness_core(self):
+        stg = TABLE1_BENCHMARKS["DUP-4PH-A"]()
+        result = check_csc(stg)
+        assert not result.holds and result.witness is not None
+        core = extract_core(stg, result.witness)
+        if core is None:
+            pytest.skip("witness is non-nested")
+        assert core.property_name == "csc"
+        if core.fact is not None:
+            assert verify_fact(stg, core.fact)
+
+    def test_rejects_foreign_witness_kinds(self, lazyring_usc):
+        stg, witness = lazyring_usc
+
+        class FakeWitness:
+            kind = "normalcy"
+            trace_a = witness.trace_a
+            trace_b = witness.trace_b
+
+        assert extract_core(stg, FakeWitness()) is None

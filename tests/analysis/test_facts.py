@@ -1,0 +1,159 @@
+"""Fact payloads: serialization, verification, and tamper rejection."""
+
+import pytest
+
+from repro.analysis import (
+    FACT_NEVER_COENABLED,
+    FACT_SIPHON,
+    FACT_STRUCTURAL_CONFLICT,
+    FACT_TRAP,
+    FACT_VERSION,
+    Fact,
+    analyze,
+    clear_memo,
+    verify_fact,
+)
+from repro.models import TABLE1_BENCHMARKS
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_memo()
+    yield
+    clear_memo()
+
+
+@pytest.fixture
+def ring():
+    return TABLE1_BENCHMARKS["RING"]()
+
+
+class TestSerialization:
+    def test_round_trip(self, ring):
+        for fact in analyze(ring).facts:
+            clone = Fact.from_dict(fact.to_dict())
+            assert clone == fact
+
+    def test_to_dict_is_json_safe(self, ring):
+        import json
+
+        for fact in analyze(ring).facts:
+            json.dumps(fact.to_dict())
+
+
+class TestVerification:
+    def test_every_emitted_fact_verifies(self, ring):
+        facts = analyze(ring)
+        assert facts.verify_all(ring) == []
+
+    def test_wrong_version_rejected(self, ring):
+        fact = analyze(ring).facts[0]
+        tampered = Fact(
+            kind=fact.kind,
+            subjects=fact.subjects,
+            claim=fact.claim,
+            justification={**fact.justification, "version": FACT_VERSION + 1},
+        )
+        assert not verify_fact(ring, tampered)
+
+    def test_kind_mismatch_rejected(self, ring):
+        facts = analyze(ring)
+        conflict = facts.of_kind(FACT_STRUCTURAL_CONFLICT)
+        exclusion = facts.of_kind(FACT_NEVER_COENABLED)
+        if not conflict or not exclusion:
+            pytest.skip("model lacks one of the fact kinds")
+        crossed = Fact(
+            kind=conflict[0].kind,
+            subjects=conflict[0].subjects,
+            claim=conflict[0].claim,
+            justification=exclusion[0].justification,
+        )
+        assert not verify_fact(ring, crossed)
+
+    def test_tampered_invariant_rejected(self, ring):
+        exclusions = analyze(ring).of_kind(FACT_NEVER_COENABLED)
+        assert exclusions, "RING should carry invariant exclusions"
+        fact = exclusions[0]
+        broken = dict(fact.justification)
+        # zero out the invariant: budget argument collapses
+        broken["invariant"] = [0] * len(broken["invariant"])
+        assert not verify_fact(
+            ring,
+            Fact(
+                kind=fact.kind,
+                subjects=fact.subjects,
+                claim=fact.claim,
+                justification=broken,
+            ),
+        )
+
+    def test_invariant_with_nonzero_flow_rejected(self, ring):
+        exclusions = analyze(ring).of_kind(FACT_NEVER_COENABLED)
+        fact = exclusions[0]
+        broken = dict(fact.justification)
+        vector = list(broken["invariant"])
+        vector[0] += 1  # almost surely breaks y^T I = 0
+        broken["invariant"] = vector
+        tampered = Fact(
+            kind=fact.kind,
+            subjects=fact.subjects,
+            claim=fact.claim,
+            justification=broken,
+        )
+        # either the flow condition or the budget condition must now fail —
+        # a slipped vector that still separates would be a genuine invariant
+        from repro.petri.incidence import incidence_matrix
+
+        matrix = incidence_matrix(ring.net)
+        flow_broken = any(
+            sum(vector[p] * int(matrix[p, t]) for p in range(ring.net.num_places))
+            for t in range(ring.net.num_transitions)
+        )
+        if flow_broken:
+            assert not verify_fact(ring, tampered)
+
+    def test_fake_trap_rejected(self, ring):
+        net = ring.net
+        # every place at once is usually not a trap unless the net is one
+        # big cycle; craft a definitely-broken singleton instead
+        for p in range(net.num_places):
+            if net.place_postset(p) and not net.place_preset(p):
+                break
+        else:
+            pytest.skip("no source-free place to break a trap with")
+        name = net.place_name(p)
+        fake = Fact(
+            kind=FACT_TRAP,
+            subjects=(name,),
+            claim="fake",
+            justification={
+                "version": FACT_VERSION,
+                "kind": FACT_TRAP,
+                "places": [name],
+                "marked": True,
+            },
+        )
+        assert not verify_fact(ring, fake)
+
+    def test_malformed_payload_rejected(self, ring):
+        fact = Fact(
+            kind=FACT_SIPHON,
+            subjects=("nope",),
+            claim="fake",
+            justification={
+                "version": FACT_VERSION,
+                "kind": FACT_SIPHON,
+                "places": ["no-such-place"],
+                "marked": False,
+            },
+        )
+        assert not verify_fact(ring, fact)
+
+    def test_unknown_kind_rejected(self, ring):
+        fact = Fact(
+            kind="not-a-kind",
+            subjects=(),
+            claim="",
+            justification={"version": FACT_VERSION, "kind": "not-a-kind"},
+        )
+        assert not verify_fact(ring, fact)

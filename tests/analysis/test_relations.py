@@ -1,0 +1,162 @@
+"""Relation facts: conflicts, invariant exclusions, deadness, causality."""
+
+from repro.analysis import FACT_NEVER_COENABLED, analyze, clear_memo, verify_fact
+from repro.analysis.relations import (
+    dead_transition_facts,
+    may_follow_relation,
+    never_coenabled_facts,
+    same_signal_pairs,
+    structural_conflict_facts,
+    structural_conflict_pairs,
+)
+from repro.analysis.structure import minimal_siphons, unmarked_siphons
+from repro.models import TABLE1_BENCHMARKS
+from repro.petri.generators import choice, cycle
+from repro.petri.net import PetriNet
+
+
+def setup_function(_):
+    clear_memo()
+
+
+class TestStructuralConflicts:
+    def test_choice_net_pairs(self):
+        net = choice(3)
+        pairs = structural_conflict_pairs(net)
+        assert len(pairs) == 3  # 3 branches competing pairwise: C(3,2)
+        facts = structural_conflict_facts(net)
+        assert len(facts) == len(pairs)
+        for fact in facts:
+            assert fact.kind == "structural-conflict"
+
+    def test_marked_graph_has_none(self):
+        assert structural_conflict_pairs(cycle(4)) == []
+
+
+class TestNeverCoenabled:
+    def test_sequential_cycle_pairs_excluded(self):
+        # one token walks a 3-cycle: no two transitions ever co-enabled
+        net = cycle(3)
+        pairs = [(0, 1), (0, 2), (1, 2)]
+        facts = never_coenabled_facts(net, pairs)
+        assert len(facts) == 3
+
+    def test_weighted_mutex_excluded(self):
+        # mutual exclusion guarded by a weighted invariant (p + 2q = 2):
+        # enabling t needs 2 on p, enabling u needs 1 on q — co-enabling
+        # would need p + 2q >= 4 > 2
+        net = PetriNet("weighted-mutex")
+        net.add_place("p", tokens=2)
+        net.add_place("q")
+        net.add_transition("t")  # reader: needs both tokens on p
+        net.add_arc("p", "t", weight=2)
+        net.add_arc("t", "p", weight=2)
+        net.add_transition("u")  # reader: needs a token on q
+        net.add_arc("q", "u")
+        net.add_arc("u", "q")
+        net.add_transition("swap")
+        net.add_arc("p", "swap", weight=2)
+        net.add_arc("swap", "q")
+        net.add_transition("back")
+        net.add_arc("q", "back")
+        net.add_arc("back", "p", weight=2)
+        t, u = net.transition_index("t"), net.transition_index("u")
+        facts = never_coenabled_facts(net, [(t, u)])
+        assert len(facts) == 1
+
+    def test_lp_fallback_returns_checked_witness(self):
+        from repro.analysis.relations import _lp_exclusion_invariant
+        from repro.petri.incidence import incidence_matrix
+
+        net = cycle(3)
+        # joint demand of co-enabling transitions 0 and 1: one token on
+        # each of their input places, but the single circulating token
+        # makes that impossible
+        joint = {0: 1, 1: 1}
+        witness = _lp_exclusion_invariant(net, joint)
+        assert witness is not None
+        assert all(v >= 0 for v in witness)
+        matrix = incidence_matrix(net)
+        for t in range(net.num_transitions):
+            assert (
+                sum(witness[p] * int(matrix[p, t]) for p in range(net.num_places))
+                == 0
+            )
+        needed = sum(witness[p] * w for p, w in joint.items())
+        budget = sum(
+            witness[p] * int(net.initial_marking[p]) for p in range(net.num_places)
+        )
+        assert needed > budget
+
+    def test_lp_fallback_rejects_satisfiable_demand(self):
+        from repro.analysis.relations import _lp_exclusion_invariant
+
+        net = cycle(3)
+        # a single token on one input place is always affordable
+        assert _lp_exclusion_invariant(net, {0: 1}) is None
+
+    def test_concurrent_pair_not_excluded(self):
+        # two independent marked loops: both transitions are co-enabled at M0
+        net = PetriNet("both")
+        for name in ("a", "b"):
+            net.add_place(name, tokens=1)
+            net.add_transition(f"t_{name}")
+            net.add_arc(name, f"t_{name}")
+            net.add_arc(f"t_{name}", name)
+        pair = (net.transition_index("t_a"), net.transition_index("t_b"))
+        assert never_coenabled_facts(net, [pair]) == []
+
+    def test_facts_verify_on_benchmarks(self):
+        for name in ("RING", "LAZYRING", "DUP-4PH-A"):
+            stg = TABLE1_BENCHMARKS[name]()
+            for fact in analyze(stg).of_kind(FACT_NEVER_COENABLED):
+                assert verify_fact(stg, fact), fact.claim
+
+
+class TestDeadTransitions:
+    def test_dead_from_unmarked_siphon(self):
+        net = PetriNet("dead")
+        net.add_place("never")
+        net.add_transition("ghost")
+        net.add_arc("never", "ghost")
+        net.add_arc("ghost", "never")
+        net.add_place("live", tokens=1)
+        net.add_transition("spin")
+        net.add_arc("live", "spin")
+        net.add_arc("spin", "live")
+        siphons = unmarked_siphons(net, minimal_siphons(net))
+        facts = dead_transition_facts(net, siphons)
+        assert [f.subjects[0] for f in facts] == ["ghost"]
+
+
+class TestMayFollow:
+    def test_cycle_reaches_everything(self):
+        net = cycle(3)
+        reach = may_follow_relation(net)
+        for t in range(net.num_transitions):
+            assert reach[t] == set(range(net.num_transitions))
+
+    def test_chain_is_one_directional(self):
+        net = PetriNet("chain")
+        net.add_place("a", tokens=1)
+        net.add_place("b")
+        net.add_transition("first")
+        net.add_transition("second")
+        net.add_arc("a", "first")
+        net.add_arc("first", "b")
+        net.add_arc("b", "second")
+        reach = may_follow_relation(net)
+        first = net.transition_index("first")
+        second = net.transition_index("second")
+        assert second in reach[first]
+        assert first not in reach[second]
+
+
+class TestSameSignalPairs:
+    def test_all_polarities_paired(self):
+        stg = TABLE1_BENCHMARKS["RING"]()
+        pairs = same_signal_pairs(stg)
+        for t1, t2 in pairs:
+            label1, label2 = stg.label(t1), stg.label(t2)
+            assert label1.signal == label2.signal
+            assert t1 < t2

@@ -1,0 +1,112 @@
+"""A4xx lint tier: facts-backed findings on crafted nets."""
+
+from pathlib import Path
+
+from repro.analysis import clear_memo
+from repro.lint import SEVERITY_INFO, SEVERITY_WARNING, run_lint
+from repro.stg.parser import parse_stg
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+AUTOCONC_G = """
+.model autoconc
+.outputs z
+.graph
+z+ p1
+p1 z+
+z+/2 p2
+p2 z+/2
+.marking { p1 p2 }
+.end
+"""
+
+TOGGLE_G = """
+.model clean-toggle
+.outputs z
+.graph
+z+ p1
+p1 z-
+z- p0
+p0 z+
+.marking { p0 }
+.end
+"""
+
+DEAD_G = """
+.model deadnet
+.outputs z
+.graph
+z+ p1
+p1 z-
+z- p0
+p0 z+
+q0 z+/2
+z+/2 q0
+.marking { p0 }
+.end
+"""
+
+DRAINED_G = """
+.model drained
+.outputs z
+.graph
+p z+
+z+ q
+q z-
+z- q
+.marking { q }
+.end
+"""
+
+
+def setup_function(_):
+    clear_memo()
+
+
+class TestA401:
+    def test_fires_on_autoconcurrent_edges(self):
+        report = run_lint(parse_stg(AUTOCONC_G), rules=["A401"])
+        findings = report.of_rule("A401")
+        assert findings
+        assert all(d.severity == SEVERITY_INFO for d in findings)
+
+    def test_silent_when_invariant_separates(self):
+        # the toggle's single token proves z+ and z- never co-enabled
+        report = run_lint(parse_stg(TOGGLE_G), rules=["A401"])
+        assert report.of_rule("A401") == []
+
+
+class TestA402:
+    def test_fires_on_dead_transition(self):
+        report = run_lint(parse_stg(DEAD_G), rules=["A402"])
+        findings = report.of_rule("A402")
+        assert [d.subject for d in findings] == ["z+/2"]
+        assert all(d.severity == SEVERITY_WARNING for d in findings)
+
+    def test_silent_on_live_net(self):
+        report = run_lint(parse_stg(TOGGLE_G), rules=["A402"])
+        assert report.of_rule("A402") == []
+
+
+class TestA403:
+    def test_fires_on_drained_siphon(self):
+        report = run_lint(parse_stg(DRAINED_G), rules=["A403"])
+        findings = report.of_rule("A403")
+        assert findings
+        assert any("p" in d.subject for d in findings)
+
+    def test_silent_when_commoner_holds(self):
+        # the toggle's siphon contains its own marked trap
+        report = run_lint(parse_stg(TOGGLE_G), rules=["A403"])
+        assert report.of_rule("A403") == []
+
+
+class TestGating:
+    def test_size_budget_silences_tier(self):
+        report = run_lint(parse_stg(AUTOCONC_G), rules=["A401"], size_budget=1)
+        assert report.of_rule("A401") == []
+
+    def test_examples_keep_exit_zero(self):
+        for path in sorted(EXAMPLES.glob("*.g")):
+            report = run_lint(parse_stg(path.read_text(), filename=str(path)))
+            assert report.exit_code == 0, f"{path.name}: {report.exit_code}"

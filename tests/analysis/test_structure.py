@@ -1,0 +1,89 @@
+"""Traps and siphons on hand-checkable nets."""
+
+from repro.analysis import (
+    is_siphon,
+    is_trap,
+    maximal_siphon,
+    maximal_trap,
+    minimal_siphons,
+    minimal_traps,
+)
+from repro.analysis.structure import unmarked_siphons
+from repro.petri.generators import cycle
+from repro.petri.net import PetriNet
+
+
+def drained_net():
+    """p feeds t; nothing refills p: {p} is a siphon, not a trap."""
+    net = PetriNet("drain")
+    net.add_place("p")
+    net.add_place("q", tokens=1)
+    net.add_transition("t")
+    net.add_arc("p", "t")
+    net.add_arc("t", "q")
+    net.add_transition("spin")
+    net.add_arc("q", "spin")
+    net.add_arc("spin", "q")
+    return net
+
+
+class TestFixpoints:
+    def test_cycle_is_trap_and_siphon(self):
+        net = cycle(4)
+        everything = set(range(net.num_places))
+        assert maximal_trap(net, everything) == everything
+        assert maximal_siphon(net, everything) == everything
+        assert is_trap(net, everything)
+        assert is_siphon(net, everything)
+
+    def test_drained_place_is_siphon_not_trap(self):
+        net = drained_net()
+        p = net.place_index("p")
+        assert is_siphon(net, {p})
+        assert not is_trap(net, {p})
+        # the maximal trap inside {p} is empty
+        assert maximal_trap(net, {p}) == set()
+
+    def test_empty_set_is_neither(self):
+        net = cycle(3)
+        assert not is_trap(net, set())
+        assert not is_siphon(net, set())
+
+
+class TestMinimalEnumeration:
+    def test_cycle_minimal_sets_are_the_cycle(self):
+        net = cycle(5)
+        everything = frozenset(range(net.num_places))
+        assert minimal_traps(net) == [everything]
+        assert minimal_siphons(net) == [everything]
+
+    def test_results_are_genuine_and_minimal(self):
+        net = drained_net()
+        for siphon in minimal_siphons(net):
+            assert is_siphon(net, set(siphon))
+            for q in siphon:
+                smaller = maximal_siphon(net, set(siphon) - {q})
+                assert smaller != set(siphon)
+        for trap in minimal_traps(net):
+            assert is_trap(net, set(trap))
+
+    def test_size_budget_respected(self):
+        net = cycle(6)
+        assert minimal_traps(net, max_size=3) == []
+
+    def test_count_budget_respected(self):
+        net = drained_net()
+        assert len(minimal_siphons(net, max_count=1)) == 1
+
+    def test_unmarked_siphons(self):
+        net = drained_net()
+        unmarked = unmarked_siphons(net, minimal_siphons(net))
+        p = net.place_index("p")
+        assert any(p in s for s in unmarked)
+        q = net.place_index("q")
+        assert all(q not in s for s in unmarked)
+
+    def test_deterministic(self):
+        net = drained_net()
+        assert minimal_siphons(net) == minimal_siphons(net)
+        assert minimal_traps(net) == minimal_traps(net)

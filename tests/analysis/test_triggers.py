@@ -1,0 +1,69 @@
+"""Trigger/lock edge relations."""
+
+from repro.analysis import FACT_LOCK, FACT_TRIGGER, analyze, clear_memo, verify_fact
+from repro.analysis.triggers import lock_facts, trigger_facts
+from repro.models import TABLE1_BENCHMARKS
+from repro.models._build import connect
+from repro.stg.stg import STG
+
+
+def setup_function(_):
+    clear_memo()
+
+
+def handshake():
+    """req+ -> ack+ -> req- -> ack- in a single loop."""
+    stg = STG("handshake", inputs=["req"], outputs=["ack"])
+    connect(stg, "req+", "ack+")
+    connect(stg, "ack+", "req-")
+    connect(stg, "req-", "ack-")
+    connect(stg, "ack-", "req+", marked=True)
+    return stg
+
+
+class TestTriggers:
+    def test_handshake_chain(self):
+        stg = handshake()
+        pairs = {tuple(f.subjects) for f in trigger_facts(stg)}
+        assert ("req+", "ack+") in pairs
+        assert ("ack+", "req-") in pairs
+        assert ("req-", "ack-") in pairs
+        assert ("ack-", "req+") in pairs
+        # the chain is one-directional
+        assert ("ack+", "req+") not in pairs
+
+    def test_facts_verify(self):
+        stg = handshake()
+        for fact in trigger_facts(stg):
+            assert verify_fact(stg, fact), fact.claim
+
+
+class TestLocks:
+    def test_handshake_has_no_locks(self):
+        assert lock_facts(handshake()) == []
+
+    def test_choice_creates_lock(self):
+        # a+ and b+ compete for the single token on a shared choice place
+        stg = STG("pick", inputs=[], outputs=["a", "b"])
+        from repro.models._build import edge
+
+        edge(stg, "a+")
+        edge(stg, "b+")
+        stg.add_place("decide", tokens=1)
+        stg.add_arc("decide", "a+")
+        stg.add_arc("decide", "b+")
+        facts = lock_facts(stg)
+        pairs = {tuple(fact.subjects) for fact in facts}
+        assert ("a+", "b+") in pairs
+        for fact in facts:
+            assert verify_fact(stg, fact), fact.claim
+
+
+class TestOnBenchmarks:
+    def test_all_trigger_lock_facts_verify(self):
+        stg = TABLE1_BENCHMARKS["LAZYRING"]()
+        facts = analyze(stg)
+        relational = facts.of_kind(FACT_TRIGGER) + facts.of_kind(FACT_LOCK)
+        assert relational, "LAZYRING should produce edge-relation facts"
+        for fact in relational:
+            assert verify_fact(stg, fact), fact.claim

@@ -8,6 +8,7 @@ from repro.lint import (
     SEVERITY_ERROR,
     SEVERITY_INFO,
     SEVERITY_WARNING,
+    TIER_ANALYSIS,
     TIER_PREFILTER,
     TIER_SEMANTICS,
     TIER_WELLFORMED,
@@ -87,10 +88,15 @@ class TestRegistry:
         rules = all_rules()
         ids = [r.rule_id for r in rules]
         assert len(ids) == len(set(ids))
-        # the acceptance bar: at least 10 distinct rules across three tiers
+        # the acceptance bar: at least 10 distinct rules across four tiers
         assert len(ids) >= 10
         tiers = {r.tier for r in rules}
-        assert tiers == {TIER_WELLFORMED, TIER_SEMANTICS, TIER_PREFILTER}
+        assert tiers == {
+            TIER_WELLFORMED,
+            TIER_SEMANTICS,
+            TIER_PREFILTER,
+            TIER_ANALYSIS,
+        }
         assert all(r.doc for r in rules), "every rule documents itself"
 
     def test_duplicate_id_rejected(self):

@@ -132,3 +132,113 @@ class TestInvariants:
         for y in invariants:
             covered.update(np.nonzero(y)[0])
         assert covered == set(range(fork_net.num_places))
+
+
+class TestInvariantsWeightedAndDisconnected:
+    """Coverage for non-plain arcs and non-connected nets.
+
+    The kernel computation never assumes unit weights or connectivity, but
+    until now no test said so.
+    """
+
+    @staticmethod
+    def weighted_net():
+        # 2 tokens of p are traded for 1 token of q and back:
+        # the weighted conservation law is 1*p + 2*q.
+        net = PetriNet("weighted")
+        net.add_place("p", tokens=2)
+        net.add_place("q")
+        net.add_transition("pack")
+        net.add_transition("unpack")
+        net.add_arc("p", "pack", weight=2)
+        net.add_arc("pack", "q")
+        net.add_arc("q", "unpack")
+        net.add_arc("unpack", "p", weight=2)
+        return net
+
+    def test_weighted_place_invariant(self):
+        net = self.weighted_net()
+        invariants = place_invariants(net)
+        matrix = incidence_matrix(net)
+        assert len(invariants) == 1
+        (y,) = invariants
+        assert not (y @ matrix).any()
+        # the weighted conservation law, in lowest terms and sign-normalised
+        assert y.tolist() == [1, 2]
+
+    def test_weighted_transition_invariant(self):
+        net = self.weighted_net()
+        invariants = transition_invariants(net)
+        matrix = incidence_matrix(net)
+        assert len(invariants) == 1
+        (x,) = invariants
+        assert not (matrix @ x).any()
+        assert x.tolist() == [1, 1]  # one pack + one unpack returns M0
+
+    @staticmethod
+    def disconnected_net():
+        # two independent 2-cycles with no shared node
+        net = PetriNet("islands")
+        for island in ("a", "b"):
+            net.add_place(f"{island}0", tokens=1)
+            net.add_place(f"{island}1")
+            net.add_transition(f"{island}_go")
+            net.add_transition(f"{island}_back")
+            net.add_arc(f"{island}0", f"{island}_go")
+            net.add_arc(f"{island}_go", f"{island}1")
+            net.add_arc(f"{island}1", f"{island}_back")
+            net.add_arc(f"{island}_back", f"{island}0")
+        return net
+
+    def test_disconnected_components_each_conserved(self):
+        net = self.disconnected_net()
+        invariants = place_invariants(net)
+        matrix = incidence_matrix(net)
+        assert len(invariants) == 2
+        for y in invariants:
+            assert not (y @ matrix).any()
+        # each island's token count is conserved independently: some basis
+        # combination isolates each component
+        supports = [frozenset(np.nonzero(y)[0]) for y in invariants]
+        island_a = frozenset((net.place_index("a0"), net.place_index("a1")))
+        island_b = frozenset((net.place_index("b0"), net.place_index("b1")))
+        assert set(supports) == {island_a, island_b}
+
+    def test_disconnected_t_invariants(self):
+        net = self.disconnected_net()
+        invariants = transition_invariants(net)
+        matrix = incidence_matrix(net)
+        assert len(invariants) == 2
+        for x in invariants:
+            assert not (matrix @ x).any()
+
+
+class TestKernelDeterminism:
+    """Regression: the integer kernel basis is canonical.
+
+    Each basis vector is reduced to lowest terms with its first non-zero
+    entry positive, and the basis is sorted lexicographically — so callers
+    (facts engine, lint certificates) see the same basis on every run and
+    platform.
+    """
+
+    def test_basis_is_sign_normalised_and_sorted(self, fork_net):
+        for compute, net in (
+            (place_invariants, fork_net),
+            (place_invariants, cycle(5)),
+            (transition_invariants, cycle(5)),
+        ):
+            basis = compute(net)
+            for y in basis:
+                nonzero = np.flatnonzero(y)
+                assert nonzero.size, "zero vectors never enter the basis"
+                assert y[nonzero[0]] > 0
+                gcd = np.gcd.reduce(np.abs(y[nonzero]))
+                assert gcd == 1, "basis vectors are in lowest terms"
+            as_lists = [y.tolist() for y in basis]
+            assert as_lists == sorted(as_lists)
+
+    def test_repeated_calls_identical(self, fork_net):
+        first = [y.tolist() for y in place_invariants(fork_net)]
+        for _ in range(5):
+            assert [y.tolist() for y in place_invariants(fork_net)] == first

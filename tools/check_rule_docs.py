@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Keep the lint rule catalogue and docs/linting.md in sync.
+
+The rule tables in docs/linting.md carry one row per rule id
+(``| W101 | `isolated-node` | ... |``).  This checker parses every such
+row and compares the id/name pairs against the registered rule set
+(``repro.lint.all_rules()``) in both directions:
+
+* a registered rule missing from the docs fails (undocumented rule);
+* a documented id that no longer exists fails (stale docs);
+* a documented name that disagrees with the registered name fails.
+
+Run from the repository root (CI does, next to ruff/mypy)::
+
+    PYTHONPATH=src python tools/check_rule_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = ROOT / "docs" / "linting.md"
+
+#: ``| W101 | `isolated-node` | ...`` — id cell then backticked name cell.
+ROW = re.compile(r"^\|\s*([A-Z]\d{3})\s*\|\s*`([a-z0-9-]+)`\s*\|")
+
+
+def documented_rules(text: str) -> Dict[str, str]:
+    rows: Dict[str, str] = {}
+    for line in text.splitlines():
+        match = ROW.match(line.strip())
+        if not match:
+            continue
+        rule_id, name = match.groups()
+        if rule_id in rows and rows[rule_id] != name:
+            raise SystemExit(
+                f"docs/linting.md documents {rule_id} twice with different "
+                f"names ({rows[rule_id]!r} vs {name!r})"
+            )
+        rows[rule_id] = name
+    return rows
+
+
+def main() -> int:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.lint import all_rules
+
+    registered = {r.rule_id: r.name for r in all_rules()}
+    documented = documented_rules(DOCS.read_text(encoding="utf-8"))
+
+    problems: List[str] = []
+    for rule_id in sorted(set(registered) - set(documented)):
+        problems.append(
+            f"rule {rule_id} ({registered[rule_id]!r}) is registered but has "
+            f"no table row in docs/linting.md"
+        )
+    for rule_id in sorted(set(documented) - set(registered)):
+        problems.append(
+            f"docs/linting.md documents {rule_id} ({documented[rule_id]!r}) "
+            f"but no such rule is registered"
+        )
+    for rule_id in sorted(set(documented) & set(registered)):
+        if documented[rule_id] != registered[rule_id]:
+            problems.append(
+                f"rule {rule_id} is named {registered[rule_id]!r} in code but "
+                f"{documented[rule_id]!r} in docs/linting.md"
+            )
+
+    if problems:
+        for problem in problems:
+            print(f"check_rule_docs: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"check_rule_docs: {len(registered)} rules documented and registered "
+        f"consistently"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -68,7 +68,9 @@ class Case:
     sequential and parallel timings coexist in one report.  ``facts=True``
     turns on the :mod:`repro.analysis` assistance (``use_facts=``,
     suffix ``/f=1``) — verdicts are identical by contract, so the axis
-    isolates the facts engine's overhead/payoff.
+    isolates the facts engine's overhead/payoff.  ``refine=True`` turns on
+    the :mod:`repro.refine` CEGAR prescreen (``use_refinement=``, suffix
+    ``/r=1``), same byte-identical-verdict contract.
     """
 
     def __init__(
@@ -78,21 +80,33 @@ class Case:
         prop: str,
         workers: int = 0,
         facts: bool = False,
+        refine: bool = False,
     ):
         self.family = family
         self.size = size
         self.prop = prop
         self.workers = workers
         self.facts = facts
+        self.refine = refine
         suffix = f"/w={workers}" if workers > 0 else ""
         suffix += "/f=1" if facts else ""
+        suffix += "/r=1" if refine else ""
         self.case_id = f"{family}/n={size}/{prop}{suffix}"
 
     def with_workers(self, workers: int) -> "Case":
-        return Case(self.family, self.size, self.prop, workers, self.facts)
+        return Case(
+            self.family, self.size, self.prop, workers, self.facts, self.refine
+        )
 
     def with_facts(self, facts: bool) -> "Case":
-        return Case(self.family, self.size, self.prop, self.workers, facts)
+        return Case(
+            self.family, self.size, self.prop, self.workers, facts, self.refine
+        )
+
+    def with_refine(self, refine: bool) -> "Case":
+        return Case(
+            self.family, self.size, self.prop, self.workers, self.facts, refine
+        )
 
     def build(self):
         from repro.models.counterflow import counterflow_pipeline
@@ -112,7 +126,12 @@ class Case:
         """The timed region: unfold the STG and check the property."""
         prefix = unfold(stg)
         check = check_usc if self.prop == "usc" else check_csc
-        return check(prefix, workers=self.workers, use_facts=self.facts).holds
+        return check(
+            prefix,
+            workers=self.workers,
+            use_facts=self.facts,
+            use_refinement=self.refine,
+        ).holds
 
 
 #: The full suite: one slow-ish and one fast size per family so both the
@@ -173,9 +192,9 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
 
     def reset_facts() -> None:
         # the FactBase is memoized per content hash; drop it so every
-        # sample pays (and the /f=1 axis therefore shows) the full
-        # analysis cost, not a warm-cache read
-        if case.facts:
+        # sample pays (and the /f=1 and /r=1 axes therefore show) the
+        # full analysis cost, not a warm-cache read
+        if case.facts or case.refine:
             from repro.analysis import clear_memo
 
             clear_memo()
@@ -214,6 +233,7 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
         "property": case.prop,
         "workers": case.workers,
         "facts": case.facts,
+        "refine": case.refine,
         "holds": holds,
         "repeats": repeat,
         "median_s": statistics.median(samples),
@@ -328,6 +348,7 @@ def run_suite(
     workers: Sequence[int] = (0,),
     serve_clients: Sequence[int] = (),
     facts: Sequence[int] = (0,),
+    refine: Sequence[int] = (0,),
 ) -> Dict[str, object]:
     """Run the suite and return the full schema-versioned report dict.
 
@@ -337,18 +358,21 @@ def run_suite(
     each quick-suite case is additionally pushed through a live
     ``repro.serve`` instance once per client count (e.g. ``(1, 4, 16)``).
     ``facts`` is the :mod:`repro.analysis` axis: ``(0, 1)`` measures every
-    case both without and with ``use_facts`` assistance.
+    case both without and with ``use_facts`` assistance.  ``refine`` is the
+    :mod:`repro.refine` axis, same convention with ``use_refinement``.
     """
     suite = QUICK_SUITE if quick else SUITE
     if families:
         suite = [case for case in suite if case.family in families]
     axis = list(dict.fromkeys(workers)) or [0]
     facts_axis = list(dict.fromkeys(facts)) or [0]
+    refine_axis = list(dict.fromkeys(refine)) or [0]
     timed = [
-        case.with_workers(w).with_facts(bool(f))
+        case.with_workers(w).with_facts(bool(f)).with_refine(bool(r))
         for case in suite
         for w in axis
         for f in facts_axis
+        for r in refine_axis
     ]
     results = []
     for case in timed:
@@ -443,11 +467,15 @@ def validate_report(data: object) -> None:
             raise ValueError(
                 f"bench result {record['id']!r} has invalid workers field"
             )
-        # "facts" is optional (reports predating the axis omit it)
-        if "facts" in record and not isinstance(record["facts"], bool):
-            raise ValueError(
-                f"bench result {record['id']!r} has invalid facts field"
-            )
+        # "facts"/"refine" are optional (reports predating the axes omit them)
+        for axis_field in ("facts", "refine"):
+            if axis_field in record and not isinstance(
+                record[axis_field], bool
+            ):
+                raise ValueError(
+                    f"bench result {record['id']!r} has invalid "
+                    f"{axis_field} field"
+                )
         # serving-scenario records carry a concurrency axis and throughput
         if "clients" in record and (
             not isinstance(record["clients"], int)
@@ -523,6 +551,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers or [0],
         serve_clients=args.serve_clients or [],
         facts=args.facts or [0],
+        refine=args.refine or [0],
     )
     validate_report(report)
     out = Path(args.out)
@@ -599,6 +628,15 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="0|1",
             help="analysis-facts axis: measure each case once per value "
             "(--facts 0 1 records the with/without pair; default: 0)",
+        )
+        p.add_argument(
+            "--refine",
+            nargs="*",
+            type=int,
+            choices=(0, 1),
+            metavar="0|1",
+            help="CEGAR-refinement axis: measure each case once per value "
+            "(--refine 0 1 records the with/without pair; default: 0)",
         )
         p.add_argument(
             "--out", default=str(DEFAULT_OUT), metavar="FILE.json",

@@ -172,6 +172,7 @@ def _check_property(stg, prop: str, args: argparse.Namespace) -> bool:
             holds = _check_coding(
                 stg, prop, args.method, args.verbose, args.node_budget,
                 args.workers, use_facts=getattr(args, "facts", False),
+                use_refinement=getattr(args, "refine", False),
             )
         print(f"{prop.upper()}: {'OK' if holds else 'CONFLICT'}")
         return holds
@@ -191,6 +192,7 @@ def _check_portfolio(stg, prop: str, args: argparse.Namespace) -> bool:
         node_budget=args.node_budget,
         workers=getattr(args, "workers", 0),
         use_facts=getattr(args, "facts", False),
+        use_refinement=getattr(args, "refine", False),
     )
     with WorkerPool(max_workers=len(engines)) as pool:
         result = run_jobs([job], pool)[0]
@@ -214,12 +216,14 @@ def _check_coding(
     node_budget: Optional[int] = None,
     workers: int = 0,
     use_facts: bool = False,
+    use_refinement: bool = False,
 ) -> bool:
     if method == "ilp":
         from repro.core import check_csc, check_usc
 
         report = (check_usc if prop == "usc" else check_csc)(
-            stg, node_budget=node_budget, workers=workers, use_facts=use_facts
+            stg, node_budget=node_budget, workers=workers, use_facts=use_facts,
+            use_refinement=use_refinement,
         )
         if verbose and report.witness is not None:
             print(f"  witness: {report.witness.describe()}")
@@ -329,7 +333,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     total = phases.get("total") or 0.0
     body = []
-    for phase in ("parse", "unfold", "closure", "solver", "lint", "analysis"):
+    rows = ["parse", "unfold", "closure", "solver", "lint", "analysis"]
+    # the refinement row appears only when the phase actually ran (the
+    # --refine path); a disabled refinement degrades to no row, not a crash
+    if phases.get("refine", 0.0) > 0.0 or getattr(args, "refine", False):
+        rows.insert(rows.index("solver") + 1, "refine")
+    for phase in rows:
         seconds = phases.get(phase, 0.0)
         share = f"{100.0 * seconds / total:.1f}%" if total > 0 else "-"
         body.append([phase, f"{seconds * 1000:.3f}", share])
@@ -364,6 +373,7 @@ def _profile_property(stg, prop: str, args: argparse.Namespace) -> bool:
     return _check_coding(
         stg, prop, args.method, False, args.node_budget, workers,
         use_facts=getattr(args, "facts", False),
+        use_refinement=getattr(args, "refine", False),
     )
 
 
@@ -741,6 +751,14 @@ def build_parser() -> argparse.ArgumentParser:
         "pruning; verdicts and witnesses are byte-identical either way",
     )
     check.add_argument(
+        "--refine",
+        action="store_true",
+        help="run the CEGAR trap/siphon refinement prescreen (repro.refine) "
+        "before the IP search: refuted conflict systems skip the search "
+        "entirely with a replayable cut certificate; verdicts and witnesses "
+        "are byte-identical either way (docs/refinement.md)",
+    )
+    check.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -793,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--facts",
         action="store_true",
         help="enable the structural-facts search path (ilp method only)",
+    )
+    profile.add_argument(
+        "--refine",
+        action="store_true",
+        help="enable the CEGAR refinement prescreen (ilp method only); adds "
+        "the refine row to the phase table",
     )
     profile.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON"

@@ -25,13 +25,19 @@ for dynamically conflict-free STGs.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.context import SolverContext
 from repro.petri.analysis import _integer_kernel
 from repro.petri.incidence import balance_matrix_from_changes, transition_flow_matrix
+
+if TYPE_CHECKING:
+    from repro.refine import RefinementOutcome
+
+#: One relaxation row over the ``2n`` variables ``x'_0..x'_{n-1}, x''_0..``.
+RelaxationRow = Tuple[Sequence[int], str, int]
 
 
 def _balance_matrix(context: SolverContext) -> np.ndarray:
@@ -67,6 +73,47 @@ def kernel_prescreen(context: SolverContext) -> Optional[bool]:
     return False
 
 
+def nested_pair_rows(context: SolverContext) -> Iterator[RelaxationRow]:
+    """The rows of the nested-pair LP relaxation, in canonical order.
+
+    Variable layout: ``x'_0..x'_{n-1}, x''_0..x''_{n-1}`` in ``[0,1]``
+    (the box itself is *not* emitted here).  Row order is part of the
+    :mod:`repro.refine` certificate-replay contract — signal balance of the
+    difference first, then the Proposition 1 nesting rows, then the prefix
+    compatibility inequalities in condition order — so both consumers
+    (:func:`lp_prescreen` and the refinement loop) see the same system.
+    """
+    balance = _balance_matrix(context)
+    prefix = context.prefix
+    n = context.num_vars
+    for row in balance:
+        if row.any():
+            coeffs = [-int(c) for c in row] + [int(c) for c in row]
+            yield coeffs, "==", 0
+    # x' <= x''  (Proposition 1 nesting)
+    for i in range(n):
+        coeffs = [0] * (2 * n)
+        coeffs[i] = 1
+        coeffs[n + i] = -1
+        yield coeffs, "<=", 0
+    # prefix compatibility for both vectors: every condition's balance >= -M_in
+    for condition in prefix.conditions:
+        template = [0] * n
+        if condition.pre_event is not None:
+            position = context.position.get(condition.pre_event)
+            if position is not None:
+                template[position] += 1
+        for consumer in condition.post_events:
+            position = context.position.get(consumer)
+            if position is not None:
+                template[position] -= 1
+        if not any(template):
+            continue
+        initial = 1 if condition.pre_event is None else 0
+        yield template + [0] * n, ">=", -initial
+        yield [0] * n + template, ">=", -initial
+
+
 def lp_prescreen(context: SolverContext) -> Optional[bool]:
     """The LP relaxation of the nested pair system (stronger, costlier).
 
@@ -82,38 +129,9 @@ def lp_prescreen(context: SolverContext) -> Optional[bool]:
     """
     from repro.lp import LinearProgram, solve_lp
 
-    balance = _balance_matrix(context)
     flow = _flow_matrix(context)
-    prefix = context.prefix
     n = context.num_vars
-    # variable layout: x'_0..x'_{n-1}, x''_0..x''_{n-1}
-    constraints = []
-    for row in balance:
-        if row.any():
-            coeffs = [-int(c) for c in row] + [int(c) for c in row]
-            constraints.append((coeffs, "==", 0))
-    # x' <= x''  (Proposition 1 nesting)
-    for i in range(n):
-        coeffs = [0] * (2 * n)
-        coeffs[i] = 1
-        coeffs[n + i] = -1
-        constraints.append((coeffs, "<=", 0))
-    # prefix compatibility for both vectors: every condition's balance >= -M_in
-    for condition in prefix.conditions:
-        template = [0] * n
-        if condition.pre_event is not None:
-            position = context.position.get(condition.pre_event)
-            if position is not None:
-                template[position] += 1
-        for consumer in condition.post_events:
-            position = context.position.get(consumer)
-            if position is not None:
-                template[position] -= 1
-        if not any(template):
-            continue
-        initial = 1 if condition.pre_event is None else 0
-        constraints.append((template + [0] * n, ">=", -initial))
-        constraints.append(([0] * n + template, ">=", -initial))
+    constraints = list(nested_pair_rows(context))
 
     for place_row in flow:
         if not place_row.any():
@@ -130,3 +148,27 @@ def lp_prescreen(context: SolverContext) -> Optional[bool]:
             if result.objective_value is None or result.objective_value > 0:
                 return None
     return False
+
+
+def refinement_prescreen(
+    context: SolverContext, factbase=None
+) -> Tuple[Optional[bool], "RefinementOutcome"]:
+    """The CEGAR trap/siphon refinement tier (:mod:`repro.refine`).
+
+    Strictly stronger than :func:`lp_prescreen` on two axes: the integral
+    token-flow difference of a window is rounded against the LP bound
+    (an optimum below 1 already proves the integer difference is zero), and
+    spurious relaxation solutions are refuted by trap/siphon cuts separated
+    from the :mod:`repro.analysis` FactBase or an exact-rational separation
+    LP.  Returns ``(False, outcome)`` when the conflict system is refuted
+    (with a replayable certificate on the outcome) and ``(None, outcome)``
+    otherwise; the outcome's fixed-place classification feeds the in-search
+    bound tightening of :mod:`repro.core.search` / :mod:`repro.core.window`.
+
+    Only sound together with Proposition 1 (dynamically conflict-free STGs),
+    exactly like the other prescreens in this module.
+    """
+    from repro.refine import refine_prescreen
+
+    outcome = refine_prescreen(context, factbase=factbase)
+    return (False if outcome.refuted else None), outcome

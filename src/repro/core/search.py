@@ -127,6 +127,17 @@ class PairSearch:
         they replace the plain suffix counts in the balance intervals —
         never looser, so only dead subtrees are cut earlier and the
         solution stream is unchanged (the ``use_facts=`` contract).
+    ``movable_places``
+        Optional per-original-place movability classification from
+        :mod:`repro.refine` (the ``use_refinement=`` path; honoured in
+        nested :data:`MODE_EQUAL` only, where the refinement certificate
+        applies).  Places *not* marked movable are certified to have zero
+        token-flow delta across every balanced nested pair, so a subtree
+        whose difference set already balances the movable places and whose
+        undecided suffix touches none of them can only complete to pairs
+        with ``Mark(C') = Mark(C'')`` — which the checkers discard without
+        counting.  Pruning them changes no verdict, witness or candidate
+        count.
     """
 
     def __init__(
@@ -138,6 +149,7 @@ class PairSearch:
         use_order_propagation: bool = True,
         node_budget: Optional[int] = None,
         capacities: Optional[Tuple[List[List[int]], List[List[int]]]] = None,
+        movable_places: Optional[List[bool]] = None,
     ):
         if mode not in (MODE_EQUAL, MODE_LEQ):
             raise ValueError(f"unknown mode {mode!r}")
@@ -149,6 +161,27 @@ class PairSearch:
         self.node_budget = node_budget
         self.capacities = capacities
         self.stats = SearchStats()
+        self._movable = (
+            movable_places if nested_only and mode == MODE_EQUAL else None
+        )
+        self._movable_flows: List[Tuple[Tuple[int, int], ...]] = []
+        self._movable_suffix: List[bool] = []
+        if self._movable is not None:
+            flows = context.window_flows
+            self._movable_flows = [
+                tuple(
+                    (place, delta)
+                    for place, delta in flows[index]
+                    if self._movable[place]
+                )
+                for index in range(context.num_vars)
+            ]
+            self._movable_suffix = [False] * (context.num_vars + 1)
+            for index in range(context.num_vars - 1, -1, -1):
+                self._movable_suffix[index] = (
+                    self._movable_suffix[index + 1]
+                    or bool(self._movable_flows[index])
+                )
         self._build_branch_tables()
 
     # -- public API -------------------------------------------------------------
@@ -289,6 +322,23 @@ class PairSearch:
         branch_sym = self._branch_sym
         pred_pos = context.pred_pos
         conf_pos = context.conf_pos
+        movable = self._movable
+        movable_flows = self._movable_flows
+        movable_suffix = self._movable_suffix
+
+        # token-flow delta of the difference set C''\C' on movable places
+        # (refinement tightening; (0, 1) options are the only contributors)
+        movable_delta: List[int] = []
+        movable_nonzero = 0
+        if movable is not None:
+            movable_delta = [0] * context.num_places
+            mask = shard.ones_b & ~shard.ones_a
+            while mask:
+                low = mask & -mask
+                for place, d in movable_flows[low.bit_length() - 1]:
+                    movable_delta[place] += d
+                mask ^= low
+            movable_nonzero = sum(1 for value in movable_delta if value)
 
         diff = list(shard.diff)
         # one preallocated frame per depth (the descent advances the index by
@@ -304,10 +354,11 @@ class PairSearch:
         can_b = [False] * depth_cap
         undo_sig = [0] * depth_cap
         undo_dd = [0] * depth_cap
+        undo_flow: List[Tuple[Tuple[int, int], ...]] = [()] * depth_cap
         ones_a[0], ones_b[0] = shard.ones_a, shard.ones_b
         differed[0] = shard.differed
 
-        nodes = leaves = pruned = found = 0
+        nodes = leaves = pruned = pruned_struct = found = 0
         depth = 0
         fresh = True
         try:
@@ -327,6 +378,16 @@ class PairSearch:
                         dd = undo_dd[depth]
                         if dd:
                             diff[undo_sig[depth]] -= dd
+                        if movable is not None:
+                            for place, d in undo_flow[depth]:
+                                before = movable_delta[place]
+                                after = before - d
+                                movable_delta[place] = after
+                                if before == 0:
+                                    if after:
+                                        movable_nonzero += 1
+                                elif after == 0:
+                                    movable_nonzero -= 1
                         depth -= 1
                         fresh = False
                         continue
@@ -350,6 +411,41 @@ class PairSearch:
                         dd = undo_dd[depth]
                         if dd:
                             diff[undo_sig[depth]] -= dd
+                        if movable is not None:
+                            for place, d in undo_flow[depth]:
+                                before = movable_delta[place]
+                                after = before - d
+                                movable_delta[place] = after
+                                if before == 0:
+                                    if after:
+                                        movable_nonzero += 1
+                                elif after == 0:
+                                    movable_nonzero -= 1
+                        depth -= 1
+                        fresh = False
+                        continue
+                    if (
+                        movable is not None
+                        and movable_nonzero == 0
+                        and not movable_suffix[index]
+                    ):
+                        # refinement tightening: completions can no longer
+                        # move any movable place, and the immovable ones are
+                        # certified — every surviving leaf would have
+                        # Mark(C') = Mark(C''), which the checkers discard
+                        pruned_struct += 1
+                        dd = undo_dd[depth]
+                        if dd:
+                            diff[undo_sig[depth]] -= dd
+                        for place, d in undo_flow[depth]:
+                            before = movable_delta[place]
+                            after = before - d
+                            movable_delta[place] = after
+                            if before == 0:
+                                if after:
+                                    movable_nonzero += 1
+                            elif after == 0:
+                                movable_nonzero -= 1
                         depth -= 1
                         fresh = False
                         continue
@@ -392,6 +488,22 @@ class PairSearch:
                         undo_dd[child] = dd
                     else:
                         undo_dd[child] = 0
+                    if movable is not None:
+                        mflows = (
+                            movable_flows[start + depth]
+                            if bbit and not abit
+                            else ()
+                        )
+                        undo_flow[child] = mflows
+                        for place, d in mflows:
+                            before = movable_delta[place]
+                            after = before + d
+                            movable_delta[place] = after
+                            if before == 0:
+                                if after:
+                                    movable_nonzero += 1
+                            elif after == 0:
+                                movable_nonzero -= 1
                     cursor[depth] = cur
                     ones_a[child] = oa | abit
                     ones_b[child] = ob | bbit
@@ -406,12 +518,23 @@ class PairSearch:
                 dd = undo_dd[depth]
                 if dd:
                     diff[undo_sig[depth]] -= dd
+                if movable is not None:
+                    for place, d in undo_flow[depth]:
+                        before = movable_delta[place]
+                        after = before - d
+                        movable_delta[place] = after
+                        if before == 0:
+                            if after:
+                                movable_nonzero += 1
+                        elif after == 0:
+                            movable_nonzero -= 1
                 depth -= 1
         finally:
             stats = self.stats
             stats.nodes += nodes
             stats.leaves += leaves
             stats.pruned_balance += pruned
+            stats.pruned_structure += pruned_struct
             stats.solutions += found
 
     # -- leaf validation (ablation path only) -------------------------------------

@@ -128,10 +128,15 @@ def _make_search(
     workers: int = 0,
     shards: Optional[int] = None,
     capacities=None,
+    movable_places=None,
 ):
     """Build the sequential search, or its frontier-split parallel front end
     when the caller asked for workers or an explicit shard split (both have
-    the same ``solutions()`` / ``stats`` surface — docs/parallelism.md)."""
+    the same ``solutions()`` / ``stats`` surface — docs/parallelism.md).
+
+    Like the clique ``capacities``, the refinement ``movable_places``
+    classification tightens the sequential searches only — snapshots do not
+    carry it, so the parallel path simply prunes later."""
     if workers > 0 or (shards is not None and shards > 1):
         from repro.core.parallel import KIND_PAIRS, KIND_WINDOW, ParallelSearch
 
@@ -149,7 +154,10 @@ def _make_search(
         from repro.core.window import WindowSearch
 
         return WindowSearch(
-            context, node_budget=node_budget, capacities=capacities
+            context,
+            node_budget=node_budget,
+            capacities=capacities,
+            movable_places=movable_places,
         )
     return PairSearch(
         context,
@@ -157,6 +165,7 @@ def _make_search(
         nested_only=nested_only,
         node_budget=node_budget,
         capacities=capacities,
+        movable_places=movable_places,
     )
 
 
@@ -171,6 +180,25 @@ def _facts_dcf(context: SolverContext) -> bool:
     from repro.analysis import analyze
 
     return analyze(context.stg).proves_dynamic_conflict_freeness()
+
+
+def _run_refinement(context: SolverContext, nest: bool):
+    """Run the :mod:`repro.refine` CEGAR prescreen when Proposition 1
+    licenses it (structural nesting or a facts-proven DCF certificate).
+
+    Returns ``(refuted, movable_places)``.  ``movable_places`` feeds the
+    in-search tightening and is only handed out under the *structural*
+    nesting licence — the searches then run in nested mode, which is the
+    regime the refinement certificate's bounds are proved for.
+    """
+    if not (nest or _facts_dcf(context)):
+        return False, None
+    from repro.core.prescreen import refinement_prescreen
+
+    with obs.trace("refine.prescreen"):
+        verdict, outcome = refinement_prescreen(context)
+    movable = outcome.movable_places if nest and not outcome.refuted else None
+    return verdict is False, movable
 
 
 def _clique_capacities(
@@ -217,6 +245,7 @@ def check_usc(
     workers: int = 0,
     shards: Optional[int] = None,
     use_facts: bool = False,
+    use_refinement: bool = False,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Unique State Coding property on the unfolding prefix.
@@ -242,6 +271,13 @@ def check_usc(
     sequential searches.  Both only prune — verdicts and witnesses are
     byte-identical to the ``use_facts=False`` path (pinned by
     ``tests/analysis``).
+
+    ``use_refinement`` runs the :mod:`repro.refine` CEGAR prescreen (when
+    dynamic conflict-freeness licenses it): a refuted conflict system
+    settles the check with a replayable cut certificate and no search at
+    all; otherwise the certified-immovable places tighten the sequential
+    searches.  Verdicts, witnesses and candidate counts are byte-identical
+    either way (pinned by ``tests/refine``).
     """
     started = time.perf_counter()
     context = _prepare(source, unfolding_options)
@@ -269,6 +305,20 @@ def check_usc(
                 elapsed=time.perf_counter() - started,
             )
 
+    movable = None
+    if use_refinement:
+        refuted, movable = _run_refinement(context, nest)
+        if refuted:
+            return CodingReport(
+                property_name="USC",
+                holds=True,
+                witness=None,
+                usc_only_candidates=0,
+                prefix_stats=context.prefix.stats(),
+                search_stats=SearchStats(),
+                elapsed=time.perf_counter() - started,
+            )
+
     capacities = _clique_capacities(context, use_facts, workers, shards)
     if nest and use_window_search:
         search = _make_search(
@@ -278,6 +328,7 @@ def check_usc(
             workers=workers,
             shards=shards,
             capacities=capacities,
+            movable_places=movable,
         )
         with obs.trace("search.window"):
             for closure_mask, window_mask in search.solutions():
@@ -304,6 +355,7 @@ def check_usc(
             workers=workers,
             shards=shards,
             capacities=capacities,
+            movable_places=movable,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():
@@ -337,6 +389,7 @@ def check_csc(
     workers: int = 0,
     shards: Optional[int] = None,
     use_facts: bool = False,
+    use_refinement: bool = False,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Complete State Coding property on the unfolding prefix.
@@ -357,6 +410,12 @@ def check_csc(
     a conclusive kernel prescreen settles CSC outright — no USC conflict
     means no CSC conflict — and clique capacity tables tighten the
     sequential searches.  Verdicts and witnesses stay byte-identical.
+
+    ``use_refinement`` adds the :mod:`repro.refine` CEGAR prescreen under
+    the same licence: a refuted conflict system means no USC conflict,
+    hence CSC holds with zero candidates; otherwise the certified-immovable
+    places tighten the sequential searches.  Verdicts, witnesses and
+    candidate counts stay byte-identical (pinned by ``tests/refine``).
     """
     started = time.perf_counter()
     context = _prepare(source, unfolding_options)
@@ -381,6 +440,20 @@ def check_csc(
                 elapsed=time.perf_counter() - started,
             )
 
+    movable = None
+    if use_refinement:
+        refuted, movable = _run_refinement(context, nest)
+        if refuted:
+            return CodingReport(
+                property_name="CSC",
+                holds=True,
+                witness=None,
+                usc_only_candidates=0,
+                prefix_stats=context.prefix.stats(),
+                search_stats=SearchStats(),
+                elapsed=time.perf_counter() - started,
+            )
+
     capacities = _clique_capacities(context, use_facts, workers, shards)
     if nest and use_window_search:
         window_search = _make_search(
@@ -390,6 +463,7 @@ def check_csc(
             workers=workers,
             shards=shards,
             capacities=capacities,
+            movable_places=movable,
         )
         saw_window = False
         with obs.trace("search.window"):
@@ -433,6 +507,7 @@ def check_csc(
             workers=workers,
             shards=shards,
             capacities=capacities,
+            movable_places=movable,
         )
         with obs.trace("search.pairs"):
             for mask_a, mask_b in search.solutions():

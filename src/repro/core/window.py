@@ -86,6 +86,7 @@ class WindowSearch:
         require_marking_change: bool = True,
         node_budget: Optional[int] = None,
         capacities: Optional[Tuple[List[List[int]], List[List[int]]]] = None,
+        movable_places: Optional[List[bool]] = None,
     ):
         self.context = context
         self.require_marking_change = require_marking_change
@@ -94,6 +95,20 @@ class WindowSearch:
         self.stats = SearchStats()
         self.flows: List[Tuple[Tuple[int, int], ...]] = context.window_flows
         self.succ_pos: List[int] = context.succ_pos
+        # refinement tightening (repro.refine): places certified immovable
+        # have zero token-flow delta in every balanced window, so once the
+        # movable places are all balanced and no undecided position touches
+        # one, the subtree can only complete to windows with an all-zero
+        # marking delta — which the require_marking_change leaf test drops
+        # anyway.  Pruning them early changes no yielded solution.
+        self._movable = movable_places if require_marking_change else None
+        self._movable_suffix: List[bool] = []
+        if self._movable is not None:
+            self._movable_suffix = [False] * (context.num_vars + 1)
+            for index in range(context.num_vars - 1, -1, -1):
+                self._movable_suffix[index] = self._movable_suffix[index + 1] or any(
+                    self._movable[place] for place, _ in self.flows[index]
+                )
         # balance interval per position, for its own signal: the undecided
         # suffix can only raise the difference via s- events (exclusion side
         # of a nested pair) and lower it via s+ events.  With clique
@@ -164,16 +179,26 @@ class WindowSearch:
         lim_pos = self._lim_pos
         lim_neg = self._lim_neg
 
+        movable = self._movable
+        movable_suffix = self._movable_suffix if movable is not None else None
+
         diff = list(shard.diff)
         place_delta = list(shard.place_delta)
         chosen = [0] * depth_cap
         succ = [0] * depth_cap
         nonzero = [0] * depth_cap
+        movable_nonzero = [0] * depth_cap
         stage = [_FRESH] * depth_cap
         chosen[0], succ[0] = shard.chosen, shard.succ_mask
         nonzero[0] = shard.nonzero_places
+        if movable is not None:
+            movable_nonzero[0] = sum(
+                1
+                for place, delta in enumerate(place_delta)
+                if delta and movable[place]
+            )
 
-        nodes = leaves = pruned = found = 0
+        nodes = leaves = pruned = pruned_struct = found = 0
         depth = 0
         try:
             while depth >= 0:
@@ -211,6 +236,18 @@ class WindowSearch:
                             yield self._closure(window), window
                         depth -= 1
                         continue
+                    if (
+                        movable is not None
+                        and movable_nonzero[depth] == 0
+                        and not movable_suffix[index]
+                    ):
+                        # every completion's marking delta vanishes on the
+                        # certified-immovable places and stays zero on the
+                        # balanced movable ones: no leaf here survives the
+                        # marking-change test
+                        pruned_struct += 1
+                        depth -= 1
+                        continue
                     # include the event: must be conflict-free with the
                     # window and must not create a gap (a causal predecessor
                     # outside the window that is itself above a window event
@@ -229,19 +266,25 @@ class WindowSearch:
                                 continue
                             diff[signal] = value
                         nz = nonzero[depth]
+                        mnz = movable_nonzero[depth]
                         for place, d in flows[index]:
                             before = place_delta[place]
                             after = before + d
                             place_delta[place] = after
                             if after == 0:
                                 nz -= 1
+                                if movable is not None and movable[place]:
+                                    mnz -= 1
                             elif before == 0:
                                 nz += 1
+                                if movable is not None and movable[place]:
+                                    mnz += 1
                         stage[depth] = _IN_INCLUDE
                         child = depth + 1
                         chosen[child] = window | (1 << index)
                         succ[child] = succ[depth] | succ_pos[index]
                         nonzero[child] = nz
+                        movable_nonzero[child] = mnz
                         stage[child] = _FRESH
                         depth = child
                     continue
@@ -266,6 +309,7 @@ class WindowSearch:
                     chosen[child] = chosen[depth]
                     succ[child] = succ[depth]
                     nonzero[child] = nonzero[depth]
+                    movable_nonzero[child] = movable_nonzero[depth]
                     stage[child] = _FRESH
                     depth = child
                     continue
@@ -276,6 +320,7 @@ class WindowSearch:
             stats.nodes += nodes
             stats.leaves += leaves
             stats.pruned_balance += pruned
+            stats.pruned_structure += pruned_struct
             stats.solutions += found
 
     def _closure(self, chosen: int) -> int:

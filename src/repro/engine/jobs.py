@@ -64,6 +64,11 @@ class VerificationJob:
     #: byte-identical either way, so — like ``workers`` — the flag is
     #: excluded from the cache identity.
     use_facts: bool = False
+    #: Run the repro.refine CEGAR prescreen / in-search tightening in the
+    #: ilp engine.  Same contract as ``use_facts``: verdicts, witnesses and
+    #: candidate counts are byte-identical, so the flag is excluded from
+    #: the cache identity too.
+    use_refinement: bool = False
     name: str = ""
     stg_hash: str = ""
 
@@ -267,6 +272,7 @@ def _run_ilp(job: VerificationJob):
         node_budget=job.node_budget,
         workers=job.workers,
         use_facts=job.use_facts,
+        use_refinement=job.use_refinement,
     )
     return (
         report.holds,

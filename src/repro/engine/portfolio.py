@@ -106,7 +106,9 @@ def run_jobs(
             if settled is not None:
                 results[index] = settled
                 continue
-        if job.use_facts:
+        if job.use_facts or job.use_refinement:
+            # refinement jobs also touch the FactBase (DCF licence check,
+            # tier-1 cut separation), so warm it for them too
             _analysis_stage(job, events, cache, analyzed)
         failures[index] = []
         for engine in job.engines:

@@ -50,6 +50,7 @@ PHASE_PREFIXES: Dict[str, Tuple[str, ...]] = {
     "unfold": ("unfold.",),
     "closure": ("closure.",),
     "solver": ("search.", "ilp.", "sat.", "lp."),
+    "refine": ("refine.",),
     "lint": ("lint.",),
     "analysis": ("analysis.",),
 }

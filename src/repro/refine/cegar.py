@@ -1,0 +1,324 @@
+"""The CEGAR refinement loop over the nested-pair relaxation.
+
+For each original place and flow direction the loop maximises the relaxed
+token-flow difference (the same ``2|P|`` objectives as
+:func:`repro.core.prescreen.lp_prescreen`) with a fast floating-point LP,
+then sorts each optimum into one of three buckets:
+
+* **optimum < 1** — because the *integral* token-flow difference of a
+  window is an integer, a relaxation bound below 1 already proves the
+  integral maximum is ≤ 0.  The solver's dual marginals are rationalised,
+  repaired against the box rows, and certified with exact
+  :class:`~fractions.Fraction` arithmetic (:mod:`repro.refine.certificate`);
+  only an *exactly certified* bound counts.
+* **optimum ≥ 1, solution spurious** — the solution's markings
+  ``M = M0 + I·x`` violate a marked-trap or unmarked-siphon inequality
+  (FactBase scan first, separation LP second, see
+  :mod:`repro.refine.separation`).  The violated inequality is re-verified
+  with exact integer arithmetic, added as a cut for **both** Parikh copies,
+  and the objective re-solved — the counterexample-guided step.
+* **optimum ≥ 1, no separating cut** — the place is *movable*; the
+  prescreen cannot refute and the exact search must run.  (Its verdict is
+  still useful: certified-immovable places feed the in-search bound
+  tightening of the window/pair searches.)
+
+If every place with a non-zero flow row is certified immovable in both
+directions, the conflict system is refuted outright and the loop emits a
+:class:`~repro.refine.certificate.RefinementCertificate` — which it
+replays through :func:`~repro.refine.certificate.verify_certificate`
+before claiming anything, so a certification bug degrades to
+"inconclusive", never to a wrong verdict.
+
+SciPy (HiGHS) is an optional dependency: without it the loop degrades to
+an inconclusive outcome (``reason="scipy-unavailable"``) whose only fixed
+places are the trivially flowless ones — the caller falls through to the
+exact search, verdicts unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.obs as obs
+from repro.analysis.engine import FactBase, analyze
+from repro.core.context import SolverContext
+from repro.refine.certificate import (
+    DualBound,
+    RefinementCertificate,
+    verify_certificate,
+)
+from repro.refine.cuts import Cut, verify_cut
+from repro.refine.relaxation import Relaxation, build_relaxation, marking_vector
+from repro.refine.separation import find_cut
+
+#: Floating-point slack below the integral rounding threshold.
+_EPS = 1e-6
+
+#: Denominator cap when rationalising solver duals / solutions.
+_DUAL_LIMIT = 10**9
+_PRIMAL_LIMIT = 10**6
+
+#: Rationalised multipliers closer to zero than this are float noise.
+_NOISE = Fraction(1, 10**6)
+
+
+@dataclass
+class RefinementOutcome:
+    """Everything the caller needs from one refinement run."""
+
+    refuted: bool                    # conflict system proved infeasible
+    certificate: Optional[RefinementCertificate]
+    fixed_places: List[bool]         # per original place: certified immovable
+    cuts: List[Cut] = field(default_factory=list)
+    iterations: int = 0              # CEGAR iterations (spurious solutions met)
+    lp_calls: int = 0
+    separation_calls: int = 0
+    reason: str = ""
+
+    @property
+    def movable_places(self) -> List[bool]:
+        return [not fixed for fixed in self.fixed_places]
+
+
+def _rationalise(value: float, limit: int) -> Fraction:
+    return Fraction(float(value)).limit_denominator(limit)
+
+
+def _attempt_bound(
+    y_eq: Dict[int, Fraction],
+    y_ub: Dict[int, Fraction],
+    objective: List[int],
+    relaxation: Relaxation,
+) -> Optional[Tuple[Dict[int, Fraction], Dict[int, Fraction]]]:
+    """Repair one sign-convention guess into an exact dual witness.
+
+    Rejects genuinely negative inequality multipliers (drops noise-sized
+    ones), then closes any dual-infeasibility deficit at variable ``j`` by
+    bumping the multiplier of ``j``'s box row ``x_j <= 1`` — which restores
+    feasibility at the price of raising the bound by the deficit.  Returns
+    the repaired vectors iff the final bound is < 1.
+    """
+    eq_rows = relaxation.eq_rows
+    ub_rows = relaxation.canonical_inequalities()
+    box_offset = relaxation.box_offset
+    cleaned: Dict[int, Fraction] = {}
+    for row, mult in y_ub.items():
+        if mult < 0:
+            if mult > -_NOISE:
+                continue
+            return None
+        if mult != 0:
+            cleaned[row] = mult
+    y_ub = cleaned
+    num_vars = len(objective)
+    combined = [Fraction(0)] * num_vars
+    bound = Fraction(0)
+    for row, mult in y_eq.items():
+        coeffs, rhs = eq_rows[row]
+        for j in range(num_vars):
+            if coeffs[j]:
+                combined[j] += mult * coeffs[j]
+        bound += mult * rhs
+    for row, mult in y_ub.items():
+        coeffs, rhs = ub_rows[row]
+        for j in range(num_vars):
+            if coeffs[j]:
+                combined[j] += mult * coeffs[j]
+        bound += mult * rhs
+    for j in range(num_vars):
+        deficit = objective[j] - combined[j]
+        if deficit > 0:
+            box_row = box_offset + j
+            y_ub[box_row] = y_ub.get(box_row, Fraction(0)) + deficit
+            bound += deficit
+    if bound >= 1:
+        return None
+    return dict(y_eq), y_ub
+
+
+def _certify(
+    relaxation: Relaxation,
+    objective: List[int],
+    place_name: str,
+    sign: int,
+    result: object,
+) -> Optional[DualBound]:
+    """Turn a float LP solve with optimum < 1 into an exact DualBound.
+
+    HiGHS dual sign conventions differ across problem transformations, so
+    the marginals are tried under both signs for the equality and the
+    inequality blocks; the first guess that repairs into a valid bound
+    below 1 wins.  ``None`` means no guess certifies — the caller must
+    treat the objective as movable (sound, merely weaker).
+    """
+    eq_marg = (
+        list(result.eqlin.marginals) if relaxation.eq_rows else []  # type: ignore[attr-defined]
+    )
+    ub_marg = list(result.ineqlin.marginals)  # type: ignore[attr-defined]
+    upper_marg = list(result.upper.marginals)  # type: ignore[attr-defined]
+    for eq_sign in (1, -1):
+        for ub_sign in (1, -1):
+            y_eq = {
+                row: eq_sign * _rationalise(mult, _DUAL_LIMIT)
+                for row, mult in enumerate(eq_marg)
+                if mult
+            }
+            y_ub: Dict[int, Fraction] = {}
+            for row, mult in enumerate(ub_marg):
+                if mult:
+                    y_ub[relaxation.solver_ub_index(row)] = (
+                        ub_sign * _rationalise(mult, _DUAL_LIMIT)
+                    )
+            for var, mult in enumerate(upper_marg):
+                if mult:
+                    y_ub[relaxation.box_offset + var] = (
+                        ub_sign * _rationalise(mult, _DUAL_LIMIT)
+                    )
+            repaired = _attempt_bound(y_eq, y_ub, objective, relaxation)
+            if repaired is not None:
+                return DualBound(
+                    place=place_name, sign=sign, y_eq=repaired[0], y_ub=repaired[1]
+                )
+    return None
+
+
+def refine_prescreen(
+    context: SolverContext,
+    factbase: Optional[FactBase] = None,
+    max_cuts: int = 32,
+    max_lp_separation_misses: int = 4,
+) -> RefinementOutcome:
+    """Run the CEGAR loop; see the module docstring for the contract.
+
+    ``factbase`` is fetched lazily from :func:`repro.analysis.analyze`
+    (memoized) the first time a spurious solution needs separating, so the
+    common all-objectives-bounded path never pays for whole-net analysis.
+    After ``max_lp_separation_misses`` exact separation LPs fail to find
+    any cut, later objectives skip straight to the FactBase tier — on nets
+    whose relaxation solutions sit inside the trap/siphon hull the LPs can
+    never succeed, and the budget keeps the fall-through path fast.
+    """
+    relaxation = build_relaxation(context)
+    net = relaxation.net
+    num_places = net.num_places
+    trivially_fixed = [not relaxation.flow[p].any() for p in range(num_places)]
+    try:
+        from scipy.optimize import linprog
+    except ImportError:
+        return RefinementOutcome(
+            refuted=all(trivially_fixed),
+            certificate=RefinementCertificate(
+                stg_name=context.stg.name, num_vars=context.num_vars
+            )
+            if all(trivially_fixed)
+            else None,
+            fixed_places=trivially_fixed,
+            reason="refuted" if all(trivially_fixed) else "scipy-unavailable",
+        )
+
+    n = context.num_vars
+    lp_separation_misses = 0
+    fixed = list(trivially_fixed)
+    bounds: List[DualBound] = []
+    outcome = RefinementOutcome(
+        refuted=False, certificate=None, fixed_places=fixed
+    )
+    reason = "refuted"
+    for place in range(num_places):
+        if trivially_fixed[place]:
+            continue
+        place_name = net.place_name(place)
+        place_fixed = True
+        for sign in (1, -1):
+            objective = relaxation.diff_objective(place, sign)
+            minimise = np.array([-c for c in objective], dtype=float)
+            while True:
+                a_ub, b_ub = relaxation.solver_inequalities()
+                eq_rows = relaxation.eq_rows
+                result = linprog(
+                    minimise,
+                    A_ub=np.array(a_ub, dtype=float),
+                    b_ub=np.array(b_ub, dtype=float),
+                    A_eq=np.array([c for c, _ in eq_rows], dtype=float)
+                    if eq_rows
+                    else None,
+                    b_eq=np.array([b for _, b in eq_rows], dtype=float)
+                    if eq_rows
+                    else None,
+                    bounds=(0, 1),
+                    method="highs",
+                )
+                outcome.lp_calls += 1
+                if not result.success:
+                    place_fixed = False
+                    reason = "solver-failure"
+                    break
+                optimum = -result.fun
+                if optimum < 1 - _EPS:
+                    dual = _certify(
+                        relaxation, objective, place_name, sign, result
+                    )
+                    if dual is None:
+                        place_fixed = False
+                        reason = "certification-failure"
+                    else:
+                        bounds.append(dual)
+                    break
+                outcome.iterations += 1
+                obs.incr("refine.iterations")
+                if len(relaxation.cuts) >= max_cuts:
+                    place_fixed = False
+                    reason = "cut-budget"
+                    break
+                x = [
+                    _rationalise(v, _PRIMAL_LIMIT) for v in result.x
+                ]
+                markings = [
+                    marking_vector(relaxation, x[:n]),
+                    marking_vector(relaxation, x[n:]),
+                ]
+                if factbase is None:
+                    factbase = analyze(context.stg)
+                outcome.separation_calls += 1
+                use_lp = lp_separation_misses < max_lp_separation_misses
+                cut = find_cut(net, markings, factbase, use_lp=use_lp)
+                if (
+                    cut is None
+                    or cut in relaxation.cuts
+                    or not verify_cut(net, cut)
+                ):
+                    if use_lp and cut is None:
+                        lp_separation_misses += 1
+                    place_fixed = False
+                    reason = "movable-solution"
+                    break
+                relaxation.add_cut(cut)
+                outcome.cuts.append(cut)
+                obs.incr("refine.cuts")
+            if not place_fixed:
+                break  # one movable direction already disqualifies the place
+        fixed[place] = place_fixed
+
+    if all(fixed):
+        certificate = RefinementCertificate(
+            stg_name=context.stg.name,
+            num_vars=context.num_vars,
+            cuts=list(relaxation.cuts),
+            bounds=bounds,
+        )
+        # Never claim a refutation the replayer would reject.
+        if verify_certificate(context, certificate):
+            outcome.refuted = True
+            outcome.certificate = certificate
+            outcome.reason = "refuted"
+            obs.incr("refine.refuted")
+        else:
+            outcome.fixed_places = trivially_fixed
+            outcome.reason = "certificate-replay-failed"
+    else:
+        outcome.reason = reason
+    return outcome

@@ -1,0 +1,222 @@
+"""Replayable refutation certificates for the refinement loop.
+
+A refuted conflict system is worth nothing if the refutation has to be
+trusted.  The loop therefore emits a :class:`RefinementCertificate`: the
+accepted cuts plus, for every non-trivial objective (each original place
+and flow direction), a sparse exact-rational dual multiplier vector whose
+weak-duality bound is **strictly below 1**.  Since the integral token-flow
+difference of a window is an integer, a bound below 1 proves the integral
+maximum is at most 0 in both directions — no balanced window moves any
+token, hence no USC conflict (the Chvátal–Gomory rounding step of the
+CEGAR scheme).
+
+Replay (:func:`verify_certificate`) needs **no LP solver**:
+
+1. every cut is re-verified against the net with exact integer arithmetic
+   (:func:`repro.refine.cuts.verify_cut`) and its rows appended in order;
+2. the constraint system is rebuilt deterministically (the canonical row
+   order of :mod:`repro.refine.relaxation`);
+3. each dual vector is checked by :func:`check_dual_bound` — multipliers
+   non-negative on inequalities, the combined row dominates the objective
+   coordinatewise, and the combined right-hand side is below 1 — all in
+   :class:`~fractions.Fraction` arithmetic;
+4. *coverage* is enforced: a certificate missing any (place, direction)
+   objective is rejected, so a verifier cannot be talked into skipping
+   objectives.
+
+Dual vectors certified while the system still had fewer cuts remain valid
+against the final system: sparse multipliers zero-extend over appended
+rows, which can only shrink the feasible region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.context import SolverContext
+from repro.refine.cuts import Cut, verify_cut
+from repro.refine.relaxation import Relaxation, Row, build_relaxation
+
+#: Bump when the certificate payload layout changes.
+REFINE_VERSION = 1
+
+
+def _fraction_to_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _fraction_from_str(text: str) -> Fraction:
+    num, _, den = str(text).partition("/")
+    return Fraction(int(num), int(den or "1"))
+
+
+def _sparse_to_dict(vector: Dict[int, Fraction]) -> Dict[str, str]:
+    return {
+        str(row): _fraction_to_str(mult)
+        for row, mult in sorted(vector.items())
+        if mult != 0
+    }
+
+
+def _sparse_from_dict(payload: Dict[str, str]) -> Dict[int, Fraction]:
+    return {int(row): _fraction_from_str(mult) for row, mult in payload.items()}
+
+
+@dataclass(frozen=True)
+class DualBound:
+    """One objective's exact dual bound: maximise ``sign * token-flow
+    difference`` into ``place`` is at most ``y·b < 1``."""
+
+    place: str                       # original-net place name
+    sign: int                        # +1 / -1 flow direction
+    y_eq: Dict[int, Fraction]        # sparse multipliers on equality rows
+    y_ub: Dict[int, Fraction]        # sparse multipliers on inequality rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "place": self.place,
+            "sign": self.sign,
+            "y_eq": _sparse_to_dict(self.y_eq),
+            "y_ub": _sparse_to_dict(self.y_ub),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "DualBound":
+        return cls(
+            place=str(payload["place"]),
+            sign=int(payload["sign"]),
+            y_eq=_sparse_from_dict(payload["y_eq"]),
+            y_ub=_sparse_from_dict(payload["y_ub"]),
+        )
+
+
+@dataclass
+class RefinementCertificate:
+    """The full refutation: cuts in discovery order plus one
+    :class:`DualBound` per (place, direction) objective."""
+
+    stg_name: str
+    num_vars: int
+    cuts: List[Cut] = field(default_factory=list)
+    bounds: List[DualBound] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": REFINE_VERSION,
+            "stg": self.stg_name,
+            "num_vars": self.num_vars,
+            "cuts": [cut.to_dict() for cut in self.cuts],
+            "bounds": [bound.to_dict() for bound in self.bounds],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RefinementCertificate":
+        if payload.get("version") != REFINE_VERSION:
+            raise ValueError(
+                f"unsupported certificate version {payload.get('version')!r}"
+            )
+        return cls(
+            stg_name=str(payload["stg"]),
+            num_vars=int(payload["num_vars"]),
+            cuts=[Cut.from_dict(c) for c in payload["cuts"]],
+            bounds=[DualBound.from_dict(b) for b in payload["bounds"]],
+        )
+
+
+def check_dual_bound(
+    objective: Sequence[int],
+    eq_rows: Sequence[Row],
+    ub_rows: Sequence[Row],
+    y_eq: Dict[int, Fraction],
+    y_ub: Dict[int, Fraction],
+) -> Optional[Fraction]:
+    """Weak duality, exactly: if ``y_ub >= 0`` and
+    ``A_eq'y_eq + A_ub'y_ub >= c`` coordinatewise, then every feasible
+    ``x >= 0`` has ``c·x <= y_eq·b_eq + y_ub·b_ub``.  Returns that bound,
+    or ``None`` if the multipliers are not a valid witness (out-of-range
+    row, negative inequality multiplier, or dominated coordinate).
+    """
+    num_vars = len(objective)
+    combined = [Fraction(0)] * num_vars
+    bound = Fraction(0)
+    for row, mult in y_eq.items():
+        if not 0 <= row < len(eq_rows):
+            return None
+        if mult == 0:
+            continue
+        coeffs, rhs = eq_rows[row]
+        for j in range(num_vars):
+            if coeffs[j]:
+                combined[j] += mult * coeffs[j]
+        bound += mult * rhs
+    for row, mult in y_ub.items():
+        if not 0 <= row < len(ub_rows):
+            return None
+        if mult < 0:
+            return None
+        if mult == 0:
+            continue
+        coeffs, rhs = ub_rows[row]
+        for j in range(num_vars):
+            if coeffs[j]:
+                combined[j] += mult * coeffs[j]
+        bound += mult * rhs
+    for j in range(num_vars):
+        if combined[j] < objective[j]:
+            return None
+    return bound
+
+
+def certified_system(
+    context: SolverContext, cuts: Sequence[Cut]
+) -> Optional[Relaxation]:
+    """Rebuild the relaxation with every cut re-verified, or ``None`` if
+    any cut fails exact replay."""
+    relaxation = build_relaxation(context)
+    for cut in cuts:
+        if not verify_cut(relaxation.net, cut):
+            return None
+        relaxation.add_cut(cut)
+    return relaxation
+
+
+def verify_certificate(
+    context: SolverContext, certificate: RefinementCertificate
+) -> bool:
+    """Replay the whole refutation against ``context`` — see module doc."""
+    if certificate.num_vars != context.num_vars:
+        return False
+    relaxation = certified_system(context, certificate.cuts)
+    if relaxation is None:
+        return False
+    net = relaxation.net
+    eq_rows = relaxation.eq_rows
+    ub_rows = relaxation.canonical_inequalities()
+    index = {net.place_name(p): p for p in range(net.num_places)}
+    needed: set = {
+        (net.place_name(p), sign)
+        for p in range(net.num_places)
+        if relaxation.flow[p].any()
+        for sign in (1, -1)
+    }
+    for bound in certificate.bounds:
+        place = index.get(bound.place)
+        if place is None or bound.sign not in (1, -1):
+            return False
+        objective = relaxation.diff_objective(place, bound.sign)
+        value = check_dual_bound(
+            objective, eq_rows, ub_rows, bound.y_eq, bound.y_ub
+        )
+        if value is None or value >= 1:
+            return False
+        needed.discard((bound.place, bound.sign))
+    return not needed
+
+
+def dual_bound_pairs(
+    certificate: RefinementCertificate,
+) -> List[Tuple[str, int]]:
+    """The (place, sign) objectives the certificate covers, in order."""
+    return [(bound.place, bound.sign) for bound in certificate.bounds]

@@ -1,0 +1,135 @@
+"""Trap/siphon cuts: the refinement loop's unit of negative knowledge.
+
+A :class:`Cut` names a place set of the *original* net together with its
+kind and initial markedness, and stands for one linear inequality over the
+relaxed Parikh vectors (see :mod:`repro.refine.relaxation`):
+
+``trap``
+    An initially marked trap ``S`` (``S• ⊆ •S``, some ``p ∈ S`` marked at
+    ``M0``) can never be emptied, so every reachable marking ``M``
+    satisfies ``Σ_{p∈S} M(p) >= 1``.  Through the marking equation
+    ``M = M0 + I·x`` this is linear in the Parikh vector.
+
+``siphon``
+    An initially unmarked siphon ``S`` (``•S ⊆ S•``, no ``p ∈ S`` marked)
+    stays empty forever: ``Σ_{p∈S} M(p) = 0``.
+
+Both inequalities are valid for every configuration of the unfolding
+prefix (their final markings are genuinely reachable), so adding them to
+the relaxation can only cut off *spurious* fractional solutions — the
+CEGAR contract of :mod:`repro.refine.cegar`.
+
+Like :mod:`repro.analysis.facts`, nothing here asks to be trusted:
+:func:`verify_cut` replays the closure and markedness conditions against
+the net with exact integer arithmetic, and a cut whose claimed kind or
+markedness is wrong is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.petri.net import PetriNet
+
+CUT_TRAP = "trap"
+CUT_SIPHON = "siphon"
+
+#: Bump when the cut payload layout changes (certificate compatibility).
+CUT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One trap/siphon inequality over the original net's places."""
+
+    kind: str                   # CUT_TRAP or CUT_SIPHON
+    places: Tuple[str, ...]     # sorted original-net place names
+    marked: bool                # initial markedness claim (trap: True, siphon: False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CUT_VERSION,
+            "kind": self.kind,
+            "places": list(self.places),
+            "marked": self.marked,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Cut":
+        if payload.get("version") != CUT_VERSION:
+            raise ValueError(f"unsupported cut version {payload.get('version')!r}")
+        return cls(
+            kind=str(payload["kind"]),
+            places=tuple(str(p) for p in payload["places"]),
+            marked=bool(payload["marked"]),
+        )
+
+
+def _place_indices(net: PetriNet, names: Tuple[str, ...]) -> List[int]:
+    """Map place names onto indices; raises KeyError for strangers."""
+    index = {net.place_name(p): p for p in range(net.num_places)}
+    return [index[name] for name in names]
+
+
+def verify_cut(net: PetriNet, cut: Cut) -> bool:
+    """Replay the cut's structural claim with exact integer arithmetic.
+
+    A ``trap`` cut must name a genuine trap that is initially marked (the
+    inequality ``Σ M(p) >= 1`` is unsound otherwise); a ``siphon`` cut must
+    name a genuine siphon that is initially unmarked.  Unknown places,
+    empty sets and mismatched markedness all fail.
+    """
+    if cut.kind not in (CUT_TRAP, CUT_SIPHON):
+        return False
+    if not cut.places:
+        return False
+    try:
+        places = set(_place_indices(net, cut.places))
+    except KeyError:
+        return False
+    if len(places) != len(cut.places):
+        return False  # duplicate names
+    initial = net.initial_marking
+    marked = any(int(initial[p]) > 0 for p in places)
+    if cut.kind == CUT_TRAP:
+        if not cut.marked or not marked:
+            return False
+        for p in places:
+            for t in net.place_postset(p):  # consumers of p
+                if not any(q in places for q in net.postset(t)):
+                    return False
+        return True
+    if cut.marked or marked:
+        return False
+    for p in places:
+        for t in net.place_preset(p):  # producers of p
+            if not any(q in places for q in net.preset(t)):
+                return False
+    return True
+
+
+def cut_row(
+    cut: Cut, net: PetriNet, flow: Any, num_vars: int
+) -> Tuple[List[int], str, int]:
+    """The cut's inequality over *one* Parikh copy (``n`` positions).
+
+    ``flow`` is the original-places × positions token-flow matrix
+    (:func:`repro.core.prescreen._flow_matrix`).  Returns
+    ``(coeffs, sense, rhs)`` with ``coeffs · x  sense  rhs``:
+
+    * trap ``S``:   ``Σ_i flow_S(i)·x_i >= 1 - M0(S)``
+    * siphon ``S``: ``Σ_i flow_S(i)·x_i == -M0(S)`` (``M0(S) = 0``)
+    """
+    places = _place_indices(net, cut.places)
+    coeffs = [0] * num_vars
+    for p in places:
+        row = flow[p]
+        for i in range(num_vars):
+            c = int(row[i])
+            if c:
+                coeffs[i] += c
+    m0 = sum(int(net.initial_marking[p]) for p in places)
+    if cut.kind == CUT_TRAP:
+        return coeffs, ">=", 1 - m0
+    return coeffs, "==", -m0

@@ -1,0 +1,136 @@
+"""The canonical constraint system the refinement loop works on.
+
+One source of truth for row content *and* row order: the base rows come
+from :func:`repro.core.prescreen.nested_pair_rows` (signal balance,
+Proposition 1 nesting, prefix compatibility — the same system
+``lp_prescreen`` optimises over), normalised here into the two-block shape
+solvers and certificates share:
+
+* **equality block** — base ``==`` rows, followed by one pair of rows per
+  siphon cut (in cut-discovery order);
+* **inequality block** — base ``<=`` rows (``>=`` rows negated), then the
+  ``2n`` box rows ``x_j <= 1`` (so ``box_offset + j`` addresses variable
+  ``j``'s box row), then one pair of rows per trap cut.
+
+Certificates reference rows by index into these blocks, so the order is a
+compatibility contract: dual multipliers certified against a prefix of the
+system stay valid — sparse vectors zero-extend — when later cuts append
+rows at higher indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import SolverContext
+from repro.core.prescreen import _flow_matrix, nested_pair_rows
+from repro.petri.net import PetriNet
+from repro.refine.cuts import Cut, cut_row
+
+#: ``(coefficients over 2n variables, right-hand side)``.
+Row = Tuple[List[int], int]
+
+
+@dataclass
+class Relaxation:
+    """The mutable working system: base rows plus accepted cuts."""
+
+    num_vars: int                    # n: positions per Parikh copy
+    net: PetriNet                    # the original net (cut arithmetic)
+    flow: np.ndarray                 # original places x positions token flow
+    eq_rows: List[Row]               # base == rows, then siphon-cut rows
+    ub_rows: List[Row]               # base <= rows only (no box, no cuts)
+    cut_ub_rows: List[Row] = field(default_factory=list)   # trap-cut rows
+    cuts: List[Cut] = field(default_factory=list)
+
+    @property
+    def box_offset(self) -> int:
+        """Canonical inequality index of the ``x_0 <= 1`` row."""
+        return len(self.ub_rows)
+
+    def add_cut(self, cut: Cut) -> None:
+        """Append the cut's two rows (one per Parikh copy) to the system."""
+        n = self.num_vars
+        coeffs, sense, rhs = cut_row(cut, self.net, self.flow, n)
+        if sense == ">=":  # trap: negate into <= form
+            first = ([-c for c in coeffs] + [0] * n, -rhs)
+            second = ([0] * n + [-c for c in coeffs], -rhs)
+            self.cut_ub_rows.extend((first, second))
+        else:  # siphon: equality
+            self.eq_rows.append((list(coeffs) + [0] * n, rhs))
+            self.eq_rows.append(([0] * n + list(coeffs), rhs))
+        self.cuts.append(cut)
+
+    def canonical_inequalities(self) -> List[Row]:
+        """Base ``<=`` rows, box rows, trap-cut rows — certificate order."""
+        n2 = 2 * self.num_vars
+        box: List[Row] = []
+        for j in range(n2):
+            coeffs = [0] * n2
+            coeffs[j] = 1
+            box.append((coeffs, 1))
+        return self.ub_rows + box + self.cut_ub_rows
+
+    def solver_inequalities(self) -> Tuple[List[List[int]], List[int]]:
+        """The ``A_ub, b_ub`` an LP solver with native ``[0,1]`` bounds
+        sees: base rows then trap-cut rows, *without* the box rows.  Row
+        ``r`` here maps to canonical index ``r`` when ``r < box_offset``
+        and ``r + 2n`` otherwise (see :func:`solver_ub_index`)."""
+        rows = self.ub_rows + self.cut_ub_rows
+        return [c for c, _ in rows], [b for _, b in rows]
+
+    def solver_ub_index(self, solver_row: int) -> int:
+        """Map a :meth:`solver_inequalities` row index to canonical."""
+        if solver_row < len(self.ub_rows):
+            return solver_row
+        return solver_row + 2 * self.num_vars
+
+    def diff_objective(self, place: int, sign: int) -> List[int]:
+        """Maximise ``sign * (flow_p · x'' - flow_p · x')``."""
+        row = self.flow[place]
+        n = self.num_vars
+        return [-sign * int(row[i]) for i in range(n)] + [
+            sign * int(row[i]) for i in range(n)
+        ]
+
+
+def build_relaxation(context: SolverContext) -> Relaxation:
+    """Normalise :func:`nested_pair_rows` into the two-block shape."""
+    eq_rows: List[Row] = []
+    ub_rows: List[Row] = []
+    for coeffs, sense, rhs in nested_pair_rows(context):
+        row = [int(c) for c in coeffs]
+        if sense == "==":
+            eq_rows.append((row, int(rhs)))
+        elif sense == "<=":
+            ub_rows.append((row, int(rhs)))
+        else:  # ">=": negate into <= form
+            ub_rows.append(([-c for c in row], -int(rhs)))
+    return Relaxation(
+        num_vars=context.num_vars,
+        net=context.prefix.net,
+        flow=_flow_matrix(context),
+        eq_rows=eq_rows,
+        ub_rows=ub_rows,
+    )
+
+
+def marking_vector(
+    relaxation: Relaxation, x: Sequence
+) -> List:
+    """``M = M0 + flow · x`` with exact rational arithmetic."""
+    net = relaxation.net
+    initial = net.initial_marking
+    marking = []
+    for p in range(net.num_places):
+        value = int(initial[p])  # promoted by the arithmetic of x's entries
+        row = relaxation.flow[p]
+        for i in range(relaxation.num_vars):
+            c = int(row[i])
+            if c:
+                value = value + c * x[i]
+        marking.append(value)
+    return marking

@@ -1,0 +1,191 @@
+"""Finding a trap/siphon inequality violated by a relaxation solution.
+
+Given the (possibly fractional) marking ``M = M0 + I·x`` of a relaxation
+solution, a witness of spuriousness is either
+
+* an initially **marked trap** ``S`` with ``Σ_{p∈S} M(p) < 1`` (a real
+  reachable marking keeps at least one token in ``S``), or
+* an initially **unmarked siphon** ``S`` with ``Σ_{p∈S} M(p) > 0`` (a real
+  one keeps it empty).
+
+Two tiers, mirroring the issue's design:
+
+1. **FactBase scan** — the memoized :mod:`repro.analysis` facts already
+   name the minimal traps/siphons of the net; evaluating ``Σ M(p)`` over
+   each is a cheap table lookup, no LP.
+2. **Separation LP** — an exact-rational LP over place-indicator variables
+   ``y ∈ [0,1]``: minimise ``Σ M(p)·y_p`` subject to the trap closure
+   ``y_p <= Σ_{q∈t•} y_q`` for every consumer ``t ∈ p•`` and ``Σ y_p >= 1``
+   over the initially marked places (dually for siphons).  A fractional
+   optimum below 1 (above 0) localises a violated set; its support is
+   closed to an honest trap (siphon) by the
+   :mod:`repro.analysis.structure` fixpoint and re-checked before use.
+
+Either tier returns a :class:`~repro.refine.cuts.Cut` that *already
+passed* :func:`~repro.refine.cuts.verify_cut`-equivalent checks — but the
+CEGAR loop verifies again anyway; separation is a heuristic, soundness
+lives in the cut verifier.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.engine import FactBase
+from repro.analysis.facts import FACT_SIPHON, FACT_TRAP
+from repro.analysis.structure import maximal_siphon, maximal_trap
+from repro.petri.net import PetriNet
+from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, Cut
+
+
+def _cut_from_places(net: PetriNet, places: Iterable[int], kind: str) -> Cut:
+    names = tuple(sorted(net.place_name(p) for p in places))
+    return Cut(kind=kind, places=names, marked=kind == CUT_TRAP)
+
+
+def violated_fact_cut(
+    factbase: FactBase, net: PetriNet, marking: Sequence
+) -> Optional[Cut]:
+    """Tier 1: scan the FactBase's traps/siphons for a violated one."""
+    index = {net.place_name(p): p for p in range(net.num_places)}
+    for fact in factbase.of_kind(FACT_TRAP):
+        just = fact.justification
+        if not just.get("marked"):
+            continue  # an unmarked trap yields no inequality
+        try:
+            places = [index[name] for name in just["places"]]
+        except KeyError:
+            continue
+        if sum(marking[p] for p in places) < 1:
+            return _cut_from_places(net, places, CUT_TRAP)
+    for fact in factbase.of_kind(FACT_SIPHON):
+        just = fact.justification
+        if just.get("marked"):
+            continue  # a marked siphon yields no equality
+        try:
+            places = [index[name] for name in just["places"]]
+        except KeyError:
+            continue
+        if sum(marking[p] for p in places) > 0:
+            return _cut_from_places(net, places, CUT_SIPHON)
+    return None
+
+
+def separate_trap(net: PetriNet, marking: Sequence) -> Optional[Cut]:
+    """Tier 2: LP-separate a marked trap with ``Σ M(p) < 1``, or None."""
+    from repro.lp import LinearProgram, solve_lp
+
+    num = net.num_places
+    marked0 = [p for p in range(num) if int(net.initial_marking[p]) > 0]
+    if not marked0:
+        return None
+    constraints = []
+    for p in range(num):
+        for t in net.place_postset(p):
+            coeffs = [0] * num
+            coeffs[p] += 1
+            for q in net.postset(t):
+                coeffs[q] -= 1
+            if any(coeffs):
+                constraints.append((coeffs, "<=", 0))
+    selector = [0] * num
+    for p in marked0:
+        selector[p] = 1
+    constraints.append((selector, ">=", 1))
+    problem = LinearProgram.feasibility(num, constraints)
+    problem.add_upper_bounds(1)
+    # solve_lp maximises, so negate to minimise Σ M(p) y_p
+    problem.objective = [-Fraction(marking[p]) for p in range(num)]
+    result = solve_lp(problem)
+    if not result.feasible or result.solution is None:
+        return None
+    if result.objective_value is None or -result.objective_value >= 1:
+        return None
+    # LP supports can omit downstream places the closure needs; widen the
+    # seed with every token-free place before taking the trap fixpoint.
+    seed = {p for p in range(num) if result.solution[p] > 0}
+    seed |= {p for p in range(num) if marking[p] == 0}
+    trap = maximal_trap(net, seed)
+    if not trap:
+        return None
+    if not any(int(net.initial_marking[p]) > 0 for p in trap):
+        return None
+    if sum(marking[p] for p in trap) >= 1:
+        return None
+    return _cut_from_places(net, trap, CUT_TRAP)
+
+
+def separate_siphon(net: PetriNet, marking: Sequence) -> Optional[Cut]:
+    """Tier 2: LP-separate an unmarked siphon with ``Σ M(p) > 0``."""
+    from repro.lp import LinearProgram, solve_lp
+
+    num = net.num_places
+    unmarked0 = [p for p in range(num) if int(net.initial_marking[p]) == 0]
+    if not unmarked0:
+        return None
+    constraints = []
+    for p in range(num):
+        for t in net.place_preset(p):
+            coeffs = [0] * num
+            coeffs[p] += 1
+            for q in net.preset(t):
+                coeffs[q] -= 1
+            if any(coeffs):
+                constraints.append((coeffs, "<=", 0))
+    for p in range(num):
+        if int(net.initial_marking[p]) > 0:
+            coeffs = [0] * num
+            coeffs[p] = 1
+            constraints.append((coeffs, "==", 0))
+    problem = LinearProgram.feasibility(num, constraints)
+    problem.add_upper_bounds(1)
+    problem.objective = [Fraction(marking[p]) for p in range(num)]
+    result = solve_lp(problem)
+    siphon = None
+    if (
+        result.feasible
+        and result.solution is not None
+        and result.objective_value is not None
+        and result.objective_value > 0
+    ):
+        seed = {p for p in range(num) if result.solution[p] > 0}
+        siphon = maximal_siphon(net, seed)
+    if not siphon:
+        # fall back on the largest initially unmarked siphon
+        siphon = maximal_siphon(net, set(unmarked0))
+    if not siphon:
+        return None
+    if any(int(net.initial_marking[p]) > 0 for p in siphon):
+        return None
+    if sum(marking[p] for p in siphon) <= 0:
+        return None
+    return _cut_from_places(net, siphon, CUT_SIPHON)
+
+
+def find_cut(
+    net: PetriNet,
+    markings: Sequence[Sequence],
+    factbase: Optional[FactBase] = None,
+    use_lp: bool = True,
+) -> Optional[Cut]:
+    """The combinator the CEGAR loop calls: facts first, then LPs, over
+    each candidate marking (``M'`` and ``M''``) in turn.  ``use_lp=False``
+    restricts to the cheap FactBase tier — the loop flips it off once the
+    exact LPs have failed to separate often enough that the solutions are
+    evidently inside the trap/siphon hull."""
+    for marking in markings:
+        if factbase is not None:
+            cut = violated_fact_cut(factbase, net, marking)
+            if cut is not None:
+                return cut
+    if not use_lp:
+        return None
+    for marking in markings:
+        cut = separate_trap(net, marking)
+        if cut is not None:
+            return cut
+        cut = separate_siphon(net, marking)
+        if cut is not None:
+            return cut
+    return None

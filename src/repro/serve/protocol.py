@@ -213,6 +213,7 @@ class CheckRequest:
         node_budget: Optional[int] = None,
         deadline: Optional[float] = None,
         use_facts: bool = False,
+        use_refinement: bool = False,
     ):
         self.stg = stg
         self.name = name
@@ -221,6 +222,7 @@ class CheckRequest:
         self.node_budget = node_budget
         self.deadline = deadline
         self.use_facts = use_facts
+        self.use_refinement = use_refinement
         self.stg_hash = stg.content_hash()
 
     def jobs(self, default_deadline: Optional[float] = None) -> List[VerificationJob]:
@@ -235,6 +237,7 @@ class CheckRequest:
                     timeout=deadline,
                     node_budget=self.node_budget,
                     use_facts=self.use_facts,
+                    use_refinement=self.use_refinement,
                     name=self.name,
                     stg_hash=self.stg_hash,
                 )
@@ -258,6 +261,7 @@ class CheckRequest:
             self.node_budget,
             self.deadline,
             self.use_facts,
+            self.use_refinement,
         )
 
 
@@ -342,6 +346,10 @@ def parse_check_request(payload: Any) -> CheckRequest:
     if not isinstance(use_facts, bool):
         raise ProtocolError("'use_facts' must be a boolean")
 
+    use_refinement = payload.get("use_refinement", False)
+    if not isinstance(use_refinement, bool):
+        raise ProtocolError("'use_refinement' must be a boolean")
+
     request = CheckRequest(
         stg=stg,
         name=str(payload.get("name", name)),
@@ -350,6 +358,7 @@ def parse_check_request(payload: Any) -> CheckRequest:
         node_budget=node_budget,
         deadline=deadline,
         use_facts=use_facts,
+        use_refinement=use_refinement,
     )
     # Fail fast on unknown engine names: building the jobs validates them.
     request.jobs()

@@ -1,0 +1,94 @@
+"""Exact replay of trap/siphon cuts (the refinement loop's soundness gate)."""
+
+import numpy as np
+import pytest
+
+from repro.petri.net import PetriNet
+from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, Cut, cut_row, verify_cut
+
+
+def chain_net() -> PetriNet:
+    """``p0 (1 token) --t--> p1`` plus an isolated unmarked place ``s``."""
+    net = PetriNet("chain")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1")
+    net.add_place("s")
+    net.add_transition("t")
+    net.add_arc("p0", "t")
+    net.add_arc("t", "p1")
+    return net
+
+
+class TestVerifyCut:
+    def test_marked_trap_accepted(self):
+        cut = Cut(kind=CUT_TRAP, places=("p0", "p1"), marked=True)
+        assert verify_cut(chain_net(), cut)
+
+    def test_leaky_set_is_no_trap(self):
+        # t consumes from p0 but produces only into p1 (outside the set)
+        cut = Cut(kind=CUT_TRAP, places=("p0",), marked=True)
+        assert not verify_cut(chain_net(), cut)
+
+    def test_trap_must_claim_and_be_marked(self):
+        net = chain_net()
+        assert not verify_cut(
+            net, Cut(kind=CUT_TRAP, places=("p0", "p1"), marked=False)
+        )
+        # a genuine but unmarked trap yields no >= 1 inequality
+        net.set_tokens("p0", 0)
+        assert not verify_cut(
+            net, Cut(kind=CUT_TRAP, places=("p0", "p1"), marked=True)
+        )
+
+    def test_unmarked_siphon_accepted(self):
+        cut = Cut(kind=CUT_SIPHON, places=("s",), marked=False)
+        assert verify_cut(chain_net(), cut)
+
+    def test_fed_place_is_no_siphon(self):
+        # p1's producer t is fed from p0, which is outside the set
+        cut = Cut(kind=CUT_SIPHON, places=("p1",), marked=False)
+        assert not verify_cut(chain_net(), cut)
+
+    def test_marked_siphon_rejected(self):
+        cut = Cut(kind=CUT_SIPHON, places=("p0",), marked=False)
+        assert not verify_cut(chain_net(), cut)
+
+    @pytest.mark.parametrize(
+        "cut",
+        [
+            Cut(kind="lasso", places=("p0",), marked=True),
+            Cut(kind=CUT_TRAP, places=(), marked=True),
+            Cut(kind=CUT_TRAP, places=("nope",), marked=True),
+            Cut(kind=CUT_TRAP, places=("p0", "p0"), marked=True),
+        ],
+    )
+    def test_malformed_cuts_rejected(self, cut):
+        assert not verify_cut(chain_net(), cut)
+
+
+class TestCutRow:
+    def test_trap_row_sums_member_flows(self):
+        net = chain_net()
+        flow = np.array([[1, -1], [0, 1], [0, 0]])
+        cut = Cut(kind=CUT_TRAP, places=("p0", "p1"), marked=True)
+        coeffs, sense, rhs = cut_row(cut, net, flow, 2)
+        assert (coeffs, sense, rhs) == ([1, 0], ">=", 0)  # 1 - M0(S) = 0
+
+    def test_siphon_row_is_an_equality(self):
+        net = chain_net()
+        flow = np.array([[1, -1], [0, 1], [2, 0]])
+        cut = Cut(kind=CUT_SIPHON, places=("s",), marked=False)
+        coeffs, sense, rhs = cut_row(cut, net, flow, 2)
+        assert (coeffs, sense, rhs) == ([2, 0], "==", 0)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        cut = Cut(kind=CUT_TRAP, places=("a", "b"), marked=True)
+        assert Cut.from_dict(cut.to_dict()) == cut
+
+    def test_unknown_version_rejected(self):
+        payload = Cut(kind=CUT_TRAP, places=("a",), marked=True).to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="unsupported cut version"):
+            Cut.from_dict(payload)

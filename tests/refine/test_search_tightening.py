@@ -1,0 +1,71 @@
+"""In-search movability tightening: streams only lose equal-marking pairs.
+
+``use_refinement=`` on a non-refuted instance hands the searches the
+certified-immovable places.  The window stream must be byte-identical (the
+pruned subtrees contain no marking-changing windows at all); the nested
+pair stream may only drop pairs whose final markings are equal — exactly
+the candidates the USC/CSC checkers skip without counting.
+"""
+
+import pytest
+
+from repro.core.context import SolverContext
+from repro.core.prescreen import _flow_matrix
+from repro.core.search import PairSearch
+from repro.core.window import WindowSearch
+from repro.models import TABLE1_BENCHMARKS
+from repro.refine import refine_prescreen
+from repro.unfolding import unfold
+
+pytest.importorskip("scipy")
+
+
+@pytest.fixture(scope="module", params=["RING", "LAZYRING"])
+def tightened(request):
+    context = SolverContext(unfold(TABLE1_BENCHMARKS[request.param]()))
+    outcome = refine_prescreen(context)
+    assert not outcome.refuted  # conflicting models fall through
+    return context, outcome.movable_places
+
+
+def test_window_stream_identical(tightened):
+    context, movable = tightened
+    plain = WindowSearch(context)
+    tight = WindowSearch(context, movable_places=movable)
+    assert list(tight.solutions()) == list(plain.solutions())
+    assert tight.stats.nodes <= plain.stats.nodes
+
+
+def _marking(context, flow, mask):
+    initial = context.prefix.net.initial_marking
+    marking = [int(tokens) for tokens in initial]
+    for i in range(context.num_vars):
+        if mask >> i & 1:
+            for p in range(len(marking)):
+                marking[p] += int(flow[p][i])
+    return tuple(marking)
+
+
+def test_pair_stream_drops_only_equal_marking_pairs(tightened):
+    context, movable = tightened
+    plain = PairSearch(context, nested_only=True)
+    tight = PairSearch(context, nested_only=True, movable_places=movable)
+    plain_solutions = list(plain.solutions())
+    tight_solutions = set(tight.solutions())
+    assert tight_solutions <= set(plain_solutions)
+    flow = _flow_matrix(context)
+    for ones_a, ones_b in plain_solutions:
+        if (ones_a, ones_b) in tight_solutions:
+            continue
+        assert _marking(context, flow, ones_a) == _marking(
+            context, flow, ones_b
+        )
+
+
+def test_pruning_counted_into_stats(tightened):
+    context, movable = tightened
+    tight = PairSearch(context, nested_only=True, movable_places=movable)
+    list(tight.solutions())
+    plain = PairSearch(context, nested_only=True)
+    list(plain.solutions())
+    assert tight.stats.pruned_structure >= plain.stats.pruned_structure

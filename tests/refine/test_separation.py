@@ -1,0 +1,106 @@
+"""The two separation tiers: FactBase scan and the exact separation LPs."""
+
+from repro.analysis.facts import FACT_SIPHON, FACT_TRAP
+from repro.petri.net import PetriNet
+from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, verify_cut
+from repro.refine.separation import (
+    find_cut,
+    separate_siphon,
+    separate_trap,
+    violated_fact_cut,
+)
+
+
+def chain_net() -> PetriNet:
+    net = PetriNet("chain")
+    net.add_place("p0", tokens=1)
+    net.add_place("p1")
+    net.add_transition("t")
+    net.add_arc("p0", "t")
+    net.add_arc("t", "p1")
+    return net
+
+
+def loop_net() -> PetriNet:
+    """One unmarked place on a self-loop: a genuine empty siphon."""
+    net = PetriNet("loop")
+    net.add_place("q")
+    net.add_transition("u")
+    net.add_arc("q", "u")
+    net.add_arc("u", "q")
+    return net
+
+
+class _StubFact:
+    def __init__(self, places, marked):
+        self.justification = {"places": list(places), "marked": marked}
+
+
+class _StubFactBase:
+    def __init__(self, traps=(), siphons=()):
+        self._by_kind = {FACT_TRAP: list(traps), FACT_SIPHON: list(siphons)}
+
+    def of_kind(self, kind):
+        return self._by_kind.get(kind, [])
+
+
+class TestFactTier:
+    def test_emptied_trap_yields_cut(self):
+        facts = _StubFactBase(traps=[_StubFact(["p0", "p1"], marked=True)])
+        cut = violated_fact_cut(facts, chain_net(), [0, 0])
+        assert cut is not None
+        assert (cut.kind, cut.places) == (CUT_TRAP, ("p0", "p1"))
+
+    def test_satisfied_trap_yields_nothing(self):
+        facts = _StubFactBase(traps=[_StubFact(["p0", "p1"], marked=True)])
+        assert violated_fact_cut(facts, chain_net(), [1, 0]) is None
+
+    def test_unmarked_trap_fact_skipped(self):
+        facts = _StubFactBase(traps=[_StubFact(["p0", "p1"], marked=False)])
+        assert violated_fact_cut(facts, chain_net(), [0, 0]) is None
+
+    def test_filled_siphon_yields_cut(self):
+        facts = _StubFactBase(siphons=[_StubFact(["q"], marked=False)])
+        cut = violated_fact_cut(facts, loop_net(), [1])
+        assert cut is not None
+        assert (cut.kind, cut.places) == (CUT_SIPHON, ("q",))
+
+    def test_stranger_places_tolerated(self):
+        facts = _StubFactBase(traps=[_StubFact(["elsewhere"], marked=True)])
+        assert violated_fact_cut(facts, chain_net(), [0, 0]) is None
+
+
+class TestLpTier:
+    def test_trap_separated_from_tokenless_marking(self):
+        net = chain_net()
+        cut = separate_trap(net, [0, 0])
+        assert cut is not None
+        assert cut.places == ("p0", "p1")
+        assert verify_cut(net, cut)
+
+    def test_no_trap_cut_when_inequality_satisfied(self):
+        assert separate_trap(chain_net(), [1, 0]) is None
+
+    def test_siphon_separated_from_filled_marking(self):
+        net = loop_net()
+        cut = separate_siphon(net, [1])
+        assert cut is not None
+        assert cut.places == ("q",)
+        assert verify_cut(net, cut)
+
+    def test_no_siphon_cut_when_empty(self):
+        assert separate_siphon(loop_net(), [0]) is None
+
+
+class TestFindCut:
+    def test_facts_tier_runs_first(self):
+        facts = _StubFactBase(traps=[_StubFact(["p0", "p1"], marked=True)])
+        cut = find_cut(chain_net(), [[0, 0]], facts, use_lp=False)
+        assert cut is not None and cut.kind == CUT_TRAP
+
+    def test_lp_disabled_means_no_cut_without_facts(self):
+        assert find_cut(chain_net(), [[0, 0]], None, use_lp=False) is None
+
+    def test_lp_fallback_finds_the_trap(self):
+        cut = find_cut(chain_net(), [[1, 0], [0, 0]], None, use_lp=True)
+        assert cut is not None and cut.kind == CUT_TRAP

@@ -1,0 +1,86 @@
+"""The docs drift checker: rule sync, link resolution, reachability."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_PATH = Path(__file__).resolve().parents[1] / "tools" / "check_docs.py"
+_spec = importlib.util.spec_from_file_location("check_docs", _PATH)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def test_repo_docs_are_clean(capsys):
+    assert checker.main() == 0
+    assert "pages checked" in capsys.readouterr().out
+
+
+class TestAnchors:
+    def test_github_slugs(self):
+        text = "# Hello World\n## `GET /v1/jobs/{id}`\n## Drain semantics\n"
+        assert checker.heading_anchors(text) == {
+            "hello-world",
+            "get-v1jobsid",
+            "drain-semantics",
+        }
+
+    def test_duplicate_headings_numbered(self):
+        assert checker.heading_anchors("## Same\n## Same\n") == {
+            "same",
+            "same-1",
+        }
+
+    def test_fenced_code_ignored(self):
+        text = "```\n# not a heading\n[x](nowhere.md)\n```\n# Real\n"
+        assert checker.heading_anchors(text) == {"real"}
+
+
+@pytest.fixture
+def fake_docs(tmp_path, monkeypatch):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    monkeypatch.setattr(checker, "ROOT", tmp_path)
+    monkeypatch.setattr(checker, "DOCS", docs)
+    monkeypatch.setattr(checker, "INDEX", docs / "index.md")
+    return docs
+
+
+class TestLinkProblems:
+    def test_broken_link_flagged(self, fake_docs):
+        page = fake_docs / "index.md"
+        page.write_text("[gone](missing.md) and [ok](https://example.com)\n")
+        (problem,) = checker.link_problems([page])
+        assert "broken link 'missing.md'" in problem
+
+    def test_bad_anchor_flagged(self, fake_docs):
+        (fake_docs / "other.md").write_text("# Present\n")
+        page = fake_docs / "index.md"
+        page.write_text("[good](other.md#present) [bad](other.md#absent)\n")
+        (problem,) = checker.link_problems([page])
+        assert "'absent'" in problem
+
+    def test_clean_tree_passes(self, fake_docs):
+        (fake_docs / "other.md").write_text("# Present\n")
+        page = fake_docs / "index.md"
+        page.write_text("[good](other.md#present)\n")
+        assert checker.link_problems([page]) == []
+
+
+class TestReachability:
+    def test_orphan_flagged(self, fake_docs):
+        (fake_docs / "index.md").write_text("[a](linked.md)\n")
+        (fake_docs / "linked.md").write_text("# Linked\n")
+        (fake_docs / "orphan.md").write_text("# Orphan\n")
+        (problem,) = checker.reachability_problems()
+        assert "orphan.md" in problem
+
+    def test_transitive_links_count(self, fake_docs):
+        (fake_docs / "index.md").write_text("[a](mid.md)\n")
+        (fake_docs / "mid.md").write_text("[b](leaf.md)\n")
+        (fake_docs / "leaf.md").write_text("# Leaf\n")
+        assert checker.reachability_problems() == []
+
+    def test_missing_index_flagged(self, fake_docs):
+        (problem,) = checker.reachability_problems()
+        assert "index.md is missing" in problem

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Docs drift checker: rule catalogue sync, link resolution, reachability.
+
+Three independent guarantees, all enforced in CI next to ruff/mypy:
+
+1. **Rule catalogue sync** (the original ``check_rule_docs`` contract).
+   The rule tables in docs/linting.md carry one row per rule id
+   (``| W101 | `isolated-node` | ... |``); every such row is compared
+   against the registered rule set (``repro.lint.all_rules()``) in both
+   directions — an undocumented rule, a stale id, or a renamed rule fails.
+
+2. **Link resolution.**  Every relative markdown link in ``docs/*.md``
+   and ``README.md`` must point at an existing file, and a ``#fragment``
+   into a markdown file must match one of that file's heading anchors
+   (GitHub's slug rules).  External (``http://``, ``https://``,
+   ``mailto:``) targets are not touched.
+
+3. **Reachability.**  Every page under ``docs/`` must be reachable from
+   docs/index.md by following relative links — an orphaned page fails.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = ROOT / "docs"
+INDEX = DOCS / "index.md"
+LINTING = DOCS / "linting.md"
+
+#: ``| W101 | `isolated-node` | ...`` — id cell then backticked name cell.
+ROW = re.compile(r"^\|\s*([A-Z]\d{3})\s*\|\s*`([a-z0-9-]+)`\s*\|")
+
+#: Inline markdown links/images: ``[text](target)`` — target up to the
+#: first unescaped closing parenthesis (no nested parens in our docs).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+# -- rule catalogue sync -------------------------------------------------------
+
+def documented_rules(text: str) -> Dict[str, str]:
+    rows: Dict[str, str] = {}
+    for line in text.splitlines():
+        match = ROW.match(line.strip())
+        if not match:
+            continue
+        rule_id, name = match.groups()
+        if rule_id in rows and rows[rule_id] != name:
+            raise SystemExit(
+                f"docs/linting.md documents {rule_id} twice with different "
+                f"names ({rows[rule_id]!r} vs {name!r})"
+            )
+        rows[rule_id] = name
+    return rows
+
+
+def rule_sync_problems() -> List[str]:
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.lint import all_rules
+
+    registered = {r.rule_id: r.name for r in all_rules()}
+    documented = documented_rules(LINTING.read_text(encoding="utf-8"))
+
+    problems: List[str] = []
+    for rule_id in sorted(set(registered) - set(documented)):
+        problems.append(
+            f"rule {rule_id} ({registered[rule_id]!r}) is registered but has "
+            f"no table row in docs/linting.md"
+        )
+    for rule_id in sorted(set(documented) - set(registered)):
+        problems.append(
+            f"docs/linting.md documents {rule_id} ({documented[rule_id]!r}) "
+            f"but no such rule is registered"
+        )
+    for rule_id in sorted(set(documented) & set(registered)):
+        if documented[rule_id] != registered[rule_id]:
+            problems.append(
+                f"rule {rule_id} is named {registered[rule_id]!r} in code but "
+                f"{documented[rule_id]!r} in docs/linting.md"
+            )
+    return problems
+
+
+# -- markdown parsing ----------------------------------------------------------
+
+def prose_lines(text: str) -> Iterator[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    fenced = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield line
+
+
+def heading_anchors(text: str) -> Set[str]:
+    """GitHub-style anchor slugs of every markdown heading in ``text``."""
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for line in prose_lines(text):
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().replace("`", "")
+        slug = re.sub(r"[^a-z0-9 \-]", "", title.lower()).replace(" ", "-")
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def links_of(path: Path) -> Iterator[Tuple[str, str, str]]:
+    """Yield ``(raw, target, fragment)`` for each relative link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for line in prose_lines(text):
+        for match in LINK.finditer(line):
+            raw = match.group(1)
+            if raw.startswith(_EXTERNAL):
+                continue
+            target, _, fragment = raw.partition("#")
+            yield raw, target, fragment
+
+
+def link_problems(pages: List[Path]) -> List[str]:
+    problems: List[str] = []
+    for page in pages:
+        here = page.relative_to(ROOT)
+        for raw, target, fragment in links_of(page):
+            resolved = (
+                (page.parent / target).resolve() if target else page.resolve()
+            )
+            if not resolved.exists():
+                problems.append(f"{here}: broken link {raw!r}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                anchors = heading_anchors(
+                    resolved.read_text(encoding="utf-8")
+                )
+                if fragment not in anchors:
+                    problems.append(
+                        f"{here}: link {raw!r} names a heading anchor "
+                        f"{fragment!r} that does not exist in "
+                        f"{resolved.relative_to(ROOT)}"
+                    )
+    return problems
+
+
+def reachability_problems() -> List[str]:
+    """BFS over relative links from docs/index.md; orphans fail."""
+    if not INDEX.exists():
+        return ["docs/index.md is missing (the reachability root)"]
+    visited: Set[Path] = set()
+    frontier = [INDEX.resolve()]
+    while frontier:
+        page = frontier.pop()
+        if page in visited:
+            continue
+        visited.add(page)
+        for _, target, _ in links_of(page):
+            if not target:
+                continue
+            resolved = (page.parent / target).resolve()
+            if (
+                resolved.suffix == ".md"
+                and resolved.exists()
+                and DOCS.resolve() in resolved.parents
+            ):
+                frontier.append(resolved)
+    return [
+        f"docs/{page.name} is not reachable from docs/index.md"
+        for page in sorted(DOCS.glob("*.md"))
+        if page.resolve() not in visited
+    ]
+
+
+def main() -> int:
+    pages = sorted(DOCS.glob("*.md")) + [ROOT / "README.md"]
+    problems = (
+        rule_sync_problems() + link_problems(pages) + reachability_problems()
+    )
+    if problems:
+        for problem in problems:
+            print(f"check_docs: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"check_docs: {len(pages)} pages checked — rule catalogue in sync, "
+        f"all links resolve, every docs page reachable from the index"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,8 +122,13 @@ class Case:
         }[self.family]
         return ctor(self.size)
 
-    def run(self, stg) -> bool:
-        """The timed region: unfold the STG and check the property."""
+    def run(self, stg, cert_cache=None) -> bool:
+        """The timed region: unfold the STG and check the property.
+
+        ``cert_cache`` (a :class:`repro.engine.cache.ResultCache`) is only
+        used by the warm-probe measurement of ``/r=1`` cases; the timed
+        samples always run cold so the medians stay comparable.
+        """
         prefix = unfold(stg)
         check = check_usc if self.prop == "usc" else check_csc
         return check(
@@ -131,6 +136,7 @@ class Case:
             workers=self.workers,
             use_facts=self.facts,
             use_refinement=self.refine,
+            cert_cache=cert_cache,
         ).holds
 
 
@@ -226,7 +232,7 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
         if seconds > 0.0 or name == "total"
     }
 
-    return {
+    record = {
         "id": case.case_id,
         "family": case.family,
         "size": case.size,
@@ -242,6 +248,55 @@ def measure_case(case: Case, warmup: int, repeat: int) -> Dict[str, object]:
         "phases": phases,
         "counters": dict(probe.counters),
     }
+    if case.refine:
+        record["refine_counters"] = _refine_counter_probe(
+            case, stg, probe, reset_facts
+        )
+    return record
+
+
+def _refine_counter_probe(case, stg, cold_probe, reset_facts):
+    """The ``/r=1`` counter record: cold LP traffic + warm cache replay.
+
+    The cold numbers come straight from the traced probe run.  The warm
+    numbers drive the same case twice against an ephemeral certificate
+    store (a temp-dir :class:`~repro.engine.cache.ResultCache`): the first
+    run populates the refine-cert domain, the second replays it, so
+    ``warm_cert_cache_hits`` shows the steady-state behaviour of repeat
+    verification (serve traffic, batch re-runs) and ``warm_lp_calls`` how
+    much LP work the cache removes.
+    """
+    import tempfile
+
+    from repro.engine.cache import ResultCache
+
+    counters = {
+        "lp_calls": int(cold_probe.counters.get("refine.lp_calls", 0)),
+        "cert_cache_hits": int(
+            cold_probe.counters.get("refine.cert_cache_hits", 0)
+        ),
+        "warm_hits": int(cold_probe.counters.get("refine.warm_hits", 0)),
+        "dominated": int(cold_probe.counters.get("refine.dominated", 0)),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-certs-") as tmp:
+        store = ResultCache(tmp)
+        reset_facts()
+        case.run(stg, cert_cache=store)  # populate the cert domain
+        warm_probe = Tracer(enabled=True)
+        previous = obs.get_tracer()
+        obs.set_tracer(warm_probe)
+        try:
+            reset_facts()
+            case.run(stg, cert_cache=store)
+        finally:
+            obs.set_tracer(previous)
+    counters["warm_lp_calls"] = int(
+        warm_probe.counters.get("refine.lp_calls", 0)
+    )
+    counters["warm_cert_cache_hits"] = int(
+        warm_probe.counters.get("refine.cert_cache_hits", 0)
+    )
+    return counters
 
 
 def measure_serve_case(
@@ -476,6 +531,14 @@ def validate_report(data: object) -> None:
                     f"bench result {record['id']!r} has invalid "
                     f"{axis_field} field"
                 )
+        # /r=1 records carry the refinement counter probe (optional too)
+        if "refine_counters" in record and not isinstance(
+            record["refine_counters"], dict
+        ):
+            raise ValueError(
+                f"bench result {record['id']!r} has invalid "
+                f"refine_counters field"
+            )
         # serving-scenario records carry a concurrency axis and throughput
         if "clients" in record and (
             not isinstance(record["clients"], int)
@@ -508,8 +571,20 @@ def compare_reports(
     old: Dict[str, object],
     new: Dict[str, object],
     threshold: float = DEFAULT_THRESHOLD,
+    phases: Sequence[str] = ("refine",),
+    include_median: bool = True,
 ) -> List[Dict[str, object]]:
-    """Cases whose median regressed by >= ``threshold`` (e.g. 0.20 = +20%)."""
+    """Cases whose median regressed by >= ``threshold`` (e.g. 0.20 = +20%).
+
+    Besides the end-to-end median, the phase breakdowns of both reports are
+    compared for every name in ``phases`` (default: the ``refine`` phase, so
+    a refinement-engine slowdown is flagged even when the surrounding
+    unfold/solve work hides it in the total).  Phase entries carry
+    ``"metric": "phase:<name>"``; median entries ``"metric": "median_s"``.
+    ``include_median=False`` restricts the check to the phase comparisons —
+    the CI bench job uses it so a machine-speed difference in the total
+    cannot mask or fake a refinement regression.
+    """
     validate_report(old)
     validate_report(new)
     old_by_id = {r["id"]: r for r in old["results"]}  # type: ignore[index]
@@ -520,18 +595,32 @@ def compare_reports(
             continue
         base = float(before["median_s"])
         now = float(record["median_s"])
-        if base <= 0.0:
-            continue
-        ratio = now / base
-        if ratio - 1.0 >= threshold:
+        if include_median and base > 0.0 and now / base - 1.0 >= threshold:
             regressions.append(
                 {
                     "id": record["id"],
+                    "metric": "median_s",
                     "old_median_s": base,
                     "new_median_s": now,
-                    "ratio": ratio,
+                    "ratio": now / base,
                 }
             )
+        for phase in phases:
+            base_p = before.get("phases", {}).get(phase)
+            new_p = record.get("phases", {}).get(phase)
+            if not base_p or new_p is None or float(base_p) <= 0.0:
+                continue
+            ratio = float(new_p) / float(base_p)
+            if ratio - 1.0 >= threshold:
+                regressions.append(
+                    {
+                        "id": record["id"],
+                        "metric": f"phase:{phase}",
+                        "old_median_s": float(base_p),
+                        "new_median_s": float(new_p),
+                        "ratio": ratio,
+                    }
+                )
     return regressions
 
 
@@ -565,17 +654,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         old = json.load(handle)
     with open(args.new) as handle:
         new = json.load(handle)
-    regressions = compare_reports(old, new, threshold=args.threshold)
+    regressions = compare_reports(
+        old,
+        new,
+        threshold=args.threshold,
+        include_median=not args.phase_only,
+    )
     if not regressions:
         print(
             f"bench compare: no regression >= {args.threshold:.0%} "
-            f"({len(new['results'])} cases checked)"
+            f"({len(new['results'])} cases checked"
+            f"{', refine phase only' if args.phase_only else ''})"
         )
         return 0
     print(f"bench compare: {len(regressions)} regression(s):")
     for entry in regressions:
+        metric = entry.get("metric", "median_s")
+        label = entry["id"] + (
+            f" [{metric}]" if metric != "median_s" else ""
+        )
         print(
-            f"  {entry['id']:<28} {entry['old_median_s'] * 1e3:8.2f} ms -> "
+            f"  {label:<28} {entry['old_median_s'] * 1e3:8.2f} ms -> "
             f"{entry['new_median_s'] * 1e3:8.2f} ms  ({entry['ratio']:.2f}x)"
         )
     return 1
@@ -652,6 +751,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_THRESHOLD,
         metavar="RATIO",
         help="regression ratio to flag (default 0.20 = +20%%)",
+    )
+    compare.add_argument(
+        "--phase-only",
+        action="store_true",
+        help="check only the phase comparisons (the refine phase), not the "
+        "end-to-end medians — for CI runs on machines unlike the baseline's",
     )
     compare.set_defaults(func=_cmd_compare)
     return parser

@@ -314,6 +314,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         if not was_enabled:
             tracer.disable()
 
+    refine_detail = _refine_detail(snapshot)
+
     if args.json:
         document = {
             "schema": "repro-profile/1",
@@ -324,6 +326,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 for prop, holds in verdicts.items()
             },
             "phases": phases,
+            "refine_detail": refine_detail,
             "counters": snapshot["counters"],
             "gauges": snapshot["gauges"],
             "timers": snapshot["timers"],
@@ -336,12 +339,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     rows = ["parse", "unfold", "closure", "solver", "lint", "analysis"]
     # the refinement row appears only when the phase actually ran (the
     # --refine path); a disabled refinement degrades to no row, not a crash
-    if phases.get("refine", 0.0) > 0.0 or getattr(args, "refine", False):
+    show_refine = phases.get("refine", 0.0) > 0.0 or getattr(
+        args, "refine", False
+    )
+    if show_refine:
         rows.insert(rows.index("solver") + 1, "refine")
     for phase in rows:
         seconds = phases.get(phase, 0.0)
         share = f"{100.0 * seconds / total:.1f}%" if total > 0 else "-"
         body.append([phase, f"{seconds * 1000:.3f}", share])
+        if phase == "refine":
+            # split the refinement phase into its LP-solve and exact
+            # certification components (nested spans, so they are shadowed
+            # in the phase totals and never double-count above)
+            for sub in ("lp_solve", "certify"):
+                sub_seconds = refine_detail.get(sub, 0.0)
+                sub_share = (
+                    f"{100.0 * sub_seconds / total:.1f}%" if total > 0 else "-"
+                )
+                body.append(
+                    [f"  refine.{sub}", f"{sub_seconds * 1000:.3f}", sub_share]
+                )
     body.append(["total", f"{total * 1000:.3f}", "100.0%" if total > 0 else "-"])
     print(
         format_table(
@@ -364,6 +382,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         for gauge, value in sorted(gauges.items()):  # type: ignore[union-attr]
             print(f"  {gauge} = {value:g}")
     return 0
+
+
+def _refine_detail(snapshot) -> dict:
+    """Summed ``refine.lp_solve`` / ``refine.certify`` span durations.
+
+    These spans are nested under ``refine.prescreen``, so the phase table's
+    ``refine`` row already includes them; the detail rows show where inside
+    the phase the time went.
+    """
+    detail = {"lp_solve": 0.0, "certify": 0.0}
+    for span in snapshot.get("spans", ()):
+        name = span.get("name", "")
+        if name == "refine.lp_solve":
+            detail["lp_solve"] += span.get("dur", 0.0)
+        elif name == "refine.certify":
+            detail["certify"] += span.get("dur", 0.0)
+    return detail
 
 
 def _profile_property(stg, prop: str, args: argparse.Namespace) -> bool:
@@ -565,8 +600,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"  {stats['entries']} entries, {stats['total_bytes']} bytes"
             + (f", {stats['unreadable']} unreadable" if stats["unreadable"] else "")
         )
-        for title, key in (("property", "by_property"), ("verdict", "by_verdict"),
-                           ("schema", "by_schema")):
+        for title, key in (("domain", "by_domain"), ("property", "by_property"),
+                           ("verdict", "by_verdict"), ("schema", "by_schema")):
             breakdown = stats[key]
             if breakdown:
                 body = ", ".join(

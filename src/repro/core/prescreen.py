@@ -151,7 +151,7 @@ def lp_prescreen(context: SolverContext) -> Optional[bool]:
 
 
 def refinement_prescreen(
-    context: SolverContext, factbase=None
+    context: SolverContext, factbase=None, cert_store=None
 ) -> Tuple[Optional[bool], "RefinementOutcome"]:
     """The CEGAR trap/siphon refinement tier (:mod:`repro.refine`).
 
@@ -170,5 +170,5 @@ def refinement_prescreen(
     """
     from repro.refine import refine_prescreen
 
-    outcome = refine_prescreen(context, factbase=factbase)
+    outcome = refine_prescreen(context, factbase=factbase, cert_store=cert_store)
     return (False if outcome.refuted else None), outcome

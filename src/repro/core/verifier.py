@@ -182,7 +182,7 @@ def _facts_dcf(context: SolverContext) -> bool:
     return analyze(context.stg).proves_dynamic_conflict_freeness()
 
 
-def _run_refinement(context: SolverContext, nest: bool):
+def _run_refinement(context: SolverContext, nest: bool, cert_cache=None):
     """Run the :mod:`repro.refine` CEGAR prescreen when Proposition 1
     licenses it (structural nesting or a facts-proven DCF certificate).
 
@@ -190,13 +190,17 @@ def _run_refinement(context: SolverContext, nest: bool):
     in-search tightening and is only handed out under the *structural*
     nesting licence — the searches then run in nested mode, which is the
     regime the refinement certificate's bounds are proved for.
+
+    ``cert_cache`` is an optional :class:`repro.engine.cache.ResultCache`
+    whose refine-cert domain the prescreen replays verified dual bounds
+    from (always re-checked exactly) and persists fresh ones to.
     """
     if not (nest or _facts_dcf(context)):
         return False, None
     from repro.core.prescreen import refinement_prescreen
 
     with obs.trace("refine.prescreen"):
-        verdict, outcome = refinement_prescreen(context)
+        verdict, outcome = refinement_prescreen(context, cert_store=cert_cache)
     movable = outcome.movable_places if nest and not outcome.refuted else None
     return verdict is False, movable
 
@@ -246,6 +250,7 @@ def check_usc(
     shards: Optional[int] = None,
     use_facts: bool = False,
     use_refinement: bool = False,
+    cert_cache=None,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Unique State Coding property on the unfolding prefix.
@@ -307,7 +312,7 @@ def check_usc(
 
     movable = None
     if use_refinement:
-        refuted, movable = _run_refinement(context, nest)
+        refuted, movable = _run_refinement(context, nest, cert_cache)
         if refuted:
             return CodingReport(
                 property_name="USC",
@@ -390,6 +395,7 @@ def check_csc(
     shards: Optional[int] = None,
     use_facts: bool = False,
     use_refinement: bool = False,
+    cert_cache=None,
     unfolding_options: Optional[UnfoldingOptions] = None,
 ) -> CodingReport:
     """Check the Complete State Coding property on the unfolding prefix.
@@ -442,7 +448,7 @@ def check_csc(
 
     movable = None
     if use_refinement:
-        refuted, movable = _run_refinement(context, nest)
+        refuted, movable = _run_refinement(context, nest, cert_cache)
         if refuted:
             return CodingReport(
                 property_name="CSC",

@@ -27,13 +27,16 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.engine.jobs import SOURCE_CACHE, JobResult, VerificationJob
 
 #: Bump to invalidate every stored result (e.g. when JobResult grows fields).
 #: v3: analysis FactBase entries share the store (``get_facts``/``put_facts``).
-SCHEMA_VERSION = 3
+#: v4: refinement certificate entries (``get_refine_cert``/``put_refine_cert``)
+#:     and per-STG cut logs (``get_refine_cuts``/``put_refine_cuts``) share
+#:     the store under their own key domains.
+SCHEMA_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -63,6 +66,24 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _write_atomic(self, path: Path, payload: Dict[str, object]) -> bool:
+        """Write one entry via ``mkstemp`` + ``rename``; False on failure."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
 
     # -- store/load ----------------------------------------------------------
 
@@ -123,23 +144,9 @@ class ResultCache:
             # the *producing* source ("fresh"/"lint"); get() rebadges "cache"
             "source": result.source,
             "certificate": result.certificate,
+            "domain": "result",
         }
-        path = self._path(self.key_for(job))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w") as tmp:
-                json.dump(payload, tmp)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            return False
-        return True
+        return self._write_atomic(self._path(self.key_for(job)), payload)
 
     # -- analysis facts ------------------------------------------------------
 
@@ -175,24 +182,127 @@ class ResultCache:
             "facts": True,
             "property": "analysis-facts",
             "verdict": "facts",
+            "domain": "facts",
             "body": body,
         }
-        path = self._path(self.facts_key_for(stg_hash))
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        return self._write_atomic(self._path(self.facts_key_for(stg_hash)), payload)
+
+    # -- refinement certificates ---------------------------------------------
+
+    @staticmethod
+    def _refine_version() -> int:
+        # imported lazily: repro.refine pulls in scipy-adjacent modules the
+        # cache must not require
+        from repro.refine.certificate import REFINE_VERSION
+
+        return int(REFINE_VERSION)
+
+    def refine_cert_key_for(
+        self, stg_hash: str, place: str, sign: int, cut_hash: str
+    ) -> str:
+        """Key of one verified dual bound: the objective's ``(place, sign)``
+        against the exact cut state (order-sensitive hash) it was certified
+        under.  Distinct key domain — a cert entry can never shadow a
+        verdict or a facts entry."""
+        material = (
+            f"repro-refine-cert:v{SCHEMA_VERSION}\n{stg_hash}\n{place}\n"
+            f"{sign}\n{cut_hash}\n"
         )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def get_refine_cert(
+        self, stg_hash: str, place: str, sign: int, cut_hash: str
+    ) -> Optional[Dict[str, Any]]:
+        """The cached bound payload (``{"bound": ..., "cuts_after": ...}``),
+        or ``None``.  Callers re-verify the bound with exact arithmetic —
+        the store is a shortcut, never an authority."""
+        path = self._path(self.refine_cert_key_for(stg_hash, place, sign, cut_hash))
         try:
-            with os.fdopen(handle, "w") as tmp:
-                json.dump(payload, tmp)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            return False
-        return True
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("schema") != SCHEMA_VERSION
+            or payload.get("domain") != "refine-cert"
+            or payload.get("refine_version") != self._refine_version()
+        ):
+            self.misses += 1
+            return None
+        body = payload.get("body")
+        if not isinstance(body, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    def put_refine_cert(
+        self,
+        stg_hash: str,
+        place: str,
+        sign: int,
+        cut_hash: str,
+        body: Dict[str, Any],
+    ) -> bool:
+        """Store one verified dual bound atomically."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "domain": "refine-cert",
+            "property": "refine-cert",
+            "verdict": "certificate",
+            "refine_version": self._refine_version(),
+            "stg_hash": stg_hash,
+            "cut_hash": cut_hash,
+            "cuts_referenced": bool(body.get("cuts_referenced")),
+            "body": body,
+        }
+        return self._write_atomic(
+            self._path(self.refine_cert_key_for(stg_hash, place, sign, cut_hash)),
+            payload,
+        )
+
+    def refine_cuts_key_for(self, stg_hash: str) -> str:
+        """Key of one STG's refinement cut log (discovery order)."""
+        material = f"repro-refine-cuts:v{SCHEMA_VERSION}\n{stg_hash}\n"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def get_refine_cuts(self, stg_hash: str) -> Optional[List[Dict[str, Any]]]:
+        """The cached cut log (list of ``Cut.to_dict()`` payloads), or
+        ``None``.  Callers replay every cut through the exact verifier."""
+        path = self._path(self.refine_cuts_key_for(stg_hash))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("schema") != SCHEMA_VERSION
+            or payload.get("domain") != "refine-cuts"
+        ):
+            self.misses += 1
+            return None
+        body = payload.get("body")
+        if not isinstance(body, list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    def put_refine_cuts(
+        self, stg_hash: str, cuts: List[Dict[str, Any]]
+    ) -> bool:
+        """Store one STG's cut log atomically."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "domain": "refine-cuts",
+            "property": "refine-cuts",
+            "verdict": "cuts",
+            "stg_hash": stg_hash,
+            "body": cuts,
+        }
+        return self._write_atomic(
+            self._path(self.refine_cuts_key_for(stg_hash)), payload
+        )
 
     # -- maintenance ---------------------------------------------------------
 
@@ -222,6 +332,7 @@ class ResultCache:
         by_property: Dict[str, int] = {}
         by_verdict: Dict[str, int] = {}
         by_schema: Dict[str, int] = {}
+        by_domain: Dict[str, int] = {}
         oldest: Optional[float] = None
         newest: Optional[float] = None
         unreadable = 0
@@ -243,6 +354,12 @@ class ResultCache:
                 by_verdict[verdict] = by_verdict.get(verdict, 0) + 1
                 schema = str(payload.get("schema", "?"))
                 by_schema[schema] = by_schema.get(schema, 0) + 1
+                domain = str(
+                    payload.get(
+                        "domain", "facts" if payload.get("facts") else "result"
+                    )
+                )
+                by_domain[domain] = by_domain.get(domain, 0) + 1
         return {
             "root": str(self.root),
             "schema_version": SCHEMA_VERSION,
@@ -252,6 +369,7 @@ class ResultCache:
             "by_property": by_property,
             "by_verdict": by_verdict,
             "by_schema": by_schema,
+            "by_domain": by_domain,
             "oldest_mtime": oldest,
             "newest_mtime": newest,
         }
@@ -266,6 +384,12 @@ class ResultCache:
         number of cache entries removed; concurrent writers are safe — an
         entry rewritten after the cutoff check simply survives the next
         prune, and unlink races are tolerated.
+
+        A consistency pass follows the age sweep: a ``refine-cert`` entry
+        whose bound was certified under cuts (``cuts_referenced``) is only
+        replayable through the STG's ``refine-cuts`` log, so if the age
+        sweep removed that log the cert entries referencing it are removed
+        too — pruning never leaves certs pointing at a vanished cut log.
         """
         if older_than < 0:
             raise ValueError("older_than must be >= 0 seconds")
@@ -286,6 +410,27 @@ class ResultCache:
                 continue  # concurrent prune/rewrite; nothing to do
             if is_entry:
                 removed += 1
+        # consistency pass: drop cut-referencing certs without a cut log
+        cut_logs = set()
+        cert_entries = []
+        for path in self._entries():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            domain = payload.get("domain")
+            if domain == "refine-cuts":
+                cut_logs.add(payload.get("stg_hash"))
+            elif domain == "refine-cert" and payload.get("cuts_referenced"):
+                cert_entries.append((path, payload.get("stg_hash")))
+        for path, stg_hash in cert_entries:
+            if stg_hash in cut_logs:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
         return removed
 
     def clear(self) -> int:

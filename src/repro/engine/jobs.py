@@ -69,6 +69,12 @@ class VerificationJob:
     #: candidate counts are byte-identical, so the flag is excluded from
     #: the cache identity too.
     use_refinement: bool = False
+    #: Directory of a :class:`repro.engine.cache.ResultCache` whose
+    #: refine-cert domain the refinement prescreen may replay verified
+    #: certificates from (and persist new ones to).  Purely a perf hint —
+    #: cached material is always re-verified — so, like ``workers``, it is
+    #: excluded from the cache identity.  Empty/None disables the store.
+    cert_cache_dir: Optional[str] = None
     name: str = ""
     stg_hash: str = ""
 
@@ -267,12 +273,20 @@ def _run_ilp(job: VerificationJob):
             },
         )
     check = check_usc if job.property == "usc" else check_csc
+    cert_cache = None
+    if job.use_refinement and job.cert_cache_dir:
+        # built worker-side: ResultCache holds no file handles, so a fresh
+        # instance per process is cheap and fork-safe
+        from repro.engine.cache import ResultCache
+
+        cert_cache = ResultCache(job.cert_cache_dir)
     report = check(
         job.stg,
         node_budget=job.node_budget,
         workers=job.workers,
         use_facts=job.use_facts,
         use_refinement=job.use_refinement,
+        cert_cache=cert_cache,
     )
     return (
         report.holds,

@@ -27,6 +27,7 @@ arbitration → result, and each step is reported through the
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine import events as ev
@@ -85,6 +86,16 @@ def run_jobs(
     ``lint_size_budget`` caps the net size for its polyhedral rules.
     """
     events = events or pool.events
+    if cache is not None:
+        # point refinement jobs at the result cache's refine-cert domain so
+        # their dual certificates persist across runs; callers that already
+        # set an explicit store keep theirs
+        jobs = [
+            replace(job, cert_cache_dir=str(cache.root))
+            if job.use_refinement and not job.cert_cache_dir
+            else job
+            for job in jobs
+        ]
     results: Dict[int, JobResult] = {}
     failures: Dict[int, List[JobResult]] = {}
     lint_reports: Dict[str, Optional[tuple]] = {}

@@ -24,6 +24,8 @@ Modules
     FactBase scan + exact-rational separation LPs.
 :mod:`~repro.refine.certificate`
     Dual-bound certificates and the LP-free replayer.
+:mod:`~repro.refine.solver`
+    The shared-relaxation sweep backends (incremental HiGHS / linprog).
 :mod:`~repro.refine.cegar`
     The driving loop (:func:`refine_prescreen`).
 """
@@ -36,13 +38,28 @@ from repro.refine.certificate import (
     check_dual_bound,
     verify_certificate,
 )
-from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, Cut, cut_row, verify_cut
+from repro.refine.cuts import (
+    CUT_SIPHON,
+    CUT_TRAP,
+    Cut,
+    cut_row,
+    cut_set_hash,
+    verify_cut,
+)
 from repro.refine.relaxation import Relaxation, build_relaxation, marking_vector
 from repro.refine.separation import (
+    cut_violated,
     find_cut,
     separate_siphon,
     separate_trap,
     violated_fact_cut,
+    violated_known_cut,
+)
+from repro.refine.solver import (
+    HighsSweepSolver,
+    LinprogSweepSolver,
+    SolveResult,
+    make_sweep_solver,
 )
 
 __all__ = [
@@ -50,14 +67,20 @@ __all__ = [
     "CUT_TRAP",
     "Cut",
     "DualBound",
+    "HighsSweepSolver",
+    "LinprogSweepSolver",
     "REFINE_VERSION",
     "RefinementCertificate",
     "RefinementOutcome",
     "Relaxation",
+    "SolveResult",
     "build_relaxation",
     "check_dual_bound",
     "cut_row",
+    "cut_set_hash",
+    "cut_violated",
     "find_cut",
+    "make_sweep_solver",
     "marking_vector",
     "refine_prescreen",
     "separate_siphon",
@@ -65,4 +88,5 @@ __all__ = [
     "verify_certificate",
     "verify_cut",
     "violated_fact_cut",
+    "violated_known_cut",
 ]

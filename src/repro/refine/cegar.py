@@ -7,13 +7,13 @@ then sorts each optimum into one of three buckets:
 
 * **optimum < 1** — because the *integral* token-flow difference of a
   window is an integer, a relaxation bound below 1 already proves the
-  integral maximum is ≤ 0.  The solver's dual marginals are rationalised,
-  repaired against the box rows, and certified with exact
+  integral maximum is ≤ 0.  The solver's duals are rationalised, repaired
+  against the box rows, and certified with exact
   :class:`~fractions.Fraction` arithmetic (:mod:`repro.refine.certificate`);
   only an *exactly certified* bound counts.
 * **optimum ≥ 1, solution spurious** — the solution's markings
   ``M = M0 + I·x`` violate a marked-trap or unmarked-siphon inequality
-  (FactBase scan first, separation LP second, see
+  (known-cut replay first, FactBase scan second, separation LP third, see
   :mod:`repro.refine.separation`).  The violated inequality is re-verified
   with exact integer arithmetic, added as a cut for **both** Parikh copies,
   and the objective re-solved — the counterexample-guided step.
@@ -29,6 +29,29 @@ replays through :func:`~repro.refine.certificate.verify_certificate`
 before claiming anything, so a certification bug degrades to
 "inconclusive", never to a wrong verdict.
 
+Incremental solving
+===================
+
+The ``2|P|`` objectives share **one** solver model per run
+(:mod:`repro.refine.solver`): the constraint matrix is loaded once, each
+objective is a cost swap, and accepted cuts are row appends.  Three
+further tiers avoid LP solves entirely, each deterministic so the swept
+certificate stays byte-identical to the from-scratch reference path:
+
+* **dominance** — two objectives with the same ``(sign, flow row)`` have
+  the same coefficient vector, so a dual bound verified for one covers
+  the other verbatim (counter ``refine.dominated``);
+* **sign-convention memory** — the dual sign-guess that certified the
+  previous objective is tried first on the next (counter
+  ``refine.warm_hits``: the remembered guess worked first try);
+* **certificate cache** — with a ``cert_store``, previously verified
+  bounds keyed ``(stg hash, place, sign, cut-set hash)`` replay after an
+  exact :func:`~repro.refine.certificate.check_dual_bound` re-check —
+  never trusted (counter ``refine.cert_cache_hits``).  A cached bound
+  certified under a deeper cut state first replays the missing cuts from
+  the persisted cut log (each re-verified), keeping the warm run's cut
+  sequence identical to the cold run's.
+
 SciPy (HiGHS) is an optional dependency: without it the loop degrades to
 an inconclusive outcome (``reason="scipy-unavailable"``) whose only fixed
 places are the trivially flowless ones — the caller falls through to the
@@ -39,9 +62,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from math import gcd
+from typing import Any, Dict, List, Optional, Tuple
 
 import repro.obs as obs
 from repro.analysis.engine import FactBase, analyze
@@ -49,11 +71,13 @@ from repro.core.context import SolverContext
 from repro.refine.certificate import (
     DualBound,
     RefinementCertificate,
+    check_dual_bound,
     verify_certificate,
 )
-from repro.refine.cuts import Cut, verify_cut
+from repro.refine.cuts import Cut, cut_set_hash, verify_cut
 from repro.refine.relaxation import Relaxation, build_relaxation, marking_vector
 from repro.refine.separation import find_cut
+from repro.refine.solver import SolveResult, make_sweep_solver
 
 #: Floating-point slack below the integral rounding threshold.
 _EPS = 1e-6
@@ -64,6 +88,9 @@ _PRIMAL_LIMIT = 10**6
 
 #: Rationalised multipliers closer to zero than this are float noise.
 _NOISE = Fraction(1, 10**6)
+
+#: Dual sign-convention guesses, default order (see ``_certify``).
+_GUESSES: Tuple[Tuple[int, int], ...] = ((1, 1), (1, -1), (-1, 1), (-1, -1))
 
 
 @dataclass
@@ -77,6 +104,9 @@ class RefinementOutcome:
     iterations: int = 0              # CEGAR iterations (spurious solutions met)
     lp_calls: int = 0
     separation_calls: int = 0
+    dominated: int = 0               # objectives covered by a verified twin
+    warm_hits: int = 0               # remembered sign guess certified first try
+    cert_cache_hits: int = 0         # bounds replayed from the cert store
     reason: str = ""
 
     @property
@@ -101,10 +131,19 @@ def _attempt_bound(
     bumping the multiplier of ``j``'s box row ``x_j <= 1`` — which restores
     feasibility at the price of raising the bound by the deficit.  Returns
     the repaired vectors iff the final bound is < 1.
+
+    Row combination runs over the sparse row supports
+    (:meth:`~repro.refine.relaxation.Relaxation.sparse_eq_rows`), not all
+    ``2n`` columns per row, and — after rescaling every multiplier by the
+    common denominator — in plain integer arithmetic: exactly the same
+    values as the :class:`~fractions.Fraction` formulation (the scale
+    divides out at the end), at a fraction of the cost.
     """
-    eq_rows = relaxation.eq_rows
-    ub_rows = relaxation.canonical_inequalities()
+    eq_sparse = relaxation.sparse_eq_rows()
+    ub_sparse = relaxation.sparse_inequality_map()
     box_offset = relaxation.box_offset
+    num_vars = len(objective)
+    box_end = box_offset + num_vars
     cleaned: Dict[int, Fraction] = {}
     for row, mult in y_ub.items():
         if mult < 0:
@@ -114,28 +153,40 @@ def _attempt_bound(
         if mult != 0:
             cleaned[row] = mult
     y_ub = cleaned
-    num_vars = len(objective)
-    combined = [Fraction(0)] * num_vars
-    bound = Fraction(0)
+    scale = 1
+    for mult in y_eq.values():
+        den = mult.denominator
+        scale = scale * den // gcd(scale, den)
+    for mult in y_ub.values():
+        den = mult.denominator
+        scale = scale * den // gcd(scale, den)
+    combined = [0] * num_vars          # scaled by ``scale``
+    bound = 0                          # scaled by ``scale``
     for row, mult in y_eq.items():
-        coeffs, rhs = eq_rows[row]
-        for j in range(num_vars):
-            if coeffs[j]:
-                combined[j] += mult * coeffs[j]
-        bound += mult * rhs
+        m = mult.numerator * (scale // mult.denominator)
+        entries, rhs = eq_sparse[row]
+        for j, c in entries:
+            combined[j] += m * c
+        bound += m * rhs
     for row, mult in y_ub.items():
-        coeffs, rhs = ub_rows[row]
-        for j in range(num_vars):
-            if coeffs[j]:
-                combined[j] += mult * coeffs[j]
-        bound += mult * rhs
+        m = mult.numerator * (scale // mult.denominator)
+        if box_offset <= row < box_end:
+            combined[row - box_offset] += m
+            bound += m
+            continue
+        entries, rhs = ub_sparse[row]
+        for j, c in entries:
+            combined[j] += m * c
+        bound += m * rhs
     for j in range(num_vars):
-        deficit = objective[j] - combined[j]
+        deficit = objective[j] * scale - combined[j]
         if deficit > 0:
             box_row = box_offset + j
-            y_ub[box_row] = y_ub.get(box_row, Fraction(0)) + deficit
+            y_ub[box_row] = y_ub.get(box_row, Fraction(0)) + Fraction(
+                deficit, scale
+            )
             bound += deficit
-    if bound >= 1:
+    if bound >= scale:
         return None
     return dict(y_eq), y_ub
 
@@ -145,45 +196,92 @@ def _certify(
     objective: List[int],
     place_name: str,
     sign: int,
-    result: object,
-) -> Optional[DualBound]:
+    result: SolveResult,
+    guesses: Tuple[Tuple[int, int], ...],
+) -> Optional[Tuple[DualBound, Tuple[int, int], bool]]:
     """Turn a float LP solve with optimum < 1 into an exact DualBound.
 
     HiGHS dual sign conventions differ across problem transformations, so
-    the marginals are tried under both signs for the equality and the
-    inequality blocks; the first guess that repairs into a valid bound
-    below 1 wins.  ``None`` means no guess certifies — the caller must
-    treat the objective as movable (sound, merely weaker).
+    the duals are tried under both signs for the equality and the
+    inequality blocks, in ``guesses`` order (the sweep puts the previously
+    successful guess first).  Returns ``(bound, guess, first_try)`` for
+    the first guess that repairs into a valid bound below 1; ``None``
+    means no guess certifies — the caller must treat the objective as
+    movable (sound, merely weaker).
     """
-    eq_marg = (
-        list(result.eqlin.marginals) if relaxation.eq_rows else []  # type: ignore[attr-defined]
-    )
-    ub_marg = list(result.ineqlin.marginals)  # type: ignore[attr-defined]
-    upper_marg = list(result.upper.marginals)  # type: ignore[attr-defined]
-    for eq_sign in (1, -1):
-        for ub_sign in (1, -1):
-            y_eq = {
-                row: eq_sign * _rationalise(mult, _DUAL_LIMIT)
-                for row, mult in enumerate(eq_marg)
-                if mult
-            }
-            y_ub: Dict[int, Fraction] = {}
-            for row, mult in enumerate(ub_marg):
-                if mult:
-                    y_ub[relaxation.solver_ub_index(row)] = (
-                        ub_sign * _rationalise(mult, _DUAL_LIMIT)
-                    )
-            for var, mult in enumerate(upper_marg):
-                if mult:
-                    y_ub[relaxation.box_offset + var] = (
-                        ub_sign * _rationalise(mult, _DUAL_LIMIT)
-                    )
-            repaired = _attempt_bound(y_eq, y_ub, objective, relaxation)
-            if repaired is not None:
-                return DualBound(
-                    place=place_name, sign=sign, y_eq=repaired[0], y_ub=repaired[1]
-                )
+    box_offset = relaxation.box_offset
+    for attempt, (eq_sign, ub_sign) in enumerate(guesses):
+        y_eq = {
+            row: eq_sign * _rationalise(mult, _DUAL_LIMIT)
+            for row, mult in result.eq_duals.items()
+        }
+        y_ub: Dict[int, Fraction] = {
+            row: ub_sign * _rationalise(mult, _DUAL_LIMIT)
+            for row, mult in result.ub_duals.items()
+        }
+        for var, mult in result.box_duals.items():
+            y_ub[box_offset + var] = ub_sign * _rationalise(mult, _DUAL_LIMIT)
+        repaired = _attempt_bound(y_eq, y_ub, objective, relaxation)
+        if repaired is not None:
+            bound = DualBound(
+                place=place_name, sign=sign, y_eq=repaired[0], y_ub=repaired[1]
+            )
+            return bound, (eq_sign, ub_sign), attempt == 0
     return None
+
+
+def _load_known_cuts(store: Any, stg_hash: str, net: Any) -> List[Cut]:
+    """The persisted cut log, truncated at the first entry that fails
+    exact replay — a tampered tail is dropped, never trusted."""
+    payload = store.get_refine_cuts(stg_hash)
+    if not payload:
+        return []
+    cuts: List[Cut] = []
+    try:
+        entries = [Cut.from_dict(entry) for entry in payload]
+    except (KeyError, TypeError, ValueError):
+        return []
+    for cut in entries:
+        if not verify_cut(net, cut):
+            break
+        cuts.append(cut)
+    return cuts
+
+
+def _cached_bound(
+    store: Any,
+    stg_hash: str,
+    place_name: str,
+    sign: int,
+    relaxation: Relaxation,
+    known_cuts: List[Cut],
+    max_cuts: int,
+) -> Optional[Tuple[DualBound, List[Cut]]]:
+    """Replay one objective's bound from the cert store, if it re-verifies.
+
+    The key carries the cut-set hash at objective start; the payload names
+    the cut-log depth at certification time, so a bound certified after
+    in-objective cuts first yields the missing log cuts for the caller to
+    append (each already exact-verified by :func:`_load_known_cuts`).
+    Returns ``None`` — a plain miss — on any mismatch or failed re-check.
+    """
+    key_hash = cut_set_hash(relaxation.cuts)
+    payload = store.get_refine_cert(stg_hash, place_name, sign, key_hash)
+    if not payload:
+        return None
+    try:
+        bound = DualBound.from_dict(payload["bound"])
+        cuts_after = int(payload.get("cuts_after", len(relaxation.cuts)))
+    except (KeyError, TypeError, ValueError):
+        return None
+    if bound.place != place_name or bound.sign != sign:
+        return None
+    if not len(relaxation.cuts) <= cuts_after <= min(len(known_cuts), max_cuts):
+        return None
+    extension = known_cuts[len(relaxation.cuts):cuts_after]
+    if relaxation.cuts != known_cuts[: len(relaxation.cuts)]:
+        return None  # this run's cut path diverged from the log
+    return bound, extension
 
 
 def refine_prescreen(
@@ -191,6 +289,8 @@ def refine_prescreen(
     factbase: Optional[FactBase] = None,
     max_cuts: int = 32,
     max_lp_separation_misses: int = 4,
+    cert_store: Optional[Any] = None,
+    incremental: bool = True,
 ) -> RefinementOutcome:
     """Run the CEGAR loop; see the module docstring for the contract.
 
@@ -201,14 +301,19 @@ def refine_prescreen(
     any cut, later objectives skip straight to the FactBase tier — on nets
     whose relaxation solutions sit inside the trap/siphon hull the LPs can
     never succeed, and the budget keeps the fall-through path fast.
+
+    ``cert_store`` is a duck-typed certificate store (the refine-cert /
+    refine-cuts domains of :class:`repro.engine.cache.ResultCache`);
+    ``incremental=False`` forces the reference solver path that rebuilds
+    the model per solve — the golden-equivalence suite pins both against
+    each other.
     """
     relaxation = build_relaxation(context)
     net = relaxation.net
     num_places = net.num_places
     trivially_fixed = [not relaxation.flow[p].any() for p in range(num_places)]
-    try:
-        from scipy.optimize import linprog
-    except ImportError:
+    solver = make_sweep_solver(relaxation, incremental=incremental)
+    if solver is None:
         return RefinementOutcome(
             refuted=all(trivially_fixed),
             certificate=RefinementCertificate(
@@ -228,6 +333,18 @@ def refine_prescreen(
         refuted=False, certificate=None, fixed_places=fixed
     )
     reason = "refuted"
+    stg_hash = context.stg.content_hash() if cert_store is not None else ""
+    known_cuts = (
+        _load_known_cuts(cert_store, stg_hash, net)
+        if cert_store is not None
+        else []
+    )
+    #: ``(sign, flow row) -> verified DualBound`` — the dominance tier.
+    seen: Dict[Tuple[int, Tuple[int, ...]], DualBound] = {}
+    remembered: Optional[Tuple[int, int]] = None
+    #: Freshly certified bounds to persist: (place, sign, key cut-state,
+    #: cut-log depth at certification, bound).
+    to_store: List[Tuple[str, int, int, int, DualBound]] = []
     for place in range(num_places):
         if trivially_fixed[place]:
             continue
@@ -235,38 +352,103 @@ def refine_prescreen(
         place_fixed = True
         for sign in (1, -1):
             objective = relaxation.diff_objective(place, sign)
-            minimise = np.array([-c for c in objective], dtype=float)
-            while True:
-                a_ub, b_ub = relaxation.solver_inequalities()
-                eq_rows = relaxation.eq_rows
-                result = linprog(
-                    minimise,
-                    A_ub=np.array(a_ub, dtype=float),
-                    b_ub=np.array(b_ub, dtype=float),
-                    A_eq=np.array([c for c, _ in eq_rows], dtype=float)
-                    if eq_rows
-                    else None,
-                    b_eq=np.array([b for _, b in eq_rows], dtype=float)
-                    if eq_rows
-                    else None,
-                    bounds=(0, 1),
-                    method="highs",
+            signature = (
+                sign,
+                tuple(int(v) for v in relaxation.flow[place]),
+            )
+            twin = seen.get(signature)
+            if twin is not None:
+                # identical objective vector: the verified witness carries
+                # over verbatim (appended rows only zero-extend its duals)
+                bounds.append(
+                    DualBound(
+                        place=place_name,
+                        sign=sign,
+                        y_eq=twin.y_eq,
+                        y_ub=twin.y_ub,
+                    )
                 )
+                outcome.dominated += 1
+                obs.incr("refine.dominated")
+                continue
+            if cert_store is not None:
+                cached = _cached_bound(
+                    cert_store,
+                    stg_hash,
+                    place_name,
+                    sign,
+                    relaxation,
+                    known_cuts,
+                    max_cuts,
+                )
+                if cached is not None:
+                    bound, extension = cached
+                    for cut in extension:
+                        relaxation.add_cut(cut)
+                        outcome.cuts.append(cut)
+                        obs.incr("refine.cuts")
+                    value = check_dual_bound(
+                        objective,
+                        relaxation.eq_rows,
+                        relaxation.canonical_inequalities(),
+                        bound.y_eq,
+                        bound.y_ub,
+                    )
+                    if value is not None and value < 1:
+                        bounds.append(bound)
+                        seen[signature] = bound
+                        outcome.cert_cache_hits += 1
+                        obs.incr("refine.cert_cache_hits")
+                        continue
+                    # tampered or stale: fall through and re-solve (the
+                    # replayed cuts stay — they are exact-verified and
+                    # match the cold run's state at this objective)
+            key_cuts = len(relaxation.cuts)
+            while True:
+                with obs.trace("refine.lp_solve"):
+                    result = solver.solve(objective)
                 outcome.lp_calls += 1
+                obs.incr("refine.lp_calls")
                 if not result.success:
                     place_fixed = False
                     reason = "solver-failure"
                     break
-                optimum = -result.fun
-                if optimum < 1 - _EPS:
-                    dual = _certify(
-                        relaxation, objective, place_name, sign, result
-                    )
-                    if dual is None:
+                if result.optimum < 1 - _EPS:
+                    guesses = _GUESSES
+                    if remembered is not None and remembered != _GUESSES[0]:
+                        guesses = (remembered,) + tuple(
+                            g for g in _GUESSES if g != remembered
+                        )
+                    with obs.trace("refine.certify"):
+                        certified = _certify(
+                            relaxation,
+                            objective,
+                            place_name,
+                            sign,
+                            result,
+                            guesses,
+                        )
+                    if certified is None:
                         place_fixed = False
                         reason = "certification-failure"
                     else:
+                        dual, guess, first_try = certified
+                        if remembered is not None and first_try:
+                            outcome.warm_hits += 1
+                            obs.incr("refine.warm_hits")
+                        remembered = guess
                         bounds.append(dual)
+                        seen[signature] = dual
+                        if cert_store is not None:
+                            to_store.append(
+                                (
+                                    place_name,
+                                    sign,
+                                    key_cuts,
+                                    len(relaxation.cuts),
+                                    dual,
+                                )
+                            )
                     break
                 outcome.iterations += 1
                 obs.incr("refine.iterations")
@@ -274,9 +456,7 @@ def refine_prescreen(
                     place_fixed = False
                     reason = "cut-budget"
                     break
-                x = [
-                    _rationalise(v, _PRIMAL_LIMIT) for v in result.x
-                ]
+                x = [_rationalise(v, _PRIMAL_LIMIT) for v in result.x]
                 markings = [
                     marking_vector(relaxation, x[:n]),
                     marking_vector(relaxation, x[n:]),
@@ -285,7 +465,14 @@ def refine_prescreen(
                     factbase = analyze(context.stg)
                 outcome.separation_calls += 1
                 use_lp = lp_separation_misses < max_lp_separation_misses
-                cut = find_cut(net, markings, factbase, use_lp=use_lp)
+                cut = find_cut(
+                    net,
+                    markings,
+                    factbase,
+                    use_lp=use_lp,
+                    known_cuts=known_cuts,
+                    skip=relaxation.cuts,
+                )
                 if (
                     cut is None
                     or cut in relaxation.cuts
@@ -319,6 +506,27 @@ def refine_prescreen(
         else:
             outcome.fixed_places = trivially_fixed
             outcome.reason = "certificate-replay-failed"
+            to_store = []
     else:
         outcome.reason = reason
+
+    if cert_store is not None:
+        all_cuts = list(relaxation.cuts)
+        if all_cuts and all_cuts != known_cuts[: len(all_cuts)]:
+            # this run extended or corrected the log: persist the new path
+            cert_store.put_refine_cuts(
+                stg_hash, [cut.to_dict() for cut in all_cuts]
+            )
+        for place_name, sign, key_cuts, cuts_after, dual in to_store:
+            cert_store.put_refine_cert(
+                stg_hash,
+                place_name,
+                sign,
+                cut_set_hash(all_cuts[:key_cuts]),
+                {
+                    "bound": dual.to_dict(),
+                    "cuts_after": cuts_after,
+                    "cuts_referenced": cuts_after > 0,
+                },
+            )
     return outcome

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
+from math import gcd
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import SolverContext
@@ -137,20 +138,33 @@ def check_dual_bound(
     ``x >= 0`` has ``c·x <= y_eq·b_eq + y_ub·b_ub``.  Returns that bound,
     or ``None`` if the multipliers are not a valid witness (out-of-range
     row, negative inequality multiplier, or dominated coordinate).
+
+    Internally the multipliers are rescaled by their common denominator so
+    row combination runs in plain integer arithmetic — the same exact
+    values (the scale divides out of the returned bound), much cheaper
+    than per-coordinate :class:`~fractions.Fraction` operations.
     """
     num_vars = len(objective)
-    combined = [Fraction(0)] * num_vars
-    bound = Fraction(0)
+    scale = 1
+    for mult in y_eq.values():
+        den = mult.denominator
+        scale = scale * den // gcd(scale, den)
+    for mult in y_ub.values():
+        den = mult.denominator
+        scale = scale * den // gcd(scale, den)
+    combined = [0] * num_vars          # scaled by ``scale``
+    bound = 0                          # scaled by ``scale``
     for row, mult in y_eq.items():
         if not 0 <= row < len(eq_rows):
             return None
         if mult == 0:
             continue
+        m = mult.numerator * (scale // mult.denominator)
         coeffs, rhs = eq_rows[row]
         for j in range(num_vars):
             if coeffs[j]:
-                combined[j] += mult * coeffs[j]
-        bound += mult * rhs
+                combined[j] += m * coeffs[j]
+        bound += m * rhs
     for row, mult in y_ub.items():
         if not 0 <= row < len(ub_rows):
             return None
@@ -158,15 +172,16 @@ def check_dual_bound(
             return None
         if mult == 0:
             continue
+        m = mult.numerator * (scale // mult.denominator)
         coeffs, rhs = ub_rows[row]
         for j in range(num_vars):
             if coeffs[j]:
-                combined[j] += mult * coeffs[j]
-        bound += mult * rhs
+                combined[j] += m * coeffs[j]
+        bound += m * rhs
     for j in range(num_vars):
-        if combined[j] < objective[j]:
+        if combined[j] < objective[j] * scale:
             return None
-    return bound
+    return Fraction(bound, scale)
 
 
 def certified_system(

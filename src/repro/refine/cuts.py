@@ -27,8 +27,10 @@ markedness is wrong is rejected.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.petri.net import PetriNet
 
@@ -64,6 +66,19 @@ class Cut:
             places=tuple(str(p) for p in payload["places"]),
             marked=bool(payload["marked"]),
         )
+
+
+def cut_set_hash(cuts: Sequence[Cut]) -> str:
+    """Order-sensitive SHA-256 over a cut sequence.
+
+    Keys the certificate-cache domain: a dual bound is only valid against
+    the exact constraint system (cuts *and* their append order) it was
+    certified under, so the hash covers the sequence, not the set.
+    """
+    material = json.dumps(
+        [cut.to_dict() for cut in cuts], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def _place_indices(net: PetriNet, names: Tuple[str, ...]) -> List[int]:

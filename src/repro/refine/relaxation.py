@@ -21,7 +21,7 @@ rows at higher indices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,18 @@ class Relaxation:
     ub_rows: List[Row]               # base <= rows only (no box, no cuts)
     cut_ub_rows: List[Row] = field(default_factory=list)   # trap-cut rows
     cuts: List[Cut] = field(default_factory=list)
+    #: Bumped by :meth:`add_cut`; lets solvers and the canonical-row cache
+    #: detect staleness without comparing row lists.
+    version: int = 0
+    _canonical_cache: Tuple[int, List[Row]] = field(
+        default=(-1, []), repr=False, compare=False
+    )
+    _sparse_eq_cache: Tuple[int, List[Tuple[List[Tuple[int, int]], int]]] = field(
+        default=(-1, []), repr=False, compare=False
+    )
+    _sparse_ub_cache: Tuple[
+        int, Dict[int, Tuple[List[Tuple[int, int]], int]]
+    ] = field(default=(-1, {}), repr=False, compare=False)
 
     @property
     def box_offset(self) -> int:
@@ -63,16 +75,60 @@ class Relaxation:
             self.eq_rows.append((list(coeffs) + [0] * n, rhs))
             self.eq_rows.append(([0] * n + list(coeffs), rhs))
         self.cuts.append(cut)
+        self.version += 1
 
     def canonical_inequalities(self) -> List[Row]:
-        """Base ``<=`` rows, box rows, trap-cut rows — certificate order."""
+        """Base ``<=`` rows, box rows, trap-cut rows — certificate order.
+
+        Cached per :attr:`version` — the certification step reads this once
+        per accepted cut instead of rebuilding ``2n`` box rows per solve.
+        """
+        cached_version, cached_rows = self._canonical_cache
+        if cached_version == self.version:
+            return cached_rows
         n2 = 2 * self.num_vars
         box: List[Row] = []
         for j in range(n2):
             coeffs = [0] * n2
             coeffs[j] = 1
             box.append((coeffs, 1))
-        return self.ub_rows + box + self.cut_ub_rows
+        rows = self.ub_rows + box + self.cut_ub_rows
+        self._canonical_cache = (self.version, rows)
+        return rows
+
+    def sparse_eq_rows(self) -> List[Tuple[List[Tuple[int, int]], int]]:
+        """Equality rows as ``([(col, coeff), ...], rhs)`` — certification
+        combines rows by their support, not over all ``2n`` columns.
+        Cached per :attr:`version`."""
+        cached_version, cached = self._sparse_eq_cache
+        if cached_version == self.version:
+            return cached
+        rows = [
+            ([(j, c) for j, c in enumerate(coeffs) if c], rhs)
+            for coeffs, rhs in self.eq_rows
+        ]
+        self._sparse_eq_cache = (self.version, rows)
+        return rows
+
+    def sparse_inequality_map(
+        self,
+    ) -> Dict[int, Tuple[List[Tuple[int, int]], int]]:
+        """Non-box ``<=`` rows as ``canonical_index -> (entries, rhs)``.
+
+        Box rows are implicit (canonical ``box_offset + j`` is the
+        singleton row ``x_j <= 1``), so certification never materialises
+        them.  Cached per :attr:`version`."""
+        cached_version, cached = self._sparse_ub_cache
+        if cached_version == self.version:
+            return cached
+        rows: Dict[int, Tuple[List[Tuple[int, int]], int]] = {}
+        for r, (coeffs, rhs) in enumerate(self.ub_rows):
+            rows[r] = ([(j, c) for j, c in enumerate(coeffs) if c], rhs)
+        cut_base = self.box_offset + 2 * self.num_vars
+        for r, (coeffs, rhs) in enumerate(self.cut_ub_rows):
+            rows[cut_base + r] = ([(j, c) for j, c in enumerate(coeffs) if c], rhs)
+        self._sparse_ub_cache = (self.version, rows)
+        return rows
 
     def solver_inequalities(self) -> Tuple[List[List[int]], List[int]]:
         """The ``A_ub, b_ub`` an LP solver with native ``[0,1]`` bounds

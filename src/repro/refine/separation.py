@@ -8,8 +8,13 @@ solution, a witness of spuriousness is either
 * an initially **unmarked siphon** ``S`` with ``Σ_{p∈S} M(p) > 0`` (a real
   one keeps it empty).
 
-Two tiers, mirroring the issue's design:
+Three tiers, mirroring the issue's design:
 
+0. **Known-cut replay** — cuts a previous run of the same net discovered
+   (the persisted cut log of :mod:`repro.refine.cegar`); re-checking their
+   violation against the current marking is pure arithmetic, and a warm
+   run that replays the cold run's cuts in order reproduces its exact
+   refinement sequence without a single separation LP.
 1. **FactBase scan** — the memoized :mod:`repro.analysis` facts already
    name the minimal traps/siphons of the net; evaluating ``Σ M(p)`` over
    each is a cheap table lookup, no LP.
@@ -36,12 +41,49 @@ from repro.analysis.engine import FactBase
 from repro.analysis.facts import FACT_SIPHON, FACT_TRAP
 from repro.analysis.structure import maximal_siphon, maximal_trap
 from repro.petri.net import PetriNet
-from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, Cut
+from repro.refine.cuts import CUT_SIPHON, CUT_TRAP, Cut, verify_cut
 
 
 def _cut_from_places(net: PetriNet, places: Iterable[int], kind: str) -> Cut:
     names = tuple(sorted(net.place_name(p) for p in places))
     return Cut(kind=kind, places=names, marked=kind == CUT_TRAP)
+
+
+def cut_violated(net: PetriNet, cut: Cut, marking: Sequence) -> bool:
+    """Exact violation check of one cut against one (possibly fractional)
+    marking: a marked trap with ``Σ M(p) < 1`` or an unmarked siphon with
+    ``Σ M(p) > 0``.  Unknown places mean no violation (the cut belongs to
+    another net; callers filter with :func:`~repro.refine.cuts.verify_cut`
+    anyway)."""
+    index = {net.place_name(p): p for p in range(net.num_places)}
+    try:
+        places = [index[name] for name in cut.places]
+    except KeyError:
+        return False
+    total = sum(marking[p] for p in places)
+    if cut.kind == CUT_TRAP:
+        return total < 1
+    return total > 0
+
+
+def violated_known_cut(
+    net: PetriNet,
+    known_cuts: Sequence[Cut],
+    markings: Sequence[Sequence],
+    skip: Sequence[Cut] = (),
+) -> Optional[Cut]:
+    """Tier 0: the first known cut (log order) not in ``skip`` that is
+    violated by any candidate marking.  Callers pass pre-verified cuts;
+    entries that fail :func:`~repro.refine.cuts.verify_cut` are skipped
+    regardless, so a tampered log degrades to the other tiers."""
+    for cut in known_cuts:
+        if cut in skip:
+            continue
+        if not any(cut_violated(net, cut, marking) for marking in markings):
+            continue
+        if verify_cut(net, cut):
+            return cut
+    return None
 
 
 def violated_fact_cut(
@@ -168,12 +210,20 @@ def find_cut(
     markings: Sequence[Sequence],
     factbase: Optional[FactBase] = None,
     use_lp: bool = True,
+    known_cuts: Optional[Sequence[Cut]] = None,
+    skip: Sequence[Cut] = (),
 ) -> Optional[Cut]:
-    """The combinator the CEGAR loop calls: facts first, then LPs, over
-    each candidate marking (``M'`` and ``M''``) in turn.  ``use_lp=False``
-    restricts to the cheap FactBase tier — the loop flips it off once the
-    exact LPs have failed to separate often enough that the solutions are
-    evidently inside the trap/siphon hull."""
+    """The combinator the CEGAR loop calls: known cuts first, facts
+    second, then LPs, over each candidate marking (``M'`` and ``M''``) in
+    turn.  ``use_lp=False`` restricts to the cheap tiers — the loop flips
+    it off once the exact LPs have failed to separate often enough that
+    the solutions are evidently inside the trap/siphon hull.  ``skip``
+    names cuts already in the system (the tier-0 scan must not re-return
+    them)."""
+    if known_cuts:
+        cut = violated_known_cut(net, known_cuts, markings, skip=skip)
+        if cut is not None:
+            return cut
     for marking in markings:
         if factbase is not None:
             cut = violated_fact_cut(factbase, net, marking)

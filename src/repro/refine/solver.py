@@ -1,0 +1,362 @@
+"""Shared-relaxation LP backends for the CEGAR objective sweep.
+
+PR 8 rebuilt one dense LP per ``(place, sign)`` objective — ``2·|P|`` full
+matrix constructions plus scipy ``linprog`` presolves per refinement run.
+This module keeps **one** model per :class:`~repro.refine.relaxation.
+Relaxation` instead: the constraint matrix is loaded into HiGHS once as a
+row-wise sparse structure, every objective of the sweep is a
+``changeColsCost`` + ``run`` pair against that shared model, and an
+accepted trap/siphon cut is an ``addRows`` append — the matrix is never
+rebuilt.
+
+Determinism contract
+====================
+
+Certificates must come out **byte-identical** whether the sweep shares one
+model or builds a fresh one per solve (the golden-equivalence suite pins
+this).  Warm-starting the simplex from the previous basis breaks that —
+degenerate optima make the *duals* history-dependent even when the primal
+solution is not — so the shared model is reset with ``clearSolver()``
+before every ``run``.  Measured on the Table-1 models this is both the
+fastest option (the model build, not the basis, is what the per-objective
+rebuild was paying for) and bit-identical to a fresh model per solve,
+**provided the rows are loaded in the same order**: cut rows are therefore
+always appended at the end of the model in discovery order, and the
+non-incremental reference mode (``incremental=False``) replays exactly
+that order when it rebuilds.
+
+Backends
+========
+
+* :class:`HighsSweepSolver` — the vendored HiGHS of scipy
+  (``scipy.optimize._highspy``), driven directly so the sweep skips the
+  ``linprog`` wrapper's per-call model construction and presolve.
+* :class:`LinprogSweepSolver` — plain ``scipy.optimize.linprog`` over
+  arrays prebuilt per cut-state; the degradation path when the private
+  HiGHS bindings are absent.
+
+Both return the same :class:`SolveResult` shape — float duals keyed by the
+*canonical* row indices of :mod:`repro.refine.relaxation`, which is what
+the exact certification step consumes.  :func:`make_sweep_solver` picks
+the best available backend, or ``None`` when scipy is missing entirely
+(the CEGAR loop then degrades to its ``scipy-unavailable`` outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.refine.cuts import CUT_SIPHON
+from repro.refine.relaxation import Relaxation
+
+BACKEND_HIGHS = "highs"
+BACKEND_LINPROG = "linprog"
+
+#: ``(kind, canonical_index, coefficients, lower, upper)`` of one model row.
+_ModelRow = Tuple[str, int, List[int], float, float]
+
+_INF = float("inf")
+
+
+@dataclass
+class SolveResult:
+    """One objective's float solve: optimum, point, and sparse duals.
+
+    Duals are keyed by the canonical row indices of the relaxation —
+    ``eq_duals`` by equality-block index, ``ub_duals`` by
+    :meth:`~repro.refine.relaxation.Relaxation.canonical_inequalities`
+    index, ``box_duals`` by variable (the ``x_j <= 1`` rows) — so the
+    exact certification step is backend-agnostic.  Dual *signs* are
+    whatever the backend produced; certification tries both conventions.
+    """
+
+    success: bool
+    optimum: float = 0.0
+    x: Tuple[float, ...] = ()
+    eq_duals: Dict[int, float] = field(default_factory=dict)
+    ub_duals: Dict[int, float] = field(default_factory=dict)
+    box_duals: Dict[int, float] = field(default_factory=dict)
+
+
+def _append_order_rows(
+    relaxation: Relaxation, base_eq: int, eq_done: int, cut_ub_done: int
+) -> List[_ModelRow]:
+    """Cut rows in discovery (= model append) order, skipping the first
+    ``eq_done`` siphon rows and ``cut_ub_done`` trap rows already emitted.
+
+    ``relaxation.add_cut`` appends a siphon cut's two rows to the tail of
+    the equality block and a trap cut's two rows to ``cut_ub_rows``, both
+    in discovery order — so walking ``relaxation.cuts`` with two cursors
+    reconstructs the interleaved append order exactly.
+    """
+    rows: List[_ModelRow] = []
+    eq_cursor = base_eq
+    ub_cursor = 0
+    cut_base = relaxation.box_offset + 2 * relaxation.num_vars
+    for cut in relaxation.cuts:
+        if cut.kind == CUT_SIPHON:
+            for _ in range(2):
+                if eq_cursor >= eq_done:
+                    coeffs, rhs = relaxation.eq_rows[eq_cursor]
+                    rows.append(("eq", eq_cursor, coeffs, float(rhs), float(rhs)))
+                eq_cursor += 1
+        else:
+            for _ in range(2):
+                if ub_cursor >= cut_ub_done:
+                    coeffs, rhs = relaxation.cut_ub_rows[ub_cursor]
+                    rows.append(
+                        ("ub", cut_base + ub_cursor, coeffs, -_INF, float(rhs))
+                    )
+                ub_cursor += 1
+    return rows
+
+
+def _base_rows(relaxation: Relaxation, base_eq: int) -> List[_ModelRow]:
+    """The cut-free prefix of the model: equality block, then ``<=`` block."""
+    rows: List[_ModelRow] = []
+    for i in range(base_eq):
+        coeffs, rhs = relaxation.eq_rows[i]
+        rows.append(("eq", i, coeffs, float(rhs), float(rhs)))
+    for r, (coeffs, rhs) in enumerate(relaxation.ub_rows):
+        rows.append(("ub", r, coeffs, -_INF, float(rhs)))
+    return rows
+
+
+class HighsSweepSolver:
+    """Direct HiGHS driver: one shared model, ``clearSolver`` per solve."""
+
+    backend = BACKEND_HIGHS
+
+    def __init__(self, core: Any, relaxation: Relaxation, incremental: bool = True):
+        self._core = core
+        self.relaxation = relaxation
+        self.incremental = incremental
+        #: Equality rows present before any cut (captured at attach time).
+        self._base_eq = len(relaxation.eq_rows)
+        self._highs: Optional[Any] = None
+        self._kinds: List[Tuple[str, int]] = []
+        self._synced_eq = self._base_eq
+        self._synced_cut_ub = 0
+        if incremental:
+            self._highs = self._build_model(_base_rows(relaxation, self._base_eq))
+            self._synced_cut_ub = len(relaxation.cut_ub_rows)
+            if self._synced_cut_ub or len(relaxation.eq_rows) != self._base_eq:
+                # attached to a relaxation that already carries cuts: the
+                # base capture above saw them as base rows, keep it simple
+                raise ValueError("HighsSweepSolver expects a cut-free relaxation")
+
+    # -- model construction ----------------------------------------------------
+
+    def _build_model(self, rows: List[_ModelRow]) -> Any:
+        import numpy as np
+
+        core = self._core
+        ncols = 2 * self.relaxation.num_vars
+        lp = core.HighsLp()
+        lp.num_col_ = ncols
+        lp.num_row_ = len(rows)
+        lp.col_cost_ = np.zeros(ncols, dtype=np.float64)
+        lp.col_lower_ = np.zeros(ncols, dtype=np.float64)
+        lp.col_upper_ = np.ones(ncols, dtype=np.float64)
+        lp.row_lower_ = np.array([low for _, _, _, low, _ in rows], dtype=np.float64)
+        lp.row_upper_ = np.array([up for _, _, _, _, up in rows], dtype=np.float64)
+        lp.sense_ = core.ObjSense.kMaximize
+        starts, indices, values = self._csr(rows)
+        matrix = core.HighsSparseMatrix()
+        matrix.format_ = core.MatrixFormat.kRowwise
+        matrix.num_col_ = ncols
+        matrix.num_row_ = len(rows)
+        matrix.start_ = np.array(starts, dtype=np.int32)
+        matrix.index_ = np.array(indices, dtype=np.int32)
+        matrix.value_ = np.array(values, dtype=np.float64)
+        lp.a_matrix_ = matrix
+        highs = core._Highs()
+        highs.setOptionValue("output_flag", False)
+        highs.setOptionValue("presolve", "off")
+        highs.passModel(lp)
+        self._kinds = [(kind, canonical) for kind, canonical, _, _, _ in rows]
+        return highs
+
+    @staticmethod
+    def _csr(
+        rows: List[_ModelRow],
+    ) -> Tuple[List[int], List[int], List[float]]:
+        starts: List[int] = [0]
+        indices: List[int] = []
+        values: List[float] = []
+        for _, _, coeffs, _, _ in rows:
+            for j, c in enumerate(coeffs):
+                if c:
+                    indices.append(j)
+                    values.append(float(c))
+            starts.append(len(indices))
+        return starts, indices, values
+
+    def _sync(self) -> None:
+        """Append any cut rows accepted since the last solve (``addRows``)."""
+        import numpy as np
+
+        relaxation = self.relaxation
+        if (
+            len(relaxation.eq_rows) == self._synced_eq
+            and len(relaxation.cut_ub_rows) == self._synced_cut_ub
+        ):
+            return
+        rows = _append_order_rows(
+            relaxation, self._base_eq, self._synced_eq, self._synced_cut_ub
+        )
+        starts, indices, values = self._csr(rows)
+        assert self._highs is not None
+        self._highs.addRows(
+            len(rows),
+            np.array([low for _, _, _, low, _ in rows], dtype=np.float64),
+            np.array([up for _, _, _, _, up in rows], dtype=np.float64),
+            len(indices),
+            np.array(starts[:-1], dtype=np.int32),
+            np.array(indices, dtype=np.int32),
+            np.array(values, dtype=np.float64),
+        )
+        self._kinds.extend((kind, canonical) for kind, canonical, _, _, _ in rows)
+        self._synced_eq = len(relaxation.eq_rows)
+        self._synced_cut_ub = len(relaxation.cut_ub_rows)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, objective: Sequence[int]) -> SolveResult:
+        import numpy as np
+
+        core = self._core
+        if self.incremental:
+            self._sync()
+            highs = self._highs
+        else:
+            rows = _base_rows(self.relaxation, self._base_eq)
+            rows += _append_order_rows(self.relaxation, self._base_eq, self._base_eq, 0)
+            highs = self._build_model(rows)
+        assert highs is not None
+        ncols = 2 * self.relaxation.num_vars
+        highs.changeColsCost(
+            ncols,
+            np.arange(ncols, dtype=np.int32),
+            np.array(objective, dtype=np.float64),
+        )
+        # no warm start: history-dependent bases make duals diverge between
+        # the shared-model and reference paths (see the module docstring)
+        highs.clearSolver()
+        status = highs.run()
+        if (
+            status != core.HighsStatus.kOk
+            or highs.getModelStatus() != core.HighsModelStatus.kOptimal
+        ):
+            return SolveResult(success=False)
+        solution = highs.getSolution()
+        result = SolveResult(
+            success=True,
+            optimum=float(highs.getInfo().objective_function_value),
+            x=tuple(float(v) for v in solution.col_value),
+        )
+        for (kind, canonical), dual in zip(self._kinds, solution.row_dual):
+            if dual:
+                target = result.eq_duals if kind == "eq" else result.ub_duals
+                target[canonical] = float(dual)
+        # col_dual mixes both bounds' reduced costs; only variables at the
+        # UPPER bound carry a multiplier for their box row x_j <= 1 (a
+        # lower-bound reduced cost belongs to x_j >= 0, which weak duality
+        # absorbs as slack) — mirror linprog's ``upper.marginals`` split
+        for var, dual in enumerate(solution.col_dual):
+            if dual and solution.col_value[var] > 0.5:
+                result.box_duals[var] = float(dual)
+        return result
+
+
+class LinprogSweepSolver:
+    """``scipy.optimize.linprog`` over arrays prebuilt per cut-state.
+
+    Used when the private HiGHS bindings are unavailable.  Matrices are
+    (re)built only when a cut lands, not per objective — so the sweep still
+    amortises construction — and the incremental/reference modes share the
+    same array layout, keeping their solves identical.
+    """
+
+    backend = BACKEND_LINPROG
+
+    def __init__(self, linprog: Any, relaxation: Relaxation, incremental: bool = True):
+        self._linprog = linprog
+        self.relaxation = relaxation
+        self.incremental = incremental
+        self._built_for = -1
+        self._a_ub: Any = None
+        self._b_ub: Any = None
+        self._a_eq: Any = None
+        self._b_eq: Any = None
+
+    def _arrays(self) -> None:
+        import numpy as np
+
+        relaxation = self.relaxation
+        state = len(relaxation.cuts)
+        if self.incremental and state == self._built_for:
+            return
+        a_ub, b_ub = relaxation.solver_inequalities()
+        self._a_ub = np.array(a_ub, dtype=float)
+        self._b_ub = np.array(b_ub, dtype=float)
+        eq_rows = relaxation.eq_rows
+        self._a_eq = (
+            np.array([c for c, _ in eq_rows], dtype=float) if eq_rows else None
+        )
+        self._b_eq = (
+            np.array([b for _, b in eq_rows], dtype=float) if eq_rows else None
+        )
+        self._built_for = state
+
+    def solve(self, objective: Sequence[int]) -> SolveResult:
+        import numpy as np
+
+        self._arrays()
+        minimise = np.array([-c for c in objective], dtype=float)
+        outcome = self._linprog(
+            minimise,
+            A_ub=self._a_ub,
+            b_ub=self._b_ub,
+            A_eq=self._a_eq,
+            b_eq=self._b_eq,
+            bounds=(0, 1),
+            method="highs",
+        )
+        if not outcome.success:
+            return SolveResult(success=False)
+        result = SolveResult(
+            success=True,
+            optimum=-float(outcome.fun),
+            x=tuple(float(v) for v in outcome.x),
+        )
+        relaxation = self.relaxation
+        if relaxation.eq_rows:
+            for row, dual in enumerate(outcome.eqlin.marginals):
+                if dual:
+                    result.eq_duals[row] = float(dual)
+        for row, dual in enumerate(outcome.ineqlin.marginals):
+            if dual:
+                result.ub_duals[relaxation.solver_ub_index(row)] = float(dual)
+        for var, dual in enumerate(outcome.upper.marginals):
+            if dual:
+                result.box_duals[var] = float(dual)
+        return result
+
+
+def make_sweep_solver(
+    relaxation: Relaxation, incremental: bool = True
+) -> Optional[Any]:
+    """The best available backend attached to ``relaxation``, or ``None``."""
+    try:
+        from scipy.optimize._highspy import _core
+    except ImportError:
+        _core = None
+    if _core is not None and hasattr(_core, "_Highs"):
+        return HighsSweepSolver(_core, relaxation, incremental=incremental)
+    try:
+        from scipy.optimize import linprog
+    except ImportError:
+        return None
+    return LinprogSweepSolver(linprog, relaxation, incremental=incremental)

@@ -225,8 +225,18 @@ class CheckRequest:
         self.use_refinement = use_refinement
         self.stg_hash = stg.content_hash()
 
-    def jobs(self, default_deadline: Optional[float] = None) -> List[VerificationJob]:
-        """One :class:`VerificationJob` per requested property."""
+    def jobs(
+        self,
+        default_deadline: Optional[float] = None,
+        cert_cache_dir: Optional[str] = None,
+    ) -> List[VerificationJob]:
+        """One :class:`VerificationJob` per requested property.
+
+        ``cert_cache_dir`` points refinement jobs at the service's result
+        cache so their dual certificates persist across requests; it is a
+        perf hint excluded from both the job cache identity and the request
+        dedup key (certificates are always re-verified on replay).
+        """
         deadline = self.deadline if self.deadline is not None else default_deadline
         try:
             return [
@@ -238,6 +248,9 @@ class CheckRequest:
                     node_budget=self.node_budget,
                     use_facts=self.use_facts,
                     use_refinement=self.use_refinement,
+                    cert_cache_dir=(
+                        cert_cache_dir if self.use_refinement else None
+                    ),
                     name=self.name,
                     stg_hash=self.stg_hash,
                 )

@@ -471,8 +471,13 @@ class VerificationService:
                 job.started = now
         verification_jobs = []
         slices: List[Tuple[Any, ServeJob, int, int]] = []
+        cert_cache_dir = (
+            str(self.cache.root) if self.cache is not None else None
+        )
         for key, job in entries:
-            jobs = job.request.jobs(default_deadline=self.deadline)
+            jobs = job.request.jobs(
+                default_deadline=self.deadline, cert_cache_dir=cert_cache_dir
+            )
             slices.append(
                 (key, job, len(verification_jobs), len(verification_jobs) + len(jobs))
             )

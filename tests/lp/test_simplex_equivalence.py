@@ -1,0 +1,231 @@
+"""The int-pair tableau must be pivot-for-pivot equal to the Fraction one.
+
+``repro.lp.simplex`` stores each tableau row as integer numerators over one
+shared positive denominator; Bland's rule, the ratio test and the pivot
+update are all reformulated on machine integers.  That is only legal if the
+reformulation takes *exactly* the same pivot sequence as the textbook
+per-cell ``Fraction`` tableau — same entering/leaving choices, same final
+basis, same exact optimum and solution point.  This file embeds the
+original ``Fraction`` implementation as the reference and pins both against
+each other over the separation-LP workload (the nested-pair prescreen LPs
+of real models, where the optimiser earns its keep) plus a seeded random
+family that exercises all three senses and negative right-hand sides.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.context import SolverContext
+from repro.core.prescreen import _flow_matrix, nested_pair_rows
+from repro.lp import LinearProgram, solve_lp
+from repro.lp.simplex import SimplexResult
+from repro.models import TABLE1_BENCHMARKS
+from repro.unfolding import unfold
+
+
+def _reference_solve(problem: LinearProgram) -> SimplexResult:
+    """The original per-cell Fraction two-phase simplex, verbatim."""
+    n = problem.num_vars
+    m = len(problem.rows)
+
+    rows = [list(r) for r in problem.rows]
+    senses = list(problem.senses)
+    rhs = list(problem.rhs)
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = [-c for c in rows[i]]
+            rhs[i] = -rhs[i]
+            senses[i] = {"<=": ">=", ">=": "<=", "==": "=="}[senses[i]]
+
+    slack_count = sum(1 for s in senses if s in ("<=", ">="))
+    total = n + slack_count
+    art_needed = [s in (">=", "==") for s in senses]
+    artificial_count = sum(art_needed)
+    width = total + artificial_count
+
+    tableau = []
+    basis = []
+    slack_index = n
+    art_index = total
+    for i in range(m):
+        row = [Fraction(0)] * width
+        for j in range(n):
+            row[j] = rows[i][j]
+        if senses[i] == "<=":
+            row[slack_index] = Fraction(1)
+            basis.append(slack_index)
+            slack_index += 1
+        elif senses[i] == ">=":
+            row[slack_index] = Fraction(-1)
+            slack_index += 1
+            row[art_index] = Fraction(1)
+            basis.append(art_index)
+            art_index += 1
+        else:
+            row[art_index] = Fraction(1)
+            basis.append(art_index)
+            art_index += 1
+        row.append(rhs[i])
+        tableau.append(row)
+
+    def pivot(objective_row):
+        while True:
+            entering = None
+            for j in range(width):
+                if objective_row[j] > 0:
+                    entering = j
+                    break
+            if entering is None:
+                return True
+            leaving = None
+            best = None
+            for i in range(m):
+                coeff = tableau[i][entering]
+                if coeff > 0:
+                    ratio = tableau[i][-1] / coeff
+                    if best is None or ratio < best or (
+                        ratio == best and basis[i] < basis[leaving]
+                    ):
+                        best = ratio
+                        leaving = i
+            if leaving is None:
+                return False
+            _do_pivot(objective_row, leaving, entering)
+
+    def _do_pivot(objective_row, leaving, entering):
+        pivot_value = tableau[leaving][entering]
+        tableau[leaving] = [c / pivot_value for c in tableau[leaving]]
+        for i in range(m):
+            if i != leaving and tableau[i][entering] != 0:
+                factor = tableau[i][entering]
+                tableau[i] = [
+                    a - factor * b
+                    for a, b in zip(tableau[i], tableau[leaving])
+                ]
+        factor = objective_row[entering]
+        if factor != 0:
+            objective_row[:] = [
+                a - factor * b
+                for a, b in zip(objective_row, tableau[leaving])
+            ]
+        basis[leaving] = entering
+
+    if artificial_count:
+        phase1 = [Fraction(0)] * width + [Fraction(0)]
+        for j in range(total, width):
+            phase1[j] = Fraction(-1)
+        for i in range(m):
+            if basis[i] >= total:
+                phase1 = [a + b for a, b in zip(phase1, tableau[i])]
+        bounded = pivot(phase1)
+        assert bounded, "phase 1 is always bounded"
+        if phase1[-1] != 0:
+            return SimplexResult(False, None, None)
+        for i in range(m):
+            if basis[i] >= total:
+                for j in range(total):
+                    if tableau[i][j] != 0:
+                        _do_pivot(phase1, i, j)
+                        break
+
+    objective_row = [Fraction(0)] * width + [Fraction(0)]
+    for j in range(n):
+        objective_row[j] = Fraction(problem.objective[j])
+    for j in range(total, width):
+        objective_row[j] = Fraction(-10**12)
+    for i in range(m):
+        factor = objective_row[basis[i]]
+        if factor != 0:
+            objective_row = [
+                a - factor * b for a, b in zip(objective_row, tableau[i])
+            ]
+    bounded = pivot(objective_row)
+
+    solution = [Fraction(0)] * n
+    for i in range(m):
+        if basis[i] < n:
+            solution[basis[i]] = tableau[i][-1]
+    if not bounded:
+        return SimplexResult(True, None, solution)
+    value = sum(c * x for c, x in zip(problem.objective, solution))
+    return SimplexResult(True, value, solution)
+
+
+def _assert_equivalent(problem: LinearProgram) -> None:
+    fast = solve_lp(problem)
+    slow = _reference_solve(problem)
+    assert fast.feasible == slow.feasible
+    assert fast.objective_value == slow.objective_value
+    assert fast.solution == slow.solution
+
+
+class TestSeparationLpSuite:
+    """The real workload: nested-pair prescreen LPs of Table-1 models."""
+
+    @pytest.mark.parametrize("name", ["RING", "DUP-4PH-A", "DUP-MOD-A"])
+    def test_prescreen_objectives_match(self, name):
+        context = SolverContext(unfold(TABLE1_BENCHMARKS[name]()))
+        constraints = list(nested_pair_rows(context))
+        flow = _flow_matrix(context)
+        n = context.num_vars
+        checked = 0
+        for place_row in flow:
+            if not place_row.any():
+                continue
+            diff = [Fraction(-int(c)) for c in place_row] + [
+                Fraction(int(c)) for c in place_row
+            ]
+            for sign in (1, -1):
+                problem = LinearProgram.feasibility(2 * n, constraints)
+                problem.add_upper_bounds(1)
+                problem.objective = [sign * c for c in diff]
+                _assert_equivalent(problem)
+                checked += 1
+            if checked >= 4:  # two places per model keep the suite quick
+                break
+        assert checked
+
+
+class TestRandomFamily:
+    def test_seeded_random_lps_match(self):
+        rng = random.Random(20260808)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            m = rng.randint(1, 6)
+            constraints = []
+            for _ in range(m):
+                coeffs = [Fraction(rng.randint(-3, 3)) for _ in range(n)]
+                sense = rng.choice(["<=", ">=", "=="])
+                bound = Fraction(rng.randint(-4, 6))
+                constraints.append((coeffs, sense, bound))
+            problem = LinearProgram.feasibility(n, constraints)
+            problem.add_upper_bounds(rng.randint(1, 3))
+            problem.objective = [
+                Fraction(rng.randint(-2, 3)) for _ in range(n)
+            ]
+            _assert_equivalent(problem)
+
+    def test_fractional_coefficients_match(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(1, 4)
+            constraints = [
+                (
+                    [
+                        Fraction(rng.randint(-6, 6), rng.randint(1, 4))
+                        for _ in range(n)
+                    ],
+                    rng.choice(["<=", ">=", "=="]),
+                    Fraction(rng.randint(-3, 9), rng.randint(1, 3)),
+                )
+                for _ in range(rng.randint(1, 4))
+            ]
+            problem = LinearProgram.feasibility(n, constraints)
+            problem.add_upper_bounds(2)
+            problem.objective = [
+                Fraction(rng.randint(-3, 3), rng.randint(1, 2))
+                for _ in range(n)
+            ]
+            _assert_equivalent(problem)

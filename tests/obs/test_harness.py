@@ -146,3 +146,71 @@ class TestCompare:
         assert harness.main(["compare", str(old), str(new)]) == 1
         out = capsys.readouterr().out
         assert "regression" in out
+
+
+class TestRefineAxis:
+    @pytest.fixture(scope="class")
+    def refine_report(self):
+        pytest.importorskip("scipy")
+        return harness.run_suite(
+            quick=True, warmup=0, repeat=1, families=["token-ring"],
+            refine=(1,),
+        )
+
+    def test_refine_counters_recorded(self, refine_report):
+        (record,) = refine_report["results"]
+        assert record["id"] == "token-ring/n=4/usc/r=1"
+        counters = record["refine_counters"]
+        assert counters["lp_calls"] > 0
+        assert counters["cert_cache_hits"] == 0  # cold run: nothing stored
+        # the warm probe replays every certified objective from the store
+        assert counters["warm_cert_cache_hits"] > 0
+        assert counters["warm_lp_calls"] < counters["lp_calls"]
+
+    def test_refine_counters_validate(self, refine_report):
+        harness.validate_report(refine_report)
+        bad = copy.deepcopy(refine_report)
+        bad["results"][0]["refine_counters"] = "not-a-dict"
+        with pytest.raises(ValueError, match="refine_counters"):
+            harness.validate_report(bad)
+
+
+class TestComparePhases:
+    def _with_refine_phase(self, report, seconds):
+        doctored = copy.deepcopy(report)
+        doctored["results"][0]["phases"]["refine"] = seconds
+        return doctored
+
+    def test_refine_phase_regression_flagged(self, report):
+        old = self._with_refine_phase(report, 0.100)
+        new = self._with_refine_phase(report, 0.150)
+        (flag,) = harness.compare_reports(old, new)
+        assert flag["metric"] == "phase:refine"
+        assert flag["ratio"] == pytest.approx(1.5)
+
+    def test_refine_phase_improvement_clean(self, report):
+        old = self._with_refine_phase(report, 0.100)
+        new = self._with_refine_phase(report, 0.050)
+        assert harness.compare_reports(old, new) == []
+
+    def test_phase_only_ignores_median(self, report):
+        old = self._with_refine_phase(report, 0.100)
+        new = self._with_refine_phase(report, 0.110)
+        new["results"][0]["median_s"] = old["results"][0]["median_s"] * 5
+        flagged = harness.compare_reports(old, new, include_median=False)
+        assert flagged == []  # 10% phase drift + huge median: both ignored
+        assert harness.compare_reports(old, new)  # median checked by default
+
+    def test_phase_only_cli_flag(self, report, tmp_path, capsys):
+        old = self._with_refine_phase(report, 0.100)
+        new = self._with_refine_phase(report, 0.200)
+        new["results"][0]["median_s"] = old["results"][0]["median_s"]
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(old))
+        new_path.write_text(json.dumps(new))
+        code = harness.main(
+            ["compare", str(old_path), str(new_path), "--phase-only"]
+        )
+        assert code == 1
+        assert "phase:refine" in capsys.readouterr().out

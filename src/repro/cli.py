@@ -344,6 +344,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     if show_refine:
         rows.insert(rows.index("solver") + 1, "refine")
+    # likewise the fuzz row: only present when fuzz.* spans were recorded
+    # (e.g. profiling a campaign driven through this process's tracer)
+    if phases.get("fuzz", 0.0) > 0.0:
+        rows.append("fuzz")
     for phase in rows:
         seconds = phases.get(phase, 0.0)
         share = f"{100.0 * seconds / total:.1f}%" if total > 0 else "-"
@@ -713,6 +717,189 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         document = payloads[0] if len(payloads) == 1 else payloads
         print(json.dumps(document, indent=2))
     return exit_code
+
+
+def _fuzz_config(args: argparse.Namespace):
+    from repro.fuzz import OracleConfig
+
+    kwargs = {}
+    if getattr(args, "engines", None):
+        kwargs["engines"] = tuple(args.engines.split(","))
+    if getattr(args, "max_states", None):
+        kwargs["max_states"] = args.max_states
+    return OracleConfig(**kwargs)
+
+
+def _fuzz_corpus(args: argparse.Namespace):
+    from repro.fuzz import CorpusStore
+
+    return CorpusStore(getattr(args, "corpus_dir", None))
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_fuzz_run,
+        "repro": _cmd_fuzz_repro,
+        "shrink": _cmd_fuzz_shrink,
+        "corpus": _cmd_fuzz_corpus,
+    }
+    return handlers[args.fuzz_command](args)
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fuzz import run_campaign
+
+    corpus = None if args.no_corpus else _fuzz_corpus(args)
+    started = time.perf_counter()
+    result = run_campaign(args.seed, args.budget, _fuzz_config(args), corpus)
+    elapsed = time.perf_counter() - started
+    summary = result.summary
+    if args.json:
+        print(summary.to_json())
+    else:
+        print(f"campaign seed={summary.seed} budget={summary.budget}:")
+        print(
+            f"  {summary.cases} cases, {summary.checkable} checkable, "
+            f"{sum(summary.skipped.values())} skipped "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(summary.skipped.items())) or 'none'})"
+        )
+        print(
+            f"  {summary.oracle_runs} oracle runs, "
+            f"{summary.divergences} divergence(s), "
+            f"{summary.unique_signatures} unique signature(s)"
+        )
+        if corpus is not None:
+            print(
+                f"  corpus: {summary.corpus_new} new, "
+                f"{summary.corpus_dup} duplicate ({corpus.root})"
+            )
+    # wall-clock goes to stderr so stdout stays identical across reruns
+    print(f"elapsed: {elapsed:.1f}s", file=sys.stderr)
+    for divergence in result.divergences:
+        print(divergence.describe(), file=sys.stderr)
+    return 1 if summary.divergences else 0
+
+
+def _cmd_fuzz_repro(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import reproduce_case, run_oracles
+
+    try:
+        case = reproduce_case(args.case_id)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcome = run_oracles(case, _fuzz_config(args))
+    if args.json:
+        document = {
+            "case_id": case.case_id,
+            "base": case.base,
+            "mutations": list(case.mutations),
+            "preserving": case.preserving,
+            "checkable": outcome.checkable,
+            "skip_reason": outcome.skip_reason,
+            "oracle_runs": outcome.oracle_runs,
+            "divergences": [
+                {
+                    "oracle": d.oracle,
+                    "subject": d.subject,
+                    "signature": d.signature,
+                    "detail": d.detail,
+                }
+                for d in outcome.divergences
+            ],
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        print(case.describe())
+        if outcome.checkable:
+            print(f"checkable; {outcome.oracle_runs} oracle run(s)")
+        else:
+            print(f"skipped by guards: {outcome.skip_reason}")
+        for divergence in outcome.divergences:
+            print(divergence.describe())
+        if not outcome.divergences:
+            print("no divergence")
+    return 1 if outcome.divergences else 0
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz import reproduce_case, shrink_case
+    from repro.stg.parser import write_stg
+
+    corpus = _fuzz_corpus(args)
+    signature = args.signature
+    entry = None
+    if signature is None:
+        matches = corpus.find(args.case_id)
+        if not matches:
+            print(
+                f"error: no corpus entry matches {args.case_id!r} and no "
+                "--signature given",
+                file=sys.stderr,
+            )
+            return 2
+        entry = matches[0]
+        signature = entry["signature"]
+    try:
+        case = reproduce_case(args.case_id)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = shrink_case(
+        case, signature, _fuzz_config(args), max_checks=args.max_checks
+    )
+    if result is None:
+        print(
+            f"{args.case_id}: signature {signature!r} did not reproduce",
+            file=sys.stderr,
+        )
+        return 1
+    text = write_stg(result.stg)
+    print(f"# shrunk {args.case_id} [{signature}]: {result.stats()}")
+    print(text, end="")
+    if entry is not None:
+        corpus.mark_minimized(entry["key"], text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
+    import json
+
+    corpus = _fuzz_corpus(args)
+    if args.corpus_command == "clear":
+        removed = corpus.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args.corpus_command == "show":
+        matches = corpus.find(args.key)
+        if not matches:
+            print(f"error: no entry matches {args.key!r}", file=sys.stderr)
+            return 2
+        print(json.dumps(matches[0], indent=2, sort_keys=True))
+        return 0
+    entries = list(corpus.entries())
+    if args.json:
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return 0
+    if not entries:
+        print(f"corpus at {corpus.root} is empty")
+        return 0
+    print(f"corpus at {corpus.root}: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    for entry in entries:
+        flag = "minimized" if entry.get("minimized") else "raw"
+        print(
+            f"  {entry['key'][:12]}  {entry['case_id']:<12} "
+            f"hits={entry.get('hits', 1):<4} [{flag}] {entry['signature']}"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1135,6 +1322,85 @@ def build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true", help="emit machine-readable JSON"
         )
         cache_cmd.set_defaults(func=_cmd_cache)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the verification engines",
+        description="Generate seeded STGs, run them through every engine "
+        "and a battery of metamorphic oracles, and record divergences in a "
+        "deduplicated corpus.  Campaigns are deterministic: the same seed "
+        "and budget produce the same cases, oracle schedule and summary on "
+        "any machine (docs/fuzzing.md).",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser("run", help="run a fuzzing campaign")
+    fuzz_run.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz_run.add_argument(
+        "--budget", type=int, default=200, metavar="N", help="number of cases"
+    )
+    fuzz_run.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="do not persist divergences to the corpus",
+    )
+    fuzz_repro = fuzz_sub.add_parser(
+        "repro", help="regenerate one case and re-run its oracles"
+    )
+    fuzz_repro.add_argument("case_id", metavar="CASE_ID", help="s<seed>-c<index>")
+    fuzz_shrink = fuzz_sub.add_parser(
+        "shrink", help="minimize a failing case while its divergence persists"
+    )
+    fuzz_shrink.add_argument("case_id", metavar="CASE_ID")
+    fuzz_shrink.add_argument(
+        "--signature",
+        help="divergence signature to preserve (default: from the corpus "
+        "entry recorded for CASE_ID)",
+    )
+    fuzz_shrink.add_argument(
+        "--max-checks",
+        type=int,
+        default=200,
+        metavar="N",
+        help="oracle-run budget for the shrink loop (default: 200)",
+    )
+    fuzz_shrink.add_argument(
+        "--out", metavar="FILE", help="also write the minimized .g here"
+    )
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="list, show or clear recorded divergences"
+    )
+    corpus_sub = fuzz_corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_list = corpus_sub.add_parser("list", help="list entries")
+    corpus_show = corpus_sub.add_parser("show", help="dump one entry as JSON")
+    corpus_show.add_argument("key", help="entry key prefix or case id")
+    corpus_clear = corpus_sub.add_parser("clear", help="delete every entry")
+    for fuzz_cmd in (fuzz_run, fuzz_repro, fuzz_shrink):
+        fuzz_cmd.add_argument(
+            "--engines",
+            metavar="A,B,...",
+            help="engines to run differentially (default: ilp,sat,bdd)",
+        )
+        fuzz_cmd.add_argument(
+            "--max-states",
+            type=int,
+            default=None,
+            metavar="N",
+            help="reachability guard: skip cases beyond N states",
+        )
+    for fuzz_cmd in (fuzz_run, fuzz_shrink, corpus_list, corpus_show, corpus_clear):
+        fuzz_cmd.add_argument(
+            "--corpus-dir",
+            metavar="DIR",
+            help="corpus directory (default: $REPRO_FUZZ_CORPUS or "
+            "~/.cache/repro-stg-fuzz)",
+        )
+    for fuzz_cmd in (fuzz_run, fuzz_repro, corpus_list):
+        fuzz_cmd.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+    for fuzz_cmd in (fuzz_run, fuzz_repro, fuzz_shrink, fuzz_corpus):
+        fuzz_cmd.set_defaults(func=_cmd_fuzz)
 
     unfold_cmd = sub.add_parser("unfold", help="build the complete prefix")
     unfold_cmd.add_argument("file")

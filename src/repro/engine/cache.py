@@ -16,7 +16,8 @@ a schema version.  Consequences:
 
 Entries are one JSON file each, written atomically (temp file + ``rename``)
 and fanned out over 256 two-hex-digit subdirectories so that even millions
-of entries keep directory listings fast.
+of entries keep directory listings fast; the mechanics live in the shared
+:class:`repro.utils.filestore.FileStore` (also used by the fuzz corpus).
 """
 
 from __future__ import annotations
@@ -24,12 +25,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.engine.jobs import SOURCE_CACHE, JobResult, VerificationJob
+from repro.utils.filestore import FileStore
 
 #: Bump to invalidate every stored result (e.g. when JobResult grows fields).
 #: v3: analysis FactBase entries share the store (``get_facts``/``put_facts``).
@@ -53,9 +54,13 @@ class ResultCache:
     """A directory of cached :class:`JobResult` objects."""
 
     def __init__(self, root: Union[str, Path]):
-        self.root = Path(root)
+        self._store = FileStore(root)
         self.hits = 0
         self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        return self._store.root
 
     # -- keys ----------------------------------------------------------------
 
@@ -65,25 +70,11 @@ class ResultCache:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.json"
+        return self._store.path_for(key)
 
     def _write_atomic(self, path: Path, payload: Dict[str, object]) -> bool:
-        """Write one entry via ``mkstemp`` + ``rename``; False on failure."""
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w") as tmp:
-                json.dump(payload, tmp)
-            os.replace(tmp_name, path)
-        except OSError:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            return False
-        return True
+        """Write one entry atomically via the shared :class:`FileStore`."""
+        return self._store.write_atomic(path, payload)
 
     # -- store/load ----------------------------------------------------------
 
@@ -308,12 +299,9 @@ class ResultCache:
 
     def _entries(self):
         """Every finished entry file (in-flight ``.tmp-*`` files excluded —
-        ``pathlib.glob`` matches dotfiles, unlike shell globs)."""
-        if not self.root.exists():
-            return
-        for path in self.root.glob("??/*.json"):
-            if not path.name.startswith(".tmp-"):
-                yield path
+        ``pathlib.glob`` matches dotfiles, unlike shell globs).  Delegates
+        to the shared :meth:`FileStore.entries`."""
+        yield from self._store.entries()
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -398,9 +386,7 @@ class ResultCache:
         if not self.root.exists():
             return removed
         candidates = [(path, True) for path in self._entries()]
-        candidates += [
-            (path, False) for path in self.root.glob("??/.tmp-*")
-        ]
+        candidates += [(path, False) for path in self._store.tmp_files()]
         for path, is_entry in candidates:
             try:
                 if path.stat().st_mtime >= cutoff:

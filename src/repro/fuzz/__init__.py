@@ -1,0 +1,66 @@
+"""``repro.fuzz`` — deterministic differential fuzzing of the verifiers.
+
+The subsystem turns the repo's redundancy into an oracle: four engines, a
+ground-truth state graph, determinism contracts across config axes, and a
+set of metamorphic identities (reordering, renaming, round-tripping,
+witness replay) that every correct implementation must satisfy.  Cases are
+regenerated from ``(seed, index)`` on demand, so every recorded failure
+replays with ``repro-stg fuzz repro <case-id>`` — no serialized state to go
+stale.  See docs/fuzzing.md for the campaign anatomy and the oracle
+catalogue.
+"""
+
+from repro.fuzz.campaign import (
+    CampaignResult,
+    CampaignSummary,
+    reproduce_case,
+    reproduce_outcome,
+    run_campaign,
+)
+from repro.fuzz.corpus import CorpusStore, default_corpus_dir
+from repro.fuzz.generate import (
+    MUTATORS,
+    FuzzCase,
+    case_id,
+    derive_rng,
+    generate_case,
+    iter_cases,
+    parse_case_id,
+    rebuild_stg,
+    renamed_copy,
+    shuffled_copy,
+)
+from repro.fuzz.oracle import (
+    CaseOutcome,
+    Divergence,
+    OracleConfig,
+    run_oracles,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_case, shrink_stg
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSummary",
+    "CaseOutcome",
+    "CorpusStore",
+    "Divergence",
+    "FuzzCase",
+    "MUTATORS",
+    "OracleConfig",
+    "ShrinkResult",
+    "case_id",
+    "default_corpus_dir",
+    "derive_rng",
+    "generate_case",
+    "iter_cases",
+    "parse_case_id",
+    "rebuild_stg",
+    "renamed_copy",
+    "reproduce_case",
+    "reproduce_outcome",
+    "run_campaign",
+    "run_oracles",
+    "shrink_case",
+    "shrink_stg",
+    "shuffled_copy",
+]

@@ -1,0 +1,121 @@
+"""Campaign orchestration: generate, check, record, summarise.
+
+A campaign is fully described by ``(seed, budget, config)``: the case
+stream, the per-case oracle schedule and every derived RNG are functions of
+those three values alone, so two runs of the same campaign produce the same
+:class:`CampaignSummary` — byte-identical once serialized — on any machine.
+Wall-clock time is deliberately excluded from the summary (the CLI reports
+it separately) so summaries can be compared with ``==``/``diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.fuzz.corpus import CorpusStore
+from repro.fuzz.generate import FuzzCase, generate_case, parse_case_id
+from repro.fuzz.oracle import CaseOutcome, Divergence, OracleConfig, run_oracles
+
+
+@dataclass
+class CampaignSummary:
+    """The deterministic outcome of one campaign."""
+
+    seed: int
+    budget: int
+    cases: int = 0
+    checkable: int = 0
+    skipped: Dict[str, int] = field(default_factory=dict)
+    oracle_runs: int = 0
+    divergences: int = 0
+    unique_signatures: int = 0
+    corpus_new: int = 0
+    corpus_dup: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "cases": self.cases,
+            "checkable": self.checkable,
+            "skipped": dict(sorted(self.skipped.items())),
+            "oracle_runs": self.oracle_runs,
+            "divergences": self.divergences,
+            "unique_signatures": self.unique_signatures,
+            "corpus_new": self.corpus_new,
+            "corpus_dup": self.corpus_dup,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+@dataclass
+class CampaignResult:
+    summary: CampaignSummary
+    divergences: List[Divergence]
+    outcomes: List[CaseOutcome] = field(repr=False, default_factory=list)
+
+
+def run_campaign(
+    seed: int,
+    budget: int,
+    config: Optional[OracleConfig] = None,
+    corpus: Optional[CorpusStore] = None,
+    progress: Optional[Callable[[CaseOutcome], None]] = None,
+) -> CampaignResult:
+    """Run cases ``(seed, 0) .. (seed, budget - 1)`` through the oracles.
+
+    ``corpus=None`` disables persistence (the summary's corpus counters stay
+    zero); ``progress`` is called once per finished case.
+    """
+    config = config or OracleConfig()
+    summary = CampaignSummary(seed=seed, budget=budget)
+    all_divergences: List[Divergence] = []
+    outcomes: List[CaseOutcome] = []
+    signatures = set()
+    with obs.trace("fuzz.campaign"):
+        for index in range(budget):
+            case = generate_case(seed, index)
+            outcome = run_oracles(case, config)
+            outcomes.append(outcome)
+            summary.cases += 1
+            summary.oracle_runs += outcome.oracle_runs
+            if outcome.checkable:
+                summary.checkable += 1
+            elif outcome.skip_reason:
+                summary.skipped[outcome.skip_reason] = (
+                    summary.skipped.get(outcome.skip_reason, 0) + 1
+                )
+            for divergence in outcome.divergences:
+                summary.divergences += 1
+                signatures.add(divergence.signature)
+                all_divergences.append(divergence)
+                if corpus is not None:
+                    _key, is_new = corpus.record(case, divergence)
+                    if is_new:
+                        summary.corpus_new += 1
+                    else:
+                        summary.corpus_dup += 1
+            if progress is not None:
+                progress(outcome)
+    summary.unique_signatures = len(signatures)
+    return CampaignResult(
+        summary=summary, divergences=all_divergences, outcomes=outcomes
+    )
+
+
+def reproduce_case(case_id: str) -> FuzzCase:
+    """Regenerate the case behind ``case_id`` (``s<seed>-c<index>``)."""
+    seed, index = parse_case_id(case_id)
+    return generate_case(seed, index)
+
+
+def reproduce_outcome(
+    case_id: str, config: Optional[OracleConfig] = None
+) -> CaseOutcome:
+    """Regenerate a case and re-run every oracle on it."""
+    return run_oracles(reproduce_case(case_id), config)

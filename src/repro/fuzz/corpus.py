@@ -1,0 +1,141 @@
+"""The persistent failure corpus: deduped, replayable divergence records.
+
+Built on the shared :class:`repro.utils.filestore.FileStore` (the same
+atomic-write/dotfile-hygiene layer as the result cache), so concurrent
+campaigns can append safely.  Entries are keyed by the divergence
+*signature* — ``(oracle, subject, coarse cause)`` — so one underlying bug
+occupies one entry no matter how many cases trigger it; later hits only
+bump the entry's ``hits`` counter (keeping the *first*, usually simplest,
+triggering case).
+
+Every entry stores the generation coordinates (``seed``/``index``) rather
+than relying on the serialized STG: ``repro-stg fuzz repro <case-id>``
+regenerates the case from scratch, which also re-validates that generation
+is still deterministic.  The STG text is stored too, both for human eyes
+and for the shrinker to persist its minimized form next to the original.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.fuzz.generate import FuzzCase
+from repro.fuzz.oracle import Divergence
+from repro.stg.parser import write_stg
+from repro.utils.filestore import FileStore
+
+#: Bump when the entry layout changes; old entries are ignored, not migrated.
+CORPUS_SCHEMA = 1
+
+#: Environment override for the corpus location.
+CORPUS_ENV = "REPRO_FUZZ_CORPUS"
+
+
+def default_corpus_dir() -> Path:
+    env = os.environ.get(CORPUS_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-stg-fuzz"
+
+
+class CorpusStore:
+    """A :class:`FileStore`-backed collection of divergence entries."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self._store = FileStore(root if root is not None else default_corpus_dir())
+
+    @property
+    def root(self) -> Path:
+        return self._store.root
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, signature: str) -> str:
+        material = f"repro-fuzz-corpus:v{CORPUS_SCHEMA}\n{signature}\n"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, case: FuzzCase, divergence: Divergence) -> Tuple[str, bool]:
+        """Store one divergence; returns ``(key, is_new)``.
+
+        A repeat signature keeps the existing entry (first trigger wins) and
+        increments its ``hits`` count.
+        """
+        key = self.key_for(divergence.signature)
+        existing = self._store.get(key)
+        if existing is not None and existing.get("schema") == CORPUS_SCHEMA:
+            existing["hits"] = int(existing.get("hits", 1)) + 1
+            self._store.put(key, existing)
+            return key, False
+        try:
+            stg_text = write_stg(case.stg)
+        except Exception:
+            stg_text = None  # the divergence may be exactly that it can't write
+        entry: Dict[str, Any] = {
+            "schema": CORPUS_SCHEMA,
+            "key": key,
+            "case_id": divergence.case_id,
+            "seed": case.seed,
+            "index": case.index,
+            "base": case.base,
+            "mutations": list(case.mutations),
+            "preserving": case.preserving,
+            "oracle": divergence.oracle,
+            "subject": divergence.subject,
+            "signature": divergence.signature,
+            "detail": divergence.detail,
+            "stg_text": stg_text,
+            "minimized": False,
+            "minimized_stg_text": None,
+            "hits": 1,
+        }
+        self._store.put(key, entry)
+        return key, True
+
+    def mark_minimized(self, key: str, minimized_text: str) -> bool:
+        """Attach the shrinker's output to an existing entry."""
+        entry = self._store.get(key)
+        if entry is None or entry.get("schema") != CORPUS_SCHEMA:
+            return False
+        entry["minimized"] = True
+        entry["minimized_stg_text"] = minimized_text
+        return self._store.put(key, entry)
+
+    # -- reading -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._store.get(key)
+        if entry is None or entry.get("schema") != CORPUS_SCHEMA:
+            return None
+        return entry
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """Every valid entry, ordered by key for stable listings."""
+        loaded: List[Dict[str, Any]] = []
+        for path in self._store.entries():
+            entry = self._store.read_json(path)
+            if entry is not None and entry.get("schema") == CORPUS_SCHEMA:
+                loaded.append(entry)
+        loaded.sort(key=lambda e: str(e.get("key", "")))
+        yield from loaded
+
+    def find(self, needle: str) -> List[Dict[str, Any]]:
+        """Entries whose key or case id starts with ``needle``."""
+        return [
+            entry
+            for entry in self.entries()
+            if str(entry.get("key", "")).startswith(needle)
+            or str(entry.get("case_id", "")) == needle
+        ]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> int:
+        return self._store.clear()

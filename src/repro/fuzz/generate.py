@@ -1,0 +1,434 @@
+"""Seeded STG generation and semantics-aware mutation for the fuzzer.
+
+Every case is identified by ``(seed, index)`` and regenerated from scratch
+on demand: :func:`derive_rng` hashes the pair (plus a purpose tag) into an
+independent :class:`random.Random` stream, so case ``s7-c123`` is
+byte-identical whether it is produced during a campaign, replayed by
+``repro-stg fuzz repro``, or rebuilt inside the shrinker — in this process
+or any other (``random.Random`` with version-2 seeding is specified to be
+platform-independent).
+
+A case starts from one of the benchmark families (:mod:`repro.models` knobs
+drawn from the stream) and applies a small number of mutation operators.
+Each operator is tagged with whether it *preserves well-formedness*
+(boundedness, safety, consistency): preserving mutations yield cases the
+differential oracles can check end to end, non-preserving ones exercise the
+guard rails (unboundedness detection, consistency checking, parser
+round-trips) where crashes like to hide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.models import (
+    lazy_ring,
+    muller_pipeline,
+    muller_ring,
+    parallel_forks,
+    service_ring,
+    toggle_bank,
+    token_ring,
+    vme_bus,
+    vme_chain,
+)
+from repro.stg.stg import STG, SignalEdge
+
+#: Bump when generation changes incompatibly: old case ids stop replaying.
+GENERATION_VERSION = 1
+
+_DERIVE_TAG = f"repro-fuzz:v{GENERATION_VERSION}"
+
+
+def derive_rng(seed: int, *path: object) -> random.Random:
+    """An independent, cross-process-stable RNG for ``(seed, *path)``.
+
+    The seed material is hashed so that nearby ``(seed, index)`` pairs give
+    unrelated streams, and so that the stream depends only on the printable
+    path — never on interpreter hash randomisation or process state.
+    """
+    material = ":".join([_DERIVE_TAG, str(seed)] + [str(part) for part in path])
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def case_id(seed: int, index: int) -> str:
+    return f"s{seed}-c{index}"
+
+
+def parse_case_id(text: str) -> Tuple[int, int]:
+    """Invert :func:`case_id`; raises ``ValueError`` on malformed ids."""
+    if not text.startswith("s") or "-c" not in text:
+        raise ValueError(f"malformed case id {text!r}; expected s<seed>-c<index>")
+    seed_text, _, index_text = text[1:].partition("-c")
+    return int(seed_text), int(index_text)
+
+
+# -- STG rebuilding -----------------------------------------------------------
+
+
+def rebuild_stg(
+    stg: STG,
+    name: Optional[str] = None,
+    place_order: Optional[Sequence[int]] = None,
+    transition_order: Optional[Sequence[int]] = None,
+    rename_transitions: Optional[Dict[int, str]] = None,
+    relabel: Optional[Dict[int, Optional[SignalEdge]]] = None,
+    rename_signals: Optional[Dict[str, str]] = None,
+    drop_places: Sequence[int] = (),
+    drop_transitions: Sequence[int] = (),
+) -> STG:
+    """Reconstruct an STG with elements reordered, renamed, relabelled or
+    dropped — the one surgery primitive behind the mutators, the metamorphic
+    transforms and the shrinker.
+
+    Arcs touching a dropped element vanish with it; everything else (tokens,
+    arc weights, declared initial code) is carried over.  When signals are
+    renamed, transition names following the astg ``z+/k`` convention are
+    rewritten to match so the result still round-trips through the parser.
+    """
+    net = stg.net
+    rename_transitions = dict(rename_transitions or {})
+    relabel = dict(relabel or {})
+    signal_map = dict(rename_signals or {})
+    dropped_p = set(drop_places)
+    dropped_t = set(drop_transitions)
+
+    def map_signal(sig: str) -> str:
+        return signal_map.get(sig, sig)
+
+    def map_label(label: Optional[SignalEdge]) -> Optional[SignalEdge]:
+        if label is None or label.signal not in signal_map:
+            return label
+        return SignalEdge(signal_map[label.signal], label.polarity)
+
+    def map_name(t: int) -> str:
+        original = net.transition_name(t)
+        if t in rename_transitions:
+            return rename_transitions[t]
+        label = stg.label(t)
+        if label is not None and label.signal in signal_map:
+            # rewrite astg-style names ("a+", "a-/2") along with the label
+            edge = str(label)
+            if original == edge or original.startswith(edge + "/"):
+                return str(map_label(label)) + original[len(edge):]
+        return original
+
+    rebuilt = STG(
+        name or stg.name,
+        inputs=[map_signal(s) for s in stg.inputs],
+        outputs=[map_signal(s) for s in stg.outputs],
+        internal=[map_signal(s) for s in stg.internal],
+    )
+    initial = net.initial_marking
+    p_order = list(place_order) if place_order is not None else list(
+        range(net.num_places)
+    )
+    t_order = list(transition_order) if transition_order is not None else list(
+        range(net.num_transitions)
+    )
+    kept_places = set()
+    for p in p_order:
+        if p in dropped_p:
+            continue
+        rebuilt.add_place(net.place_name(p), tokens=initial[p])
+        kept_places.add(net.place_name(p))
+    kept_transitions = {}
+    for t in t_order:
+        if t in dropped_t:
+            continue
+        label = map_label(relabel[t] if t in relabel else stg.label(t))
+        new_name = map_name(t)
+        rebuilt.add_transition(new_name, label)
+        kept_transitions[net.transition_name(t)] = new_name
+    for source, target, weight in net.arcs():
+        if net.has_place(source):
+            if source not in kept_places or target not in kept_transitions:
+                continue
+            rebuilt.net.add_arc(source, kept_transitions[target], weight)
+        else:
+            if source not in kept_transitions or target not in kept_places:
+                continue
+            rebuilt.net.add_arc(kept_transitions[source], target, weight)
+    for signal, value in stg.declared_initial_code.items():
+        rebuilt.set_initial_value(map_signal(signal), value)
+    return rebuilt
+
+
+def shuffled_copy(stg: STG, rng: random.Random) -> STG:
+    """The same STG with place and transition declaration order shuffled —
+    the identity transform of the canonical-hash metamorphic oracle."""
+    p_order = list(range(stg.net.num_places))
+    t_order = list(range(stg.net.num_transitions))
+    rng.shuffle(p_order)
+    rng.shuffle(t_order)
+    return rebuild_stg(stg, place_order=p_order, transition_order=t_order)
+
+
+def renamed_copy(stg: STG, prefix: str = "ren_") -> Tuple[STG, Dict[str, str]]:
+    """The same STG with every signal renamed (partition preserved) — the
+    identity transform of the verdict-invariance metamorphic oracle."""
+    mapping = {signal: f"{prefix}{signal}" for signal in stg.signals}
+    return rebuild_stg(stg, rename_signals=mapping), mapping
+
+
+# -- mutation operators -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationOp:
+    """One semantics-aware rewrite.
+
+    ``apply`` returns the mutated STG or ``None`` when the operator does not
+    apply to this STG (e.g. nothing to remove); ``preserving`` records
+    whether the rewrite keeps well-formed inputs well-formed.
+    """
+
+    name: str
+    preserving: bool
+    apply: Callable[[STG, random.Random], Optional[STG]]
+
+
+def _mutate_duplicate_transition(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Clone one transition (same label, same pre/post sets).
+
+    The clone is bisimilar to the original, so reachable markings, codes and
+    ``Out`` sets — hence all verdicts — are untouched; only the amount of
+    (spurious) choice grows.
+    """
+    net = stg.net
+    if net.num_transitions == 0:
+        return None
+    t = rng.randrange(net.num_transitions)
+    label = stg.label(t)
+    mutated = stg.copy()
+    if label is not None:
+        name = mutated.unique_transition_name(label)
+    else:
+        base = net.transition_name(t)
+        k = 1
+        while mutated.net.has_transition(f"{base}_dup{k}"):
+            k += 1
+        name = f"{base}_dup{k}"
+    mutated.add_transition(name, label)
+    for p, weight in net.preset(t).items():
+        mutated.net.add_arc(net.place_name(p), name, weight)
+    for p, weight in net.postset(t).items():
+        mutated.net.add_arc(name, net.place_name(p), weight)
+    return mutated
+
+
+def _mutate_split_place(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Split one place by routing its tokens through a fresh dummy.
+
+    ``p -> (consumers)`` becomes ``p -> tau -> p' -> (consumers)``: token
+    counts are conserved, the dummy is silent, so boundedness, safety and
+    consistency all survive (verdicts may legitimately change only through
+    the extra interleaving point, which the paper's semantics ignores for
+    coding properties — codes depend on signal edges alone).
+    """
+    net = stg.net
+    candidates = [
+        p for p in range(net.num_places) if net.place_postset(p)
+    ]
+    if not candidates:
+        return None
+    p = rng.choice(candidates)
+    p_name = net.place_name(p)
+    consumers = [
+        (net.transition_name(t), weight)
+        for t, weight in net.place_postset(p).items()
+    ]
+    mutated = stg.copy()
+    # names must stay inside the astg grammar: dummies are plain identifiers
+    k = 1
+    while mutated.net.has_place(f"psplit{k}") or mutated.net.has_transition(
+        f"tausplit{k}"
+    ):
+        k += 1
+    new_place = f"psplit{k}"
+    dummy = f"tausplit{k}"
+    mutated.add_place(new_place)
+    mutated.add_transition(dummy, None)
+    for t_name, weight in consumers:
+        mutated.net.remove_arc(p_name, t_name)
+        mutated.net.add_arc(new_place, t_name, weight)
+    mutated.add_arc(p_name, dummy)
+    mutated.add_arc(dummy, new_place)
+    return mutated
+
+
+def _mutate_add_arc(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Add one random place<->transition arc (either direction)."""
+    net = stg.net
+    if net.num_places == 0 or net.num_transitions == 0:
+        return None
+    p = net.place_name(rng.randrange(net.num_places))
+    t = net.transition_name(rng.randrange(net.num_transitions))
+    mutated = stg.copy()
+    if rng.random() < 0.5:
+        mutated.net.add_arc(p, t)
+    else:
+        mutated.net.add_arc(t, p)
+    return mutated
+
+
+def _mutate_remove_arc(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Remove one existing arc."""
+    arcs = list(stg.net.arcs())
+    if not arcs:
+        return None
+    source, target, _ = arcs[rng.randrange(len(arcs))]
+    mutated = stg.copy()
+    mutated.net.remove_arc(source, target)
+    return mutated
+
+
+def _mutate_flip_signal_edge(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Flip the polarity of one signal edge label (``z+`` <-> ``z-``).
+
+    Rebuilds so the transition *name* follows the new label — the parser
+    classifies graph tokens by name, so name and label must stay in sync
+    for the round-trip oracles to be meaningful.
+    """
+    labelled = [t for t in range(stg.net.num_transitions) if stg.label(t) is not None]
+    if not labelled:
+        return None
+    t = rng.choice(labelled)
+    label = stg.label(t)
+    assert label is not None
+    flipped = SignalEdge(label.signal, -label.polarity)
+    taken = set(stg.net.transitions)
+    name = str(flipped)
+    k = 1
+    while name in taken:
+        name = f"{flipped}/{k}"
+        k += 1
+    return rebuild_stg(
+        stg, rename_transitions={t: name}, relabel={t: flipped}
+    )
+
+
+def _mutate_toggle_token(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Flip the initial token of one place (1 -> 0 or 0 -> 1)."""
+    net = stg.net
+    if net.num_places == 0:
+        return None
+    p = rng.randrange(net.num_places)
+    mutated = stg.copy()
+    current = net.initial_marking[p]
+    mutated.net.set_tokens(net.place_name(p), 0 if current else 1)
+    return mutated
+
+
+def _mutate_remove_transition(stg: STG, rng: random.Random) -> Optional[STG]:
+    """Drop one transition and its arcs."""
+    if stg.net.num_transitions == 0:
+        return None
+    t = rng.randrange(stg.net.num_transitions)
+    return rebuild_stg(stg, drop_transitions=[t])
+
+
+#: All operators, in the fixed order the generator's RNG draws from.
+MUTATORS: Tuple[MutationOp, ...] = (
+    MutationOp("duplicate_transition", True, _mutate_duplicate_transition),
+    MutationOp("split_place", True, _mutate_split_place),
+    MutationOp("add_arc", False, _mutate_add_arc),
+    MutationOp("remove_arc", False, _mutate_remove_arc),
+    MutationOp("flip_signal_edge", False, _mutate_flip_signal_edge),
+    MutationOp("toggle_token", False, _mutate_toggle_token),
+    MutationOp("remove_transition", False, _mutate_remove_transition),
+)
+
+MUTATORS_BY_NAME: Dict[str, MutationOp] = {op.name: op for op in MUTATORS}
+
+
+# -- base families ------------------------------------------------------------
+
+
+def _base_builders() -> List[Callable[[random.Random], Tuple[str, STG]]]:
+    return [
+        lambda rng: _knob("muller_pipeline", rng.randint(1, 4), muller_pipeline),
+        lambda rng: _mring(rng),
+        lambda rng: _knob("parallel_forks", rng.randint(1, 3), parallel_forks),
+        lambda rng: _knob("toggle_bank", rng.randint(1, 4), toggle_bank),
+        lambda rng: _knob("vme_chain", rng.randint(1, 2), vme_chain),
+        lambda rng: _knob("service_ring", rng.randint(2, 4), service_ring),
+        lambda rng: _knob("token_ring", rng.randint(2, 3), token_ring),
+        lambda rng: _knob("lazy_ring", rng.randint(2, 3), lazy_ring),
+        lambda rng: ("vme_bus()", vme_bus()),
+    ]
+
+
+def _knob(name: str, value: int, builder: Callable[[int], STG]) -> Tuple[str, STG]:
+    return f"{name}({value})", builder(value)
+
+
+def _mring(rng: random.Random) -> Tuple[str, STG]:
+    stages = rng.randint(3, 5)
+    waves = rng.randint(1, min(2, stages - 1))
+    return f"muller_ring({stages}, {waves})", muller_ring(stages, waves)
+
+
+# -- case generation ----------------------------------------------------------
+
+
+@dataclass
+class FuzzCase:
+    """One generated input: the STG plus everything needed to regenerate it."""
+
+    seed: int
+    index: int
+    base: str
+    mutations: Tuple[str, ...]
+    preserving: bool
+    stg: STG = field(repr=False)
+
+    @property
+    def case_id(self) -> str:
+        return case_id(self.seed, self.index)
+
+    def describe(self) -> str:
+        chain = " | ".join(self.mutations) if self.mutations else "(none)"
+        kind = "preserving" if self.preserving else "non-preserving"
+        return f"{self.case_id}: base={self.base} mutations={chain} [{kind}]"
+
+
+#: Mutation-count distribution: biased towards lightly-mutated cases, which
+#: stay checkable end to end, while keeping a tail of heavier rewrites.
+_MUTATION_COUNTS = (0, 0, 1, 1, 1, 2, 2, 3)
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """Regenerate case ``(seed, index)`` — bit-identical in any process."""
+    rng = derive_rng(seed, index)
+    builders = _base_builders()
+    base_desc, stg = builders[rng.randrange(len(builders))](rng)
+    applied: List[str] = []
+    preserving = True
+    for _ in range(rng.choice(_MUTATION_COUNTS)):
+        op = MUTATORS[rng.randrange(len(MUTATORS))]
+        mutated = op.apply(stg, rng)
+        if mutated is None:
+            continue
+        stg = mutated
+        applied.append(op.name)
+        preserving = preserving and op.preserving
+    stg.net.name = f"fuzz_{case_id(seed, index)}"
+    return FuzzCase(
+        seed=seed,
+        index=index,
+        base=base_desc,
+        mutations=tuple(applied),
+        preserving=preserving,
+        stg=stg,
+    )
+
+
+def iter_cases(seed: int, budget: int):
+    """The campaign stream: cases ``(seed, 0) .. (seed, budget - 1)``."""
+    for index in range(budget):
+        yield generate_case(seed, index)

@@ -1,0 +1,176 @@
+"""Counterexample minimization: greedy delta debugging over STG structure.
+
+The shrinker never trusts the failure to be stable by luck: a candidate
+reduction is kept only if re-running the oracles on the reduced STG still
+produces a divergence with the *same signature* (same oracle, same subject,
+same coarse cause).  Reductions are attempted coarsest-first — whole
+signals (with every transition of that signal), then transitions, then
+places — and the loop restarts after every accepted reduction until a full
+pass removes nothing, i.e. the result is 1-minimal with respect to these
+operations.
+
+Oracle runs dominate the cost, so the shrinker is budgeted: ``max_checks``
+caps the number of predicate evaluations and the partially-shrunk STG is
+returned when the budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro import obs
+from repro.fuzz.generate import FuzzCase, rebuild_stg
+from repro.fuzz.oracle import OracleConfig, run_oracles
+from repro.stg.stg import STG
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized STG plus the bookkeeping of how it got there."""
+
+    stg: STG
+    signature: str
+    accepted: int          # reductions kept
+    checks: int            # predicate evaluations spent
+    exhausted: bool        # True when max_checks stopped a pass early
+
+    def stats(self) -> str:
+        suffix = " (budget exhausted)" if self.exhausted else ""
+        return (
+            f"{self.accepted} reduction(s) in {self.checks} oracle "
+            f"run(s){suffix}"
+        )
+
+
+def divergence_predicate(
+    case: FuzzCase, signature: str, config: Optional[OracleConfig] = None
+) -> Callable[[STG], bool]:
+    """True iff oracles on ``stg`` still produce ``signature``.
+
+    The replacement STG is wrapped in a clone of the original case so the
+    oracles see the same ``(seed, index)`` — the sampled axes and derived
+    metamorphic/parser streams stay identical to the failing run.
+    """
+
+    def predicate(stg: STG) -> bool:
+        probe = FuzzCase(
+            seed=case.seed,
+            index=case.index,
+            base=case.base,
+            mutations=case.mutations,
+            preserving=case.preserving,
+            stg=stg,
+        )
+        outcome = run_oracles(probe, config)
+        return any(d.signature == signature for d in outcome.divergences)
+
+    return predicate
+
+
+def shrink_stg(
+    stg: STG,
+    predicate: Callable[[STG], bool],
+    max_checks: int = 200,
+) -> Optional["_Shrunk"]:
+    """Greedy fixpoint reduction of ``stg`` under ``predicate``.
+
+    Returns ``None`` when the predicate does not even hold on the input
+    (the failure is not reproducible — nothing to shrink).
+    """
+    if not predicate(stg):
+        return None
+    checks = 1
+    accepted = 0
+    exhausted = False
+    current = stg
+    changed = True
+    while changed and not exhausted:
+        changed = False
+        for candidate in _reductions(current):
+            if checks >= max_checks:
+                exhausted = True
+                break
+            checks += 1
+            try:
+                keep = predicate(candidate)
+            except Exception:
+                continue  # a reduction that crashes the predicate is no good
+            if keep:
+                current = candidate
+                accepted += 1
+                changed = True
+                break  # restart from the shrunk STG, coarsest-first again
+    return _Shrunk(current, accepted, checks, exhausted)
+
+
+@dataclass
+class _Shrunk:
+    stg: STG
+    accepted: int
+    checks: int
+    exhausted: bool
+
+
+def _reductions(stg: STG):
+    """Candidate one-step reductions, coarsest first."""
+    net = stg.net
+    # whole signals: drop the signal and every transition labelled with it
+    for signal in list(stg.signals):
+        doomed = stg.transitions_of(signal)
+        reduced = rebuild_stg(stg, drop_transitions=doomed)
+        yield _drop_signal(reduced, signal)
+    # single transitions
+    for t in range(net.num_transitions):
+        yield rebuild_stg(stg, drop_transitions=[t])
+    # single places
+    for p in range(net.num_places):
+        yield rebuild_stg(stg, drop_places=[p])
+
+
+def _drop_signal(stg: STG, signal: str) -> STG:
+    """Remove ``signal`` from the declarations of a transition-free STG."""
+    clone = STG(
+        stg.name,
+        inputs=[s for s in stg.inputs if s != signal],
+        outputs=[s for s in stg.outputs if s != signal],
+        internal=[s for s in stg.internal if s != signal],
+    )
+    net = stg.net
+    initial = net.initial_marking
+    for p in range(net.num_places):
+        clone.add_place(net.place_name(p), tokens=initial[p])
+    for t in range(net.num_transitions):
+        clone.add_transition(net.transition_name(t), stg.label(t))
+    for source, target, weight in net.arcs():
+        clone.net.add_arc(source, target, weight)
+    for name, value in stg.declared_initial_code.items():
+        if name != signal:
+            clone.set_initial_value(name, value)
+    return clone
+
+
+def shrink_case(
+    case: FuzzCase,
+    signature: str,
+    config: Optional[OracleConfig] = None,
+    max_checks: int = 200,
+) -> Optional[ShrinkResult]:
+    """Minimize ``case`` while the divergence ``signature`` persists.
+
+    Returns ``None`` when the signature does not reproduce on the
+    unmodified case (stale corpus entry, changed code, wrong id).
+    """
+    with obs.trace("fuzz.shrink"):
+        predicate = divergence_predicate(case, signature, config)
+        shrunk = shrink_stg(case.stg, predicate, max_checks=max_checks)
+    if shrunk is None:
+        return None
+    obs.incr("fuzz.shrunk")
+    return ShrinkResult(
+        stg=shrunk.stg,
+        signature=signature,
+        accepted=shrunk.accepted,
+        checks=shrunk.checks,
+        exhausted=shrunk.exhausted,
+    )

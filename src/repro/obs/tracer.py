@@ -53,6 +53,7 @@ PHASE_PREFIXES: Dict[str, Tuple[str, ...]] = {
     "refine": ("refine.",),
     "lint": ("lint.",),
     "analysis": ("analysis.",),
+    "fuzz": ("fuzz.",),
 }
 
 

@@ -1,8 +1,14 @@
 """Structured and random net generators.
 
-Used by the property-based tests (hypothesis strategies call into these) and
-by the scalable benchmarks.  All generators return safe, bounded nets unless
-stated otherwise.
+Used by the property-based tests (hypothesis strategies call into these),
+the scalable benchmarks and the fuzz subsystem.  All generators return safe,
+bounded nets unless stated otherwise.
+
+Randomness policy (relied on by :mod:`repro.fuzz`): every random choice
+flows through one injected :class:`random.Random` — either passed in as
+``rng=`` or constructed here from the ``seed`` argument.  No generator ever
+touches the module-level :mod:`random` state, so given a seed the generated
+net is byte-reproducible across calls, processes and platforms.
 """
 
 from __future__ import annotations
@@ -11,6 +17,19 @@ import random
 from typing import Optional, Sequence
 
 from repro.petri.net import PetriNet
+
+
+def make_rng(
+    seed: Optional[int] = None, rng: Optional[random.Random] = None
+) -> random.Random:
+    """Resolve the ``seed``/``rng`` pair every generator accepts.
+
+    An explicit ``rng`` wins (the caller is threading one stream through
+    several generators); otherwise a fresh :class:`random.Random` is built
+    from ``seed``.  ``seed=None`` still goes through an injected instance —
+    nothing here ever mutates the global :mod:`random` state.
+    """
+    return rng if rng is not None else random.Random(seed)
 
 
 def chain(length: int, tokens_at: Sequence[int] = (0,)) -> PetriNet:
@@ -105,6 +124,7 @@ def random_safe_net(
     branch_length: int = 3,
     join_probability: float = 0.3,
     seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> PetriNet:
     """A random safe net assembled from parallel chains with occasional
     synchronisations.
@@ -115,7 +135,7 @@ def random_safe_net(
     synchronising transitions (which consume from and produce into both
     branches, preserving the per-branch token count).
     """
-    rng = random.Random(seed)
+    rng = make_rng(seed, rng)
     net = PetriNet(f"random{num_branches}x{branch_length}")
     # Build independent cycles first.
     for b in range(num_branches):

@@ -50,12 +50,20 @@ def parse_net(text: str) -> PetriNet:
                     try:
                         tokens = int(count) if count else 0
                     except ValueError:
-                        raise ParseError(f"bad token count in {token!r}", line_no)
-                    net.add_place(name, tokens)
+                        raise ParseError(
+                            f"bad token count in {token!r}", line_no
+                        ) from None
+                    try:
+                        net.add_place(name, tokens)
+                    except Exception as exc:  # duplicate name, negative count
+                        raise ParseError(str(exc), line_no) from exc
                 mode = None
             elif directive == ".transitions":
                 for token in rest.split():
-                    net.add_transition(token)
+                    try:
+                        net.add_transition(token)
+                    except Exception as exc:  # duplicate / clashing name
+                        raise ParseError(str(exc), line_no) from exc
                 mode = None
             elif directive == ".arcs":
                 mode = "arcs"

@@ -48,12 +48,18 @@ def random_walk(
     steps: int,
     seed: Optional[int] = None,
     initial: Optional[Marking] = None,
+    rng: Optional[random.Random] = None,
 ) -> SimulationTrace:
     """Fire uniformly random enabled transitions for up to ``steps`` steps.
 
-    Stops early (``deadlocked=True``) if no transition is enabled.
+    Stops early (``deadlocked=True``) if no transition is enabled.  All
+    randomness flows through the injected ``rng`` (or a fresh
+    ``random.Random(seed)``) — never the global :mod:`random` state — so a
+    seeded walk is byte-reproducible across processes.
     """
-    rng = random.Random(seed)
+    from repro.petri.generators import make_rng
+
+    rng = make_rng(seed, rng)
     marking = initial if initial is not None else net.initial_marking
     trace = SimulationTrace(net=net, markings=[marking])
     for _ in range(steps):
@@ -105,13 +111,14 @@ def stg_random_walk(
     steps: int,
     seed: Optional[int] = None,
     initial_code: Optional[Dict[str, int]] = None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[SimulationTrace, Waveform]:
     """Simulate an STG and record the resulting signal waveform.
 
     ``initial_code`` defaults to the declared values (0 where undeclared);
     consistency of the STG guarantees the waveform is well defined.
     """
-    trace = random_walk(stg.net, steps, seed=seed)
+    trace = random_walk(stg.net, steps, seed=seed, rng=rng)
     values = {s: 0 for s in stg.signals}
     values.update(stg.declared_initial_code)
     if initial_code:
@@ -137,9 +144,12 @@ def estimate_reachable_states(
     walks: int = 50,
     steps: int = 200,
     seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> int:
     """A quick lower bound on the reachable-state count by sampling walks."""
-    rng = random.Random(seed)
+    from repro.petri.generators import make_rng
+
+    rng = make_rng(seed, rng)
     seen = {net.initial_marking}
     for _ in range(walks):
         trace = random_walk(net, steps, seed=rng.randrange(1 << 30))

@@ -81,8 +81,8 @@ def parse_stg(text: str, filename: Optional[str] = None) -> STG:
     internal: List[str] = []
     dummies: List[str] = []
     graph_lines: List[Tuple[int, str]] = []
-    marking_tokens: List[str] = []
-    initial_values: Dict[str, int] = {}
+    marking_tokens: List[Tuple[int, str]] = []
+    initial_values: Dict[str, Tuple[int, int]] = {}
     mode = None
     saw_end = False
     source = SourceMap(filename)
@@ -130,7 +130,9 @@ def parse_stg(text: str, filename: Optional[str] = None) -> STG:
             elif directive == ".graph":
                 mode = "graph"
             elif directive == ".marking":
-                marking_tokens.extend(_marking_tokens(rest, line_no))
+                marking_tokens.extend(
+                    (line_no, token) for token in _marking_tokens(rest, line_no)
+                )
                 mode = None
             elif directive == ".initial":
                 for assignment in rest.split():
@@ -139,7 +141,7 @@ def parse_stg(text: str, filename: Optional[str] = None) -> STG:
                         raise ParseError(
                             f"bad initial value in {assignment!r}", line_no
                         )
-                    initial_values[name] = int(value)
+                    initial_values[name] = (line_no, int(value))
             elif directive in (".capacity", ".slowenv", ".end"):
                 if directive == ".end":
                     saw_end = True
@@ -187,6 +189,12 @@ def parse_stg(text: str, filename: Optional[str] = None) -> STG:
             if src_kind == dst_kind == "transition":
                 place = f"<{src},{dst}>"
                 if (src, dst) not in implicit:
+                    if stg.net.has_place(place):
+                        raise ParseError(
+                            f"implicit place {place!r} collides with an "
+                            "explicit place of the same name",
+                            line_no,
+                        )
                     stg.add_place(place)
                     implicit[(src, dst)] = place
                     stg.add_arc(src, place)
@@ -199,22 +207,47 @@ def parse_stg(text: str, filename: Optional[str] = None) -> STG:
             else:
                 stg.add_arc(src, dst)
 
-    for token in marking_tokens:
+    for line_no, token in marking_tokens:
         name, _, count_text = token.partition("=")
-        count = int(count_text) if count_text else 1
+        if count_text:
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise ParseError(
+                    f"bad token count in marking token {token!r}", line_no
+                ) from None
+            if count < 0:
+                raise ParseError(
+                    f"negative token count in marking token {token!r}", line_no
+                )
+        else:
+            count = 1
         if name.startswith("<") and name.endswith(">"):
             inner = name[1:-1]
             src, _, dst = inner.partition(",")
             place = implicit.get((src.strip(), dst.strip()))
+            if place is None and stg.net.has_place(name):
+                # an *explicit* place whose name uses the implicit-pair
+                # syntax (write_stg emits these when a <src,dst> place
+                # acquired extra producers/consumers)
+                place = name
             if place is None:
-                raise ParseError(f"marking names unknown implicit place {name!r}")
+                raise ParseError(
+                    f"marking names unknown implicit place {name!r}", line_no
+                )
             stg.net.set_tokens(place, count)
         else:
             if not stg.net.has_place(name):
-                raise ParseError(f"marking names unknown place {name!r}")
+                raise ParseError(
+                    f"marking names unknown place {name!r}", line_no
+                )
             stg.net.set_tokens(name, count)
 
-    for signal, value in initial_values.items():
+    for signal, (line_no, value) in initial_values.items():
+        if signal not in stg.signals:
+            raise ParseError(
+                f".initial names undeclared signal {signal!r}", line_no
+            )
         stg.set_initial_value(signal, value)
 
     stg.source_map = source
@@ -251,6 +284,57 @@ def _marking_tokens(rest: str, line_no: int) -> List[str]:
     return tokens
 
 
+def round_trippable(stg: STG) -> bool:
+    """Whether ``write_stg`` -> ``parse_stg`` can reproduce ``stg`` exactly.
+
+    The astg dialect has expressibility limits the writer cannot work
+    around without changing the net's identity:
+
+    * arc weights (non-ordinary nets) have no syntax;
+    * a place with no arcs at all never appears in ``.graph`` (and, if
+      marked, would make ``.marking`` reference an unknown name);
+    * names containing whitespace or ``#`` (the comment starter) do not
+      survive tokenization;
+    * a name that re-classifies differently on read — a place named like a
+      declared signal's edge (``a+``), a non-dummy transition whose name
+      does not spell its own label, a dummy whose name is not a plain
+      identifier — comes back as a different kind of node.
+
+    The fuzzer's round-trip oracle treats a ``False`` here as "skip"; a
+    ``True`` followed by a failed round-trip is a bug.
+    """
+    net = stg.net
+    if not net.is_ordinary():
+        return False
+    signals = set(stg.signals)
+    dummies = {
+        _DUMMY_RE.match(net.transition_name(t)).group("name")  # type: ignore[union-attr]
+        for t in range(net.num_transitions)
+        if stg.is_dummy(t) and _DUMMY_RE.match(net.transition_name(t))
+    }
+
+    def tokenizes(name: str) -> bool:
+        return bool(name) and "#" not in name and not any(c.isspace() for c in name)
+
+    for t in range(net.num_transitions):
+        name = net.transition_name(t)
+        if not tokenizes(name):
+            return False
+        kind, edge = _classify(name, signals, dummies)
+        if kind != "transition" or edge != stg.label(t):
+            return False
+    for p in range(net.num_places):
+        name = net.place_name(p)
+        if not tokenizes(name):
+            return False
+        if not net.place_preset(p) and not net.place_postset(p):
+            return False
+        kind, _edge = _classify(name, signals, dummies)
+        if kind != "place":
+            return False
+    return True
+
+
 def write_stg(stg: STG) -> str:
     """Serialise an STG back to astg text accepted by :func:`parse_stg`.
 
@@ -279,23 +363,23 @@ def write_stg(stg: STG) -> str:
     for p in range(net.num_places):
         producers = list(net.place_preset(p))
         consumers = list(net.place_postset(p))
-        implicit = len(producers) == 1 and len(consumers) == 1
-        if implicit:
-            pair = (producers[0], consumers[0])
-            # two parallel places between the same transitions would collapse
-            # into one on re-read; keep all but the first explicit
-            if pair in written_pairs:
-                implicit = False
-            else:
-                written_pairs.add(pair)
         name = net.place_name(p)
-        if implicit:
+        implicit = False
+        if len(producers) == 1 and len(consumers) == 1:
             src = net.transition_name(producers[0])
             dst = net.transition_name(consumers[0])
+            # the implicit form renames the place to <src,dst> on re-read, so
+            # only use it when that *is* the name (parallel places between the
+            # same transitions also stay explicit — they would collapse into
+            # one on re-read, but only the first can carry the implicit name)
+            pair = (producers[0], consumers[0])
+            implicit = name == f"<{src},{dst}>" and pair not in written_pairs
+            if implicit:
+                written_pairs.add(pair)
+        if implicit:
             lines.append(f"{src} {dst}")
             if initial[p]:
-                token = f"<{src},{dst}>"
-                marked.append(token if initial[p] == 1 else f"{token}={initial[p]}")
+                marked.append(name if initial[p] == 1 else f"{name}={initial[p]}")
         else:
             for producer in producers:
                 lines.append(f"{net.transition_name(producer)} {name}")

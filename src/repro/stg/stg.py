@@ -131,6 +131,22 @@ class STG:
     def add_arc(self, source: str, target: str) -> None:
         self.net.add_arc(source, target)
 
+    def relabel_transition(self, transition: int, label: Optional[SignalEdge]) -> None:
+        """Replace the edge label of an existing transition.
+
+        Used by structural rewrites (e.g. the fuzz mutators flipping an edge
+        polarity); the transition *name* is untouched, so it may no longer
+        match the astg convention — :func:`~repro.stg.parser.write_stg` does
+        not rely on names agreeing with labels.
+        """
+        if not 0 <= transition < len(self._labels):
+            raise NetStructureError(f"no transition with index {transition}")
+        if label is not None and label.signal not in self.signals:
+            raise NetStructureError(
+                f"label {label} uses undeclared signal {label.signal!r}"
+            )
+        self._labels[transition] = label
+
     def set_initial_value(self, signal: str, value: int) -> None:
         """Pin a component of the initial code vector ``v0`` explicitly."""
         if signal not in self.signals:

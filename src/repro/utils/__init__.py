@@ -1,6 +1,7 @@
-"""Small shared utilities: bitsets, topological orders, table rendering."""
+"""Small shared utilities: bitsets, table rendering, the atomic file store."""
 
 from repro.utils.bitset import BitSet
+from repro.utils.filestore import FileStore
 from repro.utils.tables import format_table
 
-__all__ = ["BitSet", "format_table"]
+__all__ = ["BitSet", "FileStore", "format_table"]

@@ -1,0 +1,129 @@
+"""Shared on-disk JSON entry store: atomic writes, fan-out, dotfile hygiene.
+
+The pattern extracted from :mod:`repro.engine.cache` and reused by the fuzz
+corpus (:mod:`repro.fuzz.corpus`): each entry is one JSON file named after a
+hex key, fanned out over 256 two-hex-digit subdirectories so that even
+millions of entries keep directory listings fast.  Writes go through
+``mkstemp`` + ``os.replace`` so that
+
+* concurrent writers are safe — readers only ever see a complete entry, and
+  the last ``replace`` wins without torn files;
+* a writer killed between ``mkstemp`` and ``replace`` leaves only a
+  ``.tmp-*`` dotfile, which :meth:`FileStore.entries` filters out
+  (``pathlib.glob`` matches dotfiles, unlike shell globs) and
+  :meth:`FileStore.sweep_tmp` can reclaim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+#: Prefix of in-flight temp files; never visible through :meth:`entries`.
+TMP_PREFIX = ".tmp-"
+
+
+class FileStore:
+    """A directory of keyed JSON entries with atomic, crash-safe writes."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- layout --------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for a hex ``key``: ``<root>/<key[:2]>/<key>.json``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write ----------------------------------------------------------
+
+    def write_atomic(self, path: Path, payload: Dict[str, object]) -> bool:
+        """Write one entry via ``mkstemp`` + ``replace``; False on failure.
+
+        Failures (disk full, permissions, unserialisable payload mid-dump)
+        never leave a partial entry behind: the temp file is unlinked and
+        the previous entry, if any, stays intact.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=TMP_PREFIX, suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                json.dump(payload, tmp)
+            os.replace(tmp_name, path)
+        except (OSError, TypeError, ValueError):
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def put(self, key: str, payload: Dict[str, object]) -> bool:
+        """Store ``payload`` under ``key`` atomically."""
+        return self.write_atomic(self.path_for(key), payload)
+
+    def read_json(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Parse one entry file; ``None`` on missing/corrupt/non-object."""
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under ``key``, or ``None``."""
+        return self.read_json(self.path_for(key))
+
+    # -- listing -------------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Every finished entry file (in-flight ``.tmp-*`` files excluded)."""
+        if not self.root.exists():
+            return
+        for path in self.root.glob("??/*.json"):
+            if not path.name.startswith(TMP_PREFIX):
+                yield path
+
+    def tmp_files(self) -> Iterator[Path]:
+        """Orphaned in-flight temp files (writers killed mid-write)."""
+        if not self.root.exists():
+            return
+        yield from self.root.glob(f"??/{TMP_PREFIX}*")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    # -- maintenance ---------------------------------------------------------
+
+    def sweep_tmp(self, older_than_mtime: Optional[float] = None) -> int:
+        """Unlink orphaned temp files (optionally only those older than the
+        given mtime cutoff); returns how many were removed."""
+        removed = 0
+        for path in self.tmp_files():
+            try:
+                if (
+                    older_than_mtime is not None
+                    and path.stat().st_mtime >= older_than_mtime
+                ):
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every finished entry; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

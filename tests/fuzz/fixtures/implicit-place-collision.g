@@ -1,0 +1,12 @@
+# fuzz crasher: an explicit place spelled like an implicit pair name once
+# collided with the implicit place created for the a+ -> b+ arc
+# (NetStructureError: duplicate node name)
+.model crasher
+.inputs a
+.outputs b
+.graph
+<a+,b+> a+
+a+ b+
+b+ <a+,b+>
+.marking { <a+,b+> }
+.end

@@ -1,0 +1,10 @@
+# fuzz crasher: .initial naming an undeclared signal once escaped as
+# NetStructureError from STG.set_initial_value
+.model crasher
+.outputs z
+.graph
+p0 z+
+z+ p0
+.marking { p0 }
+.initial bogus=1
+.end

@@ -1,0 +1,8 @@
+# fuzz crasher: non-integer token count once escaped as ValueError
+.model crasher
+.outputs z
+.graph
+p0 z+
+z+ p0
+.marking { p0=x }
+.end

@@ -1,0 +1,8 @@
+# fuzz crasher: negative token count once escaped as NetStructureError
+.model crasher
+.outputs z
+.graph
+p0 z+
+z+ p0
+.marking { p0=-1 }
+.end

@@ -1,0 +1,8 @@
+# fuzz crasher: unbalanced '<' in .marking once hung token assembly together
+.model crasher
+.outputs z
+.graph
+p0 z+
+z+ p0
+.marking { <z+,p0 }
+.end

@@ -1,0 +1,14 @@
+# fuzz regression: write_stg used to compress ANY 1-producer/1-consumer
+# place to implicit-arc form, silently renaming this place to <a+,b-> on
+# re-read (found by the round-trip oracle after flip_signal_edge renamed a
+# producer).  The writer now only compresses when the name matches exactly.
+.model roundtrip
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ <a-,b->
+<a-,b-> b-
+b- p0
+.marking { p0 }
+.end

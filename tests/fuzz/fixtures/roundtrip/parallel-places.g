@@ -1,0 +1,14 @@
+# fuzz regression companion: two parallel places between the same pair of
+# transitions.  Only the one actually named <a+,b+> may take the implicit
+# form — writing both that way would collapse them into one on re-read.
+.model roundtrip
+.inputs a
+.outputs b
+.graph
+p0 a+
+a+ b+
+a+ extra
+extra b+
+b+ p0
+.marking { p0 }
+.end

@@ -1,0 +1,106 @@
+"""The persistent dedup corpus."""
+
+import pytest
+
+from repro.fuzz.corpus import CORPUS_ENV, CorpusStore, default_corpus_dir
+from repro.fuzz.generate import FuzzCase
+from repro.fuzz.oracle import Divergence
+from repro.models import vme_bus
+from repro.stg.parser import parse_stg
+
+
+def _case(index=0):
+    return FuzzCase(
+        seed=0, index=index, base="handmade", mutations=("add_arc",),
+        preserving=False, stg=vme_bus(),
+    )
+
+
+def _divergence(case_id="s0-c0", signature="differential:sat-vs-sg:usc:mismatch"):
+    return Divergence(
+        case_id=case_id,
+        oracle="differential",
+        subject="sat-vs-sg:usc",
+        detail="sat says usc holds, state graph says violated",
+        signature=signature,
+    )
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    return CorpusStore(tmp_path / "corpus")
+
+
+class TestRecord:
+    def test_first_record_is_new(self, corpus):
+        key, is_new = corpus.record(_case(), _divergence())
+        assert is_new
+        entry = corpus.get(key)
+        assert entry is not None
+        assert entry["case_id"] == "s0-c0"
+        assert entry["seed"] == 0 and entry["index"] == 0
+        assert entry["mutations"] == ["add_arc"]
+        assert entry["hits"] == 1
+        assert not entry["minimized"]
+        # the stored STG text replays through the parser
+        assert parse_stg(entry["stg_text"]).net.num_transitions > 0
+
+    def test_same_signature_dedups_first_trigger_wins(self, corpus):
+        key1, new1 = corpus.record(_case(0), _divergence("s0-c0"))
+        key2, new2 = corpus.record(_case(7), _divergence("s0-c7"))
+        assert (key1, new1, new2) == (key2, True, False)
+        entry = corpus.get(key1)
+        assert entry["case_id"] == "s0-c0"  # first trigger kept
+        assert entry["hits"] == 2
+        assert len(corpus) == 1
+
+    def test_different_signatures_are_separate(self, corpus):
+        corpus.record(_case(), _divergence(signature="a:b:mismatch"))
+        corpus.record(_case(), _divergence(signature="a:c:mismatch"))
+        assert len(corpus) == 2
+
+
+class TestLookup:
+    def test_find_by_key_prefix_and_case_id(self, corpus):
+        key, _ = corpus.record(_case(3), _divergence("s0-c3"))
+        assert corpus.find(key[:8])[0]["key"] == key
+        assert corpus.find("s0-c3")[0]["key"] == key
+        assert corpus.find("s0-c4") == []
+
+    def test_entries_are_key_ordered(self, corpus):
+        for i, sig in enumerate(["z:z:crash", "a:a:mismatch", "m:m:crash"]):
+            corpus.record(_case(i), _divergence(f"s0-c{i}", sig))
+        keys = [e["key"] for e in corpus.entries()]
+        assert keys == sorted(keys)
+
+    def test_foreign_schema_entries_are_ignored(self, corpus):
+        key, _ = corpus.record(_case(), _divergence())
+        corpus._store.put(key, {"schema": 99, "key": key})
+        assert corpus.get(key) is None
+        assert len(corpus) == 0
+
+
+class TestMinimize:
+    def test_mark_minimized_roundtrip(self, corpus):
+        key, _ = corpus.record(_case(), _divergence())
+        assert corpus.mark_minimized(key, ".graph\n.end\n")
+        entry = corpus.get(key)
+        assert entry["minimized"]
+        assert entry["minimized_stg_text"] == ".graph\n.end\n"
+
+    def test_mark_minimized_missing_key(self, corpus):
+        assert not corpus.mark_minimized("ff" * 32, "text")
+
+
+class TestMaintenance:
+    def test_clear(self, corpus):
+        corpus.record(_case(), _divergence())
+        assert corpus.clear() == 1
+        assert len(corpus) == 0
+
+    def test_env_var_overrides_location(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CORPUS_ENV, str(tmp_path / "elsewhere"))
+        assert default_corpus_dir() == tmp_path / "elsewhere"
+        assert CorpusStore().root == tmp_path / "elsewhere"
+        monkeypatch.delenv(CORPUS_ENV)
+        assert default_corpus_dir().name == "repro-stg-fuzz"

@@ -1,0 +1,200 @@
+"""Case generation: determinism, mutation tagging, STG surgery."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import NetStructureError
+from repro.fuzz.generate import (
+    MUTATORS,
+    MUTATORS_BY_NAME,
+    case_id,
+    derive_rng,
+    generate_case,
+    iter_cases,
+    parse_case_id,
+    rebuild_stg,
+    renamed_copy,
+    shuffled_copy,
+)
+from repro.models import vme_bus
+from repro.stg.hashing import canonical_stg_hash
+from repro.stg.stg import STG, SignalEdge
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_isolated(script: str) -> str:
+    """Run a snippet in a fresh interpreter (fresh hash seed, fresh state)."""
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=REPO_ROOT,
+    ).stdout.strip()
+
+
+class TestDeriveRng:
+    def test_same_path_same_stream(self):
+        assert derive_rng(7, 3).random() == derive_rng(7, 3).random()
+
+    def test_different_paths_diverge(self):
+        draws = {
+            derive_rng(7, 3).random(),
+            derive_rng(7, 4).random(),
+            derive_rng(8, 3).random(),
+            derive_rng(7, 3, "parser").random(),
+        }
+        assert len(draws) == 4
+
+    def test_stream_is_process_independent(self):
+        # the derivation must not depend on PYTHONHASHSEED or process state
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.fuzz.generate import derive_rng; "
+            "print(repr(derive_rng(42, 0, 'probe').random()))"
+        )
+        runs = {_run_isolated(script) for _ in range(2)}
+        assert len(runs) == 1
+        assert runs.pop() == repr(derive_rng(42, 0, "probe").random())
+
+
+class TestCaseIds:
+    def test_roundtrip(self):
+        assert parse_case_id(case_id(12, 345)) == (12, 345)
+
+    @pytest.mark.parametrize("bad", ["", "c3", "s1", "s1c2", "sx-cy"])
+    def test_malformed_ids_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_case_id(bad)
+
+
+class TestGenerateCase:
+    def test_regeneration_is_byte_identical(self):
+        a = generate_case(3, 17)
+        b = generate_case(3, 17)
+        assert a.base == b.base
+        assert a.mutations == b.mutations
+        assert canonical_stg_hash(a.stg) == canonical_stg_hash(b.stg)
+
+    def test_regeneration_is_byte_identical_across_processes(self):
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.fuzz.generate import generate_case; "
+            "from repro.stg.hashing import canonical_stg_hash; "
+            "case = generate_case(3, 17); "
+            "print(canonical_stg_hash(case.stg))"
+        )
+        assert _run_isolated(script) == canonical_stg_hash(generate_case(3, 17).stg)
+
+    def test_cases_are_independent_of_iteration(self):
+        streamed = list(iter_cases(5, 10))
+        direct = generate_case(5, 7)
+        assert canonical_stg_hash(streamed[7].stg) == canonical_stg_hash(direct.stg)
+
+    def test_preserving_flag_tracks_mutations(self):
+        for index in range(40):
+            case = generate_case(1, index)
+            expected = all(
+                MUTATORS_BY_NAME[name].preserving for name in case.mutations
+            )
+            assert case.preserving == expected
+
+    def test_population_is_diverse(self):
+        cases = list(iter_cases(0, 60))
+        bases = {case.base.partition("(")[0] for case in cases}
+        assert len(bases) >= 5
+        assert any(case.mutations for case in cases)
+        assert any(not case.mutations for case in cases)
+
+
+class TestMutators:
+    def test_every_mutator_applies_to_vme(self):
+        for op in MUTATORS:
+            mutated = op.apply(vme_bus(), derive_rng(0, "op", op.name))
+            assert mutated is not None, op.name
+            assert canonical_stg_hash(mutated) != canonical_stg_hash(vme_bus())
+
+    def test_duplicate_transition_preserves_verdicts(self):
+        from repro.stg.stategraph import build_state_graph
+
+        base = vme_bus()
+        mutated = MUTATORS_BY_NAME["duplicate_transition"].apply(
+            base, derive_rng(0, "dup")
+        )
+        g0 = build_state_graph(base)
+        g1 = build_state_graph(mutated)
+        assert g0.has_usc() == g1.has_usc()
+        assert g0.has_csc() == g1.has_csc()
+
+    def test_split_place_preserves_consistency(self):
+        from repro.stg.consistency import check_consistency
+
+        mutated = MUTATORS_BY_NAME["split_place"].apply(
+            vme_bus(), derive_rng(0, "split")
+        )
+        check_consistency(mutated)  # must not raise
+
+    def test_flip_signal_edge_renames_to_match(self):
+        base = vme_bus()
+        mutated = MUTATORS_BY_NAME["flip_signal_edge"].apply(
+            base, derive_rng(0, "flip")
+        )
+        net = mutated.net
+        for t in range(net.num_transitions):
+            label = mutated.label(t)
+            if label is None:
+                continue
+            name = net.transition_name(t)
+            assert name == str(label) or name.startswith(f"{label}/")
+
+
+def _tiny():
+    stg = STG("tiny", inputs=["a"], outputs=["b"])
+    stg.add_place("p0", tokens=1)
+    stg.add_place("p1")
+    stg.add_transition("a+", SignalEdge("a", +1))
+    stg.add_transition("b+", SignalEdge("b", +1))
+    stg.add_arc("p0", "a+")
+    stg.add_arc("a+", "p1")
+    stg.add_arc("p1", "b+")
+    return stg
+
+
+class TestRebuild:
+    def test_identity_rebuild_preserves_hash(self):
+        stg = vme_bus()
+        assert canonical_stg_hash(rebuild_stg(stg)) == canonical_stg_hash(stg)
+
+    def test_shuffle_preserves_hash(self):
+        stg = vme_bus()
+        assert canonical_stg_hash(
+            shuffled_copy(stg, derive_rng(0, "shuffle"))
+        ) == canonical_stg_hash(stg)
+
+    def test_drop_transition_drops_arcs(self):
+        stg = _tiny()
+        reduced = rebuild_stg(stg, drop_transitions=[0])
+        assert not reduced.net.has_transition("a+")
+        assert reduced.net.has_place("p0")
+        assert list(reduced.net.arcs()) == [("p1", "b+", 1)]
+
+    def test_rename_signals_rewrites_astg_names(self):
+        stg = _tiny()
+        renamed, mapping = renamed_copy(stg, prefix="x_")
+        assert mapping == {"a": "x_a", "b": "x_b"}
+        assert renamed.inputs == ["x_a"]
+        assert renamed.net.has_transition("x_a+")
+        assert str(renamed.label(0)) == "x_a+"
+
+    def test_relabel_transition_validates(self):
+        stg = _tiny()
+        stg.relabel_transition(0, SignalEdge("b", -1))
+        assert str(stg.label(0)) == "b-"
+        with pytest.raises(NetStructureError):
+            stg.relabel_transition(0, SignalEdge("zz", +1))
+        with pytest.raises(NetStructureError):
+            stg.relabel_transition(99, None)

@@ -1,0 +1,69 @@
+"""Parser hardening regressions: minimized fuzzer crashers.
+
+Every ``.g``/``.pn`` file under ``fixtures/`` is a minimized input that once
+made a parser escape with something other than :class:`ParseError`
+(``ValueError`` from ``int()``, ``NetStructureError`` from net surgery).
+The contract — pinned here and enforced campaign-wide by the fuzzer's
+parser oracle — is that malformed text produces :class:`ParseError` and
+nothing else.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.petri.parser import parse_net
+from repro.stg.parser import parse_stg
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+STG_CRASHERS = sorted(FIXTURES.glob("*.g"))
+NET_CRASHERS = sorted(FIXTURES.glob("*.pn"))
+
+
+def test_fixture_inventory():
+    # the globs must actually find the committed crashers
+    assert len(STG_CRASHERS) >= 5
+    assert len(NET_CRASHERS) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", STG_CRASHERS, ids=lambda p: p.stem
+)
+def test_stg_crasher_raises_parse_error(path):
+    with pytest.raises(ParseError) as excinfo:
+        parse_stg(path.read_text(), filename=path.name)
+    # diagnostics carry a message (and, for all current fixtures, a line)
+    assert str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "path", NET_CRASHERS, ids=lambda p: p.stem
+)
+def test_net_crasher_raises_parse_error(path):
+    with pytest.raises(ParseError):
+        parse_net(path.read_text())
+
+
+class TestOnlyParseErrorEscapes:
+    """Sweep hand-written malformed snippets beyond the committed crashers."""
+
+    SNIPPETS = [
+        "",
+        ".end\n.end\n",
+        ".graph\n",
+        ".bogus directive\n.end\n",
+        ".outputs z\n.graph\nz+\n.end\n",
+        ".outputs z\n.graph\np0 p1\n.end\n",
+        ".outputs z\n.graph\np0 z+\n.marking { nope }\n.end\n",
+        ".outputs z\n.graph\np0 z+\n.marking { <p0,z+> }\n.end\n",
+        ".outputs z z\n.graph\np0 z+\n.end\n",
+        ".inputs a\n.outputs a\n.graph\np0 a+\n.end\n",
+        ".outputs z\n.graph\np0 z+\n.initial z=2\n.end\n",
+    ]
+
+    @pytest.mark.parametrize("snippet", SNIPPETS)
+    def test_stg_snippets(self, snippet):
+        with pytest.raises(ParseError):
+            parse_stg(snippet)

@@ -1,0 +1,134 @@
+"""The shared atomic JSON entry store (extracted from the result cache)."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.utils.filestore import TMP_PREFIX, FileStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return FileStore(tmp_path / "store")
+
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, store):
+        assert store.put(KEY, {"x": 1})
+        assert store.get(KEY) == {"x": 1}
+
+    def test_get_missing_is_none(self, store):
+        assert store.get(KEY) is None
+
+    def test_fanout_layout(self, store):
+        store.put(KEY, {})
+        assert store.path_for(KEY).parent.name == KEY[:2]
+        assert store.path_for(KEY).name == f"{KEY}.json"
+
+    def test_overwrite_replaces(self, store):
+        store.put(KEY, {"v": 1})
+        store.put(KEY, {"v": 2})
+        assert store.get(KEY) == {"v": 2}
+        assert len(store) == 1
+
+    def test_len_and_entries(self, store):
+        assert len(store) == 0
+        store.put(KEY, {})
+        store.put(OTHER, {})
+        assert len(store) == 2
+        assert {p.name for p in store.entries()} == {
+            f"{KEY}.json",
+            f"{OTHER}.json",
+        }
+
+    def test_corrupt_entry_reads_as_none(self, store):
+        store.put(KEY, {})
+        store.path_for(KEY).write_text("{not json")
+        assert store.get(KEY) is None
+
+    def test_non_object_entry_reads_as_none(self, store):
+        store.put(KEY, {})
+        store.path_for(KEY).write_text("[1, 2]")
+        assert store.get(KEY) is None
+
+    def test_unserialisable_payload_fails_cleanly(self, store):
+        assert not store.put(KEY, {"bad": object()})
+        assert store.get(KEY) is None
+        assert list(store.tmp_files()) == []
+
+
+class TestDotfileHygiene:
+    def test_entries_skip_tmp_dotfiles(self, store):
+        store.put(KEY, {})
+        orphan = store.path_for(KEY).parent / f"{TMP_PREFIX}orphan.json"
+        orphan.write_text("{}")
+        assert len(store) == 1
+        assert all(not p.name.startswith(TMP_PREFIX) for p in store.entries())
+        assert [p.name for p in store.tmp_files()] == [orphan.name]
+
+    def test_sweep_tmp_removes_orphans(self, store):
+        store.put(KEY, {})
+        orphan = store.path_for(KEY).parent / f"{TMP_PREFIX}orphan.json"
+        orphan.write_text("{}")
+        assert store.sweep_tmp() == 1
+        assert not orphan.exists()
+        assert store.get(KEY) == {}
+
+    def test_sweep_tmp_respects_mtime_cutoff(self, store):
+        store.put(KEY, {})
+        orphan = store.path_for(KEY).parent / f"{TMP_PREFIX}orphan.json"
+        orphan.write_text("{}")
+        os.utime(orphan, (2_000_000_000, 2_000_000_000))
+        assert store.sweep_tmp(older_than_mtime=1_000_000_000) == 0
+        assert orphan.exists()
+
+    def test_clear_removes_entries_only(self, store):
+        store.put(KEY, {})
+        orphan = store.path_for(KEY).parent / f"{TMP_PREFIX}orphan.json"
+        orphan.write_text("{}")
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert orphan.exists()  # clear targets entries; sweep_tmp does temps
+
+
+def _hammer(root, worker):
+    store = FileStore(root)
+    for i in range(50):
+        store.put(KEY, {"worker": worker, "i": i})
+
+
+class TestConcurrency:
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        root = str(tmp_path / "store")
+        procs = [
+            multiprocessing.Process(target=_hammer, args=(root, w))
+            for w in range(4)
+        ]
+        for p in procs:
+            p.start()
+        store = FileStore(root)
+        # read while the writers race: every observation must be a complete
+        # entry (or no entry yet) — never a torn/partial file
+        for _ in range(200):
+            entry = store.get(KEY)
+            if entry is not None:
+                assert set(entry) == {"worker", "i"}
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        final = store.get(KEY)
+        assert final is not None and final["i"] == 49
+        assert list(store.tmp_files()) == []
+
+    def test_no_litter_outside_root(self, tmp_path):
+        root = tmp_path / "store"
+        FileStore(root).put(KEY, {"x": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["store"]
+        payload = json.loads(FileStore(root).path_for(KEY).read_text())
+        assert payload == {"x": 1}
